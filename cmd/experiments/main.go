@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§V) plus the §III-B transferability study and the
+// weak-auxiliary ablation.
+//
+// Usage:
+//
+//	experiments                      # medium scale, full suite
+//	experiments -scale quick         # fast smoke run
+//	experiments -scale full          # largest dataset (slow: every AE is crafted)
+//	experiments -only table5,fig4    # subset of experiments
+//	experiments -out results.txt     # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mvpears/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scale := fs.String("scale", "medium", "quick, medium, or full")
+	only := fs.String("only", "", "comma-separated experiment ids (default: all)")
+	out := fs.String("out", "", "also write the report to this file")
+	jsonOut := fs.String("json", "", "also write a machine-readable JSON report to this file")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "medium":
+		cfg = experiments.DefaultConfig()
+	case "full":
+		cfg = experiments.FullConfig()
+	default:
+		return fmt.Errorf("unknown scale %q (quick, medium, full)", *scale)
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), fmt.Sprintf(format, a...))
+	}
+	start := time.Now()
+	env, err := experiments.BuildEnv(cfg, logf)
+	if err != nil {
+		return err
+	}
+	logf("environment ready in %v", time.Since(start).Round(time.Second))
+
+	var results []*experiments.Result
+	if *only == "" {
+		results, err = experiments.RunAll(env)
+		if err != nil {
+			return err
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			runner, err := experiments.Get(id)
+			if err != nil {
+				return err
+			}
+			logf("running %s...", id)
+			res, err := runner(env)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			results = append(results, res)
+		}
+	}
+	var report strings.Builder
+	for _, r := range results {
+		report.WriteString(r.String())
+		report.WriteByte('\n')
+	}
+	fmt.Print(report.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		logf("report written to %s", *out)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *jsonOut, err)
+		}
+		if err := experiments.WriteJSON(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", *jsonOut, err)
+		}
+		logf("JSON report written to %s", *jsonOut)
+	}
+	logf("total time %v", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,185 @@
+// Command mvpears trains an MVP-EARS system and runs it on audio files.
+//
+// Usage:
+//
+//	mvpears synth -text "open the front door" -out cmd.wav [-seed 7]
+//	mvpears transcribe -in clip.wav [-quick]
+//	mvpears detect -in clip.wav [-quick] [-classifier svm] [-model cache.gob]
+//	mvpears engines [-quick]                # print the engine inventory
+//
+// Engines are trained from scratch on startup (the models are small);
+// -quick trades accuracy for startup time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mvpears"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mvpears:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: mvpears <synth|transcribe|detect> [flags]")
+	}
+	switch args[0] {
+	case "synth":
+		return runSynth(args[1:])
+	case "transcribe":
+		return runTranscribe(args[1:])
+	case "detect":
+		return runDetect(args[1:])
+	case "engines":
+		return runEngines(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (synth, transcribe, detect, engines)", args[0])
+	}
+}
+
+// buildSystem trains a system, or — when modelPath is set — loads a
+// cached one (training and caching it on first use).
+func buildSystem(quick bool, classifier, modelPath string, train bool) (*mvpears.System, error) {
+	if modelPath != "" && train {
+		if sys, err := mvpears.Open(modelPath); err == nil {
+			fmt.Fprintf(os.Stderr, "loaded cached models from %s\n", modelPath)
+			return sys, nil
+		}
+	}
+	opts := []mvpears.Option{mvpears.WithClassifier(classifier)}
+	if quick {
+		opts = append(opts, mvpears.WithQuickScale())
+	}
+	if !train {
+		opts = append(opts, mvpears.WithoutTraining())
+	}
+	fmt.Fprintln(os.Stderr, "training engines (use -quick for a faster, less accurate build)...")
+	sys, err := mvpears.Build(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if modelPath != "" && train {
+		if err := sys.SaveFile(modelPath); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "cached models to %s\n", modelPath)
+	}
+	return sys, nil
+}
+
+func runSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	text := fs.String("text", "", "sentence to synthesize")
+	out := fs.String("out", "out.wav", "output WAV path")
+	seed := fs.Int64("seed", 1, "speaker/variation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *text == "" {
+		return fmt.Errorf("synth: -text is required")
+	}
+	sys, err := mvpears.Build(mvpears.WithQuickScale(), mvpears.WithoutTraining())
+	if err != nil {
+		return err
+	}
+	clip, err := sys.GenerateSpeech(*text, *seed)
+	if err != nil {
+		return err
+	}
+	if err := mvpears.SaveWAV(*out, clip); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%.2f s at %d Hz)\n", *out, clip.Duration(), clip.SampleRate)
+	return nil
+}
+
+func runTranscribe(args []string) error {
+	fs := flag.NewFlagSet("transcribe", flag.ContinueOnError)
+	in := fs.String("in", "", "input WAV path")
+	quick := fs.Bool("quick", false, "quick (less accurate) engine training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("transcribe: -in is required")
+	}
+	sys, err := buildSystem(*quick, "svm", "", false)
+	if err != nil {
+		return err
+	}
+	clip, err := mvpears.LoadWAV(*in)
+	if err != nil {
+		return err
+	}
+	if clip.SampleRate != sys.SampleRate() {
+		clip, err = clip.Resample(sys.SampleRate())
+		if err != nil {
+			return err
+		}
+	}
+	all, err := sys.TranscribeAll(clip)
+	if err != nil {
+		return err
+	}
+	for _, name := range append([]string{"DS0"}, sys.AuxiliaryNames()...) {
+		fmt.Printf("%-4s %q\n", name, all[name])
+	}
+	return nil
+}
+
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	in := fs.String("in", "", "input WAV path")
+	quick := fs.Bool("quick", false, "quick (less accurate) engine training")
+	classifier := fs.String("classifier", "svm", "svm, knn, forest, or logreg")
+	model := fs.String("model", "", "model cache path (train once, reuse)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("detect: -in is required")
+	}
+	sys, err := buildSystem(*quick, *classifier, *model, true)
+	if err != nil {
+		return err
+	}
+	det, err := sys.DetectFile(*in)
+	if err != nil {
+		return err
+	}
+	verdict := "BENIGN"
+	if det.Adversarial {
+		verdict = "ADVERSARIAL"
+	}
+	fmt.Printf("verdict: %s\n", verdict)
+	fmt.Printf("target DS0 heard: %q\n", det.Transcriptions["DS0"])
+	for i, name := range sys.AuxiliaryNames() {
+		fmt.Printf("aux %-4s heard %q (similarity %.3f)\n", name, det.Transcriptions[name], det.Scores[i])
+	}
+	fmt.Printf("timing: recognition %v, similarity %v, classify %v\n",
+		det.Timing.Recognition, det.Timing.Similarity, det.Timing.Classify)
+	return nil
+}
+
+func runEngines(args []string) error {
+	fs := flag.NewFlagSet("engines", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "quick (less accurate) engine training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(*quick, "svm", "", false)
+	if err != nil {
+		return err
+	}
+	for _, info := range sys.DescribeEngines() {
+		fmt.Printf("%-4s %-58s %-32s %7d params\n", info.ID, info.Architecture, info.FrontEnd, info.Parameters)
+	}
+	return nil
+}

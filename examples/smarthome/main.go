@@ -1,0 +1,101 @@
+// Smart-home gateway: the paper's motivating scenario. A voice assistant
+// accepts spoken commands; an attacker plays an adversarial audio clip
+// (sounding like harmless speech) that the assistant's ASR transcribes as
+// "open the front door". MVP-EARS sits in front of the command executor
+// and rejects inputs on which the diverse ASR ensemble disagrees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvpears"
+)
+
+// commandGate is the smart-home policy: a command executes only when the
+// detector passes the audio AND the transcription matches a known
+// command.
+type commandGate struct {
+	sys     *mvpears.System
+	allowed map[string]string // transcription -> action
+}
+
+func (g *commandGate) handle(clip *mvpears.Clip, source string) {
+	det, err := g.sys.Detect(clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heard := det.Transcriptions["DS0"]
+	fmt.Printf("\n[%s] assistant heard: %q\n", source, heard)
+	fmt.Printf("  ensemble similarity scores: %.3f\n", det.Scores)
+	if det.Adversarial {
+		fmt.Println("  MVP-EARS: ADVERSARIAL — command rejected, user alerted")
+		return
+	}
+	if action, ok := g.allowed[heard]; ok {
+		fmt.Printf("  MVP-EARS: benign — executing action: %s\n", action)
+	} else {
+		fmt.Println("  MVP-EARS: benign — but no matching command, ignored")
+	}
+}
+
+func main() {
+	fmt.Println("building the smart-home voice gateway (quick scale)...")
+	sys, err := mvpears.Build(mvpears.WithQuickScale(), mvpears.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate := &commandGate{
+		sys: sys,
+		allowed: map[string]string{
+			"open the front door": "unlocking front door",
+			"turn off the lights": "lights off",
+			"play music":          "starting playlist",
+			"turn off the alarm":  "alarm disarmed",
+		},
+	}
+
+	// A legitimate resident speaks a command.
+	legit, err := sys.GenerateSpeech("turn off the lights", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate.handle(legit, "living-room microphone")
+
+	// Legitimate but unknown request.
+	chat, err := sys.GenerateSpeech("the weather is cold this evening", 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate.handle(chat, "living-room microphone")
+
+	// The attack: a TV advert plays audio that *humans* hear as innocuous
+	// speech but the assistant's ASR (DS0) transcribes as a door-opening
+	// command. We craft it with the real white-box attack.
+	hostText := "the new coffee is warm and the morning is bright"
+	host, err := sys.GenerateSpeech(hostText, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nattacker crafts an AE from %q embedding %q...\n", hostText, "open the front door")
+	ae, err := sys.CraftWhiteBoxAE(host, "open the front door")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ae.Success {
+		fmt.Println("(attack did not converge on this host at quick scale; trying a longer host)")
+		host, err = sys.GenerateSpeech("the good doctor will read the long story again this evening", 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ae, err = sys.CraftWhiteBoxAE(host, "open the front door")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("attack success=%v, DS0 alone would hear %q\n", ae.Success, ae.FinalText)
+	gate.handle(ae.AE, "TV advert")
+
+	fmt.Println("\nwithout MVP-EARS, the AE would have unlocked the door;")
+	fmt.Println("with it, at least one diverse auxiliary ASR disagreed and the command was blocked.")
+}

@@ -1,0 +1,3 @@
+module mvpears
+
+go 1.22

@@ -1,0 +1,79 @@
+// Package asr implements the Automatic Speech Recognition substrate: a
+// common Recognizer interface and four architecturally diverse engines
+// standing in for the paper's ASR systems:
+//
+//   - DS0, DS1: feedforward (MLP) frame classifiers over context-stacked
+//     MFCCs — the DeepSpeech v0.1.0 / v0.1.1 pair (same architecture,
+//     different width, seed and training subset). DS0 is the white-box
+//     attack target and exposes exact input gradients.
+//   - GCS: an Elman-RNN acoustic model with a different feature front end
+//     — the Google-Cloud-Speech stand-in (recurrent architecture family).
+//   - AT: a GMM-HMM acoustic model with Viterbi decoding — the
+//     Amazon-Transcribe stand-in (non-neural, maximal diversity).
+//   - KLD: a deliberately under-trained engine reproducing the paper's
+//     observation that an inaccurate auxiliary (Kaldi) hurts detection.
+//
+// All engines share the lexicon + n-gram-LM word decoder in decode.go.
+package asr
+
+import (
+	"fmt"
+
+	"mvpears/internal/audio"
+)
+
+// EngineID identifies one of the built-in engines.
+type EngineID string
+
+// Built-in engine identifiers, named after the systems they stand in for.
+const (
+	DS0 EngineID = "DS0" // DeepSpeech v0.1.0 (target model)
+	DS1 EngineID = "DS1" // DeepSpeech v0.1.1
+	GCS EngineID = "GCS" // Google Cloud Speech
+	AT  EngineID = "AT"  // Amazon Transcribe
+	KLD EngineID = "KLD" // weak Kaldi-like auxiliary
+)
+
+// Recognizer converts audio to text.
+type Recognizer interface {
+	// Name returns the engine identifier.
+	Name() string
+	// Transcribe converts the clip to a normalized transcription.
+	Transcribe(clip *audio.Clip) (string, error)
+}
+
+// FrameLabeler is implemented by engines that expose their per-frame
+// phoneme decisions (used by attacks and diagnostics).
+type FrameLabeler interface {
+	// FrameLabels returns the engine's raw per-frame phoneme ids for the
+	// clip, before word decoding.
+	FrameLabels(clip *audio.Clip) ([]int, error)
+}
+
+// GradientModel is implemented by engines that can compute the gradient of
+// a framewise target loss with respect to the input waveform — the
+// capability a white-box attacker needs.
+type GradientModel interface {
+	FrameLabeler
+	// TargetLoss returns the cross-entropy loss of the clip's frames
+	// against the target frame labels and dLoss/dsample.
+	TargetLoss(clip *audio.Clip, targetLabels []int) (float64, []float64, error)
+	// NumFrames reports how many frames the engine extracts from n
+	// samples, so attackers can build target alignments.
+	NumFrames(numSamples int) int
+}
+
+// energyGateRatio is the frame-RMS-to-clip-RMS ratio below which a frame
+// is forced to silence during transcription.
+const energyGateRatio = 0.08
+
+// validateClip performs the shared input checks.
+func validateClip(clip *audio.Clip, wantRate int) error {
+	if clip == nil || len(clip.Samples) == 0 {
+		return fmt.Errorf("asr: empty clip")
+	}
+	if clip.SampleRate != wantRate {
+		return fmt.Errorf("asr: clip is %d Hz, engine expects %d Hz", clip.SampleRate, wantRate)
+	}
+	return nil
+}

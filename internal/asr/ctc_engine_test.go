@@ -1,0 +1,126 @@
+package asr
+
+import (
+	"sync"
+	"testing"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/phoneme"
+	"mvpears/internal/speech"
+)
+
+var (
+	ctcOnce sync.Once
+	ctcEng  *CTCEngine
+	ctcErr  error
+)
+
+func testCTCEngine(t *testing.T) *CTCEngine {
+	t.Helper()
+	ctcOnce.Do(func() {
+		cfg := QuickTrainConfig()
+		cfg.Epochs = 5 // CTC needs a few more passes on the tiny corpus
+		synth := speech.NewSynthesizer(cfg.SampleRate)
+		utts, err := speech.GenerateUtterances(synth, cfg.NumUtterances, cfg.Seed)
+		if err != nil {
+			ctcErr = err
+			return
+		}
+		set := testEngines(t) // reuse the shared decoder via DS0
+		ctcEng, ctcErr = TrainCTCEngine(cfg, utts, set.DS0.Dec, 64, 505)
+	})
+	if ctcErr != nil {
+		t.Fatalf("training CTC engine: %v", ctcErr)
+	}
+	return ctcEng
+}
+
+func TestCTCEngineTranscribes(t *testing.T) {
+	eng := testCTCEngine(t)
+	if eng.Name() != "DS2" {
+		t.Fatalf("name %q", eng.Name())
+	}
+	synth := speech.NewSynthesizer(8000)
+	utts, err := speech.GenerateUtterances(synth, 10, 515)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateWER(eng, utts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick-scale CTC engine is rougher than the default-scale one (0.7%
+	// WER) but must clearly work.
+	if res.MeanWER > 0.4 {
+		t.Errorf("CTC engine mean WER %.3f too high", res.MeanWER)
+	}
+}
+
+func TestCTCEngineFrameLabels(t *testing.T) {
+	eng := testCTCEngine(t)
+	synth := speech.NewSynthesizer(8000)
+	utts, err := speech.GenerateUtterances(synth, 1, 525)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := eng.FrameLabels(utts[0].Clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) == 0 {
+		t.Fatal("no frame labels")
+	}
+	if _, err := eng.FrameLabels(audio.NewClip(16000, 100)); err == nil {
+		t.Fatal("expected sample-rate error")
+	}
+	if _, err := eng.Transcribe(nil); err == nil {
+		t.Fatal("expected error for nil clip")
+	}
+}
+
+func TestTrainCTCEngineValidation(t *testing.T) {
+	set := testEngines(t)
+	if _, err := TrainCTCEngine(QuickTrainConfig(), nil, set.DS0.Dec, 32, 1); err == nil {
+		t.Fatal("expected error for empty corpus")
+	}
+}
+
+func TestEngineSetIncludeCTC(t *testing.T) {
+	set := testEngines(t)
+	// The shared quick set does not include DS2.
+	if _, err := set.Get(DS2); err == nil {
+		t.Fatal("expected error when DS2 was not trained")
+	}
+}
+
+func TestDecodePhonemes(t *testing.T) {
+	set := testEngines(t)
+	dec := set.DS0.Dec
+	// door = D AO R, surrounded by silence.
+	ids, err := toIDs("SIL", "D", "AO", "R", "SIL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := dec.DecodePhonemes(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "door" {
+		t.Fatalf("decoded %q", text)
+	}
+	if _, err := dec.DecodePhonemes(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func toIDs(syms ...string) ([]int, error) {
+	out := make([]int, len(syms))
+	for i, s := range syms {
+		id, err := phoneme.Index(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package asr
+
+import (
+	"fmt"
+
+	"mvpears/internal/similarity"
+	"mvpears/internal/speech"
+)
+
+// EvalResult summarizes recognizer accuracy over a corpus.
+type EvalResult struct {
+	Utterances   int
+	MeanWER      float64
+	ExactMatches int // transcriptions identical to the reference
+	SentenceAcc  float64
+	WorstWER     float64
+	WorstExample string
+	WorstHyp     string
+}
+
+// EvaluateWER transcribes each utterance and scores it against the
+// reference text.
+func EvaluateWER(rec Recognizer, utts []speech.Utterance) (EvalResult, error) {
+	if len(utts) == 0 {
+		return EvalResult{}, fmt.Errorf("asr: no utterances to evaluate")
+	}
+	var res EvalResult
+	res.Utterances = len(utts)
+	var totalWER float64
+	for _, u := range utts {
+		hyp, err := rec.Transcribe(u.Clip)
+		if err != nil {
+			return EvalResult{}, fmt.Errorf("asr: transcribing %q: %w", u.Text, err)
+		}
+		w := similarity.WER(speech.NormalizeText(u.Text), speech.NormalizeText(hyp))
+		totalWER += w
+		if w == 0 {
+			res.ExactMatches++
+		}
+		if w > res.WorstWER {
+			res.WorstWER = w
+			res.WorstExample = u.Text
+			res.WorstHyp = hyp
+		}
+	}
+	res.MeanWER = totalWER / float64(len(utts))
+	res.SentenceAcc = float64(res.ExactMatches) / float64(len(utts))
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package asr
+
+import (
+	"fmt"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/dsp"
+	"mvpears/internal/hmm"
+)
+
+// GMMEngine is the Amazon-Transcribe stand-in: a classical GMM-HMM acoustic
+// model. Per-phoneme Gaussian-mixture emitters score MFCC frames and a
+// phoneme-level HMM with sticky self-transitions is decoded by Viterbi.
+// Being non-neural, it shares no decision-surface structure with the
+// gradient-based attack targets.
+type GMMEngine struct {
+	ID         EngineID
+	SampleRate int
+	MFCC       *dsp.MFCC
+	Model      *hmm.HMM
+	Dec        *Decoder
+}
+
+var (
+	_ Recognizer   = (*GMMEngine)(nil)
+	_ FrameLabeler = (*GMMEngine)(nil)
+)
+
+// Name implements Recognizer.
+func (e *GMMEngine) Name() string { return string(e.ID) }
+
+// FrameLabels implements FrameLabeler: the Viterbi state path, which is by
+// construction one state per phoneme.
+func (e *GMMEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	if err := validateClip(clip, e.SampleRate); err != nil {
+		return nil, err
+	}
+	feats, err := e.MFCC.Extract(clip.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
+	}
+	path, _, err := e.Model.Viterbi(feats)
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s Viterbi: %w", e.ID, err)
+	}
+	return path, nil
+}
+
+// Transcribe implements Recognizer.
+func (e *GMMEngine) Transcribe(clip *audio.Clip) (string, error) {
+	labels, err := e.FrameLabels(clip)
+	if err != nil {
+		return "", err
+	}
+	mc := e.MFCC.Config()
+	labels = ApplyEnergyGate(labels, clip.Samples, mc.FrameLen, mc.Hop, energyGateRatio)
+	text, err := e.Dec.Decode(labels)
+	if err != nil {
+		return "", fmt.Errorf("asr: %s decoding: %w", e.ID, err)
+	}
+	return text, nil
+}

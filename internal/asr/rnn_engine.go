@@ -1,0 +1,86 @@
+package asr
+
+import (
+	"fmt"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/dsp"
+	"mvpears/internal/nn"
+)
+
+// RNNEngine is the Google-Cloud-Speech stand-in: an Elman recurrent
+// acoustic model over a deliberately different feature front end (more
+// filters/cepstra, Hann window, different frame geometry) so that its
+// decision surface is uncorrelated with the MLP engines'.
+type RNNEngine struct {
+	ID         EngineID
+	SampleRate int
+	MFCC       *dsp.MFCC
+	UseDeltas  bool
+	Net        *nn.RNN
+	Dec        *Decoder
+}
+
+var (
+	_ Recognizer   = (*RNNEngine)(nil)
+	_ FrameLabeler = (*RNNEngine)(nil)
+)
+
+// Name implements Recognizer.
+func (e *RNNEngine) Name() string { return string(e.ID) }
+
+// Features extracts the engine's input representation (MFCC + optional
+// deltas).
+func (e *RNNEngine) Features(clip *audio.Clip) ([][]float64, error) {
+	if err := validateClip(clip, e.SampleRate); err != nil {
+		return nil, err
+	}
+	feats, err := e.MFCC.Extract(clip.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
+	}
+	if !e.UseDeltas {
+		return feats, nil
+	}
+	deltas := dsp.Deltas(feats, 2)
+	out := make([][]float64, len(feats))
+	for t := range feats {
+		v := make([]float64, 0, len(feats[t])*2)
+		v = append(v, feats[t]...)
+		v = append(v, deltas[t]...)
+		out[t] = v
+	}
+	return out, nil
+}
+
+// FrameLabels implements FrameLabeler.
+func (e *RNNEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	feats, err := e.Features(clip)
+	if err != nil {
+		return nil, err
+	}
+	logits, _, err := e.Net.ForwardSeq(feats)
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s forward: %w", e.ID, err)
+	}
+	labels := make([]int, len(logits))
+	for t, l := range logits {
+		labels[t] = nn.Argmax(l)
+	}
+	return labels, nil
+}
+
+// Transcribe implements Recognizer.
+func (e *RNNEngine) Transcribe(clip *audio.Clip) (string, error) {
+	labels, err := e.FrameLabels(clip)
+	if err != nil {
+		return "", err
+	}
+	mc := e.MFCC.Config()
+	labels = ApplyEnergyGate(labels, clip.Samples, mc.FrameLen, mc.Hop, energyGateRatio)
+	text, err := e.Dec.Decode(labels)
+	if err != nil {
+		return "", fmt.Errorf("asr: %s decoding: %w", e.ID, err)
+	}
+	return text, nil
+}

@@ -1,0 +1,87 @@
+package asr
+
+import (
+	"fmt"
+	"math"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/dsp"
+)
+
+// WeakEngine is the deliberately inaccurate auxiliary reproducing the
+// paper's Kaldi observation (§V-E): "if the auxiliary ASR is not accurate
+// in recognizing benign audios, the AE detection accuracy is bad". It is a
+// nearest-centroid frame classifier over coarsely quantized MFCCs, trained
+// on a tiny sample, with no sequence smoothing.
+type WeakEngine struct {
+	ID         EngineID
+	SampleRate int
+	MFCC       *dsp.MFCC
+	Centroids  [][]float64 // one per phoneme id; nil if the phoneme was unseen
+	Quant      float64     // feature quantization step (information loss)
+	Dec        *Decoder
+}
+
+var (
+	_ Recognizer   = (*WeakEngine)(nil)
+	_ FrameLabeler = (*WeakEngine)(nil)
+)
+
+// Name implements Recognizer.
+func (e *WeakEngine) Name() string { return string(e.ID) }
+
+// FrameLabels implements FrameLabeler.
+func (e *WeakEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	if err := validateClip(clip, e.SampleRate); err != nil {
+		return nil, err
+	}
+	feats, err := e.MFCC.Extract(clip.Samples)
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
+	}
+	labels := make([]int, len(feats))
+	for t, f := range feats {
+		q := make([]float64, len(f))
+		for i, v := range f {
+			if e.Quant > 0 {
+				q[i] = math.Round(v/e.Quant) * e.Quant
+			} else {
+				q[i] = v
+			}
+		}
+		best, bestDist := -1, math.Inf(1)
+		for ph, c := range e.Centroids {
+			if c == nil {
+				continue
+			}
+			var dist float64
+			for i := range q {
+				d := q[i] - c[i]
+				dist += d * d
+			}
+			if dist < bestDist {
+				best, bestDist = ph, dist
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("asr: %s has no trained centroids", e.ID)
+		}
+		labels[t] = best
+	}
+	return labels, nil
+}
+
+// Transcribe implements Recognizer.
+func (e *WeakEngine) Transcribe(clip *audio.Clip) (string, error) {
+	labels, err := e.FrameLabels(clip)
+	if err != nil {
+		return "", err
+	}
+	mc := e.MFCC.Config()
+	labels = ApplyEnergyGate(labels, clip.Samples, mc.FrameLen, mc.Hop, energyGateRatio)
+	text, err := e.Dec.Decode(labels)
+	if err != nil {
+		return "", fmt.Errorf("asr: %s decoding: %w", e.ID, err)
+	}
+	return text, nil
+}

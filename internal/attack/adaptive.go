@@ -1,0 +1,220 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/phoneme"
+	"mvpears/internal/speech"
+)
+
+// This file implements the adaptive attacks the paper uses to argue that
+// prior single-engine detectors are not robust (§I, §VI):
+//
+//   - AdaptiveTD evades the temporal-dependency detector (Yang et al.) by
+//     embedding the command into ONE section of the audio only, so that
+//     splicing the half-transcriptions reproduces the whole-audio
+//     transcription.
+//   - AdaptivePreprocess evades preprocessing-based detection (Rajaratnam
+//     et al.) by folding the known transformation into the optimization
+//     (the Carlini & Wagner 2017 strategy), so the AE survives the
+//     transform and pre/post transcriptions agree.
+//
+// Both attacks still only fool the single target engine; MVP-EARS's
+// auxiliaries continue to disagree, which is the paper's core robustness
+// argument.
+
+// AdaptiveTD crafts an AE that embeds command only in the suffix of the
+// host (after splitFrac), leaving the prefix samples untouched. The
+// whole-audio transcription becomes "<host prefix words> <command>", and
+// cutting the audio at splitFrac yields exactly the same spliced text —
+// defeating the temporal-dependency consistency check.
+func AdaptiveTD(target WhiteBoxTarget, host *audio.Clip, command string, splitFrac float64, cfg WhiteBoxConfig) (*Result, error) {
+	if host == nil || len(host.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty host clip")
+	}
+	if splitFrac <= 0 || splitFrac >= 1 {
+		splitFrac = 0.5
+	}
+	if cfg.MaxIters <= 0 || cfg.LR <= 0 || cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("attack: invalid white-box config %+v", cfg)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 20
+	}
+	cut := int(float64(len(host.Samples)) * splitFrac)
+	numFrames := target.NumFrames(len(host.Samples))
+	cutFrame := int(float64(numFrames) * splitFrac)
+	if numFrames-cutFrame < 8 {
+		return nil, fmt.Errorf("attack: suffix too short (%d frames) to embed %q", numFrames-cutFrame, command)
+	}
+	// Prefix targets: whatever the engine already hears there (so the
+	// loss does not fight the untouched prefix). Suffix targets: the
+	// command alignment.
+	hostLabels, err := target.FrameLabels(host)
+	if err != nil {
+		return nil, fmt.Errorf("attack: host labels: %w", err)
+	}
+	suffix, err := TargetAlignment(command, numFrames-cutFrame)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, numFrames)
+	copy(labels, hostLabels[:cutFrame])
+	copy(labels[cutFrame:], suffix)
+
+	wantCmd := speech.NormalizeText(command)
+	// Success: the transcription ends with the command (the prefix words
+	// are free to remain).
+	success := func(text string) bool {
+		return text == wantCmd || strings.HasSuffix(text, " "+wantCmd)
+	}
+	return runWhiteBox(target, host, labels, wantCmd, cfg,
+		func(i int) bool { return i >= cut }, success)
+}
+
+// Transform is an audio preprocessing function (mirrors the baseline
+// package's type without importing it).
+type Transform func(clip *audio.Clip) (*audio.Clip, error)
+
+// AdaptivePreprocess crafts an AE that transcribes as command both
+// directly and after the given (known) preprocessing transform: each
+// iteration averages the loss gradient on x and on transform(x)
+// (straight-through for the transform's Jacobian, which is accurate for
+// the mild, near-self-adjoint smoothing transforms used by preprocessing
+// detectors). Success requires the target to hear the command on both
+// versions, which zeroes the preprocessing detector's signal.
+func AdaptivePreprocess(target WhiteBoxTarget, host *audio.Clip, command string, transform Transform, cfg WhiteBoxConfig) (*Result, error) {
+	if host == nil || len(host.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty host clip")
+	}
+	if transform == nil {
+		return nil, fmt.Errorf("attack: nil transform")
+	}
+	if cfg.MaxIters <= 0 || cfg.LR <= 0 || cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("attack: invalid white-box config %+v", cfg)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 20
+	}
+	numFrames := target.NumFrames(len(host.Samples))
+	labels, err := TargetAlignment(command, numFrames)
+	if err != nil {
+		return nil, err
+	}
+	wantText := speech.NormalizeText(command)
+	hostText, err := target.Transcribe(host)
+	if err != nil {
+		return nil, err
+	}
+	adv := host.Clone()
+	res := &Result{HostText: speech.NormalizeText(hostText), TargetText: wantText}
+	lr := cfg.LR
+	succeededAt := -1
+	saysOnBoth := func(clip *audio.Clip) (bool, error) {
+		direct, err := target.Transcribe(clip)
+		if err != nil {
+			return false, err
+		}
+		if speech.NormalizeText(direct) != wantText {
+			return false, nil
+		}
+		processed, err := transform(clip)
+		if err != nil {
+			return false, err
+		}
+		post, err := target.Transcribe(processed)
+		if err != nil {
+			return false, err
+		}
+		return speech.NormalizeText(post) == wantText, nil
+	}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		loss1, grad1, err := target.TargetLoss(adv, labels)
+		if err != nil {
+			return nil, fmt.Errorf("attack: iteration %d: %w", iter, err)
+		}
+		processed, err := transform(adv)
+		if err != nil {
+			return nil, err
+		}
+		// The transform may change frame count by a sample; guard.
+		var grad2 []float64
+		if target.NumFrames(len(processed.Samples)) == numFrames {
+			_, g2, err := target.TargetLoss(processed, labels)
+			if err != nil {
+				return nil, err
+			}
+			grad2 = g2
+		}
+		res.Loss = loss1
+		if iter%200 == 0 && lr > cfg.LR/4 {
+			lr *= 0.8
+		}
+		for i := range adv.Samples {
+			g := grad1[i]
+			if grad2 != nil && i < len(grad2) {
+				g += grad2[i] // straight-through through the transform
+			}
+			step := lr
+			if g < 0 {
+				step = -lr
+			} else if g == 0 {
+				step = 0
+			}
+			v := adv.Samples[i] - step
+			lo, hi := host.Samples[i]-cfg.Epsilon, host.Samples[i]+cfg.Epsilon
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			if v < -1 {
+				v = -1
+			} else if v > 1 {
+				v = 1
+			}
+			adv.Samples[i] = v
+		}
+		res.Iterations = iter
+		if iter%cfg.CheckEvery == 0 || iter == cfg.MaxIters {
+			ok, err := saysOnBoth(adv)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				if succeededAt < 0 {
+					succeededAt = iter
+				}
+				if iter-succeededAt >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	final, err := target.Transcribe(adv)
+	if err != nil {
+		return nil, err
+	}
+	res.AE = adv
+	res.FinalText = speech.NormalizeText(final)
+	ok, err := saysOnBoth(adv)
+	if err != nil {
+		return nil, err
+	}
+	res.Success = ok
+	if sim, err := audio.Similarity(host, adv); err == nil {
+		res.Similarity = sim
+	}
+	if snr, err := audio.SNR(host, adv); err == nil {
+		res.SNRdB = snr
+	}
+	return res, nil
+}
+
+// CommandWords returns the number of words in a command (helper for
+// payload checks in callers).
+func CommandWords(command string) int {
+	return len(phoneme.Tokenize(command))
+}

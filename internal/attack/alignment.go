@@ -1,0 +1,66 @@
+// Package attack implements the audio adversarial-example generation
+// methods the paper evaluates against:
+//
+//   - WhiteBox: a Carlini&Wagner-style iterative gradient attack that
+//     optimizes a waveform perturbation against a target engine's
+//     framewise loss, with gradients flowing through the MFCC front end.
+//   - BlackBox: a Taori-style genetic algorithm with finite-difference
+//     gradient estimation that only queries the target's output scores.
+//   - NonTargeted: heavy additive noise (the paper's §V-J recipe).
+//   - Recursive: the CommanderSong-style two-iteration attack used in
+//     §III-B to probe (and fail to achieve) transferability.
+package attack
+
+import (
+	"fmt"
+
+	"mvpears/internal/phoneme"
+)
+
+// TargetAlignment stretches the phoneme sequence of targetText over
+// numFrames frames, allocating frames proportionally to each phoneme's
+// nominal duration. The result is the framewise label target the attacks
+// optimize toward.
+func TargetAlignment(targetText string, numFrames int) ([]int, error) {
+	if numFrames <= 0 {
+		return nil, fmt.Errorf("attack: numFrames %d must be positive", numFrames)
+	}
+	ids, err := phoneme.SentencePhonemes(targetText)
+	if err != nil {
+		return nil, fmt.Errorf("attack: target %q: %w", targetText, err)
+	}
+	if len(ids) > numFrames {
+		return nil, fmt.Errorf("attack: target needs %d phonemes but audio has only %d frames", len(ids), numFrames)
+	}
+	durs := make([]float64, len(ids))
+	var total float64
+	for i, id := range ids {
+		p, err := phoneme.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		d := p.DurMS
+		if d <= 0 {
+			d = 60
+		}
+		durs[i] = d
+		total += d
+	}
+	labels := make([]int, 0, numFrames)
+	var acc float64
+	for i, id := range ids {
+		acc += durs[i]
+		// Cumulative frame boundary for this phoneme.
+		end := int(acc / total * float64(numFrames))
+		if end <= len(labels) {
+			end = len(labels) + 1 // every phoneme gets at least one frame
+		}
+		if i == len(ids)-1 {
+			end = numFrames
+		}
+		for len(labels) < end {
+			labels = append(labels, id)
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,346 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/nn"
+	"mvpears/internal/phoneme"
+	"mvpears/internal/speech"
+)
+
+// BlackBoxTarget is the oracle the black-box attack may query: output
+// scores (logits) and transcriptions, but no parameters or gradients —
+// matching Taori et al.'s threat model.
+type BlackBoxTarget interface {
+	asr.Recognizer
+	FrameLogits(clip *audio.Clip) ([][]float64, error)
+	NumFrames(numSamples int) int
+}
+
+// BlackBoxConfig parameterizes the genetic attack.
+type BlackBoxConfig struct {
+	Population  int // individuals per generation
+	Elite       int // survivors per generation
+	Generations int // maximum generations
+	Segments    int // blend-coefficient resolution over the clip
+	// MutationStd is the Gaussian mutation applied to blend coefficients.
+	MutationStd float64
+	// RefineSteps is the per-segment binary-search depth of the greedy
+	// perturbation-minimization phase.
+	RefineSteps int
+	// Speakers is how many synthesized command voices the attacker tries.
+	Speakers int
+	Seed     int64
+}
+
+// DefaultBlackBoxConfig returns the configuration used by the dataset
+// builder for two-word payloads.
+func DefaultBlackBoxConfig() BlackBoxConfig {
+	return BlackBoxConfig{
+		Population:  24,
+		Elite:       6,
+		Generations: 40,
+		Segments:    30,
+		MutationStd: 0.08,
+		RefineSteps: 5,
+		Speakers:    3,
+		Seed:        1,
+	}
+}
+
+// frameCE computes the framewise cross-entropy of logits against target
+// labels (the black-box fitness; lower is better).
+func frameCE(logits [][]float64, targets []int) (float64, error) {
+	if len(logits) != len(targets) {
+		return 0, fmt.Errorf("attack: %d logit frames for %d targets", len(logits), len(targets))
+	}
+	var total float64
+	for t, row := range logits {
+		lp := nn.LogSoftmax(row)
+		k := targets[t]
+		if k < 0 || k >= len(lp) {
+			return 0, fmt.Errorf("attack: frame %d target %d out of range", t, k)
+		}
+		total += -lp[k]
+	}
+	return total / float64(len(logits)), nil
+}
+
+// BlackBox crafts a targeted AE by querying only the target engine's
+// output. The attacker synthesizes the command in its own voice, lays it
+// over a silence goal track, and uses a genetic algorithm over per-segment
+// host/goal blend coefficients (fitness = the engine's output scores
+// against the command) followed by a greedy per-segment minimization that
+// keeps the perturbation as small as the engine's decision boundary
+// allows. The result is engine-specific: the blend stops exactly where
+// *this* engine flips, which is not where other engines flip.
+//
+// Per the paper's characterization of black-box attacks, it supports only
+// short (~two-word) payloads and leaves a much larger perturbation than
+// the white-box attack.
+func BlackBox(target BlackBoxTarget, host *audio.Clip, targetText string, cfg BlackBoxConfig) (*Result, error) {
+	if host == nil || len(host.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty host clip")
+	}
+	if cfg.Population < 4 || cfg.Elite < 1 || cfg.Elite >= cfg.Population || cfg.Generations <= 0 {
+		return nil, fmt.Errorf("attack: invalid black-box config %+v", cfg)
+	}
+	if cfg.Segments <= 0 {
+		cfg.Segments = 30
+	}
+	if cfg.Speakers <= 0 {
+		cfg.Speakers = 1
+	}
+	if n := len(phoneme.Tokenize(targetText)); n > 2 {
+		return nil, fmt.Errorf("attack: black-box payload %q has %d words; the method supports at most 2", targetText, n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wantText := speech.NormalizeText(targetText)
+	hostText, err := target.Transcribe(host)
+	if err != nil {
+		return nil, fmt.Errorf("attack: transcribing host: %w", err)
+	}
+	res := &Result{HostText: hostText, TargetText: wantText}
+	var best *audio.Clip
+	for attempt := 0; attempt < cfg.Speakers; attempt++ {
+		adv, iters, err := blackBoxAttempt(target, host, targetText, wantText, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations += iters
+		if adv == nil {
+			continue
+		}
+		best = adv
+		break
+	}
+	if best == nil {
+		// Report the failed state: the host unchanged.
+		best = host.Clone()
+	}
+	finalText, err := target.Transcribe(best)
+	if err != nil {
+		return nil, err
+	}
+	res.AE = best
+	res.FinalText = speech.NormalizeText(finalText)
+	res.Success = res.FinalText == wantText
+	if sim, err := audio.Similarity(host, best); err == nil {
+		res.Similarity = sim
+	}
+	if snr, err := audio.SNR(host, best); err == nil {
+		res.SNRdB = snr
+	} else {
+		res.SNRdB = math.Inf(1)
+	}
+	return res, nil
+}
+
+// blackBoxAttempt runs one GA + greedy-refinement attempt with a fresh
+// synthesized voice; it returns nil (no error) when the attempt fails.
+func blackBoxAttempt(target BlackBoxTarget, host *audio.Clip, targetText, wantText string, cfg BlackBoxConfig, rng *rand.Rand) (*audio.Clip, int, error) {
+	n := len(host.Samples)
+	goal, goalLabels, err := buildGoalTrack(host, targetText, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	frameTargets := frameLabelsFor(goalLabels, target.NumFrames(n), n)
+
+	S := cfg.Segments
+	segLen := (n + S - 1) / S
+	render := func(alpha []float64) *audio.Clip {
+		x := audio.NewClip(host.SampleRate, n)
+		for j := 0; j < n; j++ {
+			a := alpha[j/segLen]
+			v := (1-a)*host.Samples[j] + a*goal.Samples[j]
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			x.Samples[j] = v
+		}
+		return x
+	}
+	fitness := func(alpha []float64) (float64, error) {
+		logits, err := target.FrameLogits(render(alpha))
+		if err != nil {
+			return 0, err
+		}
+		ce, err := frameCE(logits, frameTargets)
+		if err != nil {
+			return 0, err
+		}
+		var m float64
+		for _, a := range alpha {
+			m += a
+		}
+		// Small pressure toward low blend (small perturbation).
+		return ce + 0.4*m/float64(len(alpha)), nil
+	}
+	says := func(alpha []float64) (bool, error) {
+		hyp, err := target.Transcribe(render(alpha))
+		if err != nil {
+			return false, err
+		}
+		return speech.NormalizeText(hyp) == wantText, nil
+	}
+
+	// Genetic phase over blend coefficients.
+	type individual struct {
+		alpha []float64
+		loss  float64
+	}
+	pop := make([]individual, cfg.Population)
+	for p := range pop {
+		al := make([]float64, S)
+		for s := range al {
+			al[s] = 0.4 + rng.Float64()*0.6
+		}
+		loss, err := fitness(al)
+		if err != nil {
+			return nil, 0, err
+		}
+		pop[p] = individual{alpha: al, loss: loss}
+	}
+	iters := 0
+	for gen := 0; gen < cfg.Generations; gen++ {
+		iters++
+		sort.Slice(pop, func(i, j int) bool { return pop[i].loss < pop[j].loss })
+		for p := cfg.Elite; p < cfg.Population; p++ {
+			a := pop[rng.Intn(cfg.Elite)].alpha
+			b := pop[rng.Intn(cfg.Elite)].alpha
+			child := make([]float64, S)
+			for s := range child {
+				if rng.Intn(2) == 0 {
+					child[s] = a[s]
+				} else {
+					child[s] = b[s]
+				}
+				if rng.Float64() < 0.3 {
+					child[s] += rng.NormFloat64() * cfg.MutationStd
+				}
+				if child[s] < 0 {
+					child[s] = 0
+				} else if child[s] > 1 {
+					child[s] = 1
+				}
+			}
+			loss, err := fitness(child)
+			if err != nil {
+				return nil, 0, err
+			}
+			pop[p] = individual{alpha: child, loss: loss}
+		}
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].loss < pop[j].loss })
+	alpha := pop[0].alpha
+
+	// Escalate globally until the engine flips (alpha=1 reproduces the
+	// clean goal track, which always transcribes as the command).
+	ok, err := says(alpha)
+	if err != nil {
+		return nil, iters, err
+	}
+	for bump := 0.1; !ok && bump <= 1.01; bump += 0.1 {
+		trial := make([]float64, S)
+		for s := range trial {
+			trial[s] = math.Min(1, alpha[s]+bump)
+		}
+		ok, err = says(trial)
+		if err != nil {
+			return nil, iters, err
+		}
+		if ok {
+			alpha = trial
+		}
+	}
+	if !ok {
+		return nil, iters, nil
+	}
+	// Greedy per-segment minimization: shrink each blend coefficient as
+	// far as the engine's decision boundary allows.
+	for s := 0; s < S; s++ {
+		lo, hi := 0.0, alpha[s]
+		for step := 0; step < cfg.RefineSteps; step++ {
+			mid := (lo + hi) / 2
+			old := alpha[s]
+			alpha[s] = mid
+			ok, err := says(alpha)
+			if err != nil {
+				return nil, iters, err
+			}
+			if ok {
+				hi = mid
+			} else {
+				alpha[s] = old
+				lo = mid
+			}
+		}
+		alpha[s] = hi
+	}
+	// Final sanity check.
+	ok, err = says(alpha)
+	if err != nil || !ok {
+		return nil, iters, err
+	}
+	return render(alpha), iters, nil
+}
+
+// buildGoalTrack synthesizes the command in a fresh voice at a speaking
+// rate fitted to the host's duration and centres it on a silent track of
+// the host's length. It returns the track and the phoneme alignment of the
+// command within it.
+func buildGoalTrack(host *audio.Clip, targetText string, rng *rand.Rand) (*audio.Clip, speech.Alignment, error) {
+	synth := speech.NewSynthesizer(host.SampleRate)
+	synth.NoiseSNRdB = 30
+	spk := speech.RandomSpeaker(rng)
+	cmd, align, err := synth.SynthesizeSentence(targetText, spk, rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attack: synthesizing goal: %w", err)
+	}
+	if len(cmd.Samples) > len(host.Samples) {
+		// Speed up the voice (formant-preserving) and retry once.
+		spk.Rate *= float64(len(cmd.Samples)) / float64(len(host.Samples)) * 1.1
+		cmd, align, err = synth.SynthesizeSentence(targetText, spk, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(cmd.Samples) > len(host.Samples) {
+			return nil, nil, fmt.Errorf("attack: host too short (%d samples) for payload %q (%d samples)",
+				len(host.Samples), targetText, len(cmd.Samples))
+		}
+	}
+	goal := audio.NewClip(host.SampleRate, len(host.Samples))
+	offset := (len(goal.Samples) - len(cmd.Samples)) / 2
+	copy(goal.Samples[offset:], cmd.Samples)
+	shifted := make(speech.Alignment, len(align))
+	for i, seg := range align {
+		shifted[i] = speech.Segment{PhonemeID: seg.PhonemeID, Start: seg.Start + offset, End: seg.End + offset}
+	}
+	return goal, shifted, nil
+}
+
+// frameLabelsFor converts a sample alignment into per-frame targets for an
+// engine with numFrames frames over numSamples samples (silence outside
+// the aligned region).
+func frameLabelsFor(align speech.Alignment, numFrames, numSamples int) []int {
+	labels := make([]int, numFrames)
+	sil := phoneme.SilIndex()
+	for f := range labels {
+		center := f * numSamples / numFrames
+		labels[f] = sil
+		for _, seg := range align {
+			if center >= seg.Start && center < seg.End {
+				labels[f] = seg.PhonemeID
+				break
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/similarity"
+	"mvpears/internal/speech"
+)
+
+// NonTargetedConfig parameterizes noise-based non-targeted AE generation
+// (the paper's §V-J recipe: add noise at -6 dB SNR until WER > 80%).
+type NonTargetedConfig struct {
+	SNRdB    float64 // noise level relative to the signal
+	MinWER   float64 // required word error rate against the clean output
+	MaxTries int     // noise redraws before giving up
+	Seed     int64
+}
+
+// DefaultNonTargetedConfig mirrors the paper's parameters.
+func DefaultNonTargetedConfig() NonTargetedConfig {
+	return NonTargetedConfig{SNRdB: -6, MinWER: 0.8, MaxTries: 8, Seed: 1}
+}
+
+// NonTargetedResult describes a noise-based AE.
+type NonTargetedResult struct {
+	AE       *audio.Clip
+	CleanHyp string  // target-engine transcription of the clean clip
+	NoisyHyp string  // target-engine transcription of the AE
+	WER      float64 // word error rate between the two
+	Success  bool
+}
+
+// NonTargeted degrades the clip with additive noise until the target
+// engine's transcription differs from its clean transcription by at least
+// MinWER.
+func NonTargeted(target asr.Recognizer, clean *audio.Clip, cfg NonTargetedConfig) (*NonTargetedResult, error) {
+	if clean == nil || len(clean.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty clip")
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = 8
+	}
+	cleanHyp, err := target.Transcribe(clean)
+	if err != nil {
+		return nil, fmt.Errorf("attack: transcribing clean clip: %w", err)
+	}
+	cleanHyp = speech.NormalizeText(cleanHyp)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &NonTargetedResult{CleanHyp: cleanHyp}
+	for try := 0; try < cfg.MaxTries; try++ {
+		noisy := audio.AddNoiseSNR(rng, clean, cfg.SNRdB)
+		noisy.Clamp()
+		hyp, err := target.Transcribe(noisy)
+		if err != nil {
+			return nil, err
+		}
+		hyp = speech.NormalizeText(hyp)
+		w := similarity.WER(cleanHyp, hyp)
+		if w > res.WER || res.AE == nil {
+			res.AE = noisy
+			res.NoisyHyp = hyp
+			res.WER = w
+		}
+		if w >= cfg.MinWER {
+			res.Success = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

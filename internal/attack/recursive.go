@@ -1,0 +1,51 @@
+package attack
+
+import (
+	"fmt"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/speech"
+)
+
+// RecursiveResult reports the §III-B two-iteration transferability probe.
+type RecursiveResult struct {
+	First  *Result // AE against engine A
+	Second *Result // AE against engine B, hosted on the first AE
+	// FoolsFirst reports whether the final AE still fools engine A — the
+	// transferability the recursive method hopes for and, per the paper
+	// (and this reproduction), fails to achieve.
+	FoolsFirst  bool
+	FoolsSecond bool
+}
+
+// Recursive runs the CommanderSong-style two-iteration attack: generate an
+// AE embedding command against engine A, then use that AE as the host for
+// a second attack embedding the same command against engine B. The paper
+// reports that the second iteration destroys the first: the final AE fools
+// B but no longer fools A.
+func Recursive(engineA, engineB WhiteBoxTarget, host *audio.Clip, command string, cfg WhiteBoxConfig) (*RecursiveResult, error) {
+	if host == nil || len(host.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty host clip")
+	}
+	first, err := WhiteBox(engineA, host, command, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("attack: first iteration: %w", err)
+	}
+	if !first.Success {
+		return &RecursiveResult{First: first}, nil
+	}
+	second, err := WhiteBox(engineB, first.AE, command, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("attack: second iteration: %w", err)
+	}
+	res := &RecursiveResult{First: first, Second: second}
+	if second.AE != nil {
+		textA, err := engineA.Transcribe(second.AE)
+		if err != nil {
+			return nil, err
+		}
+		res.FoolsFirst = speech.NormalizeText(textA) == speech.NormalizeText(command)
+		res.FoolsSecond = second.Success
+	}
+	return res, nil
+}

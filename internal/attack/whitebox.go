@@ -1,0 +1,159 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/speech"
+)
+
+// WhiteBoxConfig parameterizes the gradient attack.
+type WhiteBoxConfig struct {
+	MaxIters   int     // optimization iterations
+	LR         float64 // signed-gradient step size
+	Epsilon    float64 // L-infinity perturbation bound
+	CheckEvery int     // transcription success check interval
+	Patience   int     // extra iterations after first success (margin)
+}
+
+// DefaultWhiteBoxConfig returns the configuration used by the dataset
+// builder: converges on most host/target pairs within a few hundred
+// iterations.
+func DefaultWhiteBoxConfig() WhiteBoxConfig {
+	return WhiteBoxConfig{MaxIters: 1600, LR: 0.005, Epsilon: 0.3, CheckEvery: 25, Patience: 40}
+}
+
+// Result describes a generated adversarial example.
+type Result struct {
+	AE         *audio.Clip
+	HostText   string // transcription of the host by the target engine
+	TargetText string // attacker-desired transcription
+	FinalText  string // what the target engine transcribes for the AE
+	Success    bool
+	Iterations int
+	Loss       float64
+	Similarity float64 // waveform similarity AE vs host (paper's metric)
+	SNRdB      float64 // perturbation SNR
+}
+
+// WhiteBoxTarget is the capability set the white-box attack needs: full
+// gradient access plus transcription.
+type WhiteBoxTarget interface {
+	asr.Recognizer
+	asr.GradientModel
+}
+
+// WhiteBox crafts a targeted AE against the target engine: it perturbs
+// host so the engine transcribes targetText, using iterative signed
+// gradient descent on the framewise loss with an L∞ bound (the audio
+// analogue of the C&W attack in the paper, with the MFCC layer inside the
+// backward pass).
+func WhiteBox(target WhiteBoxTarget, host *audio.Clip, targetText string, cfg WhiteBoxConfig) (*Result, error) {
+	if host == nil || len(host.Samples) == 0 {
+		return nil, fmt.Errorf("attack: empty host clip")
+	}
+	if cfg.MaxIters <= 0 || cfg.LR <= 0 || cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("attack: invalid white-box config %+v", cfg)
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 20
+	}
+	numFrames := target.NumFrames(len(host.Samples))
+	targetLabels, err := TargetAlignment(targetText, numFrames)
+	if err != nil {
+		return nil, err
+	}
+	wantText := speech.NormalizeText(targetText)
+	return runWhiteBox(target, host, targetLabels, wantText, cfg, nil,
+		func(text string) bool { return text == wantText })
+}
+
+// runWhiteBox is the shared optimization loop. mutable (optional)
+// restricts which samples may be perturbed; success decides when the
+// transcription satisfies the attacker. The returned Result's Success is
+// success(FinalText).
+func runWhiteBox(target WhiteBoxTarget, host *audio.Clip, targetLabels []int, wantText string,
+	cfg WhiteBoxConfig, mutable func(i int) bool, success func(text string) bool) (*Result, error) {
+	hostText, err := target.Transcribe(host)
+	if err != nil {
+		return nil, fmt.Errorf("attack: transcribing host: %w", err)
+	}
+	adv := host.Clone()
+	res := &Result{HostText: speech.NormalizeText(hostText), TargetText: wantText}
+	succeededAt := -1
+	var lastLoss float64
+	lr := cfg.LR
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		loss, grad, err := target.TargetLoss(adv, targetLabels)
+		if err != nil {
+			return nil, fmt.Errorf("attack: iteration %d: %w", iter, err)
+		}
+		lastLoss = loss
+		// Decay the step size so late iterations refine rather than
+		// oscillate around the decision boundary.
+		if iter%200 == 0 && lr > cfg.LR/4 {
+			lr *= 0.8
+		}
+		for i := range adv.Samples {
+			if mutable != nil && !mutable(i) {
+				continue
+			}
+			step := lr
+			if grad[i] < 0 {
+				step = -lr
+			} else if grad[i] == 0 {
+				step = 0
+			}
+			v := adv.Samples[i] - step
+			// Project onto the epsilon ball around the host.
+			lo, hi := host.Samples[i]-cfg.Epsilon, host.Samples[i]+cfg.Epsilon
+			if v < lo {
+				v = lo
+			} else if v > hi {
+				v = hi
+			}
+			if v < -1 {
+				v = -1
+			} else if v > 1 {
+				v = 1
+			}
+			adv.Samples[i] = v
+		}
+		res.Iterations = iter
+		if iter%cfg.CheckEvery == 0 || iter == cfg.MaxIters {
+			text, err := target.Transcribe(adv)
+			if err != nil {
+				return nil, err
+			}
+			if success(speech.NormalizeText(text)) {
+				if succeededAt < 0 {
+					succeededAt = iter
+				}
+				// Keep optimizing for Patience extra iterations to gain
+				// margin, then stop.
+				if iter-succeededAt >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	finalText, err := target.Transcribe(adv)
+	if err != nil {
+		return nil, err
+	}
+	res.AE = adv
+	res.FinalText = speech.NormalizeText(finalText)
+	res.Success = success(res.FinalText)
+	res.Loss = lastLoss
+	if sim, err := audio.Similarity(host, adv); err == nil {
+		res.Similarity = sim
+	}
+	if snr, err := audio.SNR(host, adv); err == nil {
+		res.SNRdB = snr
+	} else {
+		res.SNRdB = math.Inf(1)
+	}
+	return res, nil
+}

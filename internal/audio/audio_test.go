@@ -1,0 +1,264 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tone(rate, n int, freq, amp float64) *Clip {
+	c := NewClip(rate, n)
+	for i := range c.Samples {
+		c.Samples[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/float64(rate))
+	}
+	return c
+}
+
+func TestClipBasics(t *testing.T) {
+	c := tone(8000, 8000, 440, 0.5)
+	if got := c.Duration(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("duration %g, want 1", got)
+	}
+	if rms := c.RMS(); math.Abs(rms-0.5/math.Sqrt2) > 1e-3 {
+		t.Fatalf("RMS %g, want %g", rms, 0.5/math.Sqrt2)
+	}
+	if p := c.Peak(); math.Abs(p-0.5) > 1e-3 {
+		t.Fatalf("peak %g, want 0.5", p)
+	}
+	c.Normalize(1.0)
+	if p := c.Peak(); math.Abs(p-1.0) > 1e-9 {
+		t.Fatalf("normalized peak %g, want 1", p)
+	}
+	clone := c.Clone()
+	clone.Samples[0] = 99
+	if c.Samples[0] == 99 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestClampAndGain(t *testing.T) {
+	c := &Clip{SampleRate: 8000, Samples: []float64{-3, -0.5, 0, 0.5, 3}}
+	c.Clamp()
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i, v := range want {
+		if c.Samples[i] != v {
+			t.Fatalf("sample %d: %g, want %g", i, c.Samples[i], v)
+		}
+	}
+	c.Gain(2)
+	if c.Samples[3] != 1 {
+		t.Fatalf("gain failed: %g", c.Samples[3])
+	}
+}
+
+func TestAppendAndMix(t *testing.T) {
+	a := tone(8000, 100, 440, 0.5)
+	b := tone(8000, 50, 440, 0.5)
+	if err := a.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != 150 {
+		t.Fatalf("appended length %d, want 150", len(a.Samples))
+	}
+	wrong := tone(16000, 10, 440, 0.5)
+	if err := a.Append(wrong); err == nil {
+		t.Fatal("expected sample-rate mismatch error")
+	}
+	base := NewClip(8000, 100)
+	add := &Clip{SampleRate: 8000, Samples: []float64{1, 1, 1}}
+	if err := base.Mix(add, 98); err != nil {
+		t.Fatal(err)
+	}
+	if base.Samples[98] != 1 || base.Samples[99] != 1 {
+		t.Fatal("mix did not land")
+	}
+	if err := base.Mix(wrong, 0); err == nil {
+		t.Fatal("expected sample-rate mismatch error")
+	}
+}
+
+func TestResample(t *testing.T) {
+	c := tone(16000, 16000, 440, 0.8)
+	down, err := c.Resample(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(down.Duration()-1) > 0.01 {
+		t.Fatalf("resampled duration %g, want ~1", down.Duration())
+	}
+	// A 440 Hz tone survives downsampling to 8 kHz with similar RMS.
+	if math.Abs(down.RMS()-c.RMS()) > 0.05 {
+		t.Fatalf("resampled RMS %g vs %g", down.RMS(), c.RMS())
+	}
+	if _, err := c.Resample(0); err == nil {
+		t.Fatal("expected error for rate 0")
+	}
+	same, err := c.Resample(16000)
+	if err != nil || len(same.Samples) != len(c.Samples) {
+		t.Fatal("identity resample failed")
+	}
+}
+
+func TestSNRAndNoiseTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	clean := tone(8000, 8000, 300, 0.5)
+	for _, target := range []float64{20, 6, -6} {
+		noisy := AddNoiseSNR(rng, clean, target)
+		got, err := SNR(clean, noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-target) > 1.0 {
+			t.Fatalf("target SNR %g dB, measured %g dB", target, got)
+		}
+	}
+	same, err := SNR(clean, clean)
+	if err != nil || !math.IsInf(same, 1) {
+		t.Fatalf("identical clips: SNR %v err %v", same, err)
+	}
+	if _, err := SNR(clean, NewClip(8000, 10)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	clean := tone(8000, 4000, 300, 0.5)
+	s, err := Similarity(clean, clean)
+	if err != nil || s != 1 {
+		t.Fatalf("self similarity %g err %v", s, err)
+	}
+	perturbed := clean.Clone()
+	rng := rand.New(rand.NewSource(6))
+	for i := range perturbed.Samples {
+		perturbed.Samples[i] += rng.NormFloat64() * 0.005
+	}
+	s2, err := Similarity(clean, perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= 0.9 || s2 >= 1 {
+		t.Fatalf("small perturbation similarity %g, want (0.9, 1)", s2)
+	}
+	// Similarity decreases as perturbation grows.
+	big := clean.Clone()
+	for i := range big.Samples {
+		big.Samples[i] += rng.NormFloat64() * 0.2
+	}
+	s3, err := Similarity(clean, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 >= s2 {
+		t.Fatalf("similarity not monotone: big %g >= small %g", s3, s2)
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	c := tone(8000, 1234, 440, 0.7)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SampleRate != 8000 || len(back.Samples) != 1234 {
+		t.Fatalf("round trip shape %d Hz %d samples", back.SampleRate, len(back.Samples))
+	}
+	for i := range c.Samples {
+		if math.Abs(back.Samples[i]-c.Samples[i]) > 1.0/32767*1.01 {
+			t.Fatalf("sample %d quantization error too large: %g vs %g", i, back.Samples[i], c.Samples[i])
+		}
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		c := NewClip(16000, n)
+		for i := range c.Samples {
+			c.Samples[i] = rng.Float64()*2 - 1
+		}
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, c); err != nil {
+			return false
+		}
+		back, err := ReadWAV(&buf)
+		if err != nil || len(back.Samples) != n {
+			return false
+		}
+		for i := range c.Samples {
+			if math.Abs(back.Samples[i]-c.Samples[i]) > 2.0/32767 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWAVRejectsGarbage(t *testing.T) {
+	if _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all......."))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	if _, err := ReadWAV(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestWAVSkipsUnknownChunks(t *testing.T) {
+	c := tone(8000, 100, 440, 0.5)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Splice a LIST chunk between fmt and data.
+	var spliced bytes.Buffer
+	spliced.Write(raw[:36])
+	spliced.WriteString("LIST")
+	spliced.Write([]byte{4, 0, 0, 0})
+	spliced.WriteString("INFO")
+	spliced.Write(raw[36:])
+	back, err := ReadWAV(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 100 {
+		t.Fatalf("got %d samples, want 100", len(back.Samples))
+	}
+}
+
+func TestSaveLoadWAVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.wav")
+	c := tone(8000, 400, 500, 0.6)
+	if err := SaveWAV(path, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWAV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 400 || back.SampleRate != 8000 {
+		t.Fatalf("loaded shape %d@%d", len(back.Samples), back.SampleRate)
+	}
+	if _, err := LoadWAV(filepath.Join(dir, "missing.wav")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestWhiteNoiseRMS(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := WhiteNoise(rng, 8000, 20000, 0.1)
+	if math.Abs(n.RMS()-0.1) > 0.005 {
+		t.Fatalf("noise RMS %g, want ~0.1", n.RMS())
+	}
+}

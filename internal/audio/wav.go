@@ -1,0 +1,163 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WAV I/O supports 16-bit mono PCM RIFF files, which is what every ASR
+// engine and attack tool in this repository consumes and produces.
+
+const (
+	riffMagic = "RIFF"
+	waveMagic = "WAVE"
+	fmtChunk  = "fmt "
+	dataChunk = "data"
+)
+
+// WriteWAV encodes the clip as 16-bit mono PCM.
+func WriteWAV(w io.Writer, c *Clip) error {
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("audio: invalid sample rate %d", c.SampleRate)
+	}
+	dataLen := len(c.Samples) * 2
+	var hdr [44]byte
+	copy(hdr[0:4], riffMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(36+dataLen))
+	copy(hdr[8:12], waveMagic)
+	copy(hdr[12:16], fmtChunk)
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)                     // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)                      // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)                      // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(c.SampleRate))   // sample rate
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(c.SampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                      // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                     // bits per sample
+	copy(hdr[36:40], dataChunk)
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(dataLen))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+	buf := make([]byte, dataLen)
+	for i, v := range c.Samples {
+		s := int16(math.Round(clampF(v, -1, 1) * 32767))
+		binary.LittleEndian.PutUint16(buf[i*2:], uint16(s))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("audio: writing WAV samples: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV decodes a 16-bit mono PCM WAV stream.
+func ReadWAV(r io.Reader) (*Clip, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(hdr[0:4]) != riffMagic || string(hdr[8:12]) != waveMagic {
+		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+	}
+	var (
+		sampleRate int
+		channels   int
+		bits       int
+		haveFmt    bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("audio: WAV stream has no data chunk")
+			}
+			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case fmtChunk:
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, fmt.Errorf("audio: fmt chunk too short (%d bytes)", len(body))
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			if format != 1 {
+				return nil, fmt.Errorf("audio: unsupported WAV format code %d (want PCM)", format)
+			}
+			channels = int(binary.LittleEndian.Uint16(body[2:4]))
+			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			haveFmt = true
+		case dataChunk:
+			if !haveFmt {
+				return nil, fmt.Errorf("audio: data chunk before fmt chunk")
+			}
+			if bits != 16 {
+				return nil, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+			}
+			if channels != 1 {
+				return nil, fmt.Errorf("audio: unsupported channel count %d (want mono)", channels)
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+			}
+			n := len(body) / 2
+			samples := make([]float64, n)
+			for i := 0; i < n; i++ {
+				s := int16(binary.LittleEndian.Uint16(body[i*2:]))
+				samples[i] = float64(s) / 32767
+			}
+			return &Clip{SampleRate: sampleRate, Samples: samples}, nil
+		default:
+			// Skip unknown chunks (LIST, INFO, ...).
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, fmt.Errorf("audio: skipping %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+// SaveWAV writes the clip to a file.
+func SaveWAV(path string, c *Clip) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("audio: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("audio: closing %s: %w", path, cerr)
+		}
+	}()
+	return WriteWAV(f, c)
+}
+
+// LoadWAV reads a clip from a file.
+func LoadWAV(path string) (*Clip, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("audio: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	c, err := ReadWAV(f)
+	if err != nil {
+		return nil, fmt.Errorf("audio: decoding %s: %w", path, err)
+	}
+	return c, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,218 @@
+// Package audio provides the waveform substrate: a float64 PCM clip type,
+// WAV (RIFF) encoding/decoding, resampling, gain staging, noise generation,
+// and SNR measurement/targeting used by the attack and dataset packages.
+package audio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Clip is a mono PCM audio clip with samples in [-1, 1].
+type Clip struct {
+	SampleRate int
+	Samples    []float64
+}
+
+// NewClip allocates a silent clip of the given duration in samples.
+func NewClip(sampleRate, numSamples int) *Clip {
+	return &Clip{SampleRate: sampleRate, Samples: make([]float64, numSamples)}
+}
+
+// Clone returns a deep copy of the clip.
+func (c *Clip) Clone() *Clip {
+	s := make([]float64, len(c.Samples))
+	copy(s, c.Samples)
+	return &Clip{SampleRate: c.SampleRate, Samples: s}
+}
+
+// Duration returns the clip length in seconds.
+func (c *Clip) Duration() float64 {
+	if c.SampleRate == 0 {
+		return 0
+	}
+	return float64(len(c.Samples)) / float64(c.SampleRate)
+}
+
+// RMS returns the root-mean-square amplitude of the clip.
+func (c *Clip) RMS() float64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	var e float64
+	for _, v := range c.Samples {
+		e += v * v
+	}
+	return math.Sqrt(e / float64(len(c.Samples)))
+}
+
+// Peak returns the maximum absolute sample value.
+func (c *Clip) Peak() float64 {
+	var p float64
+	for _, v := range c.Samples {
+		if a := math.Abs(v); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// Gain scales all samples in place by g.
+func (c *Clip) Gain(g float64) {
+	for i := range c.Samples {
+		c.Samples[i] *= g
+	}
+}
+
+// Clamp clips all samples in place to [-1, 1].
+func (c *Clip) Clamp() {
+	for i, v := range c.Samples {
+		if v > 1 {
+			c.Samples[i] = 1
+		} else if v < -1 {
+			c.Samples[i] = -1
+		}
+	}
+}
+
+// Normalize rescales the clip in place so its peak is the given target
+// (no-op for silent clips).
+func (c *Clip) Normalize(peak float64) {
+	p := c.Peak()
+	if p == 0 {
+		return
+	}
+	c.Gain(peak / p)
+}
+
+// Append concatenates other onto c. The sample rates must match.
+func (c *Clip) Append(other *Clip) error {
+	if other.SampleRate != c.SampleRate {
+		return fmt.Errorf("audio: cannot append %d Hz clip to %d Hz clip", other.SampleRate, c.SampleRate)
+	}
+	c.Samples = append(c.Samples, other.Samples...)
+	return nil
+}
+
+// Mix adds other into c in place starting at the given offset; samples past
+// the end of c are dropped.
+func (c *Clip) Mix(other *Clip, offset int) error {
+	if other.SampleRate != c.SampleRate {
+		return fmt.Errorf("audio: cannot mix %d Hz clip into %d Hz clip", other.SampleRate, c.SampleRate)
+	}
+	for i, v := range other.Samples {
+		idx := offset + i
+		if idx < 0 {
+			continue
+		}
+		if idx >= len(c.Samples) {
+			break
+		}
+		c.Samples[idx] += v
+	}
+	return nil
+}
+
+// Resample returns a new clip converted to the target rate using linear
+// interpolation.
+func (c *Clip) Resample(targetRate int) (*Clip, error) {
+	if targetRate <= 0 {
+		return nil, fmt.Errorf("audio: target rate %d must be positive", targetRate)
+	}
+	if targetRate == c.SampleRate {
+		return c.Clone(), nil
+	}
+	if len(c.Samples) == 0 {
+		return &Clip{SampleRate: targetRate}, nil
+	}
+	ratio := float64(c.SampleRate) / float64(targetRate)
+	n := int(float64(len(c.Samples)) / ratio)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		pos := float64(i) * ratio
+		j := int(pos)
+		frac := pos - float64(j)
+		if j+1 < len(c.Samples) {
+			out[i] = c.Samples[j]*(1-frac) + c.Samples[j+1]*frac
+		} else {
+			out[i] = c.Samples[len(c.Samples)-1]
+		}
+	}
+	return &Clip{SampleRate: targetRate, Samples: out}, nil
+}
+
+// WhiteNoise returns a clip of Gaussian white noise with the given RMS.
+func WhiteNoise(rng *rand.Rand, sampleRate, numSamples int, rms float64) *Clip {
+	c := NewClip(sampleRate, numSamples)
+	for i := range c.Samples {
+		c.Samples[i] = rng.NormFloat64() * rms
+	}
+	return c
+}
+
+// SNR returns the signal-to-noise ratio in dB between a clean clip and a
+// degraded version of it (noise = degraded - clean). It returns +Inf when
+// the clips are identical.
+func SNR(clean, degraded *Clip) (float64, error) {
+	if len(clean.Samples) != len(degraded.Samples) {
+		return 0, fmt.Errorf("audio: SNR length mismatch %d vs %d", len(clean.Samples), len(degraded.Samples))
+	}
+	var sig, noise float64
+	for i := range clean.Samples {
+		d := degraded.Samples[i] - clean.Samples[i]
+		sig += clean.Samples[i] * clean.Samples[i]
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1), nil
+	}
+	if sig == 0 {
+		return math.Inf(-1), nil
+	}
+	return 10 * math.Log10(sig/noise), nil
+}
+
+// AddNoiseSNR returns a copy of the clip with white noise added so the
+// result has the requested SNR in dB relative to the input.
+func AddNoiseSNR(rng *rand.Rand, c *Clip, snrDB float64) *Clip {
+	out := c.Clone()
+	sigRMS := c.RMS()
+	if sigRMS == 0 {
+		sigRMS = 1e-4
+	}
+	noiseRMS := sigRMS / math.Pow(10, snrDB/20)
+	for i := range out.Samples {
+		out.Samples[i] += rng.NormFloat64() * noiseRMS
+	}
+	return out
+}
+
+// Similarity returns the paper's notion of waveform similarity between a
+// host audio and its (possibly perturbed) variant: 1 minus the relative
+// RMS of the perturbation, clamped to [0, 1]. Identical clips score 1.
+func Similarity(host, variant *Clip) (float64, error) {
+	if len(host.Samples) != len(variant.Samples) {
+		return 0, fmt.Errorf("audio: similarity length mismatch %d vs %d", len(host.Samples), len(variant.Samples))
+	}
+	var sig, diff float64
+	for i := range host.Samples {
+		d := variant.Samples[i] - host.Samples[i]
+		sig += host.Samples[i] * host.Samples[i]
+		diff += d * d
+	}
+	if sig == 0 {
+		if diff == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	s := 1 - math.Sqrt(diff/sig)
+	if s < 0 {
+		s = 0
+	}
+	return s, nil
+}

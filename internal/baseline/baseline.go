@@ -1,0 +1,256 @@
+// Package baseline implements the two prior audio-AE detectors the paper
+// compares itself against (§I, §VI), plus the adaptive attacks that defeat
+// them:
+//
+//   - TemporalDependency (Yang et al., ICLR workshop 2018): cut the audio
+//     in two, transcribe the halves separately, splice the texts, and
+//     compare with the whole-audio transcription. AEs need the complete
+//     signal to resolve their perturbation, so the spliced text diverges.
+//     Weakness (admitted by its authors): an adaptive attacker embeds the
+//     command into one section only, keeping splice and whole consistent.
+//
+//   - Preprocess (Rajaratnam et al., 2018): transcribe the audio before
+//     and after a mild transformation (down/up resampling, quantization,
+//     smoothing). AE perturbations are brittle, benign speech is not.
+//     Weakness: an attacker who knows the transformation folds it into the
+//     AE optimization (Carlini & Wagner 2017's critique).
+//
+// Both are single-engine detectors: they need no auxiliary ASRs, which is
+// exactly why the adaptive attacks beat them while MVP-EARS — whose signal
+// is cross-engine disagreement — still fires.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/classify"
+	"mvpears/internal/similarity"
+	"mvpears/internal/speech"
+)
+
+// Method is the transcription-similarity scorer shared by the baselines
+// (the same Jaro-Winkler-over-phonetic-encoding as the main detector by
+// default).
+type Method = similarity.Method
+
+// TemporalDependency is the Yang et al. detector.
+type TemporalDependency struct {
+	Target asr.Recognizer
+	Method Method
+	// SplitFrac is where the audio is cut (0.5 = halves).
+	SplitFrac float64
+	// Threshold flags inputs whose whole-vs-spliced consistency falls
+	// below it. Calibrate with CalibrateTD.
+	Threshold float64
+}
+
+// NewTemporalDependency builds the detector with the paper-cited
+// configuration (mid-point split).
+func NewTemporalDependency(target asr.Recognizer, method Method) (*TemporalDependency, error) {
+	if target == nil {
+		return nil, fmt.Errorf("baseline: nil target engine")
+	}
+	return &TemporalDependency{Target: target, Method: method, SplitFrac: 0.5}, nil
+}
+
+// Score returns the consistency score of the clip: the similarity between
+// the whole-audio transcription and the spliced half-transcriptions.
+// Benign audio scores high; (non-adaptive) AEs score low.
+func (t *TemporalDependency) Score(clip *audio.Clip) (float64, error) {
+	if clip == nil || len(clip.Samples) < 4 {
+		return 0, fmt.Errorf("baseline: clip too short to split")
+	}
+	frac := t.SplitFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.5
+	}
+	cut := int(float64(len(clip.Samples)) * frac)
+	first := &audio.Clip{SampleRate: clip.SampleRate, Samples: clip.Samples[:cut]}
+	second := &audio.Clip{SampleRate: clip.SampleRate, Samples: clip.Samples[cut:]}
+	whole, err := t.Target.Transcribe(clip)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: whole transcription: %w", err)
+	}
+	t1, err := t.Target.Transcribe(first)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: first-half transcription: %w", err)
+	}
+	t2, err := t.Target.Transcribe(second)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: second-half transcription: %w", err)
+	}
+	spliced := speech.NormalizeText(t1 + " " + t2)
+	return t.Method.Compare(speech.NormalizeText(whole), spliced), nil
+}
+
+// Detect flags the clip when its consistency score is below the
+// threshold.
+func (t *TemporalDependency) Detect(clip *audio.Clip) (bool, float64, error) {
+	score, err := t.Score(clip)
+	if err != nil {
+		return false, 0, err
+	}
+	return score < t.Threshold, score, nil
+}
+
+// CalibrateTD sets the threshold so at most maxFPR of the benign clips
+// are flagged.
+func (t *TemporalDependency) CalibrateTD(benign []*audio.Clip, maxFPR float64) error {
+	scores := make([]float64, 0, len(benign))
+	for i, clip := range benign {
+		s, err := t.Score(clip)
+		if err != nil {
+			return fmt.Errorf("baseline: calibration clip %d: %w", i, err)
+		}
+		scores = append(scores, s)
+	}
+	thr, err := classify.ThresholdForFPR(scores, maxFPR)
+	if err != nil {
+		return err
+	}
+	t.Threshold = thr
+	return nil
+}
+
+// Transform is an audio preprocessing operation.
+type Transform func(clip *audio.Clip) (*audio.Clip, error)
+
+// DownUpResample returns a transform that resamples to rate and back —
+// the canonical preprocessing of Rajaratnam et al.
+func DownUpResample(rate int) Transform {
+	return func(clip *audio.Clip) (*audio.Clip, error) {
+		down, err := clip.Resample(rate)
+		if err != nil {
+			return nil, err
+		}
+		up, err := down.Resample(clip.SampleRate)
+		if err != nil {
+			return nil, err
+		}
+		// Length can drift by a sample; pad/trim to the original.
+		out := audio.NewClip(clip.SampleRate, len(clip.Samples))
+		copy(out.Samples, up.Samples)
+		return out, nil
+	}
+}
+
+// Quantize returns a transform that rounds samples to the given number of
+// amplitude levels (bit-depth reduction).
+func Quantize(levels int) Transform {
+	return func(clip *audio.Clip) (*audio.Clip, error) {
+		if levels < 2 {
+			return nil, fmt.Errorf("baseline: quantize needs >= 2 levels")
+		}
+		out := clip.Clone()
+		step := 2.0 / float64(levels-1)
+		for i, v := range out.Samples {
+			out.Samples[i] = math.Round(v/step) * step
+		}
+		return out, nil
+	}
+}
+
+// MedianFilter returns a transform applying a width-w sliding median
+// (w odd).
+func MedianFilter(w int) Transform {
+	return func(clip *audio.Clip) (*audio.Clip, error) {
+		if w < 3 || w%2 == 0 {
+			return nil, fmt.Errorf("baseline: median width %d must be odd and >= 3", w)
+		}
+		out := clip.Clone()
+		half := w / 2
+		window := make([]float64, 0, w)
+		for i := range clip.Samples {
+			window = window[:0]
+			for j := i - half; j <= i+half; j++ {
+				if j >= 0 && j < len(clip.Samples) {
+					window = append(window, clip.Samples[j])
+				}
+			}
+			out.Samples[i] = median(window)
+		}
+		return out, nil
+	}
+}
+
+func median(v []float64) float64 {
+	// Insertion sort: windows are tiny.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	return v[len(v)/2]
+}
+
+// Preprocess is the Rajaratnam-style detector: compare transcriptions
+// before and after a transformation.
+type Preprocess struct {
+	Target    asr.Recognizer
+	Method    Method
+	Transform Transform
+	Threshold float64
+}
+
+// NewPreprocess builds the detector with a default mild down/up-resample
+// transform.
+func NewPreprocess(target asr.Recognizer, method Method, transform Transform) (*Preprocess, error) {
+	if target == nil {
+		return nil, fmt.Errorf("baseline: nil target engine")
+	}
+	if transform == nil {
+		return nil, fmt.Errorf("baseline: nil transform")
+	}
+	return &Preprocess{Target: target, Method: method, Transform: transform}, nil
+}
+
+// Score returns the similarity between the transcription of the clip and
+// of its preprocessed version.
+func (p *Preprocess) Score(clip *audio.Clip) (float64, error) {
+	if clip == nil || len(clip.Samples) == 0 {
+		return 0, fmt.Errorf("baseline: empty clip")
+	}
+	processed, err := p.Transform(clip)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: transform: %w", err)
+	}
+	orig, err := p.Target.Transcribe(clip)
+	if err != nil {
+		return 0, err
+	}
+	proc, err := p.Target.Transcribe(processed)
+	if err != nil {
+		return 0, err
+	}
+	return p.Method.Compare(speech.NormalizeText(orig), speech.NormalizeText(proc)), nil
+}
+
+// Detect flags the clip when pre/post-transform transcriptions diverge.
+func (p *Preprocess) Detect(clip *audio.Clip) (bool, float64, error) {
+	score, err := p.Score(clip)
+	if err != nil {
+		return false, 0, err
+	}
+	return score < p.Threshold, score, nil
+}
+
+// CalibratePre sets the threshold from benign clips at the FPR budget.
+func (p *Preprocess) CalibratePre(benign []*audio.Clip, maxFPR float64) error {
+	scores := make([]float64, 0, len(benign))
+	for i, clip := range benign {
+		s, err := p.Score(clip)
+		if err != nil {
+			return fmt.Errorf("baseline: calibration clip %d: %w", i, err)
+		}
+		scores = append(scores, s)
+	}
+	thr, err := classify.ThresholdForFPR(scores, maxFPR)
+	if err != nil {
+		return err
+	}
+	p.Threshold = thr
+	return nil
+}

@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/attack"
+	"mvpears/internal/audio"
+	"mvpears/internal/detector"
+	"mvpears/internal/similarity"
+	"mvpears/internal/speech"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureSet  *asr.EngineSet
+	fixtureAE   *audio.Clip
+	fixtureErr  error
+	benignClips []*audio.Clip
+)
+
+func fixture(t *testing.T) (*asr.EngineSet, []*audio.Clip, *audio.Clip) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureSet, fixtureErr = asr.BuildEngines(asr.QuickTrainConfig())
+		if fixtureErr != nil {
+			return
+		}
+		synth := speech.NewSynthesizer(8000)
+		utts, err := speech.GenerateUtterances(synth, 12, 808)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		for _, u := range utts[:10] {
+			benignClips = append(benignClips, u.Clip)
+		}
+		// One white-box AE for the detection checks.
+		for _, u := range utts[10:] {
+			res, err := attack.WhiteBox(fixtureSet.DS0, u.Clip, "turn off the alarm", attack.DefaultWhiteBoxConfig())
+			if err != nil {
+				fixtureErr = err
+				return
+			}
+			if res.Success {
+				fixtureAE = res.AE
+				break
+			}
+		}
+	})
+	if fixtureErr != nil {
+		t.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixtureSet, benignClips, fixtureAE
+}
+
+func testMethod(t *testing.T) Method {
+	t.Helper()
+	reg, err := similarity.NewRegistry(detector.DefaultEncoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := reg.Get(similarity.MethodPEJaroWinkler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTemporalDependencyScores(t *testing.T) {
+	set, benign, ae := fixture(t)
+	td, err := NewTemporalDependency(set.DS0, testMethod(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td.CalibrateTD(benign, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if td.Threshold <= 0 || td.Threshold > 1 {
+		t.Fatalf("threshold %g", td.Threshold)
+	}
+	// Most benign clips must pass.
+	var flagged int
+	for _, clip := range benign {
+		bad, _, err := td.Detect(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad {
+			flagged++
+		}
+	}
+	if flagged > len(benign)/3 {
+		t.Errorf("TD flags %d/%d benign clips", flagged, len(benign))
+	}
+	if ae == nil {
+		t.Skip("no AE available at quick scale")
+	}
+	// Substrate note (documented in DESIGN.md): the temporal-dependency
+	// premise targets recurrent/CTC models whose AEs need the whole
+	// signal. Our DS0 is a framewise MLP, so its AEs survive splitting
+	// and TD assigns them benign-level scores — TD's weakness appears
+	// here even without the adaptive attack. We assert only that scoring
+	// works and stays in range.
+	aeScore, err := td.Score(ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aeScore < 0 || aeScore > 1 {
+		t.Fatalf("TD score %g out of range", aeScore)
+	}
+}
+
+func TestTemporalDependencyValidation(t *testing.T) {
+	set, _, _ := fixture(t)
+	if _, err := NewTemporalDependency(nil, testMethod(t)); err == nil {
+		t.Fatal("expected error for nil target")
+	}
+	td, err := NewTemporalDependency(set.DS0, testMethod(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := td.Score(nil); err == nil {
+		t.Fatal("expected error for nil clip")
+	}
+	if _, err := td.Score(audio.NewClip(8000, 2)); err == nil {
+		t.Fatal("expected error for too-short clip")
+	}
+	if err := td.CalibrateTD(nil, 0.05); err == nil {
+		t.Fatal("expected error for empty calibration set")
+	}
+}
+
+func TestPreprocessDetector(t *testing.T) {
+	set, benign, ae := fixture(t)
+	p, err := NewPreprocess(set.DS0, testMethod(t), DownUpResample(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CalibratePre(benign, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	var flagged int
+	for _, clip := range benign {
+		bad, _, err := p.Detect(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad {
+			flagged++
+		}
+	}
+	if flagged > len(benign)/3 {
+		t.Errorf("preprocess flags %d/%d benign clips", flagged, len(benign))
+	}
+	if ae == nil {
+		t.Skip("no AE available at quick scale")
+	}
+	aeScore, err := p.Score(ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, clip := range benign {
+		s, err := p.Score(clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s
+	}
+	if sum/float64(len(benign)) <= aeScore {
+		t.Errorf("benign mean preprocess score %.3f not above AE score %.3f", sum/float64(len(benign)), aeScore)
+	}
+}
+
+func TestPreprocessValidation(t *testing.T) {
+	set, _, _ := fixture(t)
+	if _, err := NewPreprocess(nil, testMethod(t), DownUpResample(4000)); err == nil {
+		t.Fatal("expected error for nil target")
+	}
+	if _, err := NewPreprocess(set.DS0, testMethod(t), nil); err == nil {
+		t.Fatal("expected error for nil transform")
+	}
+	p, err := NewPreprocess(set.DS0, testMethod(t), DownUpResample(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Score(nil); err == nil {
+		t.Fatal("expected error for nil clip")
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	clip := audio.NewClip(8000, 1000)
+	for i := range clip.Samples {
+		clip.Samples[i] = 0.5 * math.Sin(2*math.Pi*300*float64(i)/8000)
+	}
+	// DownUpResample preserves length and roughly preserves a low tone.
+	du := DownUpResample(4000)
+	out, err := du(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Samples) != len(clip.Samples) {
+		t.Fatalf("resample changed length %d -> %d", len(clip.Samples), len(out.Samples))
+	}
+	if math.Abs(out.RMS()-clip.RMS()) > 0.1*clip.RMS() {
+		t.Errorf("resample distorted RMS %.3f -> %.3f", clip.RMS(), out.RMS())
+	}
+	// Quantize produces values on the grid.
+	q := Quantize(9)
+	out, err = q(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 2.0 / 8
+	for i, v := range out.Samples {
+		ratio := v / step
+		if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+			t.Fatalf("sample %d = %g not on the quantization grid", i, v)
+		}
+	}
+	if _, err := Quantize(1)(clip); err == nil {
+		t.Fatal("expected error for 1 level")
+	}
+	// Median filter removes an impulse.
+	spiky := clip.Clone()
+	spiky.Samples[500] = 1.0
+	mf := MedianFilter(5)
+	out, err = mf(spiky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Samples[500]) > 0.6 {
+		t.Errorf("median filter left the impulse: %g", out.Samples[500])
+	}
+	if _, err := MedianFilter(4)(clip); err == nil {
+		t.Fatal("expected error for even width")
+	}
+	if _, err := MedianFilter(1)(clip); err == nil {
+		t.Fatal("expected error for width 1")
+	}
+}
+
+// TestAdaptiveTDEvadesBaseline is the paper's §I argument in executable
+// form: the adaptive attack embeds the command in one section only, the
+// temporal-dependency check passes it, but MVP-EARS still detects it.
+func TestAdaptiveTDEvadesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive attack is slow")
+	}
+	set, benign, _ := fixture(t)
+	synth := speech.NewSynthesizer(8000)
+	utts, err := speech.GenerateUtterances(synth, 3, 909)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attack.DefaultWhiteBoxConfig()
+	var res *attack.Result
+	for _, u := range utts {
+		r, err := attack.AdaptiveTD(set.DS0, u.Clip, "open the garage", 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Success {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		t.Skip("adaptive attack did not converge at quick scale")
+	}
+	td, err := NewTemporalDependency(set.DS0, testMethod(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td.CalibrateTD(benign, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	flagged, score, err := td.Detect(res.AE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Logf("TD caught the adaptive AE anyway (score %.3f >= threshold %.3f expected to pass)", score, td.Threshold)
+	}
+	// MVP-EARS: at least one auxiliary must disagree strongly.
+	method := testMethod(t)
+	t0, err := set.DS0.Transcribe(res.AE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSim := 2.0
+	for _, aux := range set.Auxiliaries() {
+		ta, err := aux.Transcribe(res.AE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := method.Compare(speech.NormalizeText(t0), speech.NormalizeText(ta)); s < minSim {
+			minSim = s
+		}
+	}
+	if minSim > 0.85 {
+		t.Errorf("adaptive AE transferred to all auxiliaries (min sim %.3f): MVP-EARS signal lost", minSim)
+	}
+}

@@ -1,0 +1,119 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive-Bayes classifier: each feature is
+// modelled as an independent per-class Gaussian. It is an additional
+// cheap baseline beyond the paper's three classifiers — similarity scores
+// are nearly class-conditionally independent, so it performs close to the
+// SVM at a fraction of the training cost.
+type NaiveBayes struct {
+	// VarFloor prevents zero variances on constant features (0 = 1e-6).
+	VarFloor float64
+
+	prior [2]float64
+	mean  [2][]float64
+	vari  [2][]float64
+	dim   int
+}
+
+var _ Classifier = (*NaiveBayes)(nil)
+
+// NewNaiveBayes returns a Gaussian naive-Bayes classifier.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{VarFloor: 1e-6} }
+
+// Name implements Classifier.
+func (n *NaiveBayes) Name() string { return "NaiveBayes" }
+
+// Fit implements Classifier.
+func (n *NaiveBayes) Fit(X [][]float64, y []int) error {
+	dim, err := checkTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	floor := n.VarFloor
+	if floor <= 0 {
+		floor = 1e-6
+	}
+	n.dim = dim
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		n.mean[c] = make([]float64, dim)
+		n.vari[c] = make([]float64, dim)
+	}
+	for i, x := range X {
+		c := y[i]
+		count[c]++
+		for j, v := range x {
+			n.mean[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range n.mean[c] {
+			n.mean[c][j] /= float64(count[c])
+		}
+		n.prior[c] = float64(count[c]) / float64(len(X))
+	}
+	for i, x := range X {
+		c := y[i]
+		for j, v := range x {
+			d := v - n.mean[c][j]
+			n.vari[c][j] += d * d
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range n.vari[c] {
+			n.vari[c][j] /= float64(count[c])
+			if n.vari[c][j] < floor {
+				n.vari[c][j] = floor
+			}
+		}
+	}
+	return nil
+}
+
+// logPosterior returns the unnormalized class log-posteriors.
+func (n *NaiveBayes) logPosterior(x []float64) ([2]float64, error) {
+	var out [2]float64
+	if n.dim == 0 {
+		return out, fmt.Errorf("classify: NaiveBayes is not trained")
+	}
+	if len(x) != n.dim {
+		return out, fmt.Errorf("classify: input dim %d, want %d", len(x), n.dim)
+	}
+	for c := 0; c < 2; c++ {
+		lp := math.Log(n.prior[c])
+		for j, v := range x {
+			d := v - n.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*n.vari[c][j]) - d*d/(2*n.vari[c][j])
+		}
+		out[c] = lp
+	}
+	return out, nil
+}
+
+// Score implements Classifier: P(adversarial | x).
+func (n *NaiveBayes) Score(x []float64) (float64, error) {
+	lp, err := n.logPosterior(x)
+	if err != nil {
+		return 0, err
+	}
+	// Stable sigmoid of the log-odds.
+	diff := lp[1] - lp[0]
+	return 1 / (1 + math.Exp(-diff)), nil
+}
+
+// Predict implements Classifier.
+func (n *NaiveBayes) Predict(x []float64) (int, error) {
+	p, err := n.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if p > 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}

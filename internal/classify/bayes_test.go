@@ -1,0 +1,97 @@
+package classify
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNaiveBayesLearnsBlobs(t *testing.T) {
+	X, y := blob(150, 21, 2.0)
+	testX, testY := blob(60, 91, 2.0)
+	nb := NewNaiveBayes()
+	if nb.Name() != "NaiveBayes" {
+		t.Fatalf("name %q", nb.Name())
+	}
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := Evaluate(nb, testX, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.95 {
+		t.Errorf("accuracy %.3f on separable blobs", conf.Accuracy())
+	}
+}
+
+func TestNaiveBayesOnScoreShapedData(t *testing.T) {
+	X, y := scoreShape(200, 22, 3)
+	testX, testY := scoreShape(80, 92, 3)
+	nb := NewNaiveBayes()
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := Evaluate(nb, testX, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Accuracy() < 0.98 {
+		t.Errorf("accuracy %.4f on score-shaped data", conf.Accuracy())
+	}
+}
+
+func TestNaiveBayesScoreIsProbability(t *testing.T) {
+	X, y := scoreShape(100, 23, 2)
+	nb := NewNaiveBayes()
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range X {
+		p, err := nb.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("score %g not a probability", p)
+		}
+	}
+	// Clear AE vector scores higher than clear benign vector.
+	pAE, err := nb.Score([]float64{0.4, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBenign, err := nb.Score([]float64{0.96, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pAE <= pBenign {
+		t.Fatalf("AE score %.3f not above benign %.3f", pAE, pBenign)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	nb := NewNaiveBayes()
+	if err := nb.Fit(nil, nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := nb.Predict([]float64{1}); err == nil {
+		t.Fatal("expected error when untrained")
+	}
+	X, y := blob(20, 24, 2.0)
+	if err := nb.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for wrong dim")
+	}
+	// Constant feature must not produce NaN (variance floor).
+	Xc := [][]float64{{1, 5}, {2, 5}, {1.5, 5}, {0.9, 5}}
+	yc := []int{0, 0, 1, 1}
+	if err := nb.Fit(Xc, yc); err != nil {
+		t.Fatal(err)
+	}
+	p, err := nb.Score([]float64{1.2, 5})
+	if err != nil || math.IsNaN(p) {
+		t.Fatalf("constant feature broke score: %v %v", p, err)
+	}
+}

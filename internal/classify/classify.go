@@ -1,0 +1,117 @@
+// Package classify implements the binary classifiers the paper evaluates
+// as the final stage of MVP-EARS — SVM with a 3-degree polynomial kernel
+// (trained by SMO), k-nearest-neighbours with 10 voting neighbours, and a
+// random forest — plus logistic regression, feature scaling, stratified
+// k-fold cross-validation, and the accuracy/FPR/FNR/ROC/AUC metrics used
+// throughout the evaluation.
+//
+// Label convention: 1 = adversarial (positive), 0 = benign (negative).
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// Classifier is a trainable binary classifier.
+type Classifier interface {
+	// Name identifies the algorithm ("SVM", "KNN", "RandomForest", ...).
+	Name() string
+	// Fit trains on feature vectors X with labels y in {0, 1}.
+	Fit(X [][]float64, y []int) error
+	// Predict returns the predicted label for x.
+	Predict(x []float64) (int, error)
+	// Score returns a decision value for x; higher means more likely
+	// adversarial. Used for ROC curves.
+	Score(x []float64) (float64, error)
+}
+
+// Factory creates a fresh, untrained classifier (used by cross-validation
+// so every fold trains from scratch).
+type Factory func() Classifier
+
+// checkTrainingData validates the common preconditions of Fit.
+func checkTrainingData(X [][]float64, y []int) (dim int, err error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("classify: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("classify: %d samples but %d labels", len(X), len(y))
+	}
+	dim = len(X[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("classify: zero-dimensional features")
+	}
+	var pos, neg int
+	for i, x := range X {
+		if len(x) != dim {
+			return 0, fmt.Errorf("classify: sample %d has dim %d, want %d", i, len(x), dim)
+		}
+		switch y[i] {
+		case 0:
+			neg++
+		case 1:
+			pos++
+		default:
+			return 0, fmt.Errorf("classify: label %d at sample %d not in {0,1}", y[i], i)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("classify: training set needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	return dim, nil
+}
+
+// Scaler standardizes features to zero mean and unit variance.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-dimension statistics.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return nil, fmt.Errorf("classify: cannot fit scaler to empty data")
+	}
+	dim := len(X[0])
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, x := range X {
+		for j, v := range x {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= float64(len(X))
+	}
+	for _, x := range X {
+		for j, v := range x {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / float64(len(X)))
+		if s.Std[j] < 1e-9 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns the standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes a whole matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = s.Transform(x)
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// blob generates a 2-class Gaussian-blob dataset.
+func blob(n int, seed int64, sep float64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{rng.NormFloat64()*0.5 - sep, rng.NormFloat64() * 0.5})
+		y = append(y, 0)
+		X = append(X, []float64{rng.NormFloat64()*0.5 + sep, rng.NormFloat64() * 0.5})
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+// scoreShape generates the shape of the MVP-EARS feature space: benign
+// samples with high similarity scores, AEs with low scores.
+func scoreShape(n int, seed int64, dims int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		benign := make([]float64, dims)
+		ae := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			benign[d] = clamp01(0.95 + rng.NormFloat64()*0.04)
+			ae[d] = clamp01(0.45 + rng.NormFloat64()*0.12)
+		}
+		X = append(X, benign)
+		y = append(y, 0)
+		X = append(X, ae)
+		y = append(y, 1)
+	}
+	return X, y
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func allClassifiers() []Factory {
+	return []Factory{
+		func() Classifier { return NewSVM() },
+		func() Classifier { return NewKNN() },
+		func() Classifier { return NewRandomForest() },
+		func() Classifier { return NewLogReg() },
+	}
+}
+
+func TestClassifiersLearnBlobs(t *testing.T) {
+	X, y := blob(150, 1, 2.0)
+	testX, testY := blob(60, 99, 2.0)
+	for _, factory := range allClassifiers() {
+		clf := factory()
+		if err := clf.Fit(X, y); err != nil {
+			t.Fatalf("%s Fit: %v", clf.Name(), err)
+		}
+		conf, err := Evaluate(clf, testX, testY)
+		if err != nil {
+			t.Fatalf("%s Evaluate: %v", clf.Name(), err)
+		}
+		if conf.Accuracy() < 0.95 {
+			t.Errorf("%s accuracy %.3f on separable blobs", clf.Name(), conf.Accuracy())
+		}
+	}
+}
+
+func TestClassifiersOnScoreShapedData(t *testing.T) {
+	X, y := scoreShape(200, 2, 3)
+	testX, testY := scoreShape(80, 77, 3)
+	for _, factory := range allClassifiers() {
+		clf := factory()
+		if err := clf.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", clf.Name(), err)
+		}
+		conf, err := Evaluate(clf, testX, testY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conf.Accuracy() < 0.98 {
+			t.Errorf("%s accuracy %.4f on score-shaped data", clf.Name(), conf.Accuracy())
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	for _, factory := range allClassifiers() {
+		clf := factory()
+		if err := clf.Fit(nil, nil); err == nil {
+			t.Errorf("%s accepted empty data", clf.Name())
+		}
+		if err := clf.Fit([][]float64{{1}}, []int{1, 0}); err == nil {
+			t.Errorf("%s accepted mismatched labels", clf.Name())
+		}
+		if err := clf.Fit([][]float64{{1}, {2}}, []int{1, 5}); err == nil {
+			t.Errorf("%s accepted invalid label", clf.Name())
+		}
+		if err := clf.Fit([][]float64{{1}, {2}}, []int{1, 1}); err == nil {
+			t.Errorf("%s accepted single-class data", clf.Name())
+		}
+		if err := clf.Fit([][]float64{{1}, {2, 3}}, []int{1, 0}); err == nil {
+			t.Errorf("%s accepted ragged features", clf.Name())
+		}
+		// Untrained classifiers must error on use.
+		fresh := factory()
+		if _, err := fresh.Predict([]float64{0.5}); err == nil {
+			t.Errorf("%s predicted untrained", fresh.Name())
+		}
+	}
+}
+
+func TestPredictDimValidation(t *testing.T) {
+	X, y := blob(30, 3, 2.0)
+	for _, factory := range allClassifiers() {
+		clf := factory()
+		if err := clf.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := clf.Predict([]float64{1, 2, 3, 4}); err == nil {
+			t.Errorf("%s accepted wrong input dim", clf.Name())
+		}
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	// 8 TP, 1 FN, 9 TN, 1 FP.
+	for i := 0; i < 8; i++ {
+		c.Add(1, 1)
+	}
+	c.Add(0, 1)
+	for i := 0; i < 9; i++ {
+		c.Add(0, 0)
+	}
+	c.Add(1, 0)
+	if c.Total() != 19 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-17.0/19) > 1e-12 {
+		t.Fatalf("accuracy %g", c.Accuracy())
+	}
+	if math.Abs(c.FPR()-0.1) > 1e-12 {
+		t.Fatalf("FPR %g", c.FPR())
+	}
+	if math.Abs(c.FNR()-1.0/9) > 1e-12 {
+		t.Fatalf("FNR %g", c.FNR())
+	}
+	if math.Abs(c.TPR()-8.0/9) > 1e-12 {
+		t.Fatalf("TPR %g", c.TPR())
+	}
+	var empty Confusion
+	if empty.Accuracy() != 0 || empty.FPR() != 0 || empty.FNR() != 0 || empty.TPR() != 0 {
+		t.Fatal("empty confusion must report zeros")
+	}
+}
+
+func TestROCAndAUC(t *testing.T) {
+	// Perfectly separable scores: AUC = 1.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []int{1, 1, 0, 0}
+	points, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(points); math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("separable AUC %g", auc)
+	}
+	// Reversed scores: AUC = 0.
+	points, err = ROC([]float64{0.1, 0.2, 0.8, 0.9}, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(points); math.Abs(auc-0) > 1e-12 {
+		t.Fatalf("anti-separable AUC %g", auc)
+	}
+	// Random-ish scores give AUC near 0.5.
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	s := make([]float64, n)
+	l := make([]int, n)
+	for i := range s {
+		s[i] = rng.Float64()
+		l[i] = rng.Intn(2)
+	}
+	points, err = ROC(s, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC %g, want ~0.5", auc)
+	}
+	// Errors.
+	if _, err := ROC(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := ROC([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("expected error for single-class input")
+	}
+}
+
+func TestROCMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50
+		s := make([]float64, n)
+		l := make([]int, n)
+		l[0], l[1] = 0, 1 // guarantee both classes
+		for i := range s {
+			s[i] = rng.Float64()
+			if i > 1 {
+				l[i] = rng.Intn(2)
+			}
+		}
+		points, err := ROC(s, l)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].FPR < points[i-1].FPR-1e-12 || points[i].TPR < points[i-1].TPR-1e-12 {
+				return false
+			}
+		}
+		last := points[len(points)-1]
+		return math.Abs(last.FPR-1) < 1e-9 && math.Abs(last.TPR-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdForFPR(t *testing.T) {
+	benign := []float64{0.90, 0.92, 0.94, 0.96, 0.98, 0.91, 0.93, 0.95, 0.97, 0.99,
+		0.90, 0.92, 0.94, 0.96, 0.98, 0.91, 0.93, 0.95, 0.97, 0.99}
+	thr, err := ThresholdForFPR(benign, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most 5% of benign scores may fall below the threshold.
+	var below int
+	for _, s := range benign {
+		if s < thr {
+			below++
+		}
+	}
+	if float64(below)/float64(len(benign)) > 0.05 {
+		t.Fatalf("threshold %g lets %d benign below", thr, below)
+	}
+	if _, err := ThresholdForFPR(nil, 0.05); err == nil {
+		t.Fatal("expected error for empty scores")
+	}
+	if _, err := ThresholdForFPR(benign, 2); err == nil {
+		t.Fatal("expected error for invalid maxFPR")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	X, y := scoreShape(100, 5, 2)
+	res, err := CrossValidate(func() Classifier { return NewSVM() }, X, y, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 5 || len(res.PerFoldConf) != 5 {
+		t.Fatalf("folds %d, confs %d", res.Folds, len(res.PerFoldConf))
+	}
+	if res.MeanAcc < 0.97 {
+		t.Fatalf("CV mean accuracy %.4f", res.MeanAcc)
+	}
+	if res.StdAcc < 0 || res.StdAcc > 0.1 {
+		t.Fatalf("CV std %.4f implausible", res.StdAcc)
+	}
+	// Every sample appears in exactly one test fold.
+	var total int
+	for _, conf := range res.PerFoldConf {
+		total += conf.Total()
+	}
+	if total != len(X) {
+		t.Fatalf("folds cover %d samples, want %d", total, len(X))
+	}
+	if _, err := CrossValidate(func() Classifier { return NewSVM() }, X, y, 1, 42); err == nil {
+		t.Fatal("expected error for k=1")
+	}
+	if _, err := CrossValidate(func() Classifier { return NewSVM() }, X[:4], y[:4], 5, 42); err == nil {
+		t.Fatal("expected error for too-small dataset")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	X, y := scoreShape(50, 6, 2)
+	trainX, trainY, testX, testY, err := TrainTestSplit(X, y, 0.8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trainX) != len(trainY) || len(testX) != len(testY) {
+		t.Fatal("length mismatch")
+	}
+	if len(trainX)+len(testX) != len(X) {
+		t.Fatal("split loses samples")
+	}
+	// Stratification: both partitions contain both classes.
+	hasBoth := func(labels []int) bool {
+		var pos, neg bool
+		for _, l := range labels {
+			if l == 1 {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		return pos && neg
+	}
+	if !hasBoth(trainY) || !hasBoth(testY) {
+		t.Fatal("split not stratified")
+	}
+	if _, _, _, _, err := TrainTestSplit(X, y, 1.5, 7); err == nil {
+		t.Fatal("expected error for bad fraction")
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 20}, {5, 30}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.TransformAll(X)
+	// Means ~0.
+	for j := 0; j < 2; j++ {
+		var mean float64
+		for i := range out {
+			mean += out[i][j]
+		}
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("dim %d mean %g", j, mean)
+		}
+	}
+	// Constant feature must not divide by zero.
+	s2, err := FitScaler([][]float64{{5}, {5}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s2.Transform([]float64{5})
+	if math.IsNaN(v[0]) || math.IsInf(v[0], 0) {
+		t.Fatal("constant feature produced non-finite value")
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestSVMScoreSign(t *testing.T) {
+	X, y := blob(80, 8, 2.5)
+	svm := NewSVM()
+	if err := svm.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	posScore, err := svm.Score([]float64{2.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	negScore, err := svm.Score([]float64{-2.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posScore <= 0 || negScore >= 0 {
+		t.Fatalf("decision values misordered: pos %g neg %g", posScore, negScore)
+	}
+}
+
+func BenchmarkSVMPredict(b *testing.B) {
+	X, y := scoreShape(400, 9, 3)
+	svm := NewSVM()
+	if err := svm.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.5, 0.5, 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

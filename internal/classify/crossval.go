@@ -1,0 +1,141 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CVResult reports mean and standard deviation across folds, matching the
+// paper's "mean/STD" presentation in Tables IV and V.
+type CVResult struct {
+	Folds       int
+	MeanAcc     float64
+	StdAcc      float64
+	MeanFPR     float64
+	StdFPR      float64
+	MeanFNR     float64
+	StdFNR      float64
+	PerFoldConf []Confusion
+}
+
+// CrossValidate runs stratified k-fold cross-validation: each fold
+// preserves the class balance, a fresh classifier is trained on k-1 folds
+// and tested on the held-out fold.
+func CrossValidate(factory Factory, X [][]float64, y []int, k int, seed int64) (CVResult, error) {
+	var res CVResult
+	if k < 2 {
+		return res, fmt.Errorf("classify: k-fold needs k >= 2, got %d", k)
+	}
+	if _, err := checkTrainingData(X, y); err != nil {
+		return res, err
+	}
+	// Stratified fold assignment.
+	rng := rand.New(rand.NewSource(seed))
+	var posIdx, negIdx []int
+	for i, label := range y {
+		if label == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) < k || len(negIdx) < k {
+		return res, fmt.Errorf("classify: too few samples per class for %d folds (pos=%d neg=%d)", k, len(posIdx), len(negIdx))
+	}
+	rng.Shuffle(len(posIdx), func(i, j int) { posIdx[i], posIdx[j] = posIdx[j], posIdx[i] })
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	fold := make([]int, len(X))
+	for i, idx := range posIdx {
+		fold[idx] = i % k
+	}
+	for i, idx := range negIdx {
+		fold[idx] = i % k
+	}
+	accs := make([]float64, 0, k)
+	fprs := make([]float64, 0, k)
+	fnrs := make([]float64, 0, k)
+	for f := 0; f < k; f++ {
+		var trainX, testX [][]float64
+		var trainY, testY []int
+		for i := range X {
+			if fold[i] == f {
+				testX = append(testX, X[i])
+				testY = append(testY, y[i])
+			} else {
+				trainX = append(trainX, X[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		clf := factory()
+		if err := clf.Fit(trainX, trainY); err != nil {
+			return res, fmt.Errorf("classify: fold %d: %w", f, err)
+		}
+		conf, err := Evaluate(clf, testX, testY)
+		if err != nil {
+			return res, fmt.Errorf("classify: fold %d: %w", f, err)
+		}
+		res.PerFoldConf = append(res.PerFoldConf, conf)
+		accs = append(accs, conf.Accuracy())
+		fprs = append(fprs, conf.FPR())
+		fnrs = append(fnrs, conf.FNR())
+	}
+	res.Folds = k
+	res.MeanAcc, res.StdAcc = meanStd(accs)
+	res.MeanFPR, res.StdFPR = meanStd(fprs)
+	res.MeanFNR, res.StdFNR = meanStd(fnrs)
+	return res, nil
+}
+
+func meanStd(vals []float64) (mean, std float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}
+
+// TrainTestSplit shuffles and splits a dataset, keeping trainFrac of each
+// class in the training partition (the paper's 80/20 protocol).
+func TrainTestSplit(X [][]float64, y []int, trainFrac float64, seed int64) (trainX [][]float64, trainY []int, testX [][]float64, testY []int, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("classify: trainFrac %g out of (0,1)", trainFrac)
+	}
+	if _, err := checkTrainingData(X, y); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var posIdx, negIdx []int
+	for i, label := range y {
+		if label == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	rng.Shuffle(len(posIdx), func(i, j int) { posIdx[i], posIdx[j] = posIdx[j], posIdx[i] })
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	take := func(idx []int) {
+		cut := int(float64(len(idx)) * trainFrac)
+		for i, id := range idx {
+			if i < cut {
+				trainX = append(trainX, X[id])
+				trainY = append(trainY, y[id])
+			} else {
+				testX = append(testX, X[id])
+				testY = append(testY, y[id])
+			}
+		}
+	}
+	take(posIdx)
+	take(negIdx)
+	return trainX, trainY, testX, testY, nil
+}

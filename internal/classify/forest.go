@@ -1,0 +1,172 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART decision trees with Gini
+// impurity splits. The paper's configuration uses a fixed random state
+// (seed 200).
+type RandomForest struct {
+	Trees    int
+	MaxDepth int
+	MinLeaf  int
+	Seed     int64
+
+	forest []*treeNode
+	dim    int
+}
+
+var _ Classifier = (*RandomForest)(nil)
+
+// NewRandomForest returns a forest with the paper's seed (200).
+func NewRandomForest() *RandomForest {
+	return &RandomForest{Trees: 50, MaxDepth: 8, MinLeaf: 2, Seed: 200}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "RandomForest" }
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	leafProb float64 // P(label = 1) at a leaf
+	isLeaf   bool
+}
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	dim, err := checkTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	if f.Trees <= 0 || f.MaxDepth <= 0 || f.MinLeaf <= 0 {
+		return fmt.Errorf("classify: invalid forest config %+v", f)
+	}
+	f.dim = dim
+	rng := rand.New(rand.NewSource(f.Seed))
+	f.forest = make([]*treeNode, f.Trees)
+	n := len(X)
+	for t := 0; t < f.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		f.forest[t] = f.buildTree(X, y, idx, 0, rng)
+	}
+	return nil
+}
+
+func gini(pos, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+func (f *RandomForest) buildTree(X [][]float64, y []int, idx []int, depth int, rng *rand.Rand) *treeNode {
+	var pos int
+	for _, i := range idx {
+		pos += y[i]
+	}
+	prob := 0.0
+	if len(idx) > 0 {
+		prob = float64(pos) / float64(len(idx))
+	}
+	if depth >= f.MaxDepth || len(idx) <= f.MinLeaf || pos == 0 || pos == len(idx) {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+	// Random feature subset of size ceil(sqrt(dim)).
+	numFeat := int(math.Ceil(math.Sqrt(float64(f.dim))))
+	feats := rng.Perm(f.dim)[:numFeat]
+	bestGain := -1.0
+	bestFeat, bestThresh := -1, 0.0
+	parentImpurity := gini(pos, len(idx))
+	for _, feat := range feats {
+		// Candidate thresholds: a few random midpoints.
+		for trial := 0; trial < 8; trial++ {
+			a := X[idx[rng.Intn(len(idx))]][feat]
+			b := X[idx[rng.Intn(len(idx))]][feat]
+			thresh := (a + b) / 2
+			var lPos, lTot, rPos, rTot int
+			for _, i := range idx {
+				if X[i][feat] <= thresh {
+					lTot++
+					lPos += y[i]
+				} else {
+					rTot++
+					rPos += y[i]
+				}
+			}
+			if lTot == 0 || rTot == 0 {
+				continue
+			}
+			gain := parentImpurity -
+				(float64(lTot)*gini(lPos, lTot)+float64(rTot)*gini(rPos, rTot))/float64(len(idx))
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, feat, thresh
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    f.buildTree(X, y, left, depth+1, rng),
+		right:   f.buildTree(X, y, right, depth+1, rng),
+	}
+}
+
+func (n *treeNode) predict(x []float64) float64 {
+	for !n.isLeaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafProb
+}
+
+// Score implements Classifier: the mean leaf probability across trees.
+func (f *RandomForest) Score(x []float64) (float64, error) {
+	if len(f.forest) == 0 {
+		return 0, fmt.Errorf("classify: forest is not trained")
+	}
+	if len(x) != f.dim {
+		return 0, fmt.Errorf("classify: input dim %d, want %d", len(x), f.dim)
+	}
+	var sum float64
+	for _, tree := range f.forest {
+		sum += tree.predict(x)
+	}
+	return sum / float64(len(f.forest)), nil
+}
+
+// Predict implements Classifier.
+func (f *RandomForest) Predict(x []float64) (int, error) {
+	score, err := f.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if score > 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,90 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours classifier with Euclidean distance; the
+// paper's configuration uses 10 voting neighbours.
+type KNN struct {
+	K int
+
+	X [][]float64
+	y []int
+}
+
+var _ Classifier = (*KNN)(nil)
+
+// NewKNN returns a KNN with the paper's setting (k = 10).
+func NewKNN() *KNN { return &KNN{K: 10} }
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Classifier (lazy learner: stores the data).
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	if _, err := checkTrainingData(X, y); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		return fmt.Errorf("classify: KNN needs K > 0, got %d", k.K)
+	}
+	k.X = make([][]float64, len(X))
+	for i, x := range X {
+		v := make([]float64, len(x))
+		copy(v, x)
+		k.X[i] = v
+	}
+	k.y = make([]int, len(y))
+	copy(k.y, y)
+	return nil
+}
+
+// Score implements Classifier: the fraction of adversarial votes among the
+// K nearest neighbours.
+func (k *KNN) Score(x []float64) (float64, error) {
+	if len(k.X) == 0 {
+		return 0, fmt.Errorf("classify: KNN is not trained")
+	}
+	if len(x) != len(k.X[0]) {
+		return 0, fmt.Errorf("classify: input dim %d, want %d", len(x), len(k.X[0]))
+	}
+	type neighbour struct {
+		dist  float64
+		label int
+	}
+	ns := make([]neighbour, len(k.X))
+	for i, v := range k.X {
+		var d float64
+		for j := range v {
+			diff := v[j] - x[j]
+			d += diff * diff
+		}
+		ns[i] = neighbour{dist: d, label: k.y[i]}
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
+	kk := k.K
+	if kk > len(ns) {
+		kk = len(ns)
+	}
+	var pos int
+	for _, n := range ns[:kk] {
+		if n.label == 1 {
+			pos++
+		}
+	}
+	return float64(pos) / float64(kk), nil
+}
+
+// Predict implements Classifier (majority vote).
+func (k *KNN) Predict(x []float64) (int, error) {
+	score, err := k.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if score > 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}

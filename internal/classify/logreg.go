@@ -1,0 +1,90 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogReg is L2-regularized logistic regression trained by gradient
+// descent. It is not one of the paper's three classifiers but serves as a
+// cheap baseline and is used by ablation benches.
+type LogReg struct {
+	LR     float64
+	Iters  int
+	Lambda float64
+
+	w []float64
+	b float64
+}
+
+var _ Classifier = (*LogReg)(nil)
+
+// NewLogReg returns a logistic-regression classifier with sane defaults.
+func NewLogReg() *LogReg {
+	return &LogReg{LR: 0.5, Iters: 500, Lambda: 1e-4}
+}
+
+// Name implements Classifier.
+func (l *LogReg) Name() string { return "LogReg" }
+
+// Fit implements Classifier.
+func (l *LogReg) Fit(X [][]float64, y []int) error {
+	dim, err := checkTrainingData(X, y)
+	if err != nil {
+		return err
+	}
+	if l.LR <= 0 || l.Iters <= 0 {
+		return fmt.Errorf("classify: invalid logreg config %+v", l)
+	}
+	l.w = make([]float64, dim)
+	l.b = 0
+	n := float64(len(X))
+	for iter := 0; iter < l.Iters; iter++ {
+		gw := make([]float64, dim)
+		gb := 0.0
+		for i, x := range X {
+			z := l.b
+			for j, v := range x {
+				z += l.w[j] * v
+			}
+			p := 1 / (1 + math.Exp(-z))
+			diff := p - float64(y[i])
+			for j, v := range x {
+				gw[j] += diff * v
+			}
+			gb += diff
+		}
+		for j := range l.w {
+			l.w[j] -= l.LR * (gw[j]/n + l.Lambda*l.w[j])
+		}
+		l.b -= l.LR * gb / n
+	}
+	return nil
+}
+
+// Score implements Classifier: P(adversarial).
+func (l *LogReg) Score(x []float64) (float64, error) {
+	if l.w == nil {
+		return 0, fmt.Errorf("classify: logreg is not trained")
+	}
+	if len(x) != len(l.w) {
+		return 0, fmt.Errorf("classify: input dim %d, want %d", len(x), len(l.w))
+	}
+	z := l.b
+	for j, v := range x {
+		z += l.w[j] * v
+	}
+	return 1 / (1 + math.Exp(-z)), nil
+}
+
+// Predict implements Classifier.
+func (l *LogReg) Predict(x []float64) (int, error) {
+	p, err := l.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if p > 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,163 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix (positive = adversarial).
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add records one (prediction, truth) pair.
+func (c *Confusion) Add(pred, truth int) {
+	switch {
+	case pred == 1 && truth == 1:
+		c.TP++
+	case pred == 0 && truth == 0:
+		c.TN++
+	case pred == 1 && truth == 0:
+		c.FP++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded pairs.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// FPR returns FP/(FP+TN): benign samples flagged as adversarial.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// FNR returns FN/(FN+TP): adversarial samples that slipped through.
+func (c Confusion) FNR() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}
+
+// TPR returns the true-positive rate (defense rate over AEs).
+func (c Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Evaluate runs a trained classifier over a labelled test set.
+func Evaluate(c Classifier, X [][]float64, y []int) (Confusion, error) {
+	var conf Confusion
+	if len(X) != len(y) {
+		return conf, fmt.Errorf("classify: %d samples but %d labels", len(X), len(y))
+	}
+	for i, x := range X {
+		pred, err := c.Predict(x)
+		if err != nil {
+			return conf, err
+		}
+		conf.Add(pred, y[i])
+	}
+	return conf, nil
+}
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	TPR       float64
+}
+
+// ROC computes the ROC curve of decision scores (higher = more likely
+// adversarial) against truth labels, sweeping every distinct threshold.
+func ROC(scores []float64, y []int) ([]ROCPoint, error) {
+	if len(scores) != len(y) || len(scores) == 0 {
+		return nil, fmt.Errorf("classify: ROC needs equal nonzero scores/labels, got %d/%d", len(scores), len(y))
+	}
+	type pair struct {
+		score float64
+		label int
+	}
+	pairs := make([]pair, len(scores))
+	var pos, neg int
+	for i := range scores {
+		pairs[i] = pair{scores[i], y[i]}
+		if y[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("classify: ROC needs both classes (pos=%d neg=%d)", pos, neg)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].score > pairs[j].score })
+	points := make([]ROCPoint, 0, len(pairs)+2)
+	points = append(points, ROCPoint{Threshold: math.Inf(1), FPR: 0, TPR: 0})
+	var tp, fp int
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].score == pairs[i].score {
+			if pairs[j].label == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, ROCPoint{
+			Threshold: pairs[i].score,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+		i = j
+	}
+	return points, nil
+}
+
+// AUC computes the area under an ROC curve by trapezoidal integration.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ThresholdForFPR picks the largest similarity-score threshold T such that
+// classifying "score < T => adversarial" keeps the false-positive rate on
+// the benign scores at or below maxFPR. This is the paper's §V-G threshold
+// detector calibration.
+func ThresholdForFPR(benignScores []float64, maxFPR float64) (float64, error) {
+	if len(benignScores) == 0 {
+		return 0, fmt.Errorf("classify: no benign scores to calibrate on")
+	}
+	if maxFPR < 0 || maxFPR > 1 {
+		return 0, fmt.Errorf("classify: maxFPR %g out of [0,1]", maxFPR)
+	}
+	sorted := make([]float64, len(benignScores))
+	copy(sorted, benignScores)
+	sort.Float64s(sorted)
+	// Allow at most floor(maxFPR * n) benign samples below the threshold.
+	allowed := int(maxFPR * float64(len(sorted)))
+	if allowed >= len(sorted) {
+		allowed = len(sorted) - 1
+	}
+	return sorted[allowed], nil
+}

@@ -1,0 +1,230 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SVM is a support-vector machine with a polynomial kernel, trained by the
+// simplified SMO algorithm. The paper's configuration — a 3-degree
+// polynomial kernel — is the default.
+type SVM struct {
+	C       float64 // regularization
+	Degree  int     // polynomial kernel degree
+	Gamma   float64 // kernel scale
+	Coef0   float64 // kernel offset
+	Tol     float64 // KKT tolerance
+	MaxIter int     // SMO passes without progress before stopping
+	Seed    int64
+	// MaxSamples bounds the SMO problem size: larger training sets are
+	// stratified-subsampled before the kernel matrix is built (simplified
+	// SMO is O(n^2) in time and memory). 0 means the default of 1000.
+	MaxSamples int
+
+	vectors [][]float64 // support vectors (all training points kept; zero-alpha ones pruned)
+	alphaY  []float64   // alpha_i * y_i with y in {-1,+1}
+	b       float64
+}
+
+var _ Classifier = (*SVM)(nil)
+
+// NewSVM returns an SVM with the paper's settings.
+func NewSVM() *SVM {
+	return &SVM{C: 1, Degree: 3, Gamma: 1, Coef0: 1, Tol: 1e-3, MaxIter: 30, Seed: 1}
+}
+
+// Name implements Classifier.
+func (s *SVM) Name() string { return "SVM" }
+
+func (s *SVM) kernel(a, b []float64) float64 {
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return math.Pow(s.Gamma*dot+s.Coef0, float64(s.Degree))
+}
+
+// Fit implements Classifier using simplified SMO (Platt 1998 as condensed
+// by the Stanford CS229 notes).
+func (s *SVM) Fit(X [][]float64, y []int) error {
+	if _, err := checkTrainingData(X, y); err != nil {
+		return err
+	}
+	maxN := s.MaxSamples
+	if maxN <= 0 {
+		maxN = 1000
+	}
+	if len(X) > maxN {
+		X, y = stratifiedSubsample(X, y, maxN, s.Seed)
+	}
+	n := len(X)
+	ys := make([]float64, n)
+	for i, label := range y {
+		if label == 1 {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	// Precompute the kernel matrix (datasets here are small).
+	K := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := s.kernel(X[i], X[j])
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(s.Seed))
+	f := func(i int) float64 {
+		sum := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				sum += alpha[j] * ys[j] * K[i][j]
+			}
+		}
+		return sum
+	}
+	passes := 0
+	for passes < s.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := f(i) - ys[i]
+			if !((ys[i]*Ei < -s.Tol && alpha[i] < s.C) || (ys[i]*Ei > s.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			Ej := f(j) - ys[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if ys[i] != ys[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(s.C, s.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-s.C)
+				hi = math.Min(s.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*K[i][j] - K[i][i] - K[j][j]
+			if eta >= 0 {
+				continue
+			}
+			alpha[j] = aj - ys[j]*(Ei-Ej)/eta
+			if alpha[j] > hi {
+				alpha[j] = hi
+			} else if alpha[j] < lo {
+				alpha[j] = lo
+			}
+			if math.Abs(alpha[j]-aj) < 1e-7 {
+				continue
+			}
+			alpha[i] = ai + ys[i]*ys[j]*(aj-alpha[j])
+			b1 := b - Ei - ys[i]*(alpha[i]-ai)*K[i][i] - ys[j]*(alpha[j]-aj)*K[i][j]
+			b2 := b - Ej - ys[i]*(alpha[i]-ai)*K[i][j] - ys[j]*(alpha[j]-aj)*K[j][j]
+			switch {
+			case alpha[i] > 0 && alpha[i] < s.C:
+				b = b1
+			case alpha[j] > 0 && alpha[j] < s.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	// Keep only support vectors.
+	s.vectors = s.vectors[:0]
+	s.alphaY = s.alphaY[:0]
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			v := make([]float64, len(X[i]))
+			copy(v, X[i])
+			s.vectors = append(s.vectors, v)
+			s.alphaY = append(s.alphaY, alpha[i]*ys[i])
+		}
+	}
+	s.b = b
+	if len(s.vectors) == 0 {
+		return fmt.Errorf("classify: SMO found no support vectors")
+	}
+	return nil
+}
+
+// stratifiedSubsample draws maxN samples preserving the class ratio.
+func stratifiedSubsample(X [][]float64, y []int, maxN int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed + 7919))
+	var posIdx, negIdx []int
+	for i, label := range y {
+		if label == 1 {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	rng.Shuffle(len(posIdx), func(i, j int) { posIdx[i], posIdx[j] = posIdx[j], posIdx[i] })
+	rng.Shuffle(len(negIdx), func(i, j int) { negIdx[i], negIdx[j] = negIdx[j], negIdx[i] })
+	posTake := maxN * len(posIdx) / len(y)
+	if posTake < 1 {
+		posTake = 1
+	}
+	negTake := maxN - posTake
+	if negTake > len(negIdx) {
+		negTake = len(negIdx)
+	}
+	if posTake > len(posIdx) {
+		posTake = len(posIdx)
+	}
+	outX := make([][]float64, 0, posTake+negTake)
+	outY := make([]int, 0, posTake+negTake)
+	for _, i := range posIdx[:posTake] {
+		outX = append(outX, X[i])
+		outY = append(outY, 1)
+	}
+	for _, i := range negIdx[:negTake] {
+		outX = append(outX, X[i])
+		outY = append(outY, 0)
+	}
+	return outX, outY
+}
+
+// Score implements Classifier: the signed decision value, positive =
+// adversarial.
+func (s *SVM) Score(x []float64) (float64, error) {
+	if len(s.vectors) == 0 {
+		return 0, fmt.Errorf("classify: SVM is not trained")
+	}
+	if len(x) != len(s.vectors[0]) {
+		return 0, fmt.Errorf("classify: input dim %d, want %d", len(x), len(s.vectors[0]))
+	}
+	sum := s.b
+	for i, v := range s.vectors {
+		sum += s.alphaY[i] * s.kernel(v, x)
+	}
+	return sum, nil
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(x []float64) (int, error) {
+	score, err := s.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if score > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

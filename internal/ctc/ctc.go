@@ -1,0 +1,280 @@
+// Package ctc implements Connectionist Temporal Classification: the CTC
+// loss with its forward-backward gradient, greedy decoding, and prefix
+// beam-search decoding. The neural ASR engines use the decoders to turn
+// per-frame phoneme posteriors into label sequences, and the loss is
+// exposed for end-to-end sequence training and for attack objectives.
+package ctc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Blank is the reserved blank label index used by all functions in this
+// package. Callers lay out their class space as [Blank, label1, ...].
+const Blank = 0
+
+// logSumExp returns log(exp(a) + exp(b)) stably.
+func logSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// extend interleaves blanks around the target labels:
+// [l1, l2] -> [B, l1, B, l2, B].
+func extend(labels []int) []int {
+	out := make([]int, 0, 2*len(labels)+1)
+	out = append(out, Blank)
+	for _, l := range labels {
+		out = append(out, l, Blank)
+	}
+	return out
+}
+
+// Loss computes the CTC negative log-likelihood of the label sequence
+// given per-frame log-probabilities (logProbs[t][k] = log p(class k at
+// frame t)), and returns dLoss/dlogProbs as well.
+func Loss(logProbs [][]float64, labels []int) (float64, [][]float64, error) {
+	T := len(logProbs)
+	if T == 0 {
+		return 0, nil, fmt.Errorf("ctc: empty sequence")
+	}
+	K := len(logProbs[0])
+	for _, l := range labels {
+		if l <= Blank || l >= K {
+			return 0, nil, fmt.Errorf("ctc: label %d out of range (1,%d)", l, K)
+		}
+	}
+	ext := extend(labels)
+	S := len(ext)
+	if T < len(labels) {
+		return 0, nil, fmt.Errorf("ctc: %d frames cannot emit %d labels", T, len(labels))
+	}
+	negInf := math.Inf(-1)
+	// Forward variables alpha[t][s] in log space.
+	alpha := make([][]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, S)
+		for s := range alpha[t] {
+			alpha[t][s] = negInf
+		}
+	}
+	alpha[0][0] = logProbs[0][ext[0]]
+	if S > 1 {
+		alpha[0][1] = logProbs[0][ext[1]]
+	}
+	for t := 1; t < T; t++ {
+		for s := 0; s < S; s++ {
+			a := alpha[t-1][s]
+			if s > 0 {
+				a = logSumExp(a, alpha[t-1][s-1])
+			}
+			if s > 1 && ext[s] != Blank && ext[s] != ext[s-2] {
+				a = logSumExp(a, alpha[t-1][s-2])
+			}
+			if math.IsInf(a, -1) {
+				continue
+			}
+			alpha[t][s] = a + logProbs[t][ext[s]]
+		}
+	}
+	logLik := alpha[T-1][S-1]
+	if S > 1 {
+		logLik = logSumExp(logLik, alpha[T-1][S-2])
+	}
+	if math.IsInf(logLik, -1) {
+		return 0, nil, fmt.Errorf("ctc: label sequence has zero probability")
+	}
+	// Backward variables beta.
+	beta := make([][]float64, T)
+	for t := range beta {
+		beta[t] = make([]float64, S)
+		for s := range beta[t] {
+			beta[t][s] = negInf
+		}
+	}
+	beta[T-1][S-1] = logProbs[T-1][ext[S-1]]
+	if S > 1 {
+		beta[T-1][S-2] = logProbs[T-1][ext[S-2]]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for s := S - 1; s >= 0; s-- {
+			b := beta[t+1][s]
+			if s+1 < S {
+				b = logSumExp(b, beta[t+1][s+1])
+			}
+			if s+2 < S && ext[s] != Blank && ext[s] != ext[s+2] {
+				b = logSumExp(b, beta[t+1][s+2])
+			}
+			if math.IsInf(b, -1) {
+				continue
+			}
+			beta[t][s] = b + logProbs[t][ext[s]]
+		}
+	}
+	// Gradient: dLoss/dlogProbs[t][k] = -(sum over s with ext[s]==k of
+	// alpha[t][s]*beta[t][s] / p_t(k)) / P(l|x), all in probability space.
+	grad := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		grad[t] = make([]float64, K)
+		// Accumulate gamma per class in log space.
+		classGamma := make([]float64, K)
+		for k := range classGamma {
+			classGamma[k] = negInf
+		}
+		for s := 0; s < S; s++ {
+			if math.IsInf(alpha[t][s], -1) || math.IsInf(beta[t][s], -1) {
+				continue
+			}
+			k := ext[s]
+			// alpha*beta double-counts logProbs[t][k]; remove one copy.
+			v := alpha[t][s] + beta[t][s] - logProbs[t][k]
+			classGamma[k] = logSumExp(classGamma[k], v)
+		}
+		for k := 0; k < K; k++ {
+			if math.IsInf(classGamma[k], -1) {
+				continue
+			}
+			grad[t][k] = -math.Exp(classGamma[k] - logLik)
+		}
+	}
+	return -logLik, grad, nil
+}
+
+// Collapse removes repeated labels and blanks from a frame-label path,
+// producing the CTC output sequence.
+func Collapse(path []int) []int {
+	out := make([]int, 0, len(path))
+	prev := -1
+	for _, l := range path {
+		if l != prev && l != Blank {
+			out = append(out, l)
+		}
+		prev = l
+	}
+	return out
+}
+
+// GreedyDecode takes per-frame log-probabilities (or logits — only argmax
+// matters) and returns the collapsed best-path labels.
+func GreedyDecode(logProbs [][]float64) []int {
+	path := make([]int, len(logProbs))
+	for t, row := range logProbs {
+		best := 0
+		for k := 1; k < len(row); k++ {
+			if row[k] > row[best] {
+				best = k
+			}
+		}
+		path[t] = best
+	}
+	return Collapse(path)
+}
+
+// BeamDecode performs prefix beam search over per-frame log-probabilities
+// and returns the most probable collapsed label sequence.
+func BeamDecode(logProbs [][]float64, beamWidth int) []int {
+	if beamWidth <= 0 {
+		beamWidth = 8
+	}
+	type prefixProb struct {
+		pBlank, pNonBlank float64 // log probabilities
+	}
+	negInf := math.Inf(-1)
+	total := func(p prefixProb) float64 { return logSumExp(p.pBlank, p.pNonBlank) }
+
+	beams := map[string]prefixProb{"": {pBlank: 0, pNonBlank: negInf}}
+	prefixes := map[string][]int{"": {}}
+	for _, row := range logProbs {
+		next := make(map[string]prefixProb, len(beams)*4)
+		nextPrefixes := make(map[string][]int, len(beams)*4)
+		upsert := func(key string, labels []int, blankAdd, nonBlankAdd float64) {
+			p, ok := next[key]
+			if !ok {
+				p = prefixProb{pBlank: negInf, pNonBlank: negInf}
+				nextPrefixes[key] = labels
+			}
+			p.pBlank = logSumExp(p.pBlank, blankAdd)
+			p.pNonBlank = logSumExp(p.pNonBlank, nonBlankAdd)
+			next[key] = p
+		}
+		for key, p := range beams {
+			labels := prefixes[key]
+			tot := total(p)
+			// Emit blank: prefix unchanged.
+			upsert(key, labels, tot+row[Blank], negInf)
+			var last int = -1
+			if len(labels) > 0 {
+				last = labels[len(labels)-1]
+			}
+			for k := 1; k < len(row); k++ {
+				lp := row[k]
+				newLabels := append(append(make([]int, 0, len(labels)+1), labels...), k)
+				newKey := labelKey(newLabels)
+				if k == last {
+					// Repeat of the final label: extends only from the
+					// blank path; staying on the same prefix extends the
+					// non-blank path.
+					upsert(newKey, newLabels, negInf, p.pBlank+lp)
+					upsert(key, labels, negInf, p.pNonBlank+lp)
+				} else {
+					upsert(newKey, newLabels, negInf, tot+lp)
+				}
+			}
+		}
+		// Prune to beamWidth.
+		type scored struct {
+			key   string
+			score float64
+		}
+		all := make([]scored, 0, len(next))
+		for key, p := range next {
+			all = append(all, scored{key, total(p)})
+		}
+		// Partial selection sort for the top beamWidth (beam is small).
+		limit := beamWidth
+		if limit > len(all) {
+			limit = len(all)
+		}
+		for i := 0; i < limit; i++ {
+			best := i
+			for j := i + 1; j < len(all); j++ {
+				if all[j].score > all[best].score {
+					best = j
+				}
+			}
+			all[i], all[best] = all[best], all[i]
+		}
+		beams = make(map[string]prefixProb, limit)
+		newPrefixes := make(map[string][]int, limit)
+		for _, s := range all[:limit] {
+			beams[s.key] = next[s.key]
+			newPrefixes[s.key] = nextPrefixes[s.key]
+		}
+		prefixes = newPrefixes
+	}
+	bestKey, bestScore := "", negInf
+	for key, p := range beams {
+		if s := total(p); s > bestScore {
+			bestKey, bestScore = key, s
+		}
+	}
+	return prefixes[bestKey]
+}
+
+func labelKey(labels []int) string {
+	// Compact byte key; labels are small ints.
+	b := make([]byte, 0, len(labels)*2)
+	for _, l := range labels {
+		b = append(b, byte(l>>8), byte(l))
+	}
+	return string(b)
+}

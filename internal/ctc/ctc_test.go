@@ -1,0 +1,307 @@
+package ctc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// uniformLogProbs builds a TxK matrix of log probabilities.
+func logProbsFrom(probs [][]float64) [][]float64 {
+	out := make([][]float64, len(probs))
+	for t, row := range probs {
+		out[t] = make([]float64, len(row))
+		for k, p := range row {
+			out[t][k] = math.Log(p)
+		}
+	}
+	return out
+}
+
+func TestCollapse(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{[]int{0, 0, 0}, []int{}},
+		{[]int{1, 1, 2}, []int{1, 2}},
+		{[]int{1, 0, 1}, []int{1, 1}},
+		{[]int{0, 1, 1, 0, 2, 2, 0}, []int{1, 2}},
+		{nil, []int{}},
+	}
+	for _, c := range cases {
+		got := Collapse(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Collapse(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Collapse(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestLossHandComputedSingleLabel(t *testing.T) {
+	// T=2, K=2 (blank + label 1), target [1].
+	// Valid paths: (1,1), (1,B), (B,1). With uniform p=0.5 everywhere,
+	// P = 3 * 0.25 = 0.75.
+	lp := logProbsFrom([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	loss, grad, err := Loss(lp, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Log(0.75)
+	if math.Abs(loss-want) > 1e-9 {
+		t.Fatalf("loss %g, want %g", loss, want)
+	}
+	if len(grad) != 2 || len(grad[0]) != 2 {
+		t.Fatal("bad gradient shape")
+	}
+}
+
+func TestLossPerfectPrediction(t *testing.T) {
+	// Nearly deterministic correct frames: loss should be near zero.
+	eps := 1e-9
+	lp := logProbsFrom([][]float64{
+		{eps, 1 - eps},
+		{1 - eps, eps},
+		{eps, 1 - eps},
+	})
+	// Sequence [1,1]: frame pattern 1,B,1 is the only separating path.
+	loss, _, err := Loss(lp, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("perfect prediction loss %g", loss)
+	}
+}
+
+func TestLossErrors(t *testing.T) {
+	lp := logProbsFrom([][]float64{{0.5, 0.5}})
+	if _, _, err := Loss(nil, []int{1}); err == nil {
+		t.Fatal("expected error for empty sequence")
+	}
+	if _, _, err := Loss(lp, []int{0}); err == nil {
+		t.Fatal("expected error for blank label in target")
+	}
+	if _, _, err := Loss(lp, []int{5}); err == nil {
+		t.Fatal("expected error for out-of-range label")
+	}
+	if _, _, err := Loss(lp, []int{1, 1}); err == nil {
+		t.Fatal("expected error for too-short input")
+	}
+}
+
+// TestLossGradientFiniteDifference validates the CTC gradient against
+// numeric differentiation through a softmax parameterization.
+func TestLossGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	T, K := 6, 4
+	logits := make([][]float64, T)
+	for t2 := range logits {
+		logits[t2] = make([]float64, K)
+		for k := range logits[t2] {
+			logits[t2][k] = rng.NormFloat64()
+		}
+	}
+	labels := []int{2, 1, 3}
+	logSoftmax := func(row []float64) []float64 {
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		lse := max + math.Log(sum)
+		out := make([]float64, len(row))
+		for i, v := range row {
+			out[i] = v - lse
+		}
+		return out
+	}
+	lossOf := func() float64 {
+		lp := make([][]float64, T)
+		for t2 := range logits {
+			lp[t2] = logSoftmax(logits[t2])
+		}
+		l, _, err := Loss(lp, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	lp := make([][]float64, T)
+	for t2 := range logits {
+		lp[t2] = logSoftmax(logits[t2])
+	}
+	_, gradLP, err := Loss(lp, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain through softmax: dL/dlogit[k] = sum_j dL/dlp[j] * (delta_jk - p_k)
+	// where dL/dlp[j] = gradLP[j] (gradient w.r.t. log-probs).
+	const eps = 1e-6
+	for _, tk := range [][2]int{{0, 0}, {2, 1}, {3, 3}, {5, 2}} {
+		t2, k := tk[0], tk[1]
+		p := make([]float64, K)
+		row := logSoftmax(logits[t2])
+		for i, v := range row {
+			p[i] = math.Exp(v)
+		}
+		var analytic float64
+		var gradSum float64
+		for j := 0; j < K; j++ {
+			gradSum += gradLP[t2][j]
+		}
+		analytic = gradLP[t2][k] - p[k]*gradSum
+		logits[t2][k] += eps
+		lpl := lossOf()
+		logits[t2][k] -= 2 * eps
+		lml := lossOf()
+		logits[t2][k] += eps
+		num := (lpl - lml) / (2 * eps)
+		if math.Abs(num-analytic) > 1e-5*(math.Abs(num)+math.Abs(analytic)+1) {
+			t.Fatalf("frame %d class %d: analytic %g numeric %g", t2, k, analytic, num)
+		}
+	}
+}
+
+func TestGreedyDecode(t *testing.T) {
+	lp := logProbsFrom([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.8, 0.1, 0.1},
+		{0.1, 0.1, 0.8},
+	})
+	got := GreedyDecode(lp)
+	want := []int{1, 2}
+	if len(got) != len(want) || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("GreedyDecode = %v, want %v", got, want)
+	}
+}
+
+func TestBeamDecodeMatchesGreedyOnEasyInput(t *testing.T) {
+	lp := logProbsFrom([][]float64{
+		{0.05, 0.9, 0.05},
+		{0.9, 0.05, 0.05},
+		{0.05, 0.05, 0.9},
+		{0.9, 0.05, 0.05},
+	})
+	g := GreedyDecode(lp)
+	b := BeamDecode(lp, 8)
+	if len(g) != len(b) {
+		t.Fatalf("greedy %v beam %v", g, b)
+	}
+	for i := range g {
+		if g[i] != b[i] {
+			t.Fatalf("greedy %v beam %v", g, b)
+		}
+	}
+}
+
+func TestBeamDecodeBeatsGreedyOnAmbiguity(t *testing.T) {
+	// Classic CTC case: greedy picks the per-frame argmax path whose
+	// collapsed output has lower total probability than an alternative
+	// that sums over many paths.
+	// Frame probs: blank slightly wins each frame, but label-1 mass
+	// accumulated across both frames makes "1" more probable than "".
+	lp := logProbsFrom([][]float64{
+		{0.52, 0.48},
+		{0.52, 0.48},
+	})
+	b := BeamDecode(lp, 8)
+	// P("") = 0.52*0.52 = 0.2704
+	// P("1") = 0.48*0.48 + 0.48*0.52 + 0.52*0.48 = 0.7296
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("beam decode %v, want [1]", b)
+	}
+	g := GreedyDecode(lp)
+	if len(g) != 0 {
+		t.Fatalf("greedy decode %v, want []", g)
+	}
+}
+
+func TestBeamDecodeDefaultWidth(t *testing.T) {
+	lp := logProbsFrom([][]float64{{0.1, 0.9}})
+	got := BeamDecode(lp, 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLossDecreasesWithBetterPredictions(t *testing.T) {
+	labels := []int{1, 2}
+	vague := logProbsFrom([][]float64{
+		{0.34, 0.33, 0.33},
+		{0.34, 0.33, 0.33},
+		{0.34, 0.33, 0.33},
+	})
+	sharp := logProbsFrom([][]float64{
+		{0.02, 0.96, 0.02},
+		{0.96, 0.02, 0.02},
+		{0.02, 0.02, 0.96},
+	})
+	lv, _, err := Loss(vague, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, _, err := Loss(sharp, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls >= lv {
+		t.Fatalf("sharp loss %g not below vague loss %g", ls, lv)
+	}
+}
+
+func BenchmarkLoss(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	T, K := 100, 42
+	lp := make([][]float64, T)
+	for t2 := range lp {
+		row := make([]float64, K)
+		var sum float64
+		for k := range row {
+			row[k] = rng.Float64() + 0.01
+			sum += row[k]
+		}
+		for k := range row {
+			row[k] = math.Log(row[k] / sum)
+		}
+		lp[t2] = row
+	}
+	labels := []int{3, 7, 12, 20, 33, 5, 9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Loss(lp, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBeamDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	T, K := 60, 42
+	lp := make([][]float64, T)
+	for t2 := range lp {
+		row := make([]float64, K)
+		var sum float64
+		for k := range row {
+			row[k] = rng.Float64() + 0.01
+			sum += row[k]
+		}
+		for k := range row {
+			row[k] = math.Log(row[k] / sum)
+		}
+		lp[t2] = row
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BeamDecode(lp, 8)
+	}
+}

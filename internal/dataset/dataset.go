@@ -1,0 +1,205 @@
+// Package dataset builds the evaluation corpora of the paper: the Benign
+// dataset (stand-in for LibriSpeech dev-clean), the AE dataset (white-box
+// and black-box adversarial examples, all verified to fool the target
+// engine DS0), non-targeted noise AEs, and — for the transferable-AE
+// experiments — the similarity-score pools (λBe, λAk) and the synthesized
+// hypothetical multiple-ASR-effective (MAE) feature vectors of Table IX.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/attack"
+	"mvpears/internal/audio"
+	"mvpears/internal/speech"
+)
+
+// Kind labels how a sample was produced.
+type Kind int
+
+// Sample kinds.
+const (
+	KindBenign Kind = iota + 1
+	KindWhiteBox
+	KindBlackBox
+	KindNonTargeted
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBenign:
+		return "benign"
+	case KindWhiteBox:
+		return "white-box AE"
+	case KindBlackBox:
+		return "black-box AE"
+	case KindNonTargeted:
+		return "non-targeted AE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Sample is one audio clip with its provenance.
+type Sample struct {
+	Clip   *audio.Clip
+	Kind   Kind
+	Text   string // reference transcript (benign) or host transcript (AE)
+	Target string // embedded command (targeted AEs only)
+}
+
+// IsAE reports whether the sample is adversarial.
+func (s Sample) IsAE() bool { return s.Kind != KindBenign }
+
+// Dataset is the labelled sample collection used by the experiments.
+type Dataset struct {
+	Benign   []Sample
+	WhiteBox []Sample
+	BlackBox []Sample
+}
+
+// AEs returns all targeted adversarial samples.
+func (d *Dataset) AEs() []Sample {
+	out := make([]Sample, 0, len(d.WhiteBox)+len(d.BlackBox))
+	out = append(out, d.WhiteBox...)
+	out = append(out, d.BlackBox...)
+	return out
+}
+
+// All returns every sample.
+func (d *Dataset) All() []Sample {
+	out := make([]Sample, 0, len(d.Benign)+len(d.WhiteBox)+len(d.BlackBox))
+	out = append(out, d.Benign...)
+	out = append(out, d.AEs()...)
+	return out
+}
+
+// Scale controls dataset sizes. The paper uses {2400, 1800, 600}; the
+// white-box and black-box AE counts here are smaller by default because
+// every AE is actually crafted by running the attack until it fools DS0.
+type Scale struct {
+	Benign   int
+	WhiteBox int
+	BlackBox int
+	Seed     int64
+}
+
+// TinyScale is for unit tests.
+func TinyScale() Scale { return Scale{Benign: 12, WhiteBox: 4, BlackBox: 3, Seed: 7} }
+
+// SmallScale is for quick experiment runs.
+func SmallScale() Scale { return Scale{Benign: 80, WhiteBox: 24, BlackBox: 16, Seed: 7} }
+
+// MediumScale is the default for cmd/experiments.
+func MediumScale() Scale { return Scale{Benign: 160, WhiteBox: 60, BlackBox: 30, Seed: 7} }
+
+// FullScale mirrors the paper's 3:2.25:0.75 ratio at a size that is still
+// tractable for CPU-only attack generation.
+func FullScale() Scale { return Scale{Benign: 320, WhiteBox: 150, BlackBox: 60, Seed: 7} }
+
+// Build synthesizes the benign corpus and crafts the AE datasets against
+// the set's target engine (DS0). Every returned AE has been verified to
+// fool DS0, matching the paper's dataset protocol.
+func Build(set *asr.EngineSet, scale Scale) (*Dataset, error) {
+	if set == nil {
+		return nil, fmt.Errorf("dataset: nil engine set")
+	}
+	if scale.Benign <= 0 || scale.WhiteBox < 0 || scale.BlackBox < 0 {
+		return nil, fmt.Errorf("dataset: invalid scale %+v", scale)
+	}
+	synth := speech.NewSynthesizer(set.SampleRate)
+	// Benign pool: a corpus seed disjoint from the training seed, plus a
+	// generous surplus to host the attacks.
+	hostBudget := scale.Benign + 3*(scale.WhiteBox+scale.BlackBox) + 16
+	utts, err := speech.GenerateUtterances(synth, hostBudget, scale.Seed+1000)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: generating corpus: %w", err)
+	}
+	ds := &Dataset{}
+	for _, u := range utts[:scale.Benign] {
+		ds.Benign = append(ds.Benign, Sample{Clip: u.Clip, Kind: KindBenign, Text: u.Text})
+	}
+	hosts := utts[scale.Benign:]
+	hostIdx := 0
+	nextHost := func(minSamples int) (speech.Utterance, error) {
+		for ; hostIdx < len(hosts); hostIdx++ {
+			if len(hosts[hostIdx].Clip.Samples) >= minSamples {
+				u := hosts[hostIdx]
+				hostIdx++
+				return u, nil
+			}
+		}
+		return speech.Utterance{}, fmt.Errorf("dataset: ran out of host audio (need more corpus)")
+	}
+
+	wbCfg := attack.DefaultWhiteBoxConfig()
+	rng := rand.New(rand.NewSource(scale.Seed + 2000))
+	for len(ds.WhiteBox) < scale.WhiteBox {
+		cmd := speech.MaliciousCommands[rng.Intn(len(speech.MaliciousCommands))]
+		// Hosts must be long enough to carry the command comfortably.
+		host, err := nextHost(set.SampleRate) // at least 1 s
+		if err != nil {
+			return nil, err
+		}
+		res, err := attack.WhiteBox(set.DS0, host.Clip, cmd, wbCfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: white-box attack: %w", err)
+		}
+		if !res.Success {
+			continue // try the next host; the dataset keeps only verified AEs
+		}
+		ds.WhiteBox = append(ds.WhiteBox, Sample{Clip: res.AE, Kind: KindWhiteBox, Text: host.Text, Target: res.TargetText})
+	}
+
+	bbCfg := attack.DefaultBlackBoxConfig()
+	for len(ds.BlackBox) < scale.BlackBox {
+		cmd := speech.ShortCommands[rng.Intn(len(speech.ShortCommands))]
+		host, err := nextHost(set.SampleRate)
+		if err != nil {
+			return nil, err
+		}
+		bbCfg.Seed = rng.Int63()
+		res, err := attack.BlackBox(set.DS0, host.Clip, cmd, bbCfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: black-box attack: %w", err)
+		}
+		if !res.Success {
+			continue
+		}
+		ds.BlackBox = append(ds.BlackBox, Sample{Clip: res.AE, Kind: KindBlackBox, Text: host.Text, Target: res.TargetText})
+	}
+	return ds, nil
+}
+
+// BuildNonTargeted produces n noise-based non-targeted AEs from fresh
+// benign audio (the paper's §V-J protocol: -6 dB SNR, WER > 80%).
+func BuildNonTargeted(set *asr.EngineSet, n int, seed int64) ([]Sample, error) {
+	if set == nil || n <= 0 {
+		return nil, fmt.Errorf("dataset: invalid non-targeted request")
+	}
+	synth := speech.NewSynthesizer(set.SampleRate)
+	utts, err := speech.GenerateUtterances(synth, n*3, seed+3000)
+	if err != nil {
+		return nil, err
+	}
+	cfg := attack.DefaultNonTargetedConfig()
+	out := make([]Sample, 0, n)
+	for i := 0; i < len(utts) && len(out) < n; i++ {
+		cfg.Seed = seed + int64(i)
+		res, err := attack.NonTargeted(set.DS0, utts[i].Clip, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Success {
+			continue
+		}
+		out = append(out, Sample{Clip: res.AE, Kind: KindNonTargeted, Text: utts[i].Text})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("dataset: only %d/%d non-targeted AEs reached the WER threshold", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package dataset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/speech"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureSet  *asr.EngineSet
+	fixtureDS   *Dataset
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) (*asr.EngineSet, *Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureSet, fixtureErr = asr.BuildEngines(asr.QuickTrainConfig())
+		if fixtureErr != nil {
+			return
+		}
+		fixtureDS, fixtureErr = Build(fixtureSet, TinyScale())
+	})
+	if fixtureErr != nil {
+		t.Fatalf("building fixture: %v", fixtureErr)
+	}
+	return fixtureSet, fixtureDS
+}
+
+func TestBuildCountsAndKinds(t *testing.T) {
+	_, ds := fixture(t)
+	scale := TinyScale()
+	if len(ds.Benign) != scale.Benign {
+		t.Fatalf("benign %d, want %d", len(ds.Benign), scale.Benign)
+	}
+	if len(ds.WhiteBox) != scale.WhiteBox {
+		t.Fatalf("white-box %d, want %d", len(ds.WhiteBox), scale.WhiteBox)
+	}
+	if len(ds.BlackBox) != scale.BlackBox {
+		t.Fatalf("black-box %d, want %d", len(ds.BlackBox), scale.BlackBox)
+	}
+	for _, s := range ds.Benign {
+		if s.Kind != KindBenign || s.IsAE() || s.Text == "" {
+			t.Fatalf("bad benign sample %+v", s)
+		}
+	}
+	for _, s := range ds.WhiteBox {
+		if s.Kind != KindWhiteBox || !s.IsAE() || s.Target == "" {
+			t.Fatalf("bad white-box sample %+v", s)
+		}
+	}
+	if got := len(ds.AEs()); got != scale.WhiteBox+scale.BlackBox {
+		t.Fatalf("AEs() returned %d", got)
+	}
+	if got := len(ds.All()); got != scale.Benign+scale.WhiteBox+scale.BlackBox {
+		t.Fatalf("All() returned %d", got)
+	}
+}
+
+func TestAllAEsFoolTargetEngine(t *testing.T) {
+	set, ds := fixture(t)
+	// The paper: "We have verified that all AEs can successfully fool the
+	// target model DS0."
+	for _, s := range ds.AEs() {
+		hyp, err := set.DS0.Transcribe(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if speech.NormalizeText(hyp) != s.Target {
+			t.Fatalf("%s AE transcribes as %q, embedded %q", s.Kind, hyp, s.Target)
+		}
+	}
+}
+
+func TestBlackBoxPayloadsAreTwoWords(t *testing.T) {
+	_, ds := fixture(t)
+	for _, s := range ds.BlackBox {
+		if n := len(speech.NormalizeText(s.Target)); n == 0 {
+			t.Fatal("empty payload")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	set, _ := fixture(t)
+	if _, err := Build(nil, TinyScale()); err == nil {
+		t.Fatal("expected error for nil set")
+	}
+	if _, err := Build(set, Scale{Benign: 0}); err == nil {
+		t.Fatal("expected error for zero benign")
+	}
+}
+
+func TestBuildNonTargeted(t *testing.T) {
+	set, _ := fixture(t)
+	samples, err := BuildNonTargeted(set, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Kind != KindNonTargeted || !s.IsAE() {
+			t.Fatalf("bad sample kind %v", s.Kind)
+		}
+	}
+	if _, err := BuildNonTargeted(nil, 3, 99); err == nil {
+		t.Fatal("expected error for nil set")
+	}
+	if _, err := BuildNonTargeted(set, 0, 99); err == nil {
+		t.Fatal("expected error for zero count")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindBenign:      "benign",
+		KindWhiteBox:    "white-box AE",
+		KindBlackBox:    "black-box AE",
+		KindNonTargeted: "non-targeted AE",
+		Kind(99):        "Kind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestPoolsValidation(t *testing.T) {
+	if _, err := NewPools(nil, nil); err == nil {
+		t.Fatal("expected error for empty pools")
+	}
+	if _, err := NewPools([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Fatal("expected error for mismatched columns")
+	}
+	if _, err := NewPools([][]float64{{}}, [][]float64{{1}}); err == nil {
+		t.Fatal("expected error for empty column")
+	}
+	p, err := NewPools([][]float64{{0.9}, {0.95}}, [][]float64{{0.3}, {0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAux != 2 {
+		t.Fatalf("NumAux %d", p.NumAux)
+	}
+}
+
+func TestStandardMAETypes(t *testing.T) {
+	types := StandardMAETypes()
+	if len(types) != 6 {
+		t.Fatalf("got %d types, want 6", len(types))
+	}
+	// Types 1-3 fool exactly one auxiliary; 4-6 fool exactly two.
+	for i, mt := range types {
+		var count int
+		for _, f := range mt.FoolsAux {
+			if f {
+				count++
+			}
+		}
+		want := 1
+		if i >= 3 {
+			want = 2
+		}
+		if count != want {
+			t.Errorf("%s fools %d auxiliaries, want %d", mt.Name, count, want)
+		}
+	}
+}
+
+func TestFoolsSubsetOf(t *testing.T) {
+	types := StandardMAETypes()
+	t1 := types[0] // {DS1}
+	t4 := types[3] // {DS1, GCS}
+	t5 := types[4] // {DS1, AT}
+	if !t1.FoolsSubsetOf(t4) {
+		t.Fatal("Type-1 must be a subset of Type-4")
+	}
+	if t4.FoolsSubsetOf(t1) {
+		t.Fatal("Type-4 must not be a subset of Type-1")
+	}
+	if t4.FoolsSubsetOf(t5) {
+		t.Fatal("Type-4 and Type-5 are incomparable")
+	}
+	if !t1.FoolsSubsetOf(t1) {
+		t.Fatal("subset must be reflexive")
+	}
+	other := MAEType{Name: "short", FoolsAux: []bool{true}}
+	if t1.FoolsSubsetOf(other) {
+		t.Fatal("different lengths are incomparable")
+	}
+}
+
+func TestSynthesizeMAEDrawsFromCorrectPools(t *testing.T) {
+	// Disjoint pool values make the draw source verifiable.
+	benign := [][]float64{{0.91, 0.92}, {0.93, 0.94}, {0.95, 0.96}}
+	ae := [][]float64{{0.11, 0.12}, {0.13, 0.14}, {0.15, 0.16}}
+	pools, err := NewPools(benign, ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	t4 := StandardMAETypes()[3] // fools DS1, GCS; not AT
+	vecs, err := pools.SynthesizeMAE(t4, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 50 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	for _, v := range vecs {
+		if len(v) != 3 {
+			t.Fatalf("vector width %d", len(v))
+		}
+		if v[0] < 0.9 || v[1] < 0.9 {
+			t.Fatalf("fooled auxiliaries must draw benign-pool scores: %v", v)
+		}
+		if v[2] > 0.2 {
+			t.Fatalf("unfooled auxiliary must draw AE-pool scores: %v", v)
+		}
+	}
+	// Errors.
+	if _, err := pools.SynthesizeMAE(MAEType{FoolsAux: []bool{true}}, 5, rng); err == nil {
+		t.Fatal("expected error for auxiliary-count mismatch")
+	}
+	if _, err := pools.SynthesizeMAE(t4, 0, rng); err == nil {
+		t.Fatal("expected error for zero count")
+	}
+}
+
+func TestSampleBenignVectors(t *testing.T) {
+	pools, err := NewPools([][]float64{{0.9}, {0.95}}, [][]float64{{0.3}, {0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	vecs, err := pools.SampleBenignVectors(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs {
+		if v[0] != 0.9 || v[1] != 0.95 {
+			t.Fatalf("unexpected benign vector %v", v)
+		}
+	}
+	if _, err := pools.SampleBenignVectors(0, rng); err == nil {
+		t.Fatal("expected error for zero count")
+	}
+}

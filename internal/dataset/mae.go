@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pools holds the per-auxiliary similarity-score pools the paper calls
+// λBe (benign) and λAk (attack): Benign[j] and AE[j] are the observed
+// scores of auxiliary j over the benign and AE datasets respectively.
+type Pools struct {
+	NumAux int
+	Benign [][]float64
+	AE     [][]float64
+}
+
+// NewPools validates and wraps per-auxiliary score pools.
+func NewPools(benign, ae [][]float64) (*Pools, error) {
+	if len(benign) == 0 || len(benign) != len(ae) {
+		return nil, fmt.Errorf("dataset: pools need matching non-empty benign/AE columns, got %d/%d", len(benign), len(ae))
+	}
+	for j := range benign {
+		if len(benign[j]) == 0 || len(ae[j]) == 0 {
+			return nil, fmt.Errorf("dataset: auxiliary %d has an empty pool", j)
+		}
+	}
+	return &Pools{NumAux: len(benign), Benign: benign, AE: ae}, nil
+}
+
+// MAEType describes a hypothetical multiple-ASR-effective AE: FoolsAux[j]
+// is true when the hypothetical AE also fools auxiliary j (the target is
+// always fooled). Table IX's six types for three auxiliaries.
+type MAEType struct {
+	Name     string
+	FoolsAux []bool
+}
+
+// StandardMAETypes returns the paper's six types for the auxiliary order
+// {DS1, GCS, AT}.
+func StandardMAETypes() []MAEType {
+	return []MAEType{
+		{Name: "Type-1 AE(DS0,DS1)", FoolsAux: []bool{true, false, false}},
+		{Name: "Type-2 AE(DS0,GCS)", FoolsAux: []bool{false, true, false}},
+		{Name: "Type-3 AE(DS0,AT)", FoolsAux: []bool{false, false, true}},
+		{Name: "Type-4 AE(DS0,DS1,GCS)", FoolsAux: []bool{true, true, false}},
+		{Name: "Type-5 AE(DS0,DS1,AT)", FoolsAux: []bool{true, false, true}},
+		{Name: "Type-6 AE(DS0,GCS,AT)", FoolsAux: []bool{false, true, true}},
+	}
+}
+
+// FoolsSubsetOf reports whether every auxiliary fooled by t is also fooled
+// by other (Λ ⊆ Λ′ in the paper's Table XI analysis).
+func (t MAEType) FoolsSubsetOf(other MAEType) bool {
+	if len(t.FoolsAux) != len(other.FoolsAux) {
+		return false
+	}
+	for j := range t.FoolsAux {
+		if t.FoolsAux[j] && !other.FoolsAux[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// SynthesizeMAE creates n hypothetical MAE feature vectors of the given
+// type: for each auxiliary the score is drawn from the benign pool when
+// the hypothetical AE fools that auxiliary (it would transcribe the
+// attacker's command, agreeing with the fooled target) and from the AE
+// pool otherwise. This is the paper's §V-H construction.
+func (p *Pools) SynthesizeMAE(t MAEType, n int, rng *rand.Rand) ([][]float64, error) {
+	if len(t.FoolsAux) != p.NumAux {
+		return nil, fmt.Errorf("dataset: type %q has %d auxiliaries, pools have %d", t.Name, len(t.FoolsAux), p.NumAux)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: sample count %d must be positive", n)
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, p.NumAux)
+		for j := 0; j < p.NumAux; j++ {
+			if t.FoolsAux[j] {
+				v[j] = p.Benign[j][rng.Intn(len(p.Benign[j]))]
+			} else {
+				v[j] = p.AE[j][rng.Intn(len(p.AE[j]))]
+			}
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SampleBenignVectors draws n benign feature vectors from the benign
+// pools (used to balance MAE training sets when the raw benign dataset is
+// smaller than the synthetic AE set).
+func (p *Pools) SampleBenignVectors(n int, rng *rand.Rand) ([][]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: sample count %d must be positive", n)
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, p.NumAux)
+		for j := 0; j < p.NumAux; j++ {
+			v[j] = p.Benign[j][rng.Intn(len(p.Benign[j]))]
+		}
+		out[i] = v
+	}
+	return out, nil
+}

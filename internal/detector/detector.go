@@ -1,0 +1,284 @@
+// Package detector implements MVP-EARS, the paper's contribution: a
+// multiversion-programming-inspired audio adversarial-example detector.
+// An input audio is transcribed in parallel by a target ASR and N
+// auxiliary ASRs; each transcription pair (target, auxiliary) is converted
+// to a phonetic encoding and scored with Jaro-Winkler similarity; the
+// N-dimensional similarity vector is classified as benign or adversarial
+// by a binary classifier (SVM by default).
+package detector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/classify"
+	"mvpears/internal/dataset"
+	"mvpears/internal/phonetic"
+	"mvpears/internal/similarity"
+)
+
+// DefaultEncoder is the phonetic encoding used by the PE_* similarity
+// methods: word-wise Metaphone.
+func DefaultEncoder(sentence string) string {
+	return phonetic.Encode(phonetic.Metaphone, sentence)
+}
+
+// DefaultMethod returns the paper's chosen similarity method,
+// PE_JaroWinkler (Table III winner).
+func DefaultMethod() (similarity.Method, error) {
+	reg, err := similarity.NewRegistry(DefaultEncoder)
+	if err != nil {
+		return similarity.Method{}, err
+	}
+	return reg.Get(similarity.MethodPEJaroWinkler)
+}
+
+// Detector is an MVP-EARS instance: one target engine, N auxiliary
+// engines, a similarity method and a trained binary classifier.
+type Detector struct {
+	Target      asr.Recognizer
+	Auxiliaries []asr.Recognizer
+	Method      similarity.Method
+	Classifier  classify.Classifier
+	// Sequential disables parallel transcription (the paper's
+	// architecture runs engines concurrently; sequential mode exists for
+	// deterministic timing studies).
+	Sequential bool
+}
+
+// New builds a detector with the paper's defaults (PE_JaroWinkler + SVM).
+// The classifier is untrained; call Train or TrainOnSamples.
+func New(target asr.Recognizer, auxiliaries []asr.Recognizer) (*Detector, error) {
+	if target == nil {
+		return nil, fmt.Errorf("detector: nil target engine")
+	}
+	if len(auxiliaries) == 0 {
+		return nil, fmt.Errorf("detector: at least one auxiliary engine is required")
+	}
+	for i, aux := range auxiliaries {
+		if aux == nil {
+			return nil, fmt.Errorf("detector: auxiliary %d is nil", i)
+		}
+	}
+	method, err := DefaultMethod()
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{
+		Target:      target,
+		Auxiliaries: auxiliaries,
+		Method:      method,
+		Classifier:  classify.NewSVM(),
+	}, nil
+}
+
+// Transcriptions holds the per-engine outputs for one input.
+type Transcriptions struct {
+	Target string
+	Aux    []string
+}
+
+// transcribeAll runs the target and every auxiliary, concurrently unless
+// Sequential is set.
+func (d *Detector) transcribeAll(clip *audio.Clip) (Transcriptions, error) {
+	out := Transcriptions{Aux: make([]string, len(d.Auxiliaries))}
+	if d.Sequential {
+		text, err := d.Target.Transcribe(clip)
+		if err != nil {
+			return out, fmt.Errorf("detector: target %s: %w", d.Target.Name(), err)
+		}
+		out.Target = text
+		for i, aux := range d.Auxiliaries {
+			t, err := aux.Transcribe(clip)
+			if err != nil {
+				return out, fmt.Errorf("detector: auxiliary %s: %w", aux.Name(), err)
+			}
+			out.Aux[i] = t
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(d.Auxiliaries)+1)
+	wg.Add(len(d.Auxiliaries) + 1)
+	go func() {
+		defer wg.Done()
+		text, err := d.Target.Transcribe(clip)
+		if err != nil {
+			errs[0] = fmt.Errorf("detector: target %s: %w", d.Target.Name(), err)
+			return
+		}
+		out.Target = text
+	}()
+	for i := range d.Auxiliaries {
+		go func(i int) {
+			defer wg.Done()
+			text, err := d.Auxiliaries[i].Transcribe(clip)
+			if err != nil {
+				errs[i+1] = fmt.Errorf("detector: auxiliary %s: %w", d.Auxiliaries[i].Name(), err)
+				return
+			}
+			out.Aux[i] = text
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Scores converts transcriptions into the similarity feature vector.
+func (d *Detector) Scores(tr Transcriptions) []float64 {
+	scores := make([]float64, len(tr.Aux))
+	for i, aux := range tr.Aux {
+		scores[i] = d.Method.Compare(tr.Target, aux)
+	}
+	return scores
+}
+
+// FeatureVector transcribes the clip on all engines and returns the
+// similarity scores.
+func (d *Detector) FeatureVector(clip *audio.Clip) ([]float64, error) {
+	tr, err := d.transcribeAll(clip)
+	if err != nil {
+		return nil, err
+	}
+	return d.Scores(tr), nil
+}
+
+// Decision is the detector's verdict for one input.
+type Decision struct {
+	Adversarial    bool
+	Scores         []float64
+	Transcriptions Transcriptions
+}
+
+// Timing decomposes one detection into the paper's §V-I overhead parts.
+type Timing struct {
+	Recognition time.Duration // wall time of the parallel transcriptions
+	Similarity  time.Duration // similarity-vector computation
+	Classify    time.Duration // classifier inference
+}
+
+// Detect classifies the clip. The classifier must be trained.
+func (d *Detector) Detect(clip *audio.Clip) (Decision, error) {
+	dec, _, err := d.DetectTimed(clip)
+	return dec, err
+}
+
+// DetectTimed is Detect plus the per-stage timing decomposition.
+func (d *Detector) DetectTimed(clip *audio.Clip) (Decision, Timing, error) {
+	var timing Timing
+	if d.Classifier == nil {
+		return Decision{}, timing, fmt.Errorf("detector: no classifier configured")
+	}
+	start := time.Now()
+	tr, err := d.transcribeAll(clip)
+	if err != nil {
+		return Decision{}, timing, err
+	}
+	timing.Recognition = time.Since(start)
+	start = time.Now()
+	scores := d.Scores(tr)
+	timing.Similarity = time.Since(start)
+	start = time.Now()
+	pred, err := d.Classifier.Predict(scores)
+	if err != nil {
+		return Decision{}, timing, fmt.Errorf("detector: classifying: %w", err)
+	}
+	timing.Classify = time.Since(start)
+	return Decision{Adversarial: pred == 1, Scores: scores, Transcriptions: tr}, timing, nil
+}
+
+// Train fits the classifier on precomputed feature vectors: benignX get
+// label 0, aeX label 1.
+func (d *Detector) Train(benignX, aeX [][]float64) error {
+	if d.Classifier == nil {
+		return fmt.Errorf("detector: no classifier configured")
+	}
+	X := make([][]float64, 0, len(benignX)+len(aeX))
+	y := make([]int, 0, len(benignX)+len(aeX))
+	for _, x := range benignX {
+		X = append(X, x)
+		y = append(y, 0)
+	}
+	for _, x := range aeX {
+		X = append(X, x)
+		y = append(y, 1)
+	}
+	if err := d.Classifier.Fit(X, y); err != nil {
+		return fmt.Errorf("detector: training classifier: %w", err)
+	}
+	return nil
+}
+
+// Features extracts the similarity feature vector of every sample,
+// returning the matrix and the {0,1} labels.
+func (d *Detector) Features(samples []dataset.Sample) ([][]float64, []int, error) {
+	X := make([][]float64, 0, len(samples))
+	y := make([]int, 0, len(samples))
+	for i, s := range samples {
+		v, err := d.FeatureVector(s.Clip)
+		if err != nil {
+			return nil, nil, fmt.Errorf("detector: sample %d (%s): %w", i, s.Kind, err)
+		}
+		X = append(X, v)
+		label := 0
+		if s.IsAE() {
+			label = 1
+		}
+		y = append(y, label)
+	}
+	return X, y, nil
+}
+
+// TrainOnSamples extracts features from the samples and fits the
+// classifier.
+func (d *Detector) TrainOnSamples(samples []dataset.Sample) error {
+	X, y, err := d.Features(samples)
+	if err != nil {
+		return err
+	}
+	var benignX, aeX [][]float64
+	for i := range X {
+		if y[i] == 1 {
+			aeX = append(aeX, X[i])
+		} else {
+			benignX = append(benignX, X[i])
+		}
+	}
+	return d.Train(benignX, aeX)
+}
+
+// ScorePools extracts the per-auxiliary similarity-score pools (λBe, λAk)
+// from feature matrices, for the MAE experiments.
+func ScorePools(benignX, aeX [][]float64) (*dataset.Pools, error) {
+	if len(benignX) == 0 || len(aeX) == 0 {
+		return nil, fmt.Errorf("detector: empty feature matrices")
+	}
+	numAux := len(benignX[0])
+	benign := make([][]float64, numAux)
+	ae := make([][]float64, numAux)
+	for _, v := range benignX {
+		if len(v) != numAux {
+			return nil, fmt.Errorf("detector: inconsistent benign feature width")
+		}
+		for j, s := range v {
+			benign[j] = append(benign[j], s)
+		}
+	}
+	for _, v := range aeX {
+		if len(v) != numAux {
+			return nil, fmt.Errorf("detector: inconsistent AE feature width")
+		}
+		for j, s := range v {
+			ae[j] = append(ae[j], s)
+		}
+	}
+	return dataset.NewPools(benign, ae)
+}

@@ -1,0 +1,379 @@
+package detector
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/classify"
+	"mvpears/internal/dataset"
+	"mvpears/internal/similarity"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureSet  *asr.EngineSet
+	fixtureDS   *dataset.Dataset
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) (*asr.EngineSet, *dataset.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureSet, fixtureErr = asr.BuildEngines(asr.QuickTrainConfig())
+		if fixtureErr != nil {
+			return
+		}
+		fixtureDS, fixtureErr = dataset.Build(fixtureSet, dataset.TinyScale())
+	})
+	if fixtureErr != nil {
+		t.Fatalf("building fixture: %v", fixtureErr)
+	}
+	return fixtureSet, fixtureDS
+}
+
+func newDetector(t *testing.T, set *asr.EngineSet) *Detector {
+	t.Helper()
+	d, err := New(set.DS0, set.Auxiliaries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	set, _ := fixture(t)
+	if _, err := New(nil, set.Auxiliaries()); err == nil {
+		t.Fatal("expected error for nil target")
+	}
+	if _, err := New(set.DS0, nil); err == nil {
+		t.Fatal("expected error for no auxiliaries")
+	}
+	if _, err := New(set.DS0, []asr.Recognizer{nil}); err == nil {
+		t.Fatal("expected error for nil auxiliary")
+	}
+	d := newDetector(t, set)
+	if d.Method.Name != similarity.MethodPEJaroWinkler {
+		t.Fatalf("default method %q", d.Method.Name)
+	}
+	if d.Classifier == nil || d.Classifier.Name() != "SVM" {
+		t.Fatal("default classifier must be SVM")
+	}
+}
+
+func TestFeatureVectorSeparatesBenignFromAE(t *testing.T) {
+	set, ds := fixture(t)
+	d := newDetector(t, set)
+	// Benign samples: high scores everywhere.
+	var benignMin float64 = 2
+	for _, s := range ds.Benign[:6] {
+		v, err := d.FeatureVector(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v) != 3 {
+			t.Fatalf("feature width %d", len(v))
+		}
+		for _, score := range v {
+			if score < benignMin {
+				benignMin = score
+			}
+		}
+	}
+	// AE samples: at least one clearly low auxiliary score.
+	var aeMaxOfMin float64 = -1
+	for _, s := range ds.AEs()[:4] {
+		v, err := d.FeatureVector(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := v[0]
+		for _, score := range v {
+			if score < min {
+				min = score
+			}
+		}
+		if min > aeMaxOfMin {
+			aeMaxOfMin = min
+		}
+	}
+	if aeMaxOfMin >= benignMin {
+		t.Fatalf("AE min-scores (max %.3f) not below benign scores (min %.3f)", aeMaxOfMin, benignMin)
+	}
+}
+
+func TestSequentialAndParallelAgree(t *testing.T) {
+	set, ds := fixture(t)
+	d := newDetector(t, set)
+	clip := ds.Benign[0].Clip
+	par, err := d.FeatureVector(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Sequential = true
+	seq, err := d.FeatureVector(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("parallel %v != sequential %v", par, seq)
+		}
+	}
+}
+
+func TestTrainAndDetect(t *testing.T) {
+	set, ds := fixture(t)
+	d := newDetector(t, set)
+	if err := d.TrainOnSamples(ds.All()); err != nil {
+		t.Fatal(err)
+	}
+	// In-sample sanity: benign mostly pass, AEs mostly flagged.
+	var benignWrong, aeWrong int
+	for _, s := range ds.Benign {
+		dec, err := d.Detect(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Adversarial {
+			benignWrong++
+		}
+	}
+	for _, s := range ds.AEs() {
+		dec, err := d.Detect(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Adversarial {
+			aeWrong++
+		}
+	}
+	if benignWrong > len(ds.Benign)/4 {
+		t.Errorf("%d/%d benign flagged", benignWrong, len(ds.Benign))
+	}
+	if aeWrong > len(ds.AEs())/4 {
+		t.Errorf("%d/%d AEs missed", aeWrong, len(ds.AEs()))
+	}
+}
+
+func TestDetectTimedReportsStages(t *testing.T) {
+	set, ds := fixture(t)
+	d := newDetector(t, set)
+	if err := d.TrainOnSamples(ds.All()); err != nil {
+		t.Fatal(err)
+	}
+	_, timing, err := d.DetectTimed(ds.Benign[0].Clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Recognition <= 0 {
+		t.Fatal("recognition time not measured")
+	}
+	// The paper's §V-I: similarity and classification are orders of
+	// magnitude cheaper than recognition.
+	if timing.Similarity > timing.Recognition || timing.Classify > timing.Recognition {
+		t.Fatalf("overhead inversion: %+v", timing)
+	}
+}
+
+func TestDetectWithoutTraining(t *testing.T) {
+	set, ds := fixture(t)
+	d := newDetector(t, set)
+	if _, err := d.Detect(ds.Benign[0].Clip); err == nil {
+		t.Fatal("expected error for untrained classifier")
+	}
+	d.Classifier = nil
+	if _, err := d.Detect(ds.Benign[0].Clip); err == nil {
+		t.Fatal("expected error for nil classifier")
+	}
+	if err := d.Train(nil, nil); err == nil {
+		t.Fatal("expected error training nil classifier")
+	}
+}
+
+func TestScorePools(t *testing.T) {
+	benignX := [][]float64{{0.9, 0.95, 0.92}, {0.91, 0.96, 0.93}}
+	aeX := [][]float64{{0.3, 0.4, 0.5}}
+	pools, err := ScorePools(benignX, aeX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools.NumAux != 3 {
+		t.Fatalf("NumAux %d", pools.NumAux)
+	}
+	if len(pools.Benign[0]) != 2 || len(pools.AE[0]) != 1 {
+		t.Fatalf("pool sizes %d/%d", len(pools.Benign[0]), len(pools.AE[0]))
+	}
+	if pools.Benign[1][0] != 0.95 {
+		t.Fatalf("column transpose broken: %v", pools.Benign)
+	}
+	if _, err := ScorePools(nil, aeX); err == nil {
+		t.Fatal("expected error for empty benign features")
+	}
+	if _, err := ScorePools([][]float64{{1, 2}, {1}}, aeX); err == nil {
+		t.Fatal("expected error for ragged features")
+	}
+}
+
+// syntheticPools builds score pools with the empirical shape of the
+// system: benign ~0.95, AE ~0.45.
+func syntheticPools(t *testing.T, numAux int, seed int64) *dataset.Pools {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	benign := make([][]float64, numAux)
+	ae := make([][]float64, numAux)
+	for j := 0; j < numAux; j++ {
+		for i := 0; i < 300; i++ {
+			benign[j] = append(benign[j], clamp01(0.95+rng.NormFloat64()*0.04))
+			ae[j] = append(ae[j], clamp01(0.45+rng.NormFloat64()*0.12))
+		}
+	}
+	pools, err := dataset.NewPools(benign, ae)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pools
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestProactiveTrainDetectsMAEVectors(t *testing.T) {
+	set, _ := fixture(t)
+	d := newDetector(t, set)
+	pools := syntheticPools(t, 3, 11)
+	cfg := ComprehensiveConfig()
+	cfg.PerType = 400
+	if err := ProactiveTrain(d, pools, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A Type-4-shaped vector (fools DS1+GCS: high, high, low) must be
+	// flagged; an all-high benign vector must pass.
+	pred, err := d.Classifier.Predict([]float64{0.96, 0.94, 0.42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Error("Type-4 MAE vector not detected")
+	}
+	// Type-1 (subset of Type-4): high, low, low.
+	pred, err = d.Classifier.Predict([]float64{0.95, 0.40, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 1 {
+		t.Error("Type-1 MAE vector not detected by the comprehensive system")
+	}
+	pred, err = d.Classifier.Predict([]float64{0.96, 0.95, 0.97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Error("benign vector flagged by the comprehensive system")
+	}
+}
+
+func TestProactiveTrainValidation(t *testing.T) {
+	set, _ := fixture(t)
+	d := newDetector(t, set)
+	pools := syntheticPools(t, 3, 12)
+	if err := ProactiveTrain(nil, pools, ComprehensiveConfig()); err == nil {
+		t.Fatal("expected error for nil detector")
+	}
+	if err := ProactiveTrain(d, nil, ComprehensiveConfig()); err == nil {
+		t.Fatal("expected error for nil pools")
+	}
+	bad := ComprehensiveConfig()
+	bad.Types = nil
+	if err := ProactiveTrain(d, pools, bad); err == nil {
+		t.Fatal("expected error for no types")
+	}
+	wrong := syntheticPools(t, 2, 13)
+	if err := ProactiveTrain(d, wrong, ComprehensiveConfig()); err == nil {
+		t.Fatal("expected error for auxiliary-count mismatch")
+	}
+}
+
+func TestThresholdDetector(t *testing.T) {
+	set, ds := fixture(t)
+	single, err := New(set.DS0, []asr.Recognizer{set.AT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benignX, _, err := single.Features(ds.Benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := CalibrateThreshold(single, benignX, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Threshold <= 0 || td.Threshold > 1 {
+		t.Fatalf("threshold %g out of range", td.Threshold)
+	}
+	// Detect on raw scores: AEs sit below, benign above.
+	var detected int
+	aes := ds.AEs()
+	for _, s := range aes {
+		dec, err := td.Detect(s.Clip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Adversarial {
+			detected++
+		}
+	}
+	if detected < len(aes)*3/4 {
+		t.Errorf("threshold detector caught only %d/%d AEs", detected, len(aes))
+	}
+	if !td.DetectScore(td.Threshold-0.01) || td.DetectScore(td.Threshold+0.01) {
+		t.Fatal("DetectScore boundary broken")
+	}
+}
+
+func TestCalibrateThresholdValidation(t *testing.T) {
+	set, _ := fixture(t)
+	multi := newDetector(t, set)
+	if _, err := CalibrateThreshold(multi, [][]float64{{0.9, 0.9, 0.9}}, 0.05); err == nil {
+		t.Fatal("expected error for multi-auxiliary detector")
+	}
+	single, err := New(set.DS0, []asr.Recognizer{set.DS1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibrateThreshold(single, [][]float64{{0.9, 0.8}}, 0.05); err == nil {
+		t.Fatal("expected error for wide features")
+	}
+	if _, err := CalibrateThreshold(nil, nil, 0.05); err == nil {
+		t.Fatal("expected error for nil detector")
+	}
+}
+
+func TestClassifierSwap(t *testing.T) {
+	set, ds := fixture(t)
+	for _, factory := range []classify.Factory{
+		func() classify.Classifier { return classify.NewKNN() },
+		func() classify.Classifier { return classify.NewRandomForest() },
+	} {
+		d := newDetector(t, set)
+		d.Classifier = factory()
+		if err := d.TrainOnSamples(ds.All()); err != nil {
+			t.Fatalf("%s: %v", d.Classifier.Name(), err)
+		}
+		dec, err := d.Detect(ds.AEs()[0].Clip)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Classifier.Name(), err)
+		}
+		if !dec.Adversarial {
+			t.Logf("%s missed one AE (tolerated at tiny scale)", d.Classifier.Name())
+		}
+	}
+}

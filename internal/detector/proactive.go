@@ -1,0 +1,60 @@
+package detector
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mvpears/internal/dataset"
+)
+
+// ProactiveConfig controls proactive training against hypothetical
+// transferable (multiple-ASR-effective) AEs.
+type ProactiveConfig struct {
+	// Types are the hypothetical MAE types to train on. The paper's
+	// comprehensive system (§V-H) uses Types 4–6 — the maximal types —
+	// because a system trained on AEs fooling a superset Λ of engines
+	// also detects AEs fooling any subset Λ′ ⊆ Λ.
+	Types []dataset.MAEType
+	// PerType is how many MAE vectors to synthesize for each type (the
+	// paper uses 2400).
+	PerType int
+	Seed    int64
+}
+
+// ComprehensiveConfig returns the paper's comprehensive-system setup:
+// Types 4, 5 and 6 with 2400 vectors each.
+func ComprehensiveConfig() ProactiveConfig {
+	all := dataset.StandardMAETypes()
+	return ProactiveConfig{Types: []dataset.MAEType{all[3], all[4], all[5]}, PerType: 2400, Seed: 1}
+}
+
+// ProactiveTrain fits the detector's classifier on synthesized MAE
+// feature vectors (label 1) balanced against benign vectors resampled
+// from the pools (label 0). No transferable AE audio is needed — only the
+// score pools λBe and λAk — which is what makes the defense available
+// before such attacks exist.
+func ProactiveTrain(d *Detector, pools *dataset.Pools, cfg ProactiveConfig) error {
+	if d == nil || pools == nil {
+		return fmt.Errorf("detector: nil detector or pools")
+	}
+	if len(cfg.Types) == 0 || cfg.PerType <= 0 {
+		return fmt.Errorf("detector: invalid proactive config %+v", cfg)
+	}
+	if pools.NumAux != len(d.Auxiliaries) {
+		return fmt.Errorf("detector: pools have %d auxiliaries, detector has %d", pools.NumAux, len(d.Auxiliaries))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var aeX [][]float64
+	for _, t := range cfg.Types {
+		vecs, err := pools.SynthesizeMAE(t, cfg.PerType, rng)
+		if err != nil {
+			return fmt.Errorf("detector: synthesizing %s: %w", t.Name, err)
+		}
+		aeX = append(aeX, vecs...)
+	}
+	benignX, err := pools.SampleBenignVectors(len(aeX), rng)
+	if err != nil {
+		return err
+	}
+	return d.Train(benignX, aeX)
+}

@@ -1,0 +1,109 @@
+// Package dsp implements the signal-processing substrate used by every ASR
+// engine in this repository: FFT, windowing, framing, mel filterbanks,
+// DCT-II, MFCC feature extraction, delta features, and — critically for the
+// white-box attack — an analytic backward pass that propagates gradients
+// from MFCC features back to raw waveform samples.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fftDir(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fftDir(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// RFFT computes the FFT of a real signal and returns the first n/2+1
+// complex bins (the remainder is conjugate-symmetric). len(x) must be a
+// power of two.
+func RFFT(x []float64) ([]complex128, error) {
+	n := len(x)
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	return buf[:n/2+1], nil
+}
+
+// PowerSpectrum returns |X_k|^2 for the n/2+1 nonredundant bins of the real
+// signal x.
+func PowerSpectrum(x []float64) ([]float64, error) {
+	spec, err := RFFT(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		re, im := real(c), imag(c)
+		out[i] = re*re + im*im
+	}
+	return out, nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

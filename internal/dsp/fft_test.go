@@ -1,0 +1,157 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if err := FFT(got); err != nil {
+			t.Fatalf("FFT(n=%d): %v", n, err)
+		}
+		for k := range got {
+			if cmplx.Abs(got[k]-want[k]) > 1e-8 {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	x := make([]complex128, 12)
+	if err := FFT(x); err == nil {
+		t.Fatal("expected error for length 12")
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("sample %d: got %v want %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 256)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		timeEnergy += x[i] * x[i]
+	}
+	power, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum over the full spectrum: duplicate interior bins of the half
+	// spectrum (conjugate symmetry) and divide by N.
+	var freqEnergy float64
+	for k, p := range power {
+		if k == 0 || k == len(power)-1 {
+			freqEnergy += p
+		} else {
+			freqEnergy += 2 * p
+		}
+	}
+	freqEnergy /= float64(len(x))
+	if math.Abs(freqEnergy-timeEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: time %g freq %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestRFFTConjugateSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, 64)
+		re := make([]float64, 64)
+		for i := range x {
+			re[i] = rng.NormFloat64()
+			x[i] = complex(re[i], 0)
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		for k := 1; k < 32; k++ {
+			if cmplx.Abs(x[k]-cmplxConj(x[64-k])) > 1e-8 {
+				return false
+			}
+		}
+		half, err := RFFT(re)
+		if err != nil || len(half) != 33 {
+			return false
+		}
+		for k := range half {
+			if cmplx.Abs(half[k]-x[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 255: 256, 256: 256, 257: 512}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	buf := make([]complex128, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HzToMel converts a frequency in Hz to the mel scale.
+func HzToMel(hz float64) float64 {
+	return 2595 * math.Log10(1+hz/700)
+}
+
+// MelToHz converts a mel-scale value back to Hz.
+func MelToHz(mel float64) float64 {
+	return 700 * (math.Pow(10, mel/2595) - 1)
+}
+
+// MelBank is a triangular mel filterbank mapping a power spectrum with
+// nBins bins to nFilters mel energies. Weights[f][k] is the contribution of
+// spectrum bin k to filter f.
+type MelBank struct {
+	NumFilters int
+	NumBins    int
+	Weights    [][]float64
+}
+
+// NewMelBank constructs a triangular mel filterbank. fftSize is the FFT
+// length (the spectrum has fftSize/2+1 bins); lowHz/highHz bound the band.
+func NewMelBank(numFilters, fftSize int, sampleRate, lowHz, highHz float64) (*MelBank, error) {
+	if numFilters <= 0 {
+		return nil, fmt.Errorf("dsp: numFilters %d must be positive", numFilters)
+	}
+	if highHz <= lowHz {
+		return nil, fmt.Errorf("dsp: mel band [%g,%g) is empty", lowHz, highHz)
+	}
+	if highHz > sampleRate/2 {
+		highHz = sampleRate / 2
+	}
+	nBins := fftSize/2 + 1
+	lowMel, highMel := HzToMel(lowHz), HzToMel(highHz)
+	// numFilters+2 equally spaced mel points define the triangle corners.
+	points := make([]float64, numFilters+2)
+	for i := range points {
+		mel := lowMel + (highMel-lowMel)*float64(i)/float64(numFilters+1)
+		points[i] = MelToHz(mel) * float64(fftSize) / sampleRate
+	}
+	weights := make([][]float64, numFilters)
+	for f := 0; f < numFilters; f++ {
+		w := make([]float64, nBins)
+		left, center, right := points[f], points[f+1], points[f+2]
+		for k := 0; k < nBins; k++ {
+			fk := float64(k)
+			switch {
+			case fk > left && fk < center:
+				w[k] = (fk - left) / (center - left)
+			case fk >= center && fk < right:
+				w[k] = (right - fk) / (right - center)
+			}
+		}
+		weights[f] = w
+	}
+	return &MelBank{NumFilters: numFilters, NumBins: nBins, Weights: weights}, nil
+}
+
+// Apply maps a power spectrum to mel filterbank energies.
+func (m *MelBank) Apply(power []float64) ([]float64, error) {
+	if len(power) != m.NumBins {
+		return nil, fmt.Errorf("dsp: spectrum has %d bins, filterbank expects %d", len(power), m.NumBins)
+	}
+	out := make([]float64, m.NumFilters)
+	for f, w := range m.Weights {
+		var s float64
+		for k, wk := range w {
+			if wk != 0 {
+				s += wk * power[k]
+			}
+		}
+		out[f] = s
+	}
+	return out, nil
+}
+
+// ApplyTranspose maps a gradient over mel energies back to a gradient over
+// power-spectrum bins (the adjoint of Apply).
+func (m *MelBank) ApplyTranspose(grad []float64) ([]float64, error) {
+	if len(grad) != m.NumFilters {
+		return nil, fmt.Errorf("dsp: gradient has %d filters, filterbank expects %d", len(grad), m.NumFilters)
+	}
+	out := make([]float64, m.NumBins)
+	for f, w := range m.Weights {
+		g := grad[f]
+		if g == 0 {
+			continue
+		}
+		for k, wk := range w {
+			if wk != 0 {
+				out[k] += wk * g
+			}
+		}
+	}
+	return out, nil
+}
+
+// DCT2 computes the orthonormal DCT-II of x, returning the first numCoeffs
+// coefficients.
+func DCT2(x []float64, numCoeffs int) []float64 {
+	n := len(x)
+	if numCoeffs > n {
+		numCoeffs = n
+	}
+	out := make([]float64, numCoeffs)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < numCoeffs; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		if k == 0 {
+			out[k] = s * scale0
+		} else {
+			out[k] = s * scale
+		}
+	}
+	return out
+}
+
+// DCT2Transpose computes the adjoint of DCT2: given dL/dy for the first
+// len(grad) coefficients of an n-point DCT-II, it returns dL/dx.
+func DCT2Transpose(grad []float64, n int) []float64 {
+	out := make([]float64, n)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k, g := range grad {
+		if g == 0 {
+			continue
+		}
+		sc := scale
+		if k == 0 {
+			sc = scale0
+		}
+		for i := 0; i < n; i++ {
+			out[i] += g * sc * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+	}
+	return out
+}

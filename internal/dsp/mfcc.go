@@ -1,0 +1,344 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MFCCConfig configures an MFCC extractor. Different ASR engines in this
+// repository deliberately use different configurations, mirroring the
+// feature-front-end diversity of real ASR systems.
+type MFCCConfig struct {
+	SampleRate int        // samples per second
+	FrameLen   int        // analysis frame length in samples
+	Hop        int        // frame advance in samples
+	FFTSize    int        // FFT length (>= FrameLen, power of two); 0 means NextPow2(FrameLen)
+	NumFilters int        // mel filterbank size
+	NumCoeffs  int        // number of cepstral coefficients kept
+	PreEmph    float64    // pre-emphasis coefficient (0 disables)
+	Window     WindowKind // analysis window
+	LowHz      float64    // filterbank lower edge
+	HighHz     float64    // filterbank upper edge (0 means Nyquist)
+	LogFloor   float64    // additive floor inside the log (0 means 1e-10)
+}
+
+// DefaultMFCCConfig returns the configuration shared by the DeepSpeech-like
+// engines: 32 ms frames, 16 ms hop at 8 kHz, 20 mel filters, 13 cepstra.
+func DefaultMFCCConfig(sampleRate int) MFCCConfig {
+	return MFCCConfig{
+		SampleRate: sampleRate,
+		FrameLen:   sampleRate * 32 / 1000,
+		Hop:        sampleRate * 16 / 1000,
+		NumFilters: 20,
+		NumCoeffs:  13,
+		PreEmph:    0.97,
+		Window:     WindowHamming,
+		LowHz:      80,
+		HighHz:     0,
+		LogFloor:   1e-10,
+	}
+}
+
+func (c MFCCConfig) withDefaults() MFCCConfig {
+	if c.FFTSize == 0 {
+		c.FFTSize = NextPow2(c.FrameLen)
+	}
+	if c.HighHz == 0 {
+		c.HighHz = float64(c.SampleRate) / 2
+	}
+	if c.LogFloor == 0 {
+		c.LogFloor = 1e-10
+	}
+	if c.Window == 0 {
+		c.Window = WindowHamming
+	}
+	return c
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c MFCCConfig) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.SampleRate <= 0:
+		return fmt.Errorf("dsp: sample rate %d must be positive", c.SampleRate)
+	case c.FrameLen <= 0 || c.Hop <= 0:
+		return fmt.Errorf("dsp: frame length %d and hop %d must be positive", c.FrameLen, c.Hop)
+	case c.FFTSize < c.FrameLen:
+		return fmt.Errorf("dsp: FFT size %d smaller than frame length %d", c.FFTSize, c.FrameLen)
+	case c.FFTSize&(c.FFTSize-1) != 0:
+		return fmt.Errorf("dsp: FFT size %d is not a power of two", c.FFTSize)
+	case c.NumFilters <= 0 || c.NumCoeffs <= 0:
+		return fmt.Errorf("dsp: filters %d and coefficients %d must be positive", c.NumFilters, c.NumCoeffs)
+	case c.NumCoeffs > c.NumFilters:
+		return fmt.Errorf("dsp: cannot keep %d cepstra from %d filters", c.NumCoeffs, c.NumFilters)
+	}
+	return nil
+}
+
+// MFCC extracts mel-frequency cepstral coefficients and can run the
+// analytic backward pass used by gradient-based audio attacks.
+type MFCC struct {
+	cfg    MFCCConfig
+	window []float64
+	bank   *MelBank
+}
+
+// NewMFCC builds an extractor for the given configuration.
+func NewMFCC(cfg MFCCConfig) (*MFCC, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	win, err := Window(cfg.Window, cfg.FrameLen)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := NewMelBank(cfg.NumFilters, cfg.FFTSize, float64(cfg.SampleRate), cfg.LowHz, cfg.HighHz)
+	if err != nil {
+		return nil, err
+	}
+	return &MFCC{cfg: cfg, window: win, bank: bank}, nil
+}
+
+// Config returns the (defaulted) configuration of the extractor.
+func (m *MFCC) Config() MFCCConfig { return m.cfg }
+
+// MFCCState captures the intermediate activations of one Extract call so
+// that Backward can propagate gradients to the waveform.
+type MFCCState struct {
+	inputLen int
+	spectra  [][]complex128 // per frame, FFTSize full-length spectrum
+	melPlus  [][]float64    // per frame, mel energy + LogFloor
+}
+
+// NumFrames returns the frame count for a signal of n samples.
+func (m *MFCC) NumFrames(n int) int {
+	return NumFrames(n, m.cfg.FrameLen, m.cfg.Hop)
+}
+
+// Extract computes the MFCC matrix (frames x NumCoeffs) of signal x.
+func (m *MFCC) Extract(x []float64) ([][]float64, error) {
+	feats, _, err := m.extract(x, false)
+	return feats, err
+}
+
+// ExtractWithState computes MFCCs and also returns the state needed by
+// Backward.
+func (m *MFCC) ExtractWithState(x []float64) ([][]float64, *MFCCState, error) {
+	return m.extract(x, true)
+}
+
+func (m *MFCC) extract(x []float64, keep bool) ([][]float64, *MFCCState, error) {
+	if len(x) == 0 {
+		return nil, nil, fmt.Errorf("dsp: cannot extract MFCC from empty signal")
+	}
+	cfg := m.cfg
+	pre := x
+	if cfg.PreEmph != 0 {
+		pre = PreEmphasis(x, cfg.PreEmph)
+	}
+	frames, err := Frame(pre, cfg.FrameLen, cfg.Hop)
+	if err != nil {
+		return nil, nil, err
+	}
+	var st *MFCCState
+	if keep {
+		st = &MFCCState{
+			inputLen: len(x),
+			spectra:  make([][]complex128, 0, len(frames)),
+			melPlus:  make([][]float64, 0, len(frames)),
+		}
+	}
+	feats := make([][]float64, 0, len(frames))
+	buf := make([]complex128, cfg.FFTSize)
+	for _, fr := range frames {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, v := range fr {
+			buf[i] = complex(v*m.window[i], 0)
+		}
+		if err := FFT(buf); err != nil {
+			return nil, nil, err
+		}
+		power := make([]float64, cfg.FFTSize/2+1)
+		for k := range power {
+			re, im := real(buf[k]), imag(buf[k])
+			power[k] = re*re + im*im
+		}
+		mel, err := m.bank.Apply(power)
+		if err != nil {
+			return nil, nil, err
+		}
+		logMel := make([]float64, len(mel))
+		melPlus := make([]float64, len(mel))
+		for i, v := range mel {
+			melPlus[i] = v + cfg.LogFloor
+			logMel[i] = math.Log(melPlus[i])
+		}
+		feats = append(feats, DCT2(logMel, cfg.NumCoeffs))
+		if keep {
+			spec := make([]complex128, cfg.FFTSize)
+			copy(spec, buf)
+			st.spectra = append(st.spectra, spec)
+			st.melPlus = append(st.melPlus, melPlus)
+		}
+	}
+	return feats, st, nil
+}
+
+// Backward propagates a per-frame gradient over MFCC coefficients back to a
+// gradient over the raw waveform samples (the input of Extract). grad must
+// have the same shape as the features returned by the paired
+// ExtractWithState call.
+func (m *MFCC) Backward(grad [][]float64, st *MFCCState) ([]float64, error) {
+	if st == nil {
+		return nil, fmt.Errorf("dsp: Backward requires state from ExtractWithState")
+	}
+	if len(grad) != len(st.spectra) {
+		return nil, fmt.Errorf("dsp: gradient has %d frames, state has %d", len(grad), len(st.spectra))
+	}
+	cfg := m.cfg
+	nBins := cfg.FFTSize/2 + 1
+	frameGrads := make([][]float64, len(grad))
+	buf := make([]complex128, cfg.FFTSize)
+	for f, g := range grad {
+		if len(g) != cfg.NumCoeffs {
+			return nil, fmt.Errorf("dsp: frame %d gradient has %d coeffs, want %d", f, len(g), cfg.NumCoeffs)
+		}
+		// DCT-II adjoint: d log-mel.
+		dLogMel := DCT2Transpose(g, cfg.NumFilters)
+		// log adjoint: d mel.
+		dMel := make([]float64, cfg.NumFilters)
+		for i := range dMel {
+			dMel[i] = dLogMel[i] / st.melPlus[f][i]
+		}
+		// Filterbank adjoint: d power spectrum.
+		dPower, err := m.bank.ApplyTranspose(dMel)
+		if err != nil {
+			return nil, err
+		}
+		// Power-spectrum adjoint via FFT: dL/dy_n = 2 Re(Σ_k G_k e^{-i2πkn/N})
+		// with G_k = dPower_k * conj(X_k) for the nonredundant bins.
+		for i := range buf {
+			buf[i] = 0
+		}
+		spec := st.spectra[f]
+		for k := 0; k < nBins; k++ {
+			buf[k] = complex(dPower[k], 0) * cmplxConj(spec[k])
+		}
+		if err := FFT(buf); err != nil {
+			return nil, err
+		}
+		fg := make([]float64, cfg.FrameLen)
+		for n := 0; n < cfg.FrameLen; n++ {
+			fg[n] = 2 * real(buf[n]) * m.window[n]
+		}
+		frameGrads[f] = fg
+	}
+	// Frame adjoint: overlap-add back onto the (pre-emphasized) signal.
+	dPre := OverlapAdd(frameGrads, st.inputLen, cfg.Hop)
+	if cfg.PreEmph != 0 {
+		return PreEmphasisBackward(dPre, cfg.PreEmph), nil
+	}
+	return dPre, nil
+}
+
+func cmplxConj(c complex128) complex128 {
+	return complex(real(c), -imag(c))
+}
+
+// Deltas computes first-order regression deltas over a feature matrix with
+// the standard +/-width window.
+func Deltas(feats [][]float64, width int) [][]float64 {
+	if width <= 0 {
+		width = 2
+	}
+	n := len(feats)
+	out := make([][]float64, n)
+	var denom float64
+	for w := 1; w <= width; w++ {
+		denom += 2 * float64(w*w)
+	}
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	for t := 0; t < n; t++ {
+		d := make([]float64, len(feats[t]))
+		for w := 1; w <= width; w++ {
+			fw := float64(w)
+			plus, minus := feats[clamp(t+w)], feats[clamp(t-w)]
+			for j := range d {
+				d[j] += fw * (plus[j] - minus[j])
+			}
+		}
+		for j := range d {
+			d[j] /= denom
+		}
+		out[t] = d
+	}
+	return out
+}
+
+// StackContext concatenates each frame with +/-context neighbouring frames
+// (edge frames are clamped), producing (2*context+1)*dim vectors.
+func StackContext(feats [][]float64, context int) [][]float64 {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	dim := len(feats[0])
+	out := make([][]float64, n)
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	for t := 0; t < n; t++ {
+		v := make([]float64, 0, (2*context+1)*dim)
+		for c := -context; c <= context; c++ {
+			v = append(v, feats[clamp(t+c)]...)
+		}
+		out[t] = v
+	}
+	return out
+}
+
+// StackContextBackward maps a gradient over stacked vectors back to a
+// gradient over the original frames (the adjoint of StackContext).
+func StackContextBackward(grad [][]float64, context, dim int) [][]float64 {
+	n := len(grad)
+	out := make([][]float64, n)
+	for t := range out {
+		out[t] = make([]float64, dim)
+	}
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	for t := 0; t < n; t++ {
+		for c := -context; c <= context; c++ {
+			src := grad[t][(c+context)*dim : (c+context+1)*dim]
+			dst := out[clamp(t+c)]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowKind selects a tapering window for frame analysis.
+type WindowKind int
+
+// Supported window shapes.
+const (
+	WindowHamming WindowKind = iota + 1
+	WindowHann
+	WindowRect
+)
+
+// String implements fmt.Stringer.
+func (w WindowKind) String() string {
+	switch w {
+	case WindowHamming:
+		return "hamming"
+	case WindowHann:
+		return "hann"
+	case WindowRect:
+		return "rect"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", int(w))
+	}
+}
+
+// Window returns the n coefficients of the requested window.
+func Window(kind WindowKind, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: window length %d must be positive", n)
+	}
+	w := make([]float64, n)
+	switch kind {
+	case WindowHamming:
+		for i := range w {
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		}
+	case WindowHann:
+		for i := range w {
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		}
+	case WindowRect:
+		for i := range w {
+			w[i] = 1
+		}
+	default:
+		return nil, fmt.Errorf("dsp: unknown window kind %v", kind)
+	}
+	if n == 1 {
+		w[0] = 1
+	}
+	return w, nil
+}
+
+// PreEmphasis applies the first-order high-pass filter
+// y[n] = x[n] - alpha*x[n-1] and returns a new slice.
+func PreEmphasis(x []float64, alpha float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	out[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		out[i] = x[i] - alpha*x[i-1]
+	}
+	return out
+}
+
+// PreEmphasisBackward propagates a gradient through PreEmphasis: given
+// dL/dy it returns dL/dx.
+func PreEmphasisBackward(grad []float64, alpha float64) []float64 {
+	out := make([]float64, len(grad))
+	for i := range grad {
+		out[i] += grad[i]
+		if i+1 < len(grad) {
+			out[i] -= alpha * grad[i+1]
+		}
+	}
+	return out
+}
+
+// NumFrames returns how many analysis frames of length frameLen with the
+// given hop fit in a signal of n samples. The final partial frame is
+// zero-padded, so any n > 0 yields at least one frame.
+func NumFrames(n, frameLen, hop int) int {
+	if n <= 0 || frameLen <= 0 || hop <= 0 {
+		return 0
+	}
+	if n <= frameLen {
+		return 1
+	}
+	return 1 + (n-frameLen+hop-1)/hop
+}
+
+// Frame slices signal x into overlapping frames of length frameLen advanced
+// by hop samples; the tail is zero-padded. Frames are fresh copies.
+func Frame(x []float64, frameLen, hop int) ([][]float64, error) {
+	if frameLen <= 0 || hop <= 0 {
+		return nil, fmt.Errorf("dsp: invalid framing frameLen=%d hop=%d", frameLen, hop)
+	}
+	nf := NumFrames(len(x), frameLen, hop)
+	frames := make([][]float64, 0, nf)
+	for f := 0; f < nf; f++ {
+		start := f * hop
+		fr := make([]float64, frameLen)
+		n := copy(fr, x[min(start, len(x)):])
+		_ = n
+		frames = append(frames, fr)
+	}
+	return frames, nil
+}
+
+// OverlapAdd accumulates per-frame gradients back onto a signal of length n
+// (the adjoint of Frame).
+func OverlapAdd(frames [][]float64, n, hop int) []float64 {
+	out := make([]float64, n)
+	for f, fr := range frames {
+		start := f * hop
+		for i, v := range fr {
+			idx := start + i
+			if idx >= n {
+				break
+			}
+			out[idx] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"mvpears/internal/attack"
+	"mvpears/internal/audio"
+	"mvpears/internal/baseline"
+	"mvpears/internal/classify"
+	"mvpears/internal/speech"
+)
+
+// Baselines compares MVP-EARS against the two prior detectors the paper
+// cites (§I, §VI): the temporal-dependency check (Yang et al.) and
+// preprocessing-based detection (Rajaratnam et al.), including the
+// adaptive attacks that defeat them.
+func Baselines(env *Env) (*Result, error) {
+	res := &Result{
+		ID:    "baselines",
+		Title: "Prior single-engine detectors vs MVP-EARS (incl. adaptive attacks)",
+		PaperNote: "Yang et al. cannot handle adaptive attacks that embed the command in one section; " +
+			"Rajaratnam et al. is bypassed by attackers who fold the preprocessing into AE generation. " +
+			"MVP-EARS's cross-engine signal survives both.",
+	}
+	method, err := env.PEJaroWinkler()
+	if err != nil {
+		return nil, err
+	}
+	// Calibration clips: the benign dataset audio.
+	var benignClips []*audio.Clip
+	for _, s := range env.Samples {
+		if !s.IsAE() {
+			benignClips = append(benignClips, s.Clip)
+		}
+	}
+	if len(benignClips) > 40 {
+		benignClips = benignClips[:40]
+	}
+	td, err := baseline.NewTemporalDependency(env.Set.DS0, method)
+	if err != nil {
+		return nil, err
+	}
+	if err := td.CalibrateTD(benignClips, 0.1); err != nil {
+		return nil, err
+	}
+	transform := baseline.DownUpResample(env.Set.SampleRate / 2)
+	pre, err := baseline.NewPreprocess(env.Set.DS0, method, transform)
+	if err != nil {
+		return nil, err
+	}
+	if err := pre.CalibratePre(benignClips, 0.1); err != nil {
+		return nil, err
+	}
+	// MVP-EARS threshold detector on the 3-auxiliary min score.
+	X, y := env.Features(threeAuxSystem, method)
+	var benignMin []float64
+	for i, v := range X {
+		if y[i] == 0 {
+			benignMin = append(benignMin, minOf(v))
+		}
+	}
+	mvpThr, err := classify.ThresholdForFPR(benignMin, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	mvpDetect := func(clip *audio.Clip) (bool, error) {
+		t0, err := env.Set.DS0.Transcribe(clip)
+		if err != nil {
+			return false, err
+		}
+		minSim := 2.0
+		for _, aux := range env.Set.Auxiliaries() {
+			ta, err := aux.Transcribe(clip)
+			if err != nil {
+				return false, err
+			}
+			if s := method.Compare(speech.NormalizeText(t0), speech.NormalizeText(ta)); s < minSim {
+				minSim = s
+			}
+		}
+		return minSim < mvpThr, nil
+	}
+
+	// Part 1: defense rates over the standard AE dataset.
+	var aeTotal, tdCaught, preCaught, mvpCaught int
+	for i, s := range env.Samples {
+		if !s.IsAE() {
+			continue
+		}
+		aeTotal++
+		if flagged, _, err := td.Detect(s.Clip); err == nil && flagged {
+			tdCaught++
+		}
+		if flagged, _, err := pre.Detect(s.Clip); err == nil && flagged {
+			preCaught++
+		}
+		if minOf(X[i]) < mvpThr {
+			mvpCaught++
+		}
+	}
+	res.addf("defense rates over the %d standard dataset AEs (all detectors at ~10%% benign FPR):", aeTotal)
+	res.addf("  %-34s %s", "TemporalDependency (Yang et al.)", pct(float64(tdCaught)/float64(aeTotal)))
+	res.addf("  %-34s %s", "Preprocess (Rajaratnam et al.)", pct(float64(preCaught)/float64(aeTotal)))
+	res.addf("  %-34s %s", "MVP-EARS (3-aux threshold)", pct(float64(mvpCaught)/float64(aeTotal)))
+	res.addf("  note: our DS0 is a framewise model, so its AEs survive splitting and the")
+	res.addf("  temporal-dependency premise does not bite even before the adaptive attack (see DESIGN.md).")
+
+	// Part 2: adaptive attacks.
+	synth := speech.NewSynthesizer(env.Set.SampleRate)
+	numHosts := env.Cfg.AdaptiveHosts
+	if numHosts <= 0 {
+		numHosts = 4
+	}
+	hosts, err := speech.GenerateUtterances(synth, numHosts, env.Cfg.Seed+800)
+	if err != nil {
+		return nil, err
+	}
+	cfg := attack.DefaultWhiteBoxConfig()
+	var adaptiveTD *attack.Result
+	for _, h := range hosts {
+		r, err := attack.AdaptiveTD(env.Set.DS0, h.Clip, "open the garage", 0.5, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if r.Success {
+			adaptiveTD = r
+			break
+		}
+	}
+	if adaptiveTD != nil {
+		tdFlag, tdScore, err := td.Detect(adaptiveTD.AE)
+		if err != nil {
+			return nil, err
+		}
+		mvpFlag, err := mvpDetect(adaptiveTD.AE)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("adaptive-TD AE (command embedded in the second half only; DS0 hears %q):", adaptiveTD.FinalText)
+		res.addf("  TemporalDependency: flagged=%v (consistency %.3f vs threshold %.3f)", tdFlag, tdScore, td.Threshold)
+		res.addf("  MVP-EARS:           flagged=%v", mvpFlag)
+	} else {
+		res.addf("adaptive-TD attack did not converge on %d hosts at this scale", len(hosts))
+	}
+	var adaptivePre *attack.Result
+	for _, h := range hosts {
+		r, err := attack.AdaptivePreprocess(env.Set.DS0, h.Clip, "turn off the alarm",
+			attack.Transform(transform), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if r.Success {
+			adaptivePre = r
+			break
+		}
+	}
+	if adaptivePre != nil {
+		preFlag, preScore, err := pre.Detect(adaptivePre.AE)
+		if err != nil {
+			return nil, err
+		}
+		mvpFlag, err := mvpDetect(adaptivePre.AE)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("adaptive-preprocess AE (survives the known transform; DS0 hears %q):", adaptivePre.FinalText)
+		res.addf("  Preprocess:  flagged=%v (pre/post similarity %.3f vs threshold %.3f)", preFlag, preScore, pre.Threshold)
+		res.addf("  MVP-EARS:    flagged=%v", mvpFlag)
+	} else {
+		res.addf("adaptive-preprocess attack did not converge on %d hosts at this scale", len(hosts))
+	}
+	return res, nil
+}
+
+// DiscussionLimitation reproduces the paper's §VII caveat: when the
+// malicious command is textually similar to the host transcription, the
+// similarity scores stay high and MVP-EARS (by design) cannot flag the
+// AE — but the attack's flexibility has been reduced to near-identical
+// host/command pairs.
+func DiscussionLimitation(env *Env) (*Result, error) {
+	res := &Result{
+		ID:    "discussion",
+		Title: "Known limitation (§VII): command similar to the host transcription",
+		PaperNote: "\"If the malicious command embedded in an AE and the host transcription are very " +
+			"similar, our method will probably fail as their similarity score is high.\"",
+	}
+	method, err := env.PEJaroWinkler()
+	if err != nil {
+		return nil, err
+	}
+	synth := speech.NewSynthesizer(env.Set.SampleRate)
+	cfg := attack.DefaultWhiteBoxConfig()
+	cases := []struct {
+		host, command string
+	}{
+		{"open the front window", "open the front door"},    // near-identical
+		{"the dog is hot today now", "open the front door"}, // dissimilar
+	}
+	// Detection via the 3-aux min-score threshold at 10% FPR.
+	X, y := env.Features(threeAuxSystem, method)
+	var benignMin []float64
+	for i, v := range X {
+		if y[i] == 0 {
+			benignMin = append(benignMin, minOf(v))
+		}
+	}
+	thr, err := classify.ThresholdForFPR(benignMin, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cases {
+		clip, _, err := synth.SynthesizeSentence(c.host, speech.DefaultSpeaker(), newSeededRand(env.Cfg.Seed+900))
+		if err != nil {
+			return nil, err
+		}
+		r, err := attack.WhiteBox(env.Set.DS0, clip, c.command, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Success {
+			res.addf("host %q -> command %q: attack failed", c.host, c.command)
+			continue
+		}
+		t0, err := env.Set.DS0.Transcribe(r.AE)
+		if err != nil {
+			return nil, err
+		}
+		minSim := 2.0
+		for _, aux := range env.Set.Auxiliaries() {
+			ta, err := aux.Transcribe(r.AE)
+			if err != nil {
+				return nil, err
+			}
+			if s := method.Compare(speech.NormalizeText(t0), speech.NormalizeText(ta)); s < minSim {
+				minSim = s
+			}
+		}
+		res.addf("host %q -> command %q:", c.host, c.command)
+		res.addf("  host/command text similarity %.3f; min cross-engine similarity %.3f; detected=%v",
+			method.Compare(c.host, c.command), minSim, minSim < thr)
+	}
+	res.addf("the detector misses AEs only when host and command already sound alike —")
+	res.addf("exactly the flexibility reduction the paper claims (§VII).")
+	return res, nil
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonResult is the machine-readable form of a Result.
+type jsonResult struct {
+	ID        string   `json:"id"`
+	Title     string   `json:"title"`
+	Lines     []string `json:"lines"`
+	PaperNote string   `json:"paper_note,omitempty"`
+}
+
+// WriteJSON emits the results as a JSON array, for downstream tooling
+// (plotting, regression tracking across runs).
+func WriteJSON(w io.Writer, results []*Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, jsonResult{ID: r.ID, Title: r.Title, Lines: r.Lines, PaperNote: r.PaperNote})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("experiments: encoding JSON report: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a report written by WriteJSON (used by regression
+// tooling and tests).
+func ReadJSON(r io.Reader) ([]*Result, error) {
+	var in []jsonResult
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("experiments: decoding JSON report: %w", err)
+	}
+	out := make([]*Result, 0, len(in))
+	for _, jr := range in {
+		out = append(out, &Result{ID: jr.ID, Title: jr.Title, Lines: jr.Lines, PaperNote: jr.PaperNote})
+	}
+	return out, nil
+}

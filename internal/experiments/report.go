@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string // "table1" ... "table12", "fig4", "fig5", "overhead", ...
+	Title string
+	Lines []string
+	// PaperNote records what the paper reports for this experiment, for
+	// side-by-side comparison in EXPERIMENTS.md.
+	PaperNote string
+}
+
+// String renders the result as a text block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if r.PaperNote != "" {
+		fmt.Fprintf(&b, "[paper] %s\n", r.PaperNote)
+	}
+	return b.String()
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Runner regenerates one experiment from a prepared environment.
+type Runner func(env *Env) (*Result, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1":      Table1,
+	"table2":      Table2,
+	"fig4":        Fig4,
+	"table3":      Table3,
+	"table4":      Table4,
+	"table5":      Table5,
+	"table6":      Table6,
+	"table7":      Table7,
+	"fig5":        Fig5,
+	"table8":      Table8,
+	"table9":      Table9,
+	"table10":     Table10,
+	"table11":     Table11,
+	"table12":     Table12,
+	"overhead":    Overhead,
+	"nontargeted": NonTargetedExperiment,
+	"transfer":    TransferStudy,
+	"weakaux":     WeakAuxAblation,
+	"baselines":   Baselines,
+	"discussion":  DiscussionLimitation,
+}
+
+// order is the presentation order of the full suite.
+var order = []string{
+	"table1", "table2", "fig4", "table3", "table4", "table5", "table6",
+	"table7", "fig5", "table8", "table9", "table10", "table11", "table12",
+	"overhead", "nontargeted", "transfer", "weakaux", "baselines",
+	"discussion",
+}
+
+// IDs returns all experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// Get returns the runner for an experiment id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r, nil
+}
+
+// RunAll executes the whole suite in order.
+func RunAll(env *Env) ([]*Result, error) {
+	out := make([]*Result, 0, len(order))
+	for _, id := range order {
+		runner, err := Get(id)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner(env)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/classify"
+	"mvpears/internal/dataset"
+	"mvpears/internal/similarity"
+)
+
+// Table1 reproduces Table I: one white-box AE transcribed by all four
+// engines — the target is fooled, the auxiliaries are not.
+func Table1(env *Env) (*Result, error) {
+	res := &Result{
+		ID:    "table1",
+		Title: "Recognition results of an AE by multiple ASRs",
+		PaperNote: "host \"I wish you wouldn't\", embedded \"a sight for sore eyes\": " +
+			"DS v0.1.0 transcribes the embedded text, DS v0.1.1/GCS/AT transcribe (near-)host text.",
+	}
+	if len(env.Data.WhiteBox) == 0 {
+		return nil, fmt.Errorf("no white-box AEs in the dataset")
+	}
+	// Index of the first white-box AE within the sample order.
+	idx := -1
+	for i, s := range env.Samples {
+		if s.Kind == dataset.KindWhiteBox {
+			idx = i
+			break
+		}
+	}
+	s := env.Samples[idx]
+	res.addf("%-22s %s", "Host transcription:", s.Text)
+	res.addf("%-22s %s", "Embedded text:", s.Target)
+	for _, id := range []asr.EngineID{asr.DS0, asr.DS1, asr.GCS, asr.AT} {
+		marker := ""
+		if env.Texts[id][idx] == s.Target {
+			marker = "   <- fooled"
+		}
+		res.addf("%-22s %q%s", string(id)+":", env.Texts[id][idx], marker)
+	}
+	return res, nil
+}
+
+// Table2 reproduces Table II: the dataset inventory.
+func Table2(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table2",
+		Title:     "Datasets used in the evaluation",
+		PaperNote: "Benign 2400; AE: 1800 white-box + 600 black-box (all verified to fool DS0).",
+	}
+	res.addf("%-18s %d samples", "Benign", len(env.Data.Benign))
+	res.addf("%-18s %d samples (every one verified to fool DS0)", "White-box AEs", len(env.Data.WhiteBox))
+	res.addf("%-18s %d samples (two-word payloads)", "Black-box AEs", len(env.Data.BlackBox))
+	return res, nil
+}
+
+// Fig4 reproduces Figure 4: similarity-score histograms of the three
+// single-auxiliary systems — benign and AE scores form nearly disjoint
+// clusters.
+func Fig4(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "fig4",
+		Title:     "Similarity score histograms (benign vs AE), single-auxiliary systems",
+		PaperNote: "benign scores cluster near 1, AE scores cluster low; the clusters are almost disjoint.",
+	}
+	method, err := env.PEJaroWinkler()
+	if err != nil {
+		return nil, err
+	}
+	const bins = 10
+	for _, sys := range singleAuxSystems {
+		X, y := env.Features(sys, method)
+		var benignHist, aeHist [bins]int
+		for i, v := range X {
+			b := int(v[0] * bins)
+			if b >= bins {
+				b = bins - 1
+			}
+			if y[i] == 1 {
+				aeHist[b]++
+			} else {
+				benignHist[b]++
+			}
+		}
+		res.addf("%s", sys.Name())
+		for b := 0; b < bins; b++ {
+			res.addf("  [%.1f,%.1f)  benign %-4d  AE %-4d", float64(b)/bins, float64(b+1)/bins, benignHist[b], aeHist[b])
+		}
+		// Cluster-separation summary: mean benign vs mean AE score.
+		var benignSum, aeSum float64
+		var benignN, aeN int
+		for i, v := range X {
+			if y[i] == 1 {
+				aeSum += v[0]
+				aeN++
+			} else {
+				benignSum += v[0]
+				benignN++
+			}
+		}
+		res.addf("  mean benign score %.3f, mean AE score %.3f", benignSum/float64(benignN), aeSum/float64(aeN))
+	}
+	return res, nil
+}
+
+// classifierFactories returns the paper's three classifiers with the
+// configurations of §V-E.
+func classifierFactories() []struct {
+	Name    string
+	Factory classify.Factory
+} {
+	return []struct {
+		Name    string
+		Factory classify.Factory
+	}{
+		{"SVM", func() classify.Classifier { return classify.NewSVM() }},
+		{"KNN", func() classify.Classifier { return classify.NewKNN() }},
+		{"Random Forest", func() classify.Classifier { return classify.NewRandomForest() }},
+	}
+}
+
+// Table3 reproduces Table III: six similarity-calculation methods across
+// the four multi-auxiliary systems, SVM with an 80/20 split.
+func Table3(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table3",
+		Title:     "Accuracies with different similarity calculation methods (SVM, 80/20)",
+		PaperNote: "PE_JaroWinkler is the best method (99.90% on the 3-auxiliary system); every method is >= 95.94%.",
+	}
+	methods := []similarity.MethodName{
+		similarity.MethodCosine, similarity.MethodJaccard, similarity.MethodJaroWinkler,
+		similarity.MethodPECosine, similarity.MethodPEJaccard, similarity.MethodPEJaroWinkler,
+	}
+	type cell struct{ acc, fpr, fnr float64 }
+	best := make(map[string]similarity.MethodName, len(multiAuxSystems))
+	bestAcc := make(map[string]float64, len(multiAuxSystems))
+	for _, mn := range methods {
+		method, err := env.Registry.Get(mn)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("%s", mn)
+		for _, sys := range multiAuxSystems {
+			X, y := env.Features(sys, method)
+			trainX, trainY, testX, testY, err := classify.TrainTestSplit(X, y, 0.8, env.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			svm := classify.NewSVM()
+			if err := svm.Fit(trainX, trainY); err != nil {
+				return nil, err
+			}
+			conf, err := classify.Evaluate(svm, testX, testY)
+			if err != nil {
+				return nil, err
+			}
+			c := cell{conf.Accuracy(), conf.FPR(), conf.FNR()}
+			res.addf("  %-24s acc %s  FPR %s  FNR %s", sys.Name(), pct(c.acc), pct(c.fpr), pct(c.fnr))
+			if c.acc > bestAcc[sys.Name()] {
+				bestAcc[sys.Name()] = c.acc
+				best[sys.Name()] = mn
+			}
+		}
+	}
+	res.addf("best method per system:")
+	for _, sys := range multiAuxSystems {
+		res.addf("  %-24s %s (%s)", sys.Name(), best[sys.Name()], pct(bestAcc[sys.Name()]))
+	}
+	return res, nil
+}

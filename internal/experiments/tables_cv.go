@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"mvpears/internal/asr"
+	"mvpears/internal/classify"
+)
+
+// cvRow runs 5-fold cross-validation for one system/classifier pair with
+// the paper's chosen similarity method.
+func (e *Env) cvRow(sys System, factory classify.Factory) (classify.CVResult, error) {
+	method, err := e.PEJaroWinkler()
+	if err != nil {
+		return classify.CVResult{}, err
+	}
+	X, y := e.Features(sys, method)
+	return classify.CrossValidate(factory, X, y, 5, e.Cfg.Seed)
+}
+
+// Table4 reproduces Table IV: single-auxiliary systems, three
+// classifiers, 5-fold cross-validation (mean/STD).
+func Table4(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table4",
+		Title:     "Single-auxiliary-model systems, 5-fold CV (mean/STD)",
+		PaperNote: "all single-auxiliary systems >= 98% accuracy; SVM slightly best (DS0+{DS1} 99.56%, DS0+{GCS} 98.92%, DS0+{AT} 99.71%).",
+	}
+	for _, clf := range classifierFactories() {
+		res.addf("%s", clf.Name)
+		for _, sys := range singleAuxSystems {
+			cv, err := env.cvRow(sys, clf.Factory)
+			if err != nil {
+				return nil, err
+			}
+			res.addf("  %-16s acc %s/%s  FPR %s/%s  FNR %s/%s",
+				sys.Name(), pct(cv.MeanAcc), pct(cv.StdAcc),
+				pct(cv.MeanFPR), pct(cv.StdFPR), pct(cv.MeanFNR), pct(cv.StdFNR))
+		}
+	}
+	return res, nil
+}
+
+// Table5 reproduces Table V: multi-auxiliary systems, three classifiers,
+// 5-fold cross-validation.
+func Table5(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table5",
+		Title:     "Multi-auxiliary-model systems, 5-fold CV (mean/STD)",
+		PaperNote: "all multi-auxiliary systems >= 99.70%; the 3-auxiliary system is best at 99.88% (SVM).",
+	}
+	bestAcc := 0.0
+	bestSys := ""
+	for _, clf := range classifierFactories() {
+		res.addf("%s", clf.Name)
+		for _, sys := range multiAuxSystems {
+			cv, err := env.cvRow(sys, clf.Factory)
+			if err != nil {
+				return nil, err
+			}
+			res.addf("  %-24s acc %s/%s  FPR %s/%s  FNR %s/%s",
+				sys.Name(), pct(cv.MeanAcc), pct(cv.StdAcc),
+				pct(cv.MeanFPR), pct(cv.StdFPR), pct(cv.MeanFNR), pct(cv.StdFNR))
+			if clf.Name == "SVM" && cv.MeanAcc > bestAcc {
+				bestAcc = cv.MeanAcc
+				bestSys = sys.Name()
+			}
+		}
+	}
+	res.addf("best SVM system: %s (%s)", bestSys, pct(bestAcc))
+	return res, nil
+}
+
+// Table6 reproduces Table VI: the impact of the number of auxiliary ASRs
+// on FPR and FNR (SVM rows of Tables IV and V).
+func Table6(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table6",
+		Title:     "Impact of the number of auxiliary ASRs on FPR and FNR (SVM)",
+		PaperNote: "both FPR and FNR tend to decline as auxiliaries are added (FPR 0.38%->0.04%, FNR 0.50%->0.21%).",
+	}
+	svm := func() classify.Classifier { return classify.NewSVM() }
+	groups := []struct {
+		count   int
+		systems []System
+	}{
+		{1, singleAuxSystems},
+		{2, multiAuxSystems[:3]},
+		{3, []System{threeAuxSystem}},
+	}
+	type agg struct{ fpr, fnr float64 }
+	means := make(map[int]agg, len(groups))
+	for _, g := range groups {
+		res.addf("# aux ASRs = %d", g.count)
+		var sumFPR, sumFNR float64
+		for _, sys := range g.systems {
+			cv, err := env.cvRow(sys, svm)
+			if err != nil {
+				return nil, err
+			}
+			res.addf("  %-24s FPR %s  FNR %s", sys.Name(), pct(cv.MeanFPR), pct(cv.MeanFNR))
+			sumFPR += cv.MeanFPR
+			sumFNR += cv.MeanFNR
+		}
+		means[g.count] = agg{sumFPR / float64(len(g.systems)), sumFNR / float64(len(g.systems))}
+	}
+	res.addf("mean FPR by #aux: 1->%s 2->%s 3->%s", pct(means[1].fpr), pct(means[2].fpr), pct(means[3].fpr))
+	res.addf("mean FNR by #aux: 1->%s 2->%s 3->%s", pct(means[1].fnr), pct(means[2].fnr), pct(means[3].fnr))
+	return res, nil
+}
+
+// WeakAuxAblation reproduces the §V-E note: an inaccurate auxiliary
+// (Kaldi in the paper, the KLD engine here) drags detection accuracy
+// down.
+func WeakAuxAblation(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "weakaux",
+		Title:     "Ablation: weak auxiliary engine (the paper's Kaldi note)",
+		PaperNote: "\"if the auxiliary ASR (like Kaldi) is not accurate in recognizing benign audios, the AE detection accuracy is bad (e.g., <80% with Kaldi)\".",
+	}
+	svm := func() classify.Classifier { return classify.NewSVM() }
+	weak := System{Aux: []asr.EngineID{asr.KLD}}
+	weakCV, err := env.cvRow(weak, svm)
+	if err != nil {
+		return nil, err
+	}
+	res.addf("%-16s acc %s  FPR %s  FNR %s", weak.Name(), pct(weakCV.MeanAcc), pct(weakCV.MeanFPR), pct(weakCV.MeanFNR))
+	var bestStrong float64
+	for _, sys := range singleAuxSystems {
+		cv, err := env.cvRow(sys, svm)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("%-16s acc %s  FPR %s  FNR %s", sys.Name(), pct(cv.MeanAcc), pct(cv.MeanFPR), pct(cv.MeanFNR))
+		if cv.MeanAcc > bestStrong {
+			bestStrong = cv.MeanAcc
+		}
+	}
+	res.addf("weak-auxiliary penalty: %.2f accuracy points below the best strong auxiliary",
+		(bestStrong-weakCV.MeanAcc)*100)
+	return res, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mvpears/internal/classify"
+	"mvpears/internal/dataset"
+)
+
+// maePools extracts the score pools (λBe, λAk) of the three-auxiliary
+// system from the cached transcription matrix.
+func (e *Env) maePools() (*dataset.Pools, [][]float64, [][]float64, error) {
+	method, err := e.PEJaroWinkler()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	X, y := e.Features(threeAuxSystem, method)
+	var benignX, aeX [][]float64
+	for i := range X {
+		if y[i] == 1 {
+			aeX = append(aeX, X[i])
+		} else {
+			benignX = append(benignX, X[i])
+		}
+	}
+	numAux := len(threeAuxSystem.Aux)
+	benign := make([][]float64, numAux)
+	ae := make([][]float64, numAux)
+	for _, v := range benignX {
+		for j, s := range v {
+			benign[j] = append(benign[j], s)
+		}
+	}
+	for _, v := range aeX {
+		for j, s := range v {
+			ae[j] = append(ae[j], s)
+		}
+	}
+	pools, err := dataset.NewPools(benign, ae)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pools, benignX, aeX, nil
+}
+
+// Table9 reproduces Table IX: the six hypothetical MAE types.
+func Table9(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table9",
+		Title:     "Six types of hypothetical multiple-ASR-effective (MAE) AEs",
+		PaperNote: "2400 synthesized feature vectors per type.",
+	}
+	for _, t := range dataset.StandardMAETypes() {
+		res.addf("%-28s %d vectors", t.Name, env.Cfg.MAEPerType)
+	}
+	return res, nil
+}
+
+// maeTrainEval trains an SVM on benign vectors + the given AE vectors and
+// evaluates on a held-out 20% split of both.
+func maeTrainEval(benignX, aeX [][]float64, seed int64) (classify.Confusion, error) {
+	X := make([][]float64, 0, len(benignX)+len(aeX))
+	y := make([]int, 0, len(benignX)+len(aeX))
+	for _, v := range benignX {
+		X = append(X, v)
+		y = append(y, 0)
+	}
+	for _, v := range aeX {
+		X = append(X, v)
+		y = append(y, 1)
+	}
+	trainX, trainY, testX, testY, err := classify.TrainTestSplit(X, y, 0.8, seed)
+	if err != nil {
+		return classify.Confusion{}, err
+	}
+	svm := classify.NewSVM()
+	if err := svm.Fit(trainX, trainY); err != nil {
+		return classify.Confusion{}, err
+	}
+	return classify.Evaluate(svm, testX, testY)
+}
+
+// Table10 reproduces Table X: per-type MAE detection accuracy with an
+// 80/20 split and SVM.
+func Table10(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table10",
+		Title:     "Detection of each hypothetical MAE type (SVM, 80/20)",
+		PaperNote: "accuracy > 96.46% for every type; FPR <= 5.34%, FNR <= 2.50%.",
+	}
+	pools, _, _, err := env.maePools()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 90))
+	for _, t := range dataset.StandardMAETypes() {
+		maeX, err := pools.SynthesizeMAE(t, env.Cfg.MAEPerType, rng)
+		if err != nil {
+			return nil, err
+		}
+		benignX, err := pools.SampleBenignVectors(env.Cfg.MAEPerType, rng)
+		if err != nil {
+			return nil, err
+		}
+		conf, err := maeTrainEval(benignX, maeX, env.Cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("%-28s acc %s  FPR %s  FNR %s", t.Name, pct(conf.Accuracy()), pct(conf.FPR()), pct(conf.FNR()))
+	}
+	return res, nil
+}
+
+// trainSVMOn builds an SVM from benign + AE vectors (no split).
+func trainSVMOn(benignX, aeX [][]float64) (*classify.SVM, error) {
+	X := make([][]float64, 0, len(benignX)+len(aeX))
+	y := make([]int, 0, len(benignX)+len(aeX))
+	for _, v := range benignX {
+		X = append(X, v)
+		y = append(y, 0)
+	}
+	for _, v := range aeX {
+		X = append(X, v)
+		y = append(y, 1)
+	}
+	svm := classify.NewSVM()
+	if err := svm.Fit(X, y); err != nil {
+		return nil, err
+	}
+	return svm, nil
+}
+
+// defenseRate is the fraction of AE vectors flagged by the classifier.
+func defenseRate(clf classify.Classifier, aeX [][]float64) (float64, error) {
+	if len(aeX) == 0 {
+		return 0, fmt.Errorf("no AE vectors to test")
+	}
+	var caught int
+	for _, v := range aeX {
+		pred, err := clf.Predict(v)
+		if err != nil {
+			return 0, err
+		}
+		if pred == 1 {
+			caught++
+		}
+	}
+	return float64(caught) / float64(len(aeX)), nil
+}
+
+// Table11 reproduces Table XI: the 7x7 cross-type defense-rate matrix.
+// Training on a type that fools Λ generalizes to types fooling Λ' ⊆ Λ
+// (near-100%), while disjoint or superset types can collapse.
+func Table11(env *Env) (*Result, error) {
+	res := &Result{
+		ID:    "table11",
+		Title: "Defense rates against unseen-attack MAE AEs (train row, test column)",
+		PaperNote: "Λ' ⊆ Λ cells ~100% (e.g. Type-4-trained detects Type-1); disjoint cells collapse " +
+			"(e.g. Type-2-trained vs Type-5: 16.04%); every type detects the original AEs >= 99.83%.",
+	}
+	pools, _, aeX, err := env.maePools()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 91))
+	types := dataset.StandardMAETypes()
+	n := env.Cfg.MAEPerType
+	// Pre-synthesize each type's vectors once.
+	typeVecs := make([][][]float64, len(types))
+	for i, t := range types {
+		v, err := pools.SynthesizeMAE(t, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		typeVecs[i] = v
+	}
+	benignX, err := pools.SampleBenignVectors(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Training sets: "Original AEs" + the six types.
+	trainSets := append([][][]float64{{}}, typeVecs...)
+	trainSets[0] = aeX
+	names := append([]string{"Original AEs"}, typeNames(types)...)
+	for ti, trainAE := range trainSets {
+		svm, err := trainSVMOn(benignX, trainAE)
+		if err != nil {
+			return nil, err
+		}
+		row := fmt.Sprintf("%-28s", names[ti])
+		for si, testAE := range trainSets {
+			if si == ti {
+				row += "   --  "
+				continue
+			}
+			rate, err := defenseRate(svm, testAE)
+			if err != nil {
+				return nil, err
+			}
+			row += fmt.Sprintf(" %6.2f%%", rate*100)
+		}
+		res.addf("%s", row)
+	}
+	header := fmt.Sprintf("%-28s", "train \\ test")
+	for _, name := range names {
+		short := name
+		if len(short) > 7 {
+			short = short[:7]
+		}
+		header += fmt.Sprintf(" %7s", short)
+	}
+	res.Lines = append([]string{header}, res.Lines...)
+	return res, nil
+}
+
+func typeNames(types []dataset.MAEType) []string {
+	out := make([]string, len(types))
+	for i, t := range types {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// Table12 reproduces Table XII: the comprehensive system trained on the
+// maximal types 4-6 detects the original AEs and every lower type.
+func Table12(env *Env) (*Result, error) {
+	res := &Result{
+		ID:        "table12",
+		Title:     "Comprehensive system (trained on Types 4-6): defense rates",
+		PaperNote: "97.22% test accuracy (3.47% FPR, 2.08% FNR); 100% defense on original AEs and Types 1-3.",
+	}
+	pools, _, aeX, err := env.maePools()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(env.Cfg.Seed + 92))
+	types := dataset.StandardMAETypes()
+	n := env.Cfg.MAEPerType
+	var trainAE [][]float64
+	for _, t := range types[3:] { // Types 4-6
+		v, err := pools.SynthesizeMAE(t, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		trainAE = append(trainAE, v...)
+	}
+	benignX, err := pools.SampleBenignVectors(len(trainAE), rng)
+	if err != nil {
+		return nil, err
+	}
+	// 80/20 accuracy on the comprehensive training distribution.
+	conf, err := maeTrainEval(benignX, trainAE, env.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.addf("test accuracy %s  FPR %s  FNR %s", pct(conf.Accuracy()), pct(conf.FPR()), pct(conf.FNR()))
+	// Defense rates over original AEs and Types 1-3.
+	svm, err := trainSVMOn(benignX, trainAE)
+	if err != nil {
+		return nil, err
+	}
+	rate, err := defenseRate(svm, aeX)
+	if err != nil {
+		return nil, err
+	}
+	res.addf("%-28s defense rate %s", "Original AEs", pct(rate))
+	for i, t := range types[:3] {
+		v, err := pools.SynthesizeMAE(t, n, rng)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := defenseRate(svm, v)
+		if err != nil {
+			return nil, err
+		}
+		res.addf("%-28s defense rate %s", t.Name, pct(rate))
+		_ = i
+	}
+	return res, nil
+}

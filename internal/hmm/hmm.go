@@ -1,0 +1,139 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Emitter scores an observation under a state's emission distribution.
+type Emitter interface {
+	LogProb(x []float64) float64
+}
+
+// HMM is a first-order hidden Markov model with one Emitter per state.
+// LogTrans[i][j] is the log probability of moving from state i to j;
+// LogInit[i] the log probability of starting in state i.
+type HMM struct {
+	NumStates int
+	LogInit   []float64
+	LogTrans  [][]float64
+	Emitters  []Emitter
+}
+
+// NewHMM validates shapes and wraps the parameters.
+func NewHMM(logInit []float64, logTrans [][]float64, emitters []Emitter) (*HMM, error) {
+	n := len(emitters)
+	if n == 0 {
+		return nil, fmt.Errorf("hmm: no states")
+	}
+	if len(logInit) != n || len(logTrans) != n {
+		return nil, fmt.Errorf("hmm: shape mismatch: %d emitters, %d init, %d trans rows", n, len(logInit), len(logTrans))
+	}
+	for i, row := range logTrans {
+		if len(row) != n {
+			return nil, fmt.Errorf("hmm: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return &HMM{NumStates: n, LogInit: logInit, LogTrans: logTrans, Emitters: emitters}, nil
+}
+
+// Viterbi returns the most likely state sequence for the observations and
+// its log probability.
+func (h *HMM) Viterbi(obs [][]float64) ([]int, float64, error) {
+	T := len(obs)
+	if T == 0 {
+		return nil, 0, fmt.Errorf("hmm: empty observation sequence")
+	}
+	n := h.NumStates
+	delta := make([]float64, n)
+	prevDelta := make([]float64, n)
+	back := make([][]int32, T)
+	for i := 0; i < n; i++ {
+		prevDelta[i] = h.LogInit[i] + h.Emitters[i].LogProb(obs[0])
+	}
+	back[0] = make([]int32, n)
+	for t := 1; t < T; t++ {
+		back[t] = make([]int32, n)
+		for j := 0; j < n; j++ {
+			bestScore, bestState := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				s := prevDelta[i] + h.LogTrans[i][j]
+				if s > bestScore {
+					bestScore, bestState = s, i
+				}
+			}
+			delta[j] = bestScore + h.Emitters[j].LogProb(obs[t])
+			back[t][j] = int32(bestState)
+		}
+		prevDelta, delta = delta, prevDelta
+	}
+	bestScore, bestState := math.Inf(-1), 0
+	for i := 0; i < n; i++ {
+		if prevDelta[i] > bestScore {
+			bestScore, bestState = prevDelta[i], i
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		return nil, bestScore, fmt.Errorf("hmm: all paths have zero probability")
+	}
+	path := make([]int, T)
+	path[T-1] = bestState
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = int(back[t][path[t]])
+	}
+	return path, bestScore, nil
+}
+
+// EstimateTransitions computes a smoothed ML transition matrix and initial
+// distribution from labelled state sequences over numStates states.
+func EstimateTransitions(sequences [][]int, numStates int, smoothing float64) ([]float64, [][]float64, error) {
+	if numStates <= 0 {
+		return nil, nil, fmt.Errorf("hmm: numStates %d must be positive", numStates)
+	}
+	if smoothing <= 0 {
+		smoothing = 0.1
+	}
+	initCounts := make([]float64, numStates)
+	transCounts := make([][]float64, numStates)
+	for i := range transCounts {
+		transCounts[i] = make([]float64, numStates)
+		for j := range transCounts[i] {
+			transCounts[i][j] = smoothing
+		}
+		initCounts[i] = smoothing
+	}
+	for _, seq := range sequences {
+		if len(seq) == 0 {
+			continue
+		}
+		for _, s := range seq {
+			if s < 0 || s >= numStates {
+				return nil, nil, fmt.Errorf("hmm: state %d out of range [0,%d)", s, numStates)
+			}
+		}
+		initCounts[seq[0]]++
+		for t := 1; t < len(seq); t++ {
+			transCounts[seq[t-1]][seq[t]]++
+		}
+	}
+	logInit := make([]float64, numStates)
+	var initTotal float64
+	for _, c := range initCounts {
+		initTotal += c
+	}
+	for i, c := range initCounts {
+		logInit[i] = math.Log(c / initTotal)
+	}
+	logTrans := make([][]float64, numStates)
+	for i := range transCounts {
+		var rowTotal float64
+		for _, c := range transCounts[i] {
+			rowTotal += c
+		}
+		logTrans[i] = make([]float64, numStates)
+		for j, c := range transCounts[i] {
+			logTrans[i][j] = math.Log(c / rowTotal)
+		}
+	}
+	return logInit, logTrans, nil
+}

@@ -1,0 +1,291 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianLogProb(t *testing.T) {
+	g, err := NewGaussian([]float64{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard normal at 0: log(1/sqrt(2pi)).
+	want := -0.5 * log2Pi
+	if got := g.LogProb([]float64{0}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logprob %g, want %g", got, want)
+	}
+	// Density decreases away from the mean.
+	if g.LogProb([]float64{2}) >= g.LogProb([]float64{0}) {
+		t.Fatal("density not peaked at mean")
+	}
+	// Dimension mismatch yields -Inf.
+	if !math.IsInf(g.LogProb([]float64{0, 0}), -1) {
+		t.Fatal("dimension mismatch must be -Inf")
+	}
+	if _, err := NewGaussian(nil, nil); err == nil {
+		t.Fatal("expected error for empty dims")
+	}
+	if _, err := NewGaussian([]float64{0}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for dim mismatch")
+	}
+}
+
+func TestGaussianVarianceFloor(t *testing.T) {
+	g, err := NewGaussian([]float64{0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Var[0] < varFloor {
+		t.Fatalf("variance %g below floor", g.Var[0])
+	}
+	if math.IsNaN(g.LogProb([]float64{0.1})) {
+		t.Fatal("NaN logprob with floored variance")
+	}
+}
+
+func TestFitGaussianRecoverMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueMean := []float64{2, -1}
+	trueStd := []float64{0.5, 2}
+	samples := make([][]float64, 5000)
+	for i := range samples {
+		samples[i] = []float64{
+			trueMean[0] + rng.NormFloat64()*trueStd[0],
+			trueMean[1] + rng.NormFloat64()*trueStd[1],
+		}
+	}
+	g, err := FitGaussian(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trueMean {
+		if math.Abs(g.Mean[i]-trueMean[i]) > 0.1 {
+			t.Fatalf("mean[%d] = %g, want %g", i, g.Mean[i], trueMean[i])
+		}
+		if math.Abs(math.Sqrt(g.Var[i])-trueStd[i]) > 0.1 {
+			t.Fatalf("std[%d] = %g, want %g", i, math.Sqrt(g.Var[i]), trueStd[i])
+		}
+	}
+	if _, err := FitGaussian(nil); err == nil {
+		t.Fatal("expected error for no samples")
+	}
+	if _, err := FitGaussian([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error for ragged samples")
+	}
+}
+
+func TestFitGMMSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([][]float64, 0, 1000)
+	for i := 0; i < 500; i++ {
+		samples = append(samples, []float64{-3 + rng.NormFloat64()*0.5})
+		samples = append(samples, []float64{3 + rng.NormFloat64()*0.5})
+	}
+	gmm, err := FitGMM(samples, 2, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mixture must assign much higher likelihood to cluster centres
+	// than to the empty middle.
+	lCenter := gmm.LogProb([]float64{3})
+	lMiddle := gmm.LogProb([]float64{0})
+	if lCenter-lMiddle < 2 {
+		t.Fatalf("GMM did not separate clusters: center %g middle %g", lCenter, lMiddle)
+	}
+	// Weights roughly balanced.
+	if math.Abs(gmm.Weights[0]-0.5) > 0.15 {
+		t.Fatalf("weights %v, want ~[0.5 0.5]", gmm.Weights)
+	}
+}
+
+func TestFitGMMEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := FitGMM(nil, 2, 3, rng); err == nil {
+		t.Fatal("expected error for no samples")
+	}
+	if _, err := FitGMM([][]float64{{1}}, 0, 3, rng); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	// k larger than sample count must degrade, not crash.
+	gmm, err := FitGMM([][]float64{{1}, {2}}, 5, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(gmm.LogProb([]float64{1.5}), -1) {
+		t.Fatal("degenerate GMM has zero density everywhere")
+	}
+}
+
+func TestHMMViterbiRecoverStates(t *testing.T) {
+	// Two well-separated emitters, sticky transitions.
+	g0, err := NewGaussian([]float64{-2}, []float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := NewGaussian([]float64{2}, []float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stay, move := math.Log(0.9), math.Log(0.1)
+	h, err := NewHMM(
+		[]float64{math.Log(0.5), math.Log(0.5)},
+		[][]float64{{stay, move}, {move, stay}},
+		[]Emitter{g0, g1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	trueStates := []int{0, 0, 0, 1, 1, 1, 1, 0, 0}
+	obs := make([][]float64, len(trueStates))
+	for i, s := range trueStates {
+		mean := -2.0
+		if s == 1 {
+			mean = 2
+		}
+		obs[i] = []float64{mean + rng.NormFloat64()*0.3}
+	}
+	path, score, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(score, -1) {
+		t.Fatal("zero-probability best path")
+	}
+	for i, s := range trueStates {
+		if path[i] != s {
+			t.Fatalf("frame %d: decoded %d, want %d (path %v)", i, path[i], s, path)
+		}
+	}
+	if _, _, err := h.Viterbi(nil); err == nil {
+		t.Fatal("expected error for empty observations")
+	}
+}
+
+func TestHMMViterbiSmoothsNoise(t *testing.T) {
+	// A single mid-sequence outlier observation must be smoothed over by
+	// sticky transitions.
+	g0, _ := NewGaussian([]float64{-2}, []float64{1})
+	g1, _ := NewGaussian([]float64{2}, []float64{1})
+	stay, move := math.Log(0.95), math.Log(0.05)
+	h, err := NewHMM(
+		[]float64{math.Log(0.5), math.Log(0.5)},
+		[][]float64{{stay, move}, {move, stay}},
+		[]Emitter{g0, g1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := [][]float64{{-2}, {-2}, {1.0}, {-2}, {-2}}
+	path, _, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range path {
+		if s != 0 {
+			t.Fatalf("frame %d flipped to state %d: %v", i, s, path)
+		}
+	}
+}
+
+func TestNewHMMValidation(t *testing.T) {
+	g, _ := NewGaussian([]float64{0}, []float64{1})
+	if _, err := NewHMM(nil, nil, nil); err == nil {
+		t.Fatal("expected error for no states")
+	}
+	if _, err := NewHMM([]float64{0}, [][]float64{{0, 0}}, []Emitter{g}); err == nil {
+		t.Fatal("expected error for ragged transition row")
+	}
+	if _, err := NewHMM([]float64{0, 0}, [][]float64{{0}}, []Emitter{g}); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestEstimateTransitions(t *testing.T) {
+	seqs := [][]int{
+		{0, 0, 0, 1, 1},
+		{0, 1, 1, 1, 2},
+		{2, 2, 0},
+	}
+	logInit, logTrans, err := EstimateTransitions(seqs, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are distributions.
+	for i, row := range logTrans {
+		var sum float64
+		for _, lp := range row {
+			sum += math.Exp(lp)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	var initSum float64
+	for _, lp := range logInit {
+		initSum += math.Exp(lp)
+	}
+	if math.Abs(initSum-1) > 1e-9 {
+		t.Fatalf("init sums to %g", initSum)
+	}
+	// Self-transition 0->0 observed twice, 0->1 twice: roughly equal.
+	if math.Abs(logTrans[0][0]-logTrans[0][1]) > 0.1 {
+		t.Fatalf("0->0 %g vs 0->1 %g", logTrans[0][0], logTrans[0][1])
+	}
+	// Unseen transition 1->0 should be much less likely than seen 1->1.
+	if logTrans[1][1]-logTrans[1][0] < 1 {
+		t.Fatal("smoothed unseen transition not penalized")
+	}
+	if _, _, err := EstimateTransitions([][]int{{5}}, 3, 0.1); err == nil {
+		t.Fatal("expected error for out-of-range state")
+	}
+	if _, _, err := EstimateTransitions(nil, 0, 0.1); err == nil {
+		t.Fatal("expected error for zero states")
+	}
+}
+
+func BenchmarkViterbi(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	emitters := make([]Emitter, n)
+	logInit := make([]float64, n)
+	logTrans := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		mean := make([]float64, 13)
+		variance := make([]float64, 13)
+		for j := range mean {
+			mean[j] = rng.NormFloat64() * 3
+			variance[j] = 1
+		}
+		g, err := NewGaussian(mean, variance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitters[i] = g
+		logInit[i] = math.Log(1 / float64(n))
+		logTrans[i] = make([]float64, n)
+		for j := range logTrans[i] {
+			logTrans[i][j] = math.Log(1 / float64(n))
+		}
+	}
+	h, err := NewHMM(logInit, logTrans, emitters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([][]float64, 100)
+	for t := range obs {
+		o := make([]float64, 13)
+		for j := range o {
+			o[j] = rng.NormFloat64() * 3
+		}
+		obs[t] = o
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := h.Viterbi(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package lm implements a word-level n-gram language model with add-k
+// smoothing. Every ASR engine uses an instance (trained on its own corpus
+// sample) for the paper's "language generation" stage: rescoring candidate
+// words during lexicon decoding.
+package lm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+const (
+	// BOS and EOS are the sentence boundary tokens.
+	BOS = "<s>"
+	EOS = "</s>"
+	// UNK is the unknown-word token.
+	UNK = "<unk>"
+)
+
+// Model is an n-gram language model with add-k smoothing.
+type Model struct {
+	Order  int
+	K      float64 // additive smoothing constant
+	Vocab  map[string]bool
+	counts map[string]float64 // n-gram counts keyed by joined context+word
+	ctx    map[string]float64 // context counts
+}
+
+// New creates an untrained model of the given order (2 = bigram).
+func New(order int, k float64) (*Model, error) {
+	if order < 1 || order > 4 {
+		return nil, fmt.Errorf("lm: order %d out of supported range [1,4]", order)
+	}
+	if k <= 0 {
+		k = 0.1
+	}
+	return &Model{
+		Order:  order,
+		K:      k,
+		Vocab:  make(map[string]bool),
+		counts: make(map[string]float64),
+		ctx:    make(map[string]float64),
+	}, nil
+}
+
+// Train accumulates counts from tokenized sentences.
+func (m *Model) Train(sentences [][]string) {
+	for _, sent := range sentences {
+		padded := make([]string, 0, len(sent)+2*(m.Order-1))
+		for i := 0; i < m.Order-1; i++ {
+			padded = append(padded, BOS)
+		}
+		for _, w := range sent {
+			w = strings.ToLower(w)
+			m.Vocab[w] = true
+			padded = append(padded, w)
+		}
+		padded = append(padded, EOS)
+		for i := m.Order - 1; i < len(padded); i++ {
+			context := strings.Join(padded[i-m.Order+1:i], " ")
+			m.counts[context+"\x00"+padded[i]]++
+			m.ctx[context]++
+		}
+	}
+}
+
+// vocabSize returns |V| including EOS and UNK.
+func (m *Model) vocabSize() float64 {
+	return float64(len(m.Vocab) + 2)
+}
+
+// LogProb returns the add-k smoothed log probability of word following the
+// context (the last Order-1 tokens of history are used).
+func (m *Model) LogProb(history []string, word string) float64 {
+	word = strings.ToLower(word)
+	if !m.Vocab[word] && word != EOS {
+		word = UNK
+	}
+	ctxTokens := make([]string, 0, m.Order-1)
+	need := m.Order - 1
+	if len(history) >= need {
+		ctxTokens = append(ctxTokens, history[len(history)-need:]...)
+	} else {
+		for i := 0; i < need-len(history); i++ {
+			ctxTokens = append(ctxTokens, BOS)
+		}
+		ctxTokens = append(ctxTokens, history...)
+	}
+	for i, t := range ctxTokens {
+		ctxTokens[i] = strings.ToLower(t)
+	}
+	context := strings.Join(ctxTokens, " ")
+	num := m.counts[context+"\x00"+word] + m.K
+	den := m.ctx[context] + m.K*m.vocabSize()
+	return math.Log(num / den)
+}
+
+// SentenceLogProb scores a full tokenized sentence including the EOS
+// transition.
+func (m *Model) SentenceLogProb(sent []string) float64 {
+	var total float64
+	history := make([]string, 0, len(sent))
+	for _, w := range sent {
+		total += m.LogProb(history, w)
+		history = append(history, strings.ToLower(w))
+	}
+	total += m.LogProb(history, EOS)
+	return total
+}
+
+// Perplexity returns the per-token perplexity of the sentences.
+func (m *Model) Perplexity(sentences [][]string) float64 {
+	var logSum float64
+	var tokens int
+	for _, s := range sentences {
+		logSum += m.SentenceLogProb(s)
+		tokens += len(s) + 1 // EOS
+	}
+	if tokens == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-logSum / float64(tokens))
+}
+
+// Counts returns a copy of the n-gram count table (for persistence).
+func (m *Model) Counts() map[string]float64 {
+	out := make(map[string]float64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ContextCounts returns a copy of the context count table (for
+// persistence).
+func (m *Model) ContextCounts() map[string]float64 {
+	out := make(map[string]float64, len(m.ctx))
+	for k, v := range m.ctx {
+		out[k] = v
+	}
+	return out
+}
+
+// Restore replaces the model's state with previously exported vocabulary
+// and count tables (the inverse of Counts/ContextCounts).
+func (m *Model) Restore(vocab []string, counts, ctx map[string]float64) {
+	m.Vocab = make(map[string]bool, len(vocab))
+	for _, w := range vocab {
+		m.Vocab[w] = true
+	}
+	m.counts = make(map[string]float64, len(counts))
+	for k, v := range counts {
+		m.counts[k] = v
+	}
+	m.ctx = make(map[string]float64, len(ctx))
+	for k, v := range ctx {
+		m.ctx[k] = v
+	}
+}
+
+// Candidate is a scored decoding hypothesis.
+type Candidate struct {
+	Word  string
+	Score float64 // acoustic (or other upstream) log score
+}
+
+// Rescore combines each candidate's upstream score with the language-model
+// log probability (weighted by lmWeight) and returns candidates sorted
+// best-first.
+func (m *Model) Rescore(history []string, cands []Candidate, lmWeight float64) []Candidate {
+	out := make([]Candidate, len(cands))
+	copy(out, cands)
+	for i := range out {
+		out[i].Score += lmWeight * m.LogProb(history, out[i].Word)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}

@@ -1,0 +1,167 @@
+package lm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func trainCorpus() [][]string {
+	sents := []string{
+		"open the door",
+		"open the window",
+		"close the door",
+		"the door is open",
+		"the cat is small",
+		"the dog is big",
+		"i open the door",
+		"you close the window",
+	}
+	out := make([][]string, len(sents))
+	for i, s := range sents {
+		out[i] = strings.Fields(s)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.1); err == nil {
+		t.Fatal("expected error for order 0")
+	}
+	if _, err := New(5, 0.1); err == nil {
+		t.Fatal("expected error for order 5")
+	}
+	m, err := New(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K <= 0 {
+		t.Fatal("smoothing constant must default positive")
+	}
+}
+
+func TestBigramProbabilities(t *testing.T) {
+	m, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	// "the door" is frequent; "the zebra" unseen.
+	seen := m.LogProb([]string{"the"}, "door")
+	unseen := m.LogProb([]string{"the"}, "zebra")
+	if seen <= unseen {
+		t.Fatalf("seen bigram %g not above unseen %g", seen, unseen)
+	}
+	// Probabilities over the vocabulary + EOS + UNK must sum to ~1.
+	var sum float64
+	for w := range m.Vocab {
+		sum += math.Exp(m.LogProb([]string{"the"}, w))
+	}
+	sum += math.Exp(m.LogProb([]string{"the"}, EOS))
+	sum += math.Exp(m.LogProb([]string{"the"}, UNK))
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	m, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	a := m.LogProb([]string{"THE"}, "Door")
+	b := m.LogProb([]string{"the"}, "door")
+	if a != b {
+		t.Fatalf("case sensitivity: %g vs %g", a, b)
+	}
+}
+
+func TestShortHistoryPadding(t *testing.T) {
+	m, err := New(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	// Must not panic with empty history; BOS padding applies.
+	lp := m.LogProb(nil, "open")
+	if math.IsNaN(lp) || math.IsInf(lp, 0) {
+		t.Fatalf("bad logprob %g", lp)
+	}
+	// Sentence-initial "open" and "the" both occur; both finite.
+	lp2 := m.LogProb([]string{"i"}, "open")
+	if math.IsNaN(lp2) {
+		t.Fatal("NaN logprob")
+	}
+}
+
+func TestSentenceLogProbOrdersSentences(t *testing.T) {
+	m, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	good := m.SentenceLogProb([]string{"open", "the", "door"})
+	bad := m.SentenceLogProb([]string{"door", "open", "the"})
+	if good <= bad {
+		t.Fatalf("grammatical sentence %g not above scrambled %g", good, bad)
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	m, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := trainCorpus()
+	m.Train(corpus)
+	ppl := m.Perplexity(corpus)
+	if ppl <= 1 || ppl > 100 {
+		t.Fatalf("train perplexity %g implausible", ppl)
+	}
+	// Unseen gibberish has higher perplexity.
+	weird := [][]string{{"zebra", "quark", "flux"}}
+	if m.Perplexity(weird) <= ppl {
+		t.Fatal("gibberish perplexity not higher than train perplexity")
+	}
+	if !math.IsInf(m.Perplexity(nil), 1) {
+		t.Fatal("empty corpus perplexity must be +Inf")
+	}
+}
+
+func TestRescorePrefersLikelyWord(t *testing.T) {
+	m, err := New(2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	cands := []Candidate{
+		{Word: "zebra", Score: -1.0}, // slightly better acoustic score
+		{Word: "door", Score: -1.3},
+	}
+	out := m.Rescore([]string{"the"}, cands, 1.0)
+	if out[0].Word != "door" {
+		t.Fatalf("LM rescoring picked %q", out[0].Word)
+	}
+	// With zero LM weight the acoustic ranking stands.
+	out = m.Rescore([]string{"the"}, cands, 0)
+	if out[0].Word != "zebra" {
+		t.Fatalf("zero-weight rescoring picked %q", out[0].Word)
+	}
+	// Input slice must not be mutated.
+	if cands[0].Word != "zebra" || cands[0].Score != -1.0 {
+		t.Fatal("Rescore mutated its input")
+	}
+}
+
+func TestUnigramModel(t *testing.T) {
+	m, err := New(1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(trainCorpus())
+	// "the" is the most common token.
+	if m.LogProb(nil, "the") <= m.LogProb(nil, "cat") {
+		t.Fatal("unigram frequencies not learned")
+	}
+}

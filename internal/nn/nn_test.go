@@ -1,0 +1,423 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMLPShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMLP(rng, 5, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputSize() != 5 || m.OutputSize() != 3 || m.NumLayers() != 2 {
+		t.Fatalf("bad shape: in %d out %d layers %d", m.InputSize(), m.OutputSize(), m.NumLayers())
+	}
+	y, err := m.Forward([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 3 {
+		t.Fatalf("output size %d", len(y))
+	}
+	if _, err := m.Forward([]float64{1}); err == nil {
+		t.Fatal("expected size error")
+	}
+	if _, err := NewMLP(rng, 5); err == nil {
+		t.Fatal("expected error for 1 layer size")
+	}
+	if _, err := NewMLP(rng, 5, 0, 3); err == nil {
+		t.Fatal("expected error for zero width")
+	}
+}
+
+// TestMLPGradientCheck validates both parameter and input gradients by
+// central finite differences.
+func TestMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := NewMLP(rng, 4, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 1.2, 0.1}
+	target := 2
+	lossOf := func() float64 {
+		logits, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := CrossEntropy(logits, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	logits, cache, err := m.ForwardCache(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLogits, err := CrossEntropy(logits, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.NewGrads()
+	dx, err := m.Backward(cache, dLogits, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	check := func(name string, analytic float64, bump func(delta float64)) {
+		bump(eps)
+		lp := lossOf()
+		bump(-2 * eps)
+		lm := lossOf()
+		bump(eps)
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-analytic) > 1e-5*(math.Abs(num)+math.Abs(analytic)+1) {
+			t.Fatalf("%s: analytic %g numeric %g", name, analytic, num)
+		}
+	}
+	for l := range m.W {
+		for _, i := range []int{0, len(m.W[l]) / 2, len(m.W[l]) - 1} {
+			l, i := l, i
+			check("W", g.W[l][i], func(d float64) { m.W[l][i] += d })
+		}
+		check("B", g.B[l][0], func(d float64) { m.B[l][0] += d })
+	}
+	for i := range x {
+		i := i
+		check("x", dx[i], func(d float64) { x[i] += d })
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMLP(rng, 2, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []int{0, 1, 1, 0}
+	opt := NewSGD(0.5, 0.9)
+	g := m.NewGrads()
+	for epoch := 0; epoch < 500; epoch++ {
+		g.Zero()
+		for i, x := range data {
+			logits, cache, err := m.ForwardCache(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, dl, err := CrossEntropy(logits, labels[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Backward(cache, dl, g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		opt.Step(m, g, len(data))
+	}
+	for i, x := range data {
+		logits, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Argmax(logits) != labels[i] {
+			t.Fatalf("XOR not learned at %v", x)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		// Clamp to avoid Inf inputs from quick.
+		cl := func(v float64) float64 { return math.Max(-50, math.Min(50, v)) }
+		p := Softmax([]float64{cl(a), cl(b), cl(c)})
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Shift invariance.
+	p1 := Softmax([]float64{1, 2, 3})
+	p2 := Softmax([]float64{101, 102, 103})
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-12 {
+			t.Fatal("softmax not shift invariant")
+		}
+	}
+	if got := Softmax(nil); len(got) != 0 {
+		t.Fatal("softmax of empty should be empty")
+	}
+}
+
+func TestLogSoftmaxMatchesSoftmax(t *testing.T) {
+	logits := []float64{0.5, -1.2, 3.3, 0}
+	p := Softmax(logits)
+	lp := LogSoftmax(logits)
+	for i := range p {
+		if math.Abs(math.Exp(lp[i])-p[i]) > 1e-12 {
+			t.Fatalf("bin %d: exp(logsoftmax) %g vs softmax %g", i, math.Exp(lp[i]), p[i])
+		}
+	}
+}
+
+func TestCrossEntropyErrors(t *testing.T) {
+	if _, _, err := CrossEntropy([]float64{1, 2}, 5); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, _, err := CrossEntropy([]float64{1, 2}, -1); err == nil {
+		t.Fatal("expected range error")
+	}
+	loss, grad, err := CrossEntropy([]float64{10, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.01 {
+		t.Fatalf("confident correct prediction has loss %g", loss)
+	}
+	var sum float64
+	for _, v := range grad {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("CE gradient must sum to 0, got %g", sum)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Fatal("Argmax(nil)")
+	}
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Fatal("Argmax basic")
+	}
+	if Argmax([]float64{5, 5}) != 0 {
+		t.Fatal("Argmax tie must pick first")
+	}
+}
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewMLP(rng, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	y1, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := back.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("loaded model differs")
+		}
+	}
+	if _, err := LoadMLP(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestRNNGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r, err := NewRNN(rng, 3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0.1, -0.2, 0.3}, {0.5, 0.1, -0.4}, {-0.3, 0.2, 0.6}}
+	targets := []int{0, 1, 0}
+	lossOf := func() float64 {
+		logits, _, err := r.ForwardSeq(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for t2, lg := range logits {
+			l, _, err := CrossEntropy(lg, targets[t2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += l
+		}
+		return total
+	}
+	logits, cache, err := r.ForwardSeq(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLogits := make([][]float64, len(logits))
+	for t2, lg := range logits {
+		_, dl, err := CrossEntropy(lg, targets[t2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dLogits[t2] = dl
+	}
+	g := r.NewGrads()
+	dxs, err := r.BackwardSeq(cache, dLogits, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	check := func(name string, analytic float64, bump func(delta float64)) {
+		bump(eps)
+		lp := lossOf()
+		bump(-2 * eps)
+		lm := lossOf()
+		bump(eps)
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-analytic) > 1e-5*(math.Abs(num)+math.Abs(analytic)+1) {
+			t.Fatalf("%s: analytic %g numeric %g", name, analytic, num)
+		}
+	}
+	check("Wx", g.Wx[2], func(d float64) { r.Wx[2] += d })
+	check("Wh", g.Wh[7], func(d float64) { r.Wh[7] += d })
+	check("Wy", g.Wy[3], func(d float64) { r.Wy[3] += d })
+	check("Bh", g.Bh[1], func(d float64) { r.Bh[1] += d })
+	check("By", g.By[0], func(d float64) { r.By[0] += d })
+	check("x[1][2]", dxs[1][2], func(d float64) { xs[1][2] += d })
+	check("x[0][0]", dxs[0][0], func(d float64) { xs[0][0] += d })
+}
+
+func TestRNNLearnsDelayedMemory(t *testing.T) {
+	// Label frame t by the input at frame t-1 — solvable only with
+	// recurrent state, so a working BPTT is necessary.
+	rng := rand.New(rand.NewSource(6))
+	r, err := NewRNN(rng, 1, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewRNNSGD(0.15, 0.9, 5)
+	g := r.NewGrads()
+	mkSeq := func(rng *rand.Rand) ([][]float64, []int) {
+		T := 6
+		xs := make([][]float64, T)
+		ys := make([]int, T)
+		prev := 0
+		for t2 := 0; t2 < T; t2++ {
+			bit := rng.Intn(2)
+			xs[t2] = []float64{float64(bit)}
+			ys[t2] = prev
+			prev = bit
+		}
+		return xs, ys
+	}
+	for epoch := 0; epoch < 2000; epoch++ {
+		g.Zero()
+		xs, ys := mkSeq(rng)
+		logits, cache, err := r.ForwardSeq(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dLogits := make([][]float64, len(logits))
+		for t2 := range logits {
+			_, dl, err := CrossEntropy(logits[t2], ys[t2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dLogits[t2] = dl
+		}
+		if _, err := r.BackwardSeq(cache, dLogits, g); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step(r, g, len(xs))
+	}
+	correct, total := 0, 0
+	eval := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		xs, ys := mkSeq(eval)
+		logits, _, err := r.ForwardSeq(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for t2 := range logits {
+			if Argmax(logits[t2]) == ys[t2] {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("parity accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestRNNSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r, err := NewRNN(rng, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRNN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := [][]float64{{0.5, -0.5}, {1, 0}}
+	y1, _, err := r.ForwardSeq(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, _, err := back.ForwardSeq(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range y1 {
+		for i := range y1[t2] {
+			if y1[t2][i] != y2[t2][i] {
+				t.Fatal("loaded RNN differs")
+			}
+		}
+	}
+	if _, err := NewRNN(rng, 0, 3, 2); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m, err := NewMLP(rng, 65, 64, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 65)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package phoneme
+
+import "strings"
+
+// G2P converts an out-of-vocabulary lower-case word to a phoneme-symbol
+// sequence using greedy longest-match letter rules. It is intentionally
+// simple — the lexicon covers the working vocabulary and G2P only has to
+// produce *some* stable pronunciation so unknown words remain comparable
+// across ASR engines.
+func G2P(word string) []string {
+	word = strings.ToLower(word)
+	// Multi-letter rules first (greedy longest match).
+	digraphs := []struct {
+		seq string
+		ph  []string
+	}{
+		{"tion", []string{"SH", "AH", "N"}},
+		{"ough", []string{"OW"}},
+		{"igh", []string{"AY"}},
+		{"ing", []string{"IH", "NG"}},
+		{"ch", []string{"CH"}},
+		{"sh", []string{"SH"}},
+		{"th", []string{"TH"}},
+		{"ph", []string{"F"}},
+		{"wh", []string{"W"}},
+		{"ck", []string{"K"}},
+		{"ng", []string{"NG"}},
+		{"qu", []string{"K", "W"}},
+		{"ee", []string{"IY"}},
+		{"ea", []string{"IY"}},
+		{"oo", []string{"UW"}},
+		{"ou", []string{"AW"}},
+		{"ow", []string{"OW"}},
+		{"ai", []string{"EY"}},
+		{"ay", []string{"EY"}},
+		{"oi", []string{"OY"}},
+		{"oy", []string{"OY"}},
+		{"au", []string{"AO"}},
+		{"aw", []string{"AO"}},
+	}
+	single := map[byte][]string{
+		'a': {"AE"}, 'b': {"B"}, 'c': {"K"}, 'd': {"D"}, 'e': {"EH"},
+		'f': {"F"}, 'g': {"G"}, 'h': {"HH"}, 'i': {"IH"}, 'j': {"JH"},
+		'k': {"K"}, 'l': {"L"}, 'm': {"M"}, 'n': {"N"}, 'o': {"AA"},
+		'p': {"P"}, 'q': {"K"}, 'r': {"R"}, 's': {"S"}, 't': {"T"},
+		'u': {"AH"}, 'v': {"V"}, 'w': {"W"}, 'x': {"K", "S"},
+		'y': {"IY"}, 'z': {"Z"},
+	}
+	var out []string
+	i := 0
+outer:
+	for i < len(word) {
+		// Silent trailing 'e'.
+		if word[i] == 'e' && i == len(word)-1 && len(out) > 0 {
+			break
+		}
+		for _, d := range digraphs {
+			if strings.HasPrefix(word[i:], d.seq) {
+				out = append(out, d.ph...)
+				i += len(d.seq)
+				continue outer
+			}
+		}
+		if ph, ok := single[word[i]]; ok {
+			out = append(out, ph...)
+		}
+		i++
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package phoneme defines the ARPAbet-style phoneme inventory, the
+// pronunciation lexicon, and grapheme-to-phoneme conversion shared by the
+// speech synthesizer and every ASR engine. Each phoneme carries an acoustic
+// signature (formant frequencies, voicing, manner, nominal duration) that
+// the synthesizer renders and the acoustic models learn to recognize.
+package phoneme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Manner describes the articulation class of a phoneme, which controls how
+// the synthesizer renders it.
+type Manner int
+
+// Articulation classes.
+const (
+	MannerVowel Manner = iota + 1
+	MannerFricative
+	MannerStop
+	MannerNasal
+	MannerApproximant
+	MannerAffricate
+	MannerSilence
+)
+
+// Phoneme is one unit of the inventory together with its acoustic
+// signature.
+type Phoneme struct {
+	Symbol string
+	Manner Manner
+	F1     float64 // first formant / spectral locus, Hz
+	F2     float64 // second formant, Hz
+	F3     float64 // third formant, Hz
+	Voiced bool
+	DurMS  float64 // nominal duration in milliseconds
+	Amp    float64 // relative amplitude
+}
+
+// Sil is the silence phoneme symbol inserted between words.
+const Sil = "SIL"
+
+// inventory lists every phoneme. Formants are spread across the 0–4 kHz
+// band (8 kHz sampling) so that phonemes are acoustically separable; vowel
+// values follow classic American English formant tables.
+var inventory = []Phoneme{
+	{Symbol: Sil, Manner: MannerSilence, DurMS: 90, Amp: 0},
+
+	// Monophthong vowels.
+	{Symbol: "AA", Manner: MannerVowel, F1: 730, F2: 1090, F3: 2440, Voiced: true, DurMS: 120, Amp: 1.0},
+	{Symbol: "AE", Manner: MannerVowel, F1: 660, F2: 1720, F3: 2410, Voiced: true, DurMS: 120, Amp: 1.0},
+	{Symbol: "AH", Manner: MannerVowel, F1: 640, F2: 1190, F3: 2390, Voiced: true, DurMS: 90, Amp: 0.9},
+	{Symbol: "AO", Manner: MannerVowel, F1: 570, F2: 840, F3: 2410, Voiced: true, DurMS: 120, Amp: 1.0},
+	{Symbol: "EH", Manner: MannerVowel, F1: 530, F2: 1840, F3: 2480, Voiced: true, DurMS: 100, Amp: 1.0},
+	{Symbol: "ER", Manner: MannerVowel, F1: 490, F2: 1350, F3: 1690, Voiced: true, DurMS: 110, Amp: 0.9},
+	{Symbol: "IH", Manner: MannerVowel, F1: 390, F2: 1990, F3: 2550, Voiced: true, DurMS: 90, Amp: 0.9},
+	{Symbol: "IY", Manner: MannerVowel, F1: 270, F2: 2290, F3: 3010, Voiced: true, DurMS: 110, Amp: 1.0},
+	{Symbol: "UH", Manner: MannerVowel, F1: 440, F2: 1020, F3: 2240, Voiced: true, DurMS: 90, Amp: 0.9},
+	{Symbol: "UW", Manner: MannerVowel, F1: 300, F2: 870, F3: 2240, Voiced: true, DurMS: 110, Amp: 1.0},
+
+	// Diphthongs (rendered as formant glides by the synthesizer; the F
+	// values here are the starting point and the glide target is encoded
+	// in the synthesizer table).
+	{Symbol: "AW", Manner: MannerVowel, F1: 710, F2: 1230, F3: 2440, Voiced: true, DurMS: 160, Amp: 1.0},
+	{Symbol: "AY", Manner: MannerVowel, F1: 710, F2: 1350, F3: 2500, Voiced: true, DurMS: 160, Amp: 1.0},
+	{Symbol: "EY", Manner: MannerVowel, F1: 480, F2: 2000, F3: 2600, Voiced: true, DurMS: 150, Amp: 1.0},
+	{Symbol: "OW", Manner: MannerVowel, F1: 500, F2: 1000, F3: 2350, Voiced: true, DurMS: 150, Amp: 1.0},
+	{Symbol: "OY", Manner: MannerVowel, F1: 560, F2: 920, F3: 2500, Voiced: true, DurMS: 170, Amp: 1.0},
+
+	// Fricatives: loci mark the noise band centre.
+	{Symbol: "F", Manner: MannerFricative, F1: 1100, F2: 2300, F3: 3400, DurMS: 90, Amp: 0.35},
+	{Symbol: "V", Manner: MannerFricative, F1: 1100, F2: 2300, F3: 3400, Voiced: true, DurMS: 70, Amp: 0.45},
+	{Symbol: "TH", Manner: MannerFricative, F1: 1400, F2: 2600, F3: 3600, DurMS: 90, Amp: 0.3},
+	{Symbol: "DH", Manner: MannerFricative, F1: 1400, F2: 2600, F3: 3600, Voiced: true, DurMS: 60, Amp: 0.4},
+	{Symbol: "S", Manner: MannerFricative, F1: 2500, F2: 3200, F3: 3800, DurMS: 100, Amp: 0.5},
+	{Symbol: "Z", Manner: MannerFricative, F1: 2500, F2: 3200, F3: 3800, Voiced: true, DurMS: 80, Amp: 0.5},
+	{Symbol: "SH", Manner: MannerFricative, F1: 1800, F2: 2400, F3: 3100, DurMS: 110, Amp: 0.5},
+	{Symbol: "ZH", Manner: MannerFricative, F1: 1800, F2: 2400, F3: 3100, Voiced: true, DurMS: 90, Amp: 0.5},
+	{Symbol: "HH", Manner: MannerFricative, F1: 900, F2: 1800, F3: 2800, DurMS: 60, Amp: 0.25},
+
+	// Stops: locus frequencies shape the release burst.
+	{Symbol: "P", Manner: MannerStop, F1: 700, F2: 1100, F3: 2400, DurMS: 70, Amp: 0.5},
+	{Symbol: "B", Manner: MannerStop, F1: 700, F2: 1100, F3: 2400, Voiced: true, DurMS: 60, Amp: 0.55},
+	{Symbol: "T", Manner: MannerStop, F1: 1800, F2: 2800, F3: 3600, DurMS: 70, Amp: 0.5},
+	{Symbol: "D", Manner: MannerStop, F1: 1800, F2: 2800, F3: 3600, Voiced: true, DurMS: 60, Amp: 0.55},
+	{Symbol: "K", Manner: MannerStop, F1: 1300, F2: 2000, F3: 3000, DurMS: 80, Amp: 0.5},
+	{Symbol: "G", Manner: MannerStop, F1: 1300, F2: 2000, F3: 3000, Voiced: true, DurMS: 70, Amp: 0.55},
+
+	// Affricates.
+	{Symbol: "CH", Manner: MannerAffricate, F1: 1900, F2: 2500, F3: 3200, DurMS: 110, Amp: 0.5},
+	{Symbol: "JH", Manner: MannerAffricate, F1: 1900, F2: 2500, F3: 3200, Voiced: true, DurMS: 100, Amp: 0.5},
+
+	// Nasals.
+	{Symbol: "M", Manner: MannerNasal, F1: 280, F2: 1050, F3: 2200, Voiced: true, DurMS: 80, Amp: 0.6},
+	{Symbol: "N", Manner: MannerNasal, F1: 280, F2: 1700, F3: 2600, Voiced: true, DurMS: 80, Amp: 0.6},
+	{Symbol: "NG", Manner: MannerNasal, F1: 280, F2: 2000, F3: 2800, Voiced: true, DurMS: 90, Amp: 0.6},
+
+	// Approximants / glides.
+	{Symbol: "L", Manner: MannerApproximant, F1: 360, F2: 1300, F3: 2700, Voiced: true, DurMS: 80, Amp: 0.7},
+	{Symbol: "R", Manner: MannerApproximant, F1: 420, F2: 1300, F3: 1600, Voiced: true, DurMS: 80, Amp: 0.7},
+	{Symbol: "W", Manner: MannerApproximant, F1: 300, F2: 700, F3: 2200, Voiced: true, DurMS: 70, Amp: 0.7},
+	{Symbol: "Y", Manner: MannerApproximant, F1: 280, F2: 2200, F3: 2900, Voiced: true, DurMS: 70, Amp: 0.7},
+}
+
+var (
+	symToIndex = buildSymIndex()
+	symbols    = buildSymbols()
+)
+
+func buildSymIndex() map[string]int {
+	m := make(map[string]int, len(inventory))
+	for i, p := range inventory {
+		m[p.Symbol] = i
+	}
+	return m
+}
+
+func buildSymbols() []string {
+	s := make([]string, len(inventory))
+	for i, p := range inventory {
+		s[i] = p.Symbol
+	}
+	return s
+}
+
+// Count returns the inventory size (including silence).
+func Count() int { return len(inventory) }
+
+// SilIndex returns the index of the silence phoneme.
+func SilIndex() int { return symToIndex[Sil] }
+
+// Index returns the numeric id of a phoneme symbol.
+func Index(symbol string) (int, error) {
+	i, ok := symToIndex[symbol]
+	if !ok {
+		return 0, fmt.Errorf("phoneme: unknown symbol %q", symbol)
+	}
+	return i, nil
+}
+
+// MustIndex is Index for symbols known to exist; it panics otherwise and is
+// intended for package-internal tables.
+func MustIndex(symbol string) int {
+	i, err := Index(symbol)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Symbol returns the symbol of a phoneme id.
+func Symbol(index int) (string, error) {
+	if index < 0 || index >= len(inventory) {
+		return "", fmt.Errorf("phoneme: index %d out of range [0,%d)", index, len(inventory))
+	}
+	return inventory[index].Symbol, nil
+}
+
+// Get returns the phoneme record for an id.
+func Get(index int) (Phoneme, error) {
+	if index < 0 || index >= len(inventory) {
+		return Phoneme{}, fmt.Errorf("phoneme: index %d out of range [0,%d)", index, len(inventory))
+	}
+	return inventory[index], nil
+}
+
+// GetSymbol returns the phoneme record for a symbol.
+func GetSymbol(symbol string) (Phoneme, error) {
+	i, err := Index(symbol)
+	if err != nil {
+		return Phoneme{}, err
+	}
+	return inventory[i], nil
+}
+
+// Symbols returns a copy of all phoneme symbols in id order.
+func Symbols() []string {
+	out := make([]string, len(symbols))
+	copy(out, symbols)
+	return out
+}
+
+// Indices converts a symbol sequence to ids.
+func Indices(syms []string) ([]int, error) {
+	out := make([]int, len(syms))
+	for i, s := range syms {
+		idx, err := Index(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// String renders a phoneme sequence like "HH-EH-L-OW".
+func String(ids []int) string {
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		s, err := Symbol(id)
+		if err != nil {
+			s = "?"
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "-")
+}
+
+// EditDistance returns the Levenshtein distance between two phoneme-id
+// sequences (used by lexicon decoding and the black-box attack fitness).
+func EditDistance(a, b []int) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func minInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SortedSymbols returns all symbols sorted alphabetically (for stable
+// diagnostics).
+func SortedSymbols() []string {
+	s := Symbols()
+	sort.Strings(s)
+	return s
+}

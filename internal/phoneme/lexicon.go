@@ -1,0 +1,288 @@
+package phoneme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The lexicon maps lower-case words to ARPAbet pronunciations. It covers
+// the corpus generator's vocabulary, the paper's example phrases ("I wish
+// you wouldn't", "a sight for sore eyes", "open the front door"), and the
+// smart-home command set used by the attack examples.
+var lexicon = map[string][]string{
+	// Articles, pronouns, function words.
+	"a": {"AH"}, "an": {"AE", "N"}, "the": {"DH", "AH"},
+	"i": {"AY"}, "you": {"Y", "UW"}, "he": {"HH", "IY"}, "she": {"SH", "IY"},
+	"we": {"W", "IY"}, "they": {"DH", "EY"}, "it": {"IH", "T"},
+	"me": {"M", "IY"}, "him": {"HH", "IH", "M"}, "her": {"HH", "ER"},
+	"us": {"AH", "S"}, "them": {"DH", "EH", "M"}, "my": {"M", "AY"},
+	"your": {"Y", "AO", "R"}, "his": {"HH", "IH", "Z"}, "our": {"AW", "R"},
+	"this": {"DH", "IH", "S"}, "that": {"DH", "AE", "T"},
+	"these": {"DH", "IY", "Z"}, "those": {"DH", "OW", "Z"},
+	"who": {"HH", "UW"}, "what": {"W", "AH", "T"}, "when": {"W", "EH", "N"},
+	"where": {"W", "EH", "R"}, "why": {"W", "AY"}, "how": {"HH", "AW"},
+	"and": {"AE", "N", "D"}, "or": {"AO", "R"}, "but": {"B", "AH", "T"},
+	"not": {"N", "AA", "T"}, "no": {"N", "OW"}, "yes": {"Y", "EH", "S"},
+	"if": {"IH", "F"}, "then": {"DH", "EH", "N"}, "than": {"DH", "AE", "N"},
+	"so": {"S", "OW"}, "as": {"AE", "Z"}, "at": {"AE", "T"},
+	"by": {"B", "AY"}, "for": {"F", "AO", "R"}, "from": {"F", "R", "AH", "M"},
+	"in": {"IH", "N"}, "into": {"IH", "N", "T", "UW"}, "of": {"AH", "V"},
+	"on": {"AA", "N"}, "off": {"AO", "F"}, "to": {"T", "UW"},
+	"up": {"AH", "P"}, "down": {"D", "AW", "N"}, "out": {"AW", "T"},
+	"with": {"W", "IH", "TH"}, "without": {"W", "IH", "TH", "AW", "T"},
+	"here": {"HH", "IY", "R"}, "there": {"DH", "EH", "R"},
+	"now": {"N", "AW"}, "soon": {"S", "UW", "N"}, "again": {"AH", "G", "EH", "N"},
+	"all": {"AO", "L"}, "some": {"S", "AH", "M"}, "any": {"EH", "N", "IY"},
+	"every": {"EH", "V", "R", "IY"}, "each": {"IY", "CH"},
+	"both": {"B", "OW", "TH"}, "more": {"M", "AO", "R"},
+	"most": {"M", "OW", "S", "T"}, "other": {"AH", "DH", "ER"},
+	"very": {"V", "EH", "R", "IY"}, "too": {"T", "UW"},
+	"also": {"AO", "L", "S", "OW"}, "just": {"JH", "AH", "S", "T"},
+	"only": {"OW", "N", "L", "IY"}, "never": {"N", "EH", "V", "ER"},
+	"always": {"AO", "L", "W", "EY", "Z"}, "often": {"AO", "F", "AH", "N"},
+
+	// Common verbs (including imperatives for commands).
+	"is": {"IH", "Z"}, "are": {"AA", "R"}, "was": {"W", "AH", "Z"},
+	"were": {"W", "ER"}, "be": {"B", "IY"}, "been": {"B", "IH", "N"},
+	"am": {"AE", "M"}, "do": {"D", "UW"}, "does": {"D", "AH", "Z"},
+	"did": {"D", "IH", "D"}, "done": {"D", "AH", "N"},
+	"have": {"HH", "AE", "V"}, "has": {"HH", "AE", "Z"}, "had": {"HH", "AE", "D"},
+	"will": {"W", "IH", "L"}, "would": {"W", "UH", "D"},
+	"wouldnt": {"W", "UH", "D", "AH", "N", "T"},
+	"can":     {"K", "AE", "N"}, "could": {"K", "UH", "D"},
+	"should": {"SH", "UH", "D"}, "must": {"M", "AH", "S", "T"},
+	"may": {"M", "EY"}, "might": {"M", "AY", "T"},
+	"go": {"G", "OW"}, "come": {"K", "AH", "M"}, "get": {"G", "EH", "T"},
+	"give": {"G", "IH", "V"}, "take": {"T", "EY", "K"}, "make": {"M", "EY", "K"},
+	"see": {"S", "IY"}, "look": {"L", "UH", "K"}, "hear": {"HH", "IY", "R"},
+	"listen": {"L", "IH", "S", "AH", "N"}, "say": {"S", "EY"},
+	"said": {"S", "EH", "D"}, "tell": {"T", "EH", "L"}, "ask": {"AE", "S", "K"},
+	"know": {"N", "OW"}, "think": {"TH", "IH", "NG", "K"},
+	"want": {"W", "AA", "N", "T"}, "need": {"N", "IY", "D"},
+	"wish": {"W", "IH", "SH"}, "hope": {"HH", "OW", "P"},
+	"like": {"L", "AY", "K"}, "love": {"L", "AH", "V"},
+	"open": {"OW", "P", "AH", "N"}, "close": {"K", "L", "OW", "Z"},
+	"shut": {"SH", "AH", "T"}, "lock": {"L", "AA", "K"},
+	"unlock": {"AH", "N", "L", "AA", "K"}, "turn": {"T", "ER", "N"},
+	"start": {"S", "T", "AA", "R", "T"}, "stop": {"S", "T", "AA", "P"},
+	"play": {"P", "L", "EY"}, "pause": {"P", "AO", "Z"},
+	"call": {"K", "AO", "L"}, "send": {"S", "EH", "N", "D"},
+	"read": {"R", "IY", "D"}, "write": {"R", "AY", "T"},
+	"buy": {"B", "AY"}, "order": {"AO", "R", "D", "ER"},
+	"set": {"S", "EH", "T"}, "put": {"P", "UH", "T"},
+	"show": {"SH", "OW"}, "find": {"F", "AY", "N", "D"},
+	"run": {"R", "AH", "N"}, "walk": {"W", "AO", "K"},
+	"drive": {"D", "R", "AY", "V"}, "ride": {"R", "AY", "D"},
+	"help": {"HH", "EH", "L", "P"}, "work": {"W", "ER", "K"},
+	"wait": {"W", "EY", "T"}, "stay": {"S", "T", "EY"},
+	"leave": {"L", "IY", "V"}, "move": {"M", "UW", "V"},
+	"bring": {"B", "R", "IH", "NG"}, "keep": {"K", "IY", "P"},
+	"let": {"L", "EH", "T"}, "use": {"Y", "UW", "Z"},
+	"try": {"T", "R", "AY"}, "feel": {"F", "IY", "L"},
+	"dim":   {"D", "IH", "M"},
+	"raise": {"R", "EY", "Z"}, "lower": {"L", "OW", "ER"},
+	"cancel":   {"K", "AE", "N", "S", "AH", "L"},
+	"delete":   {"D", "IH", "L", "IY", "T"},
+	"disable":  {"D", "IH", "S", "EY", "B", "AH", "L"},
+	"enable":   {"EH", "N", "EY", "B", "AH", "L"},
+	"activate": {"AE", "K", "T", "IH", "V", "EY", "T"},
+
+	// Nouns: household / smart-home / everyday.
+	"door": {"D", "AO", "R"}, "front": {"F", "R", "AH", "N", "T"},
+	"back": {"B", "AE", "K"}, "window": {"W", "IH", "N", "D", "OW"},
+	"house": {"HH", "AW", "S"}, "home": {"HH", "OW", "M"},
+	"room": {"R", "UW", "M"}, "kitchen": {"K", "IH", "CH", "AH", "N"},
+	"garage": {"G", "ER", "AA", "ZH"}, "garden": {"G", "AA", "R", "D", "AH", "N"},
+	"light": {"L", "AY", "T"}, "lights": {"L", "AY", "T", "S"},
+	"lamp": {"L", "AE", "M", "P"}, "alarm": {"AH", "L", "AA", "R", "M"},
+	"camera": {"K", "AE", "M", "ER", "AH"}, "heater": {"HH", "IY", "T", "ER"},
+	"fan": {"F", "AE", "N"}, "oven": {"AH", "V", "AH", "N"},
+	"music": {"M", "Y", "UW", "Z", "IH", "K"}, "song": {"S", "AO", "NG"},
+	"radio": {"R", "EY", "D", "IY", "OW"}, "volume": {"V", "AA", "L", "Y", "UW", "M"},
+	"phone": {"F", "OW", "N"}, "message": {"M", "EH", "S", "IH", "JH"},
+	"mail": {"M", "EY", "L"}, "email": {"IY", "M", "EY", "L"},
+	"text": {"T", "EH", "K", "S", "T"}, "news": {"N", "UW", "Z"},
+	"weather": {"W", "EH", "DH", "ER"}, "time": {"T", "AY", "M"},
+	"timer": {"T", "AY", "M", "ER"}, "clock": {"K", "L", "AA", "K"},
+	"morning": {"M", "AO", "R", "N", "IH", "NG"},
+	"evening": {"IY", "V", "N", "IH", "NG"}, "night": {"N", "AY", "T"},
+	"day": {"D", "EY"}, "week": {"W", "IY", "K"}, "year": {"Y", "IY", "R"},
+	"water": {"W", "AO", "T", "ER"}, "coffee": {"K", "AO", "F", "IY"},
+	"tea": {"T", "IY"}, "food": {"F", "UW", "D"}, "milk": {"M", "IH", "L", "K"},
+	"bread": {"B", "R", "EH", "D"}, "dinner": {"D", "IH", "N", "ER"},
+	"man": {"M", "AE", "N"}, "woman": {"W", "UH", "M", "AH", "N"},
+	"child": {"CH", "AY", "L", "D"}, "people": {"P", "IY", "P", "AH", "L"},
+	"friend": {"F", "R", "EH", "N", "D"}, "mother": {"M", "AH", "DH", "ER"},
+	"father": {"F", "AA", "DH", "ER"}, "doctor": {"D", "AA", "K", "T", "ER"},
+	"dog": {"D", "AO", "G"}, "cat": {"K", "AE", "T"}, "bird": {"B", "ER", "D"},
+	"car": {"K", "AA", "R"}, "bus": {"B", "AH", "S"}, "train": {"T", "R", "EY", "N"},
+	"road": {"R", "OW", "D"}, "street": {"S", "T", "R", "IY", "T"},
+	"city": {"S", "IH", "T", "IY"}, "town": {"T", "AW", "N"},
+	"school": {"S", "K", "UW", "L"}, "office": {"AO", "F", "IH", "S"},
+	"store": {"S", "T", "AO", "R"}, "bank": {"B", "AE", "NG", "K"},
+	"money": {"M", "AH", "N", "IY"}, "book": {"B", "UH", "K"},
+	"word": {"W", "ER", "D"}, "name": {"N", "EY", "M"},
+	"number": {"N", "AH", "M", "B", "ER"}, "list": {"L", "IH", "S", "T"},
+	"thing": {"TH", "IH", "NG"}, "way": {"W", "EY"},
+	"hand": {"HH", "AE", "N", "D"}, "eye": {"AY"}, "eyes": {"AY", "Z"},
+	"sight": {"S", "AY", "T"}, "sore": {"S", "AO", "R"},
+	"voice": {"V", "OY", "S"}, "sound": {"S", "AW", "N", "D"},
+	"head": {"HH", "EH", "D"}, "heart": {"HH", "AA", "R", "T"},
+	"sun": {"S", "AH", "N"}, "moon": {"M", "UW", "N"},
+	"rain": {"R", "EY", "N"}, "snow": {"S", "N", "OW"},
+	"tree": {"T", "R", "IY"}, "river": {"R", "IH", "V", "ER"},
+	"fire": {"F", "AY", "ER"}, "air": {"EH", "R"},
+	"world": {"W", "ER", "L", "D"}, "country": {"K", "AH", "N", "T", "R", "IY"},
+	"question": {"K", "W", "EH", "S", "CH", "AH", "N"},
+	"answer":   {"AE", "N", "S", "ER"}, "story": {"S", "T", "AO", "R", "IY"},
+	"game": {"G", "EY", "M"}, "movie": {"M", "UW", "V", "IY"},
+	"picture":     {"P", "IH", "K", "CH", "ER"},
+	"temperature": {"T", "EH", "M", "P", "R", "AH", "CH", "ER"},
+	"degrees":     {"D", "IH", "G", "R", "IY", "Z"},
+	"security":    {"S", "IH", "K", "Y", "UH", "R", "IH", "T", "IY"},
+	"system":      {"S", "IH", "S", "T", "AH", "M"},
+	"password":    {"P", "AE", "S", "W", "ER", "D"},
+
+	// Adjectives and misc.
+	"good": {"G", "UH", "D"}, "bad": {"B", "AE", "D"},
+	"new": {"N", "UW"}, "old": {"OW", "L", "D"},
+	"big": {"B", "IH", "G"}, "small": {"S", "M", "AO", "L"},
+	"long": {"L", "AO", "NG"}, "short": {"SH", "AO", "R", "T"},
+	"high": {"HH", "AY"}, "low": {"L", "OW"},
+	"hot": {"HH", "AA", "T"}, "cold": {"K", "OW", "L", "D"},
+	"warm": {"W", "AO", "R", "M"}, "cool": {"K", "UW", "L"},
+	"fast": {"F", "AE", "S", "T"}, "slow": {"S", "L", "OW"},
+	"loud": {"L", "AW", "D"}, "quiet": {"K", "W", "AY", "AH", "T"},
+	"happy": {"HH", "AE", "P", "IY"}, "sad": {"S", "AE", "D"},
+	"right": {"R", "AY", "T"}, "wrong": {"R", "AO", "NG"},
+	"late": {"L", "EY", "T"}, "early": {"ER", "L", "IY"},
+	"last": {"L", "AE", "S", "T"}, "next": {"N", "EH", "K", "S", "T"},
+	"first": {"F", "ER", "S", "T"}, "second": {"S", "EH", "K", "AH", "N", "D"},
+	"ready": {"R", "EH", "D", "IY"}, "sure": {"SH", "UH", "R"},
+	"free": {"F", "R", "IY"}, "safe": {"S", "EY", "F"},
+	"dark": {"D", "AA", "R", "K"}, "bright": {"B", "R", "AY", "T"},
+	"clean": {"K", "L", "IY", "N"}, "dirty": {"D", "ER", "T", "IY"},
+	"full": {"F", "UH", "L"}, "empty": {"EH", "M", "P", "T", "IY"},
+	"easy": {"IY", "Z", "IY"}, "hard": {"HH", "AA", "R", "D"},
+	"green": {"G", "R", "IY", "N"}, "red": {"R", "EH", "D"},
+	"blue": {"B", "L", "UW"}, "white": {"W", "AY", "T"},
+	"black": {"B", "L", "AE", "K"},
+
+	// Numbers.
+	"zero": {"Z", "IY", "R", "OW"}, "one": {"W", "AH", "N"},
+	"two": {"T", "UW"}, "three": {"TH", "R", "IY"},
+	"four": {"F", "AO", "R"}, "five": {"F", "AY", "V"},
+	"six": {"S", "IH", "K", "S"}, "seven": {"S", "EH", "V", "AH", "N"},
+	"eight": {"EY", "T"}, "nine": {"N", "AY", "N"},
+	"ten": {"T", "EH", "N"}, "twenty": {"T", "W", "EH", "N", "T", "IY"},
+	"hundred": {"HH", "AH", "N", "D", "R", "AH", "D"},
+
+	// Words needed for the paper's examples.
+	"please": {"P", "L", "IY", "Z"}, "thanks": {"TH", "AE", "NG", "K", "S"},
+	"hello": {"HH", "EH", "L", "OW"}, "goodbye": {"G", "UH", "D", "B", "AY"},
+	"okay": {"OW", "K", "EY"}, "today": {"T", "AH", "D", "EY"},
+	"tomorrow":  {"T", "AH", "M", "AA", "R", "OW"},
+	"yesterday": {"Y", "EH", "S", "T", "ER", "D", "EY"},
+	"live":      {"L", "IH", "V"}, "life": {"L", "AY", "F"},
+	"speak": {"S", "P", "IY", "K"}, "speech": {"S", "P", "IY", "CH"},
+}
+
+// Lookup returns the pronunciation of a lower-case word.
+func Lookup(word string) ([]string, bool) {
+	p, ok := lexicon[word]
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, len(p))
+	copy(out, p)
+	return out, true
+}
+
+// Words returns the sorted vocabulary.
+func Words() []string {
+	out := make([]string, 0, len(lexicon))
+	for w := range lexicon {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VocabSize returns the number of lexicon entries.
+func VocabSize() int { return len(lexicon) }
+
+// WordPhonemes returns phoneme ids for a word, falling back to
+// grapheme-to-phoneme rules for out-of-vocabulary words.
+func WordPhonemes(word string) ([]int, error) {
+	word = strings.ToLower(strings.TrimSpace(word))
+	if word == "" {
+		return nil, fmt.Errorf("phoneme: empty word")
+	}
+	syms, ok := Lookup(word)
+	if !ok {
+		syms = G2P(word)
+		if len(syms) == 0 {
+			return nil, fmt.Errorf("phoneme: cannot derive pronunciation for %q", word)
+		}
+	}
+	return Indices(syms)
+}
+
+// SentencePhonemes converts a sentence to phoneme ids with silence
+// inserted between words and at both ends.
+func SentencePhonemes(sentence string) ([]int, error) {
+	words := Tokenize(sentence)
+	if len(words) == 0 {
+		return nil, fmt.Errorf("phoneme: sentence %q has no words", sentence)
+	}
+	sil := SilIndex()
+	out := []int{sil}
+	for _, w := range words {
+		ph, err := WordPhonemes(w)
+		if err != nil {
+			return nil, fmt.Errorf("phoneme: sentence %q: %w", sentence, err)
+		}
+		out = append(out, ph...)
+		out = append(out, sil)
+	}
+	return out, nil
+}
+
+// Tokenize splits a sentence into lower-case word tokens, dropping
+// punctuation.
+func Tokenize(sentence string) []string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == ' ':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		case r == '\'':
+			return -1 // drop apostrophes: wouldn't -> wouldnt
+		default:
+			return ' '
+		}
+	}, sentence)
+	return strings.Fields(clean)
+}
+
+// ClosestWord returns the vocabulary word whose pronunciation is nearest
+// (in phoneme edit distance) to the given phoneme-id sequence, along with
+// the distance. Ties break alphabetically for determinism.
+func ClosestWord(ids []int) (string, int) {
+	best := ""
+	bestDist := 1 << 30
+	for _, w := range Words() {
+		p, _ := Lookup(w)
+		pids, err := Indices(p)
+		if err != nil {
+			continue
+		}
+		d := EditDistance(ids, pids)
+		if d < bestDist {
+			best, bestDist = w, d
+		}
+	}
+	return best, bestDist
+}

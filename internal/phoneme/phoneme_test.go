@@ -1,0 +1,258 @@
+package phoneme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInventoryConsistency(t *testing.T) {
+	if Count() < 35 {
+		t.Fatalf("inventory too small: %d", Count())
+	}
+	seen := make(map[string]bool, Count())
+	for i := 0; i < Count(); i++ {
+		sym, err := Symbol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[sym] {
+			t.Fatalf("duplicate symbol %q", sym)
+		}
+		seen[sym] = true
+		idx, err := Index(sym)
+		if err != nil || idx != i {
+			t.Fatalf("Index(Symbol(%d)) = %d, %v", i, idx, err)
+		}
+		p, err := Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Manner == 0 {
+			t.Fatalf("phoneme %q has no manner", sym)
+		}
+		if p.Manner != MannerSilence && p.DurMS <= 0 {
+			t.Fatalf("phoneme %q has nonpositive duration", sym)
+		}
+	}
+	if _, err := Symbol(-1); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Symbol(Count()); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Index("XX"); err == nil {
+		t.Fatal("expected unknown-symbol error")
+	}
+	if _, err := Get(999); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := GetSymbol("S"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormantSignaturesDistinct(t *testing.T) {
+	// No two non-silence phonemes may share the identical signature
+	// (formants + voicing + manner) or the synthesizer could not render
+	// them distinguishably.
+	type sig struct {
+		f1, f2, f3 float64
+		voiced     bool
+		manner     Manner
+	}
+	seen := make(map[sig]string)
+	for i := 0; i < Count(); i++ {
+		p, _ := Get(i)
+		if p.Manner == MannerSilence {
+			continue
+		}
+		s := sig{p.F1, p.F2, p.F3, p.Voiced, p.Manner}
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("phonemes %q and %q share signature %+v", prev, p.Symbol, s)
+		}
+		seen[s] = p.Symbol
+	}
+}
+
+func TestLexiconPronunciationsValid(t *testing.T) {
+	words := Words()
+	if len(words) < 200 {
+		t.Fatalf("lexicon too small: %d words", len(words))
+	}
+	for _, w := range words {
+		p, ok := Lookup(w)
+		if !ok || len(p) == 0 {
+			t.Fatalf("word %q has no pronunciation", w)
+		}
+		if _, err := Indices(p); err != nil {
+			t.Fatalf("word %q: %v", w, err)
+		}
+	}
+}
+
+func TestLookupCopies(t *testing.T) {
+	a, _ := Lookup("open")
+	a[0] = "ZZ"
+	b, _ := Lookup("open")
+	if b[0] == "ZZ" {
+		t.Fatal("Lookup must return a copy")
+	}
+}
+
+func TestSentencePhonemes(t *testing.T) {
+	ids, err := SentencePhonemes("Open the front door")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != SilIndex() || ids[len(ids)-1] != SilIndex() {
+		t.Fatal("sentence must start and end with silence")
+	}
+	// 4 words -> 5 silences.
+	var sil int
+	for _, id := range ids {
+		if id == SilIndex() {
+			sil++
+		}
+	}
+	if sil != 5 {
+		t.Fatalf("got %d silences, want 5", sil)
+	}
+	if _, err := SentencePhonemes("   "); err == nil {
+		t.Fatal("expected error for empty sentence")
+	}
+}
+
+func TestSentencePhonemesHandlesApostrophes(t *testing.T) {
+	ids, err := SentencePhonemes("I wish you wouldn't")
+	if err != nil {
+		t.Fatalf("paper's host phrase must be pronounceable: %v", err)
+	}
+	if len(ids) < 10 {
+		t.Fatalf("suspiciously short: %d phonemes", len(ids))
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Open the FRONT door, please!")
+	want := []string{"open", "the", "front", "door", "please"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestG2PFallback(t *testing.T) {
+	// Unknown word must still produce a pronunciation.
+	ids, err := WordPhonemes("zorbulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("G2P produced nothing")
+	}
+	// G2P output must only contain valid symbols.
+	for _, w := range []string{"night", "ship", "catch", "running", "phone"} {
+		syms := G2P(w)
+		if _, err := Indices(syms); err != nil {
+			t.Fatalf("G2P(%q) produced invalid symbol: %v", w, err)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	a := []int{1, 2, 3}
+	cases := []struct {
+		b    []int
+		want int
+	}{
+		{[]int{1, 2, 3}, 0},
+		{[]int{1, 2}, 1},
+		{[]int{1, 2, 3, 4}, 1},
+		{[]int{4, 5, 6}, 3},
+		{nil, 3},
+	}
+	for _, c := range cases {
+		if got := EditDistance(a, c.b); got != c.want {
+			t.Errorf("EditDistance(%v,%v) = %d, want %d", a, c.b, got, c.want)
+		}
+	}
+	if got := EditDistance(nil, []int{1}); got != 1 {
+		t.Errorf("EditDistance(nil,[1]) = %d", got)
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry and identity-of-indiscernibles on random sequences.
+	f := func(a, b []uint8) bool {
+		ai := make([]int, len(a))
+		bi := make([]int, len(b))
+		for i, v := range a {
+			ai[i] = int(v % 8)
+		}
+		for i, v := range b {
+			bi[i] = int(v % 8)
+		}
+		d1 := EditDistance(ai, bi)
+		d2 := EditDistance(bi, ai)
+		if d1 != d2 {
+			return false
+		}
+		if d1 == 0 && len(ai) != len(bi) {
+			return false
+		}
+		// Triangle-ish bound: distance can't exceed max length.
+		maxLen := len(ai)
+		if len(bi) > maxLen {
+			maxLen = len(bi)
+		}
+		return d1 <= maxLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosestWord(t *testing.T) {
+	p, _ := Lookup("door")
+	ids, err := Indices(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, d := ClosestWord(ids)
+	if w != "door" || d != 0 {
+		t.Fatalf("ClosestWord(door) = %q, %d", w, d)
+	}
+	// One substitution away must still resolve to door (or an equally
+	// close word, distance 1).
+	ids[0] = MustIndex("T")
+	_, d2 := ClosestWord(ids)
+	if d2 > 1 {
+		t.Fatalf("distance %d, want <= 1", d2)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ids, _ := Indices([]string{"HH", "EH", "L", "OW"})
+	if got := String(ids); got != "HH-EH-L-OW" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := String([]int{-1}); got != "?" {
+		t.Fatalf("String(-1) = %q", got)
+	}
+}
+
+func TestSortedSymbols(t *testing.T) {
+	s := SortedSymbols()
+	if len(s) != Count() {
+		t.Fatalf("got %d symbols", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package phonetic
+
+import "testing"
+
+// FuzzEncoders hardens the phonetic encoders against arbitrary input:
+// no panics, deterministic output, and output restricted to the expected
+// alphabets.
+func FuzzEncoders(f *testing.F) {
+	for _, seed := range []string{"", "door", "wouldn't", "O'Brien-Smith", "12345", "ÜbeR", "a b c", "\x00\xff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		s1, s2 := Soundex(word), Soundex(word)
+		if s1 != s2 {
+			t.Fatal("Soundex nondeterministic")
+		}
+		if s1 != "" && len(s1) != 4 {
+			t.Fatalf("Soundex(%q) = %q: not 4 chars", word, s1)
+		}
+		for i := 0; i < len(s1); i++ {
+			c := s1[i]
+			if !(c >= 'A' && c <= 'Z') && !(c >= '0' && c <= '9') {
+				t.Fatalf("Soundex(%q) contains %q", word, c)
+			}
+		}
+		m := Metaphone(word)
+		if m != Metaphone(word) {
+			t.Fatal("Metaphone nondeterministic")
+		}
+		for i := 0; i < len(m); i++ {
+			c := m[i]
+			if !(c >= 'A' && c <= 'Z') && c != '0' {
+				t.Fatalf("Metaphone(%q) contains %q", word, c)
+			}
+		}
+		n := NYSIIS(word)
+		if n != NYSIIS(word) {
+			t.Fatal("NYSIIS nondeterministic")
+		}
+		_ = Encode(Metaphone, word)
+	})
+}

@@ -1,0 +1,290 @@
+// Package phonetic implements the phonetic-encoding algorithms used by the
+// paper's similarity-calculation step: Soundex, a simplified Metaphone,
+// and NYSIIS. Encoding a transcription maps words that sound alike to the
+// same code, so two ASRs that hear the same audio but spell a word
+// differently still produce a high similarity score.
+package phonetic
+
+import (
+	"strings"
+)
+
+// Encode encodes every word of a sentence with the given algorithm and
+// rejoins them with single spaces.
+func Encode(algorithm func(string) string, sentence string) string {
+	words := strings.Fields(sentence)
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		out = append(out, algorithm(w))
+	}
+	return strings.Join(out, " ")
+}
+
+// Soundex returns the classic 4-character Soundex code of a word.
+func Soundex(word string) string {
+	w := letters(word)
+	if w == "" {
+		return ""
+	}
+	code := func(c byte) byte {
+		switch c {
+		case 'b', 'f', 'p', 'v':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+			return '2'
+		case 'd', 't':
+			return '3'
+		case 'l':
+			return '4'
+		case 'm', 'n':
+			return '5'
+		case 'r':
+			return '6'
+		default:
+			return 0 // vowels and h/w/y
+		}
+	}
+	var b strings.Builder
+	b.WriteByte(w[0] - 'a' + 'A')
+	lastCode := code(w[0])
+	for i := 1; i < len(w) && b.Len() < 4; i++ {
+		c := code(w[i])
+		// h and w do not reset the last code; vowels do.
+		if w[i] == 'h' || w[i] == 'w' {
+			continue
+		}
+		if c == 0 {
+			lastCode = 0
+			continue
+		}
+		if c != lastCode {
+			b.WriteByte(c)
+		}
+		lastCode = c
+	}
+	for b.Len() < 4 {
+		b.WriteByte('0')
+	}
+	return b.String()
+}
+
+// Metaphone returns a simplified Metaphone code of a word: a canonical
+// consonant-skeleton mapping that merges similar-sounding consonants and
+// drops most vowels (keeping an initial vowel marker).
+func Metaphone(word string) string {
+	w := letters(word)
+	if w == "" {
+		return ""
+	}
+	var b strings.Builder
+	isVowel := func(c byte) bool {
+		return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'
+	}
+	if isVowel(w[0]) {
+		b.WriteByte('A') // any initial vowel marks as A
+	}
+	i := 0
+	if isVowel(w[0]) {
+		i = 1
+	}
+	var last byte
+	emit := func(c byte) {
+		if c != last {
+			b.WriteByte(c)
+			last = c
+		}
+	}
+	for ; i < len(w); i++ {
+		c := w[i]
+		next := byte(0)
+		if i+1 < len(w) {
+			next = w[i+1]
+		}
+		switch c {
+		case 'a', 'e', 'i', 'o', 'u':
+			// Interior vowels dropped.
+		case 'b':
+			// Silent final b after m (lamb).
+			if !(i == len(w)-1 && i > 0 && w[i-1] == 'm') {
+				emit('B')
+			}
+		case 'c':
+			switch {
+			case next == 'h':
+				emit('X') // ch
+				i++
+			case next == 'i' || next == 'e' || next == 'y':
+				emit('S')
+			default:
+				emit('K')
+			}
+		case 'd':
+			if next == 'g' {
+				emit('J')
+				i++
+			} else {
+				emit('T')
+			}
+		case 'f', 'v':
+			emit('F')
+		case 'g':
+			if next == 'h' {
+				// gh: silent (night) — skip the h too.
+				i++
+			} else {
+				emit('K')
+			}
+		case 'h':
+			// h kept only between vowel and consonant start — simplest:
+			// keep word-initial h.
+			if i == 0 {
+				emit('H')
+			}
+		case 'j':
+			emit('J')
+		case 'k':
+			if !(i > 0 && w[i-1] == 'c') {
+				emit('K')
+			}
+		case 'l':
+			emit('L')
+		case 'm', 'n':
+			emit('N')
+		case 'p':
+			if next == 'h' {
+				emit('F')
+				i++
+			} else {
+				emit('P')
+			}
+		case 'q':
+			emit('K')
+		case 'r':
+			emit('R')
+		case 's':
+			if next == 'h' {
+				emit('X')
+				i++
+			} else {
+				emit('S')
+			}
+		case 't':
+			if next == 'h' {
+				emit('0') // theta
+				i++
+			} else {
+				emit('T')
+			}
+		case 'w', 'y':
+			// Kept only before a vowel.
+			if next != 0 && isVowel(next) {
+				if c == 'w' {
+					emit('W')
+				} else {
+					emit('Y')
+				}
+			}
+		case 'x':
+			emit('K')
+			emit('S')
+		case 'z':
+			emit('S')
+		}
+	}
+	return b.String()
+}
+
+// NYSIIS returns a simplified NYSIIS (New York State Identification and
+// Intelligence System) code of a word.
+func NYSIIS(word string) string {
+	w := letters(word)
+	if w == "" {
+		return ""
+	}
+	// Initial transformations.
+	switch {
+	case strings.HasPrefix(w, "mac"):
+		w = "mcc" + w[3:]
+	case strings.HasPrefix(w, "kn"):
+		w = "nn" + w[2:]
+	case strings.HasPrefix(w, "k"):
+		w = "c" + w[1:]
+	case strings.HasPrefix(w, "ph"), strings.HasPrefix(w, "pf"):
+		w = "ff" + w[2:]
+	case strings.HasPrefix(w, "sch"):
+		w = "sss" + w[3:]
+	}
+	// Final transformations.
+	switch {
+	case strings.HasSuffix(w, "ee"), strings.HasSuffix(w, "ie"):
+		w = w[:len(w)-2] + "y"
+	case strings.HasSuffix(w, "dt"), strings.HasSuffix(w, "rt"),
+		strings.HasSuffix(w, "rd"), strings.HasSuffix(w, "nt"),
+		strings.HasSuffix(w, "nd"):
+		w = w[:len(w)-2] + "d"
+	}
+	isVowel := func(c byte) bool {
+		return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'
+	}
+	out := []byte{w[0]}
+	for i := 1; i < len(w); i++ {
+		c := w[i]
+		var repl string
+		switch {
+		case c == 'e' && i+1 < len(w) && w[i+1] == 'v':
+			repl = "af"
+		case isVowel(c):
+			repl = "a"
+		case c == 'q':
+			repl = "g"
+		case c == 'z':
+			repl = "s"
+		case c == 'm':
+			repl = "n"
+		case c == 'k':
+			if i+1 < len(w) && w[i+1] == 'n' {
+				repl = "n"
+			} else {
+				repl = "c"
+			}
+		case c == 's' && strings.HasPrefix(w[i:], "sch"):
+			repl = "sss"
+		case c == 'p' && i+1 < len(w) && w[i+1] == 'h':
+			repl = "ff"
+		case c == 'h' && (i+1 >= len(w) || !isVowel(w[i+1]) || !isVowel(w[i-1])):
+			repl = string(w[i-1])
+		case c == 'w' && isVowel(w[i-1]):
+			repl = string(w[i-1])
+		default:
+			repl = string(c)
+		}
+		for j := 0; j < len(repl); j++ {
+			if out[len(out)-1] != repl[j] {
+				out = append(out, repl[j])
+			}
+		}
+	}
+	// Trim terminal s / ay / a.
+	res := string(out)
+	if strings.HasSuffix(res, "s") && len(res) > 1 {
+		res = res[:len(res)-1]
+	}
+	if strings.HasSuffix(res, "ay") && len(res) > 2 {
+		res = res[:len(res)-2] + "y"
+	}
+	if strings.HasSuffix(res, "a") && len(res) > 1 {
+		res = res[:len(res)-1]
+	}
+	return strings.ToUpper(res)
+}
+
+// letters lower-cases the word and strips non a-z characters.
+func letters(word string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(word) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMetrics hardens every similarity metric against arbitrary string
+// pairs: results stay in [0,1], are symmetric, and self-similarity is 1.
+func FuzzMetrics(f *testing.F) {
+	f.Add("open the door", "open the window")
+	f.Add("", "")
+	f.Add("a", "")
+	f.Add("\x00\x01", "\xff")
+	f.Add("same", "same")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		metrics := map[string]func(x, y string) float64{
+			"Jaro":        Jaro,
+			"JaroWinkler": JaroWinkler,
+			"Jaccard":     Jaccard,
+			"Cosine":      Cosine,
+			"LevSim":      LevenshteinSim,
+		}
+		for name, m := range metrics {
+			s := m(a, b)
+			if s < -1e-9 || s > 1+1e-9 || math.IsNaN(s) {
+				t.Fatalf("%s(%q,%q) = %v out of range", name, a, b, s)
+			}
+			if r := m(b, a); math.Abs(s-r) > 1e-9 {
+				t.Fatalf("%s not symmetric on %q/%q: %v vs %v", name, a, b, s, r)
+			}
+			if self := m(a, a); math.Abs(self-1) > 1e-9 {
+				t.Fatalf("%s(%q,%q) self = %v", name, a, a, self)
+			}
+		}
+		if d := Levenshtein(a, b); d < 0 || d > len(a)+len(b) {
+			t.Fatalf("Levenshtein(%q,%q) = %d out of bounds", a, b, d)
+		}
+		if w := WER(a, b); w < 0 || math.IsNaN(w) {
+			t.Fatalf("WER(%q,%q) = %v", a, b, w)
+		}
+	})
+}

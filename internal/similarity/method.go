@@ -1,0 +1,80 @@
+package similarity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encoder optionally transforms a transcription before scoring (the
+// paper's phonetic-encoding step). A nil Encoder is the identity.
+type Encoder func(sentence string) string
+
+// MethodName identifies one of the paper's six Table III combinations.
+type MethodName string
+
+// The six similarity-calculation methods evaluated in Table III.
+const (
+	MethodCosine        MethodName = "Cosine"
+	MethodJaccard       MethodName = "Jaccard"
+	MethodJaroWinkler   MethodName = "JaroWinkler"
+	MethodPECosine      MethodName = "PE_Cosine"
+	MethodPEJaccard     MethodName = "PE_Jaccard"
+	MethodPEJaroWinkler MethodName = "PE_JaroWinkler"
+)
+
+// Method scores the similarity of two transcriptions, optionally through a
+// phonetic encoder.
+type Method struct {
+	Name    MethodName
+	Encoder Encoder
+	Score   func(a, b string) float64
+}
+
+// Compare applies the encoder (if any) and the metric.
+func (m Method) Compare(a, b string) float64 {
+	if m.Encoder != nil {
+		a = m.Encoder(a)
+		b = m.Encoder(b)
+	}
+	return m.Score(a, b)
+}
+
+// Registry holds the method set under evaluation.
+type Registry struct {
+	methods map[MethodName]Method
+}
+
+// NewRegistry builds the paper's six methods. The phonetic encoder is
+// injected so this package does not depend on the phonetic package.
+func NewRegistry(pe Encoder) (*Registry, error) {
+	if pe == nil {
+		return nil, fmt.Errorf("similarity: phonetic encoder must not be nil")
+	}
+	r := &Registry{methods: make(map[MethodName]Method, 6)}
+	r.methods[MethodCosine] = Method{Name: MethodCosine, Score: Cosine}
+	r.methods[MethodJaccard] = Method{Name: MethodJaccard, Score: Jaccard}
+	r.methods[MethodJaroWinkler] = Method{Name: MethodJaroWinkler, Score: JaroWinkler}
+	r.methods[MethodPECosine] = Method{Name: MethodPECosine, Encoder: pe, Score: Cosine}
+	r.methods[MethodPEJaccard] = Method{Name: MethodPEJaccard, Encoder: pe, Score: Jaccard}
+	r.methods[MethodPEJaroWinkler] = Method{Name: MethodPEJaroWinkler, Encoder: pe, Score: JaroWinkler}
+	return r, nil
+}
+
+// Get returns a method by name.
+func (r *Registry) Get(name MethodName) (Method, error) {
+	m, ok := r.methods[name]
+	if !ok {
+		return Method{}, fmt.Errorf("similarity: unknown method %q", name)
+	}
+	return m, nil
+}
+
+// Names returns all method names in stable (sorted) order.
+func (r *Registry) Names() []MethodName {
+	out := make([]MethodName, 0, len(r.methods))
+	for n := range r.methods {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,222 @@
+// Package similarity implements the transcription-similarity metrics the
+// paper evaluates in Table III: Jaro, Jaro-Winkler, Jaccard index, cosine
+// similarity, plus Levenshtein distance and word error rate used by the
+// ASR evaluation harness. All scores are in [0, 1] with 1 = identical.
+package similarity
+
+import (
+	"math"
+	"strings"
+)
+
+// Jaro returns the Jaro similarity of two strings.
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	matchDist := maxInt(la, lb)/2 - 1
+	if matchDist < 0 {
+		matchDist = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	var matches int
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-matchDist)
+		hi := minInt(lb-1, i+matchDist)
+		for j := lo; j <= hi; j++ {
+			if bMatched[j] || a[i] != b[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	var transpositions int
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix-scale of 0.1 and a maximum common-prefix credit of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Jaccard returns the Jaccard index of the token sets of two sentences.
+func Jaccard(a, b string) float64 {
+	sa := tokenSet(a)
+	sb := tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	var inter int
+	for tok := range sa {
+		if sb[tok] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// Cosine returns the cosine similarity between the token-frequency vectors
+// of two sentences.
+func Cosine(a, b string) float64 {
+	fa := tokenFreq(a)
+	fb := tokenFreq(b)
+	if len(fa) == 0 && len(fb) == 0 {
+		return 1
+	}
+	if len(fa) == 0 || len(fb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for tok, ca := range fa {
+		if cb, ok := fb[tok]; ok {
+			dot += float64(ca * cb)
+		}
+		na += float64(ca * ca)
+	}
+	for _, cb := range fb {
+		nb += float64(cb * cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Levenshtein returns the character edit distance between two strings.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(prev[j]+1, cur[j-1]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// LevenshteinSim normalizes Levenshtein distance into a similarity score.
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	m := maxInt(len(a), len(b))
+	return 1 - float64(d)/float64(m)
+}
+
+// WER returns the word error rate of a hypothesis against a reference:
+// (substitutions + insertions + deletions) / reference length. It can
+// exceed 1 when the hypothesis is much longer than the reference.
+func WER(ref, hyp string) float64 {
+	r := strings.Fields(strings.ToLower(ref))
+	h := strings.Fields(strings.ToLower(hyp))
+	if len(r) == 0 {
+		if len(h) == 0 {
+			return 0
+		}
+		return 1
+	}
+	prev := make([]int, len(h)+1)
+	cur := make([]int, len(h)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(r); i++ {
+		cur[0] = i
+		for j := 1; j <= len(h); j++ {
+			cost := 1
+			if r[i-1] == h[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(prev[j]+1, cur[j-1]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(h)]) / float64(len(r))
+}
+
+func tokenSet(s string) map[string]bool {
+	out := make(map[string]bool)
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok] = true
+	}
+	return out
+}
+
+func tokenFreq(s string) map[string]int {
+	out := make(map[string]int)
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok]++
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic textbook examples.
+	if got := Jaro("MARTHA", "MARHTA"); math.Abs(got-0.944444) > 1e-4 {
+		t.Fatalf("Jaro(MARTHA, MARHTA) = %g", got)
+	}
+	if got := Jaro("DIXON", "DICKSONX"); math.Abs(got-0.766667) > 1e-4 {
+		t.Fatalf("Jaro(DIXON, DICKSONX) = %g", got)
+	}
+	if Jaro("abc", "abc") != 1 {
+		t.Fatal("identical strings must score 1")
+	}
+	if Jaro("", "abc") != 0 || Jaro("abc", "") != 0 {
+		t.Fatal("empty vs non-empty must score 0")
+	}
+	if Jaro("", "") != 1 {
+		t.Fatal("two empties are identical")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Fatal("no matches must score 0")
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	if got := JaroWinkler("MARTHA", "MARHTA"); math.Abs(got-0.961111) > 1e-4 {
+		t.Fatalf("JaroWinkler(MARTHA, MARHTA) = %g", got)
+	}
+	// Prefix boost: common prefix strings beat non-prefix permutations.
+	if JaroWinkler("prefix", "prefax") <= Jaro("prefix", "prefax") {
+		t.Fatal("Winkler boost missing")
+	}
+}
+
+func TestSimilarityMetricsProperties(t *testing.T) {
+	metrics := map[string]func(a, b string) float64{
+		"Jaro":        Jaro,
+		"JaroWinkler": JaroWinkler,
+		"Jaccard":     Jaccard,
+		"Cosine":      Cosine,
+		"LevSim":      LevenshteinSim,
+	}
+	f := func(a, b string) bool {
+		// Restrict to printable ASCII for stability.
+		if len(a) > 40 || len(b) > 40 {
+			return true
+		}
+		for name, m := range metrics {
+			s := m(a, b)
+			if s < -1e-12 || s > 1+1e-12 || math.IsNaN(s) {
+				t.Logf("%s(%q,%q) = %g out of range", name, a, b, s)
+				return false
+			}
+			// Symmetry.
+			if math.Abs(s-m(b, a)) > 1e-9 {
+				t.Logf("%s not symmetric on %q,%q", name, a, b)
+				return false
+			}
+			// Self-similarity.
+			if !almostEq(m(a, a), 1) {
+				t.Logf("%s(%q,%q) self != 1", name, a, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard("open the door", "open the window"); !almostEq(got, 0.5) {
+		t.Fatalf("Jaccard = %g, want 0.5", got)
+	}
+	if Jaccard("", "") != 1 {
+		t.Fatal("both empty must be 1")
+	}
+	if Jaccard("a", "") != 0 {
+		t.Fatal("one empty must be 0")
+	}
+	// Case insensitive.
+	if Jaccard("Open Door", "open door") != 1 {
+		t.Fatal("must be case insensitive")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine("a b", "a b"); !almostEq(got, 1) {
+		t.Fatalf("identical = %g", got)
+	}
+	if got := Cosine("a a b", "a b b"); math.Abs(got-0.8) > 1e-9 {
+		// vectors (2,1) and (1,2): cos = 4/5.
+		t.Fatalf("Cosine = %g, want 0.8", got)
+	}
+	if Cosine("x y", "p q") != 0 {
+		t.Fatal("disjoint must be 0")
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestWER(t *testing.T) {
+	if got := WER("open the door", "open the door"); got != 0 {
+		t.Fatalf("WER identical = %g", got)
+	}
+	if got := WER("open the door", "open the window"); !almostEq(got, 1.0/3) {
+		t.Fatalf("WER one sub = %g", got)
+	}
+	if got := WER("open the door", ""); !almostEq(got, 1) {
+		t.Fatalf("WER empty hyp = %g", got)
+	}
+	if got := WER("", ""); got != 0 {
+		t.Fatalf("WER both empty = %g", got)
+	}
+	if got := WER("", "extra words"); got != 1 {
+		t.Fatalf("WER empty ref = %g", got)
+	}
+	// Insertions can push WER above 1.
+	if got := WER("hi", "hi there you all"); got <= 1 {
+		t.Fatalf("WER with many insertions = %g, want > 1", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	pe := func(s string) string { return "PE:" + s }
+	r, err := NewRegistry(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != 6 {
+		t.Fatalf("got %d methods, want 6", len(names))
+	}
+	m, err := r.Get(MethodPEJaroWinkler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Encoder == nil {
+		t.Fatal("PE method must have an encoder")
+	}
+	plain, err := r.Get(MethodJaroWinkler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Encoder != nil {
+		t.Fatal("non-PE method must not have an encoder")
+	}
+	if _, err := r.Get("bogus"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("expected error for nil encoder")
+	}
+	// Compare applies the encoder.
+	got := m.Compare("abc", "abc")
+	if got != 1 {
+		t.Fatalf("Compare identical = %g", got)
+	}
+}

@@ -1,0 +1,165 @@
+package speech
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mvpears/internal/audio"
+)
+
+// The corpus generator produces the benign sentences that stand in for the
+// LibriSpeech dev-clean utterances of the paper, and the malicious-command
+// phrases embedded by the attacks.
+
+// Word categories used by the sentence templates. All entries must exist
+// in the phoneme lexicon.
+var (
+	corpusNouns = []string{
+		"door", "window", "house", "room", "kitchen", "garden", "light",
+		"lamp", "camera", "fan", "music", "song", "radio", "phone",
+		"message", "book", "story", "game", "movie", "picture", "car",
+		"bus", "train", "road", "street", "city", "town", "school",
+		"office", "store", "bank", "dog", "cat", "bird", "tree", "river",
+		"water", "coffee", "tea", "food", "milk", "bread", "dinner",
+		"clock", "timer", "news", "weather", "morning", "evening",
+		"night", "friend", "doctor", "mother", "father", "child", "man",
+		"woman", "voice", "sound", "heart", "world", "question", "answer",
+		"name", "number", "list", "word", "hand", "fire", "moon", "sun",
+		"rain", "snow",
+	}
+	corpusAdjectives = []string{
+		"good", "bad", "new", "old", "big", "small", "long", "short",
+		"high", "low", "hot", "cold", "warm", "cool", "fast", "slow",
+		"loud", "quiet", "happy", "sad", "late", "early", "ready",
+		"free", "safe", "dark", "bright", "clean", "dirty", "full",
+		"empty", "easy", "hard", "green", "red", "blue", "white", "black",
+	}
+	corpusVerbsT = []string{ // transitive verbs
+		"open", "close", "take", "make", "see", "hear", "like", "love",
+		"want", "need", "find", "keep", "bring", "move", "use", "read",
+		"show", "help",
+	}
+	corpusVerbsI = []string{ // intransitive verbs
+		"go", "come", "run", "walk", "work", "wait", "stay", "leave",
+		"listen", "speak",
+	}
+	corpusPronouns = []string{"i", "you", "we", "they", "he", "she"}
+	corpusAdverbs  = []string{"now", "soon", "again", "often", "always", "never", "here", "there", "today", "tomorrow"}
+)
+
+// MaliciousCommands lists the attacker-desired transcriptions embedded by
+// the targeted attacks (the paper's running example "open the front door"
+// first). All words are in the lexicon.
+var MaliciousCommands = []string{
+	"open the front door",
+	"unlock the back door",
+	"turn off the alarm",
+	"turn off the camera",
+	"open the garage",
+	"disable the security system",
+	"send the password",
+	"call the bank now",
+	"order ten movies",
+	"delete every message",
+	"turn off the lights",
+	"unlock the car",
+}
+
+// ShortCommands lists two-word payloads used by the black-box attack,
+// matching the paper's observation that the genetic attack embeds at most
+// two words.
+var ShortCommands = []string{
+	"open door", "turn off", "call bank", "send text", "stop alarm",
+	"unlock car", "play music", "delete mail",
+}
+
+// PaperHostPhrase and PaperEmbeddedPhrase reproduce the Table I example.
+const (
+	PaperHostPhrase     = "i wish you wouldn't"
+	PaperEmbeddedPhrase = "a sight for sore eyes"
+)
+
+// Corpus deterministically generates benign sentences.
+type Corpus struct {
+	rng *rand.Rand
+}
+
+// NewCorpus returns a corpus generator seeded for reproducibility.
+func NewCorpus(seed int64) *Corpus {
+	return &Corpus{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *Corpus) pick(words []string) string {
+	return words[c.rng.Intn(len(words))]
+}
+
+// Sentence generates one benign sentence (3–7 words) from the template
+// bank.
+func (c *Corpus) Sentence() string {
+	switch c.rng.Intn(8) {
+	case 0:
+		return fmt.Sprintf("the %s is %s", c.pick(corpusNouns), c.pick(corpusAdjectives))
+	case 1:
+		return fmt.Sprintf("%s %s the %s %s", c.pick(corpusPronouns), c.pick(corpusVerbsT), c.pick(corpusAdjectives), c.pick(corpusNouns))
+	case 2:
+		return fmt.Sprintf("%s %s %s", c.pick(corpusPronouns), c.pick(corpusVerbsI), c.pick(corpusAdverbs))
+	case 3:
+		return fmt.Sprintf("the %s %s was %s", c.pick(corpusAdjectives), c.pick(corpusNouns), c.pick(corpusAdjectives))
+	case 4:
+		return fmt.Sprintf("%s %s the %s", c.pick(corpusPronouns), c.pick(corpusVerbsT), c.pick(corpusNouns))
+	case 5:
+		return fmt.Sprintf("the %s and the %s are %s", c.pick(corpusNouns), c.pick(corpusNouns), c.pick(corpusAdjectives))
+	case 6:
+		return fmt.Sprintf("%s will %s the %s %s", c.pick(corpusPronouns), c.pick(corpusVerbsT), c.pick(corpusNouns), c.pick(corpusAdverbs))
+	default:
+		return fmt.Sprintf("the %s %s is %s the %s", c.pick(corpusAdjectives), c.pick(corpusNouns), c.pick(corpusAdverbs), c.pick(corpusAdjectives))
+	}
+}
+
+// Sentences generates n distinct benign sentences.
+func (c *Corpus) Sentences(n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		s := c.Sentence()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Utterance pairs a synthesized clip with its transcript and gold
+// alignment.
+type Utterance struct {
+	Text      string
+	Clip      *audio.Clip
+	Alignment Alignment
+	Speaker   Speaker
+}
+
+// GenerateUtterances synthesizes n benign utterances with random speakers.
+func GenerateUtterances(synth *Synthesizer, n int, seed int64) ([]Utterance, error) {
+	corpus := NewCorpus(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	texts := corpus.Sentences(n)
+	out := make([]Utterance, 0, n)
+	for _, text := range texts {
+		spk := RandomSpeaker(rng)
+		clip, align, err := synth.SynthesizeSentence(text, spk, rng)
+		if err != nil {
+			return nil, fmt.Errorf("speech: synthesizing %q: %w", text, err)
+		}
+		out = append(out, Utterance{Text: text, Clip: clip, Alignment: align, Speaker: spk})
+	}
+	return out, nil
+}
+
+// NormalizeText lower-cases and strips punctuation so transcripts compare
+// cleanly.
+func NormalizeText(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

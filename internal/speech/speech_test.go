@@ -1,0 +1,258 @@
+package speech
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvpears/internal/phoneme"
+)
+
+func TestSynthesizeProducesAlignedAudio(t *testing.T) {
+	synth := NewSynthesizer(8000)
+	rng := rand.New(rand.NewSource(1))
+	clip, align, err := synth.SynthesizeSentence("open the door", DefaultSpeaker(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clip.SampleRate != 8000 {
+		t.Fatalf("sample rate %d", clip.SampleRate)
+	}
+	if clip.Duration() < 0.5 || clip.Duration() > 5 {
+		t.Fatalf("implausible duration %g s", clip.Duration())
+	}
+	if clip.Peak() > 1 || clip.Peak() < 0.5 {
+		t.Fatalf("peak %g outside [0.5, 1]", clip.Peak())
+	}
+	// Alignment must tile the clip exactly.
+	if align[0].Start != 0 {
+		t.Fatal("alignment does not start at 0")
+	}
+	for i := 1; i < len(align); i++ {
+		if align[i].Start != align[i-1].End {
+			t.Fatalf("alignment gap at segment %d", i)
+		}
+	}
+	if align[len(align)-1].End != len(clip.Samples) {
+		t.Fatal("alignment does not cover the clip")
+	}
+	// Sentence phonemes: silence-delimited.
+	ids, err := phoneme.SentencePhonemes("open the door")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(align) != len(ids) {
+		t.Fatalf("%d segments for %d phonemes", len(align), len(ids))
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	synth := NewSynthesizer(8000)
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := synth.Synthesize(nil, DefaultSpeaker(), rng); err == nil {
+		t.Fatal("expected error for empty sequence")
+	}
+	if _, _, err := synth.Synthesize([]int{9999}, DefaultSpeaker(), rng); err == nil {
+		t.Fatal("expected error for invalid phoneme id")
+	}
+	bad := DefaultSpeaker()
+	bad.Rate = 0
+	if _, _, err := synth.Synthesize([]int{0}, bad, rng); err == nil {
+		t.Fatal("expected error for zero rate")
+	}
+	zero := &Synthesizer{SampleRate: 0}
+	if _, _, err := zero.Synthesize([]int{0}, DefaultSpeaker(), rng); err == nil {
+		t.Fatal("expected error for zero sample rate")
+	}
+}
+
+func TestSynthesisDeterministicGivenSeed(t *testing.T) {
+	synth := NewSynthesizer(8000)
+	mk := func() []float64 {
+		rng := rand.New(rand.NewSource(42))
+		clip, _, err := synth.SynthesizeSentence("hello world today", DefaultSpeaker(), rng)
+		if err != nil {
+			// "world" is in lexicon; "hello", "today" too.
+			t.Fatal(err)
+		}
+		return clip.Samples
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic samples")
+		}
+	}
+}
+
+func TestVowelsSpectrallyDistinct(t *testing.T) {
+	// Two far-apart vowels must have clearly different spectra; this is
+	// the property the acoustic models rely on.
+	synth := NewSynthesizer(8000)
+	synth.NoiseSNRdB = 0
+	rng := rand.New(rand.NewSource(3))
+	energyAbove1500 := func(sym string) float64 {
+		id := phoneme.MustIndex(sym)
+		clip, _, err := synth.Synthesize([]int{id, id, id, id}, DefaultSpeaker(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Goertzel-free estimate: compare zero-crossing-ish high-band
+		// energy via first difference (a crude high-pass).
+		var hi, total float64
+		for i := 1; i < len(clip.Samples); i++ {
+			d := clip.Samples[i] - clip.Samples[i-1]
+			hi += d * d
+			total += clip.Samples[i] * clip.Samples[i]
+		}
+		return hi / (total + 1e-12)
+	}
+	iy := energyAbove1500("IY") // F2 = 2290 Hz: lots of high-band energy
+	uw := energyAbove1500("UW") // F2 = 870 Hz: low-band dominated
+	if iy <= uw {
+		t.Fatalf("IY high-band ratio %g should exceed UW %g", iy, uw)
+	}
+}
+
+func TestAlignmentLabels(t *testing.T) {
+	a := Alignment{
+		{PhonemeID: 3, Start: 0, End: 400},
+		{PhonemeID: 7, Start: 400, End: 800},
+	}
+	labels := a.Labels(800, 256, 128)
+	if len(labels) == 0 {
+		t.Fatal("no labels")
+	}
+	// First frame centre (128) is inside segment 0; a frame centred
+	// beyond 400 must be labelled 7.
+	if labels[0] != 3 {
+		t.Fatalf("frame 0 labelled %d, want 3", labels[0])
+	}
+	var saw7 bool
+	for _, l := range labels {
+		if l == 7 {
+			saw7 = true
+		}
+	}
+	if !saw7 {
+		t.Fatal("second phoneme never labelled")
+	}
+	if got := a.Labels(800, 0, 128); got != nil {
+		t.Fatal("invalid framing must return nil")
+	}
+}
+
+func TestCorpusSentencesValidAndDistinct(t *testing.T) {
+	c := NewCorpus(11)
+	sents := c.Sentences(50)
+	if len(sents) != 50 {
+		t.Fatalf("got %d sentences", len(sents))
+	}
+	seen := make(map[string]bool)
+	for _, s := range sents {
+		if seen[s] {
+			t.Fatalf("duplicate sentence %q", s)
+		}
+		seen[s] = true
+		if _, err := phoneme.SentencePhonemes(s); err != nil {
+			t.Fatalf("sentence %q not pronounceable: %v", s, err)
+		}
+		n := len(phoneme.Tokenize(s))
+		if n < 3 || n > 8 {
+			t.Fatalf("sentence %q has %d words", s, n)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := NewCorpus(7).Sentences(20)
+	b := NewCorpus(7).Sentences(20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestCommandPhrasesPronounceable(t *testing.T) {
+	for _, cmd := range MaliciousCommands {
+		if _, err := phoneme.SentencePhonemes(cmd); err != nil {
+			t.Fatalf("command %q: %v", cmd, err)
+		}
+	}
+	for _, cmd := range ShortCommands {
+		if _, err := phoneme.SentencePhonemes(cmd); err != nil {
+			t.Fatalf("short command %q: %v", cmd, err)
+		}
+		if n := len(phoneme.Tokenize(cmd)); n != 2 {
+			t.Fatalf("short command %q has %d words, want 2", cmd, n)
+		}
+	}
+	for _, p := range []string{PaperHostPhrase, PaperEmbeddedPhrase} {
+		if _, err := phoneme.SentencePhonemes(p); err != nil {
+			t.Fatalf("paper phrase %q: %v", p, err)
+		}
+	}
+}
+
+func TestGenerateUtterances(t *testing.T) {
+	synth := NewSynthesizer(8000)
+	utts, err := GenerateUtterances(synth, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(utts) != 5 {
+		t.Fatalf("got %d utterances", len(utts))
+	}
+	for _, u := range utts {
+		if len(u.Clip.Samples) == 0 || len(u.Alignment) == 0 || u.Text == "" {
+			t.Fatalf("incomplete utterance %+v", u.Text)
+		}
+		labels := u.Alignment.Labels(len(u.Clip.Samples), 256, 128)
+		nonSil := 0
+		for _, l := range labels {
+			if l != phoneme.SilIndex() {
+				nonSil++
+			}
+		}
+		if nonSil < len(labels)/4 {
+			t.Fatalf("utterance %q is mostly silence (%d/%d speech frames)", u.Text, nonSil, len(labels))
+		}
+	}
+}
+
+func TestNormalizeText(t *testing.T) {
+	if got := NormalizeText("  Open   The Door "); got != "open the door" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSpeakerVariationBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		s := RandomSpeaker(rng)
+		if s.Pitch < 100 || s.Pitch > 230 {
+			t.Fatalf("pitch %g out of range", s.Pitch)
+		}
+		if s.FormantScale < 0.88 || s.FormantScale > 1.12 {
+			t.Fatalf("formant scale %g out of range", s.FormantScale)
+		}
+		if s.Rate < 0.8 || s.Rate > 1.25 {
+			t.Fatalf("rate %g out of range", s.Rate)
+		}
+	}
+}
+
+func TestEnvelopeBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		for i := 0; i < n; i++ {
+			e := envelope(i, n)
+			if e < 0 || e > 1 || math.IsNaN(e) {
+				t.Fatalf("envelope(%d,%d) = %g", i, n, e)
+			}
+		}
+	}
+}

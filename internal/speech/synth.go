@@ -1,0 +1,293 @@
+// Package speech synthesizes audio from phoneme sequences and generates
+// the sentence corpus used in place of LibriSpeech/CommonVoice recordings.
+// The synthesizer is a formant-style renderer: each phoneme is realized as
+// a combination of formant sinusoids, shaped noise, and bursts according to
+// its manner class, with per-speaker pitch/rate/formant variation. The
+// exact phoneme-to-sample alignment is returned alongside the waveform so
+// acoustic models can be trained fully supervised.
+package speech
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/phoneme"
+)
+
+// Speaker captures the per-speaker variation applied during synthesis.
+type Speaker struct {
+	Pitch        float64 // fundamental frequency in Hz (voiced excitation)
+	FormantScale float64 // multiplicative shift of all formants
+	Rate         float64 // speaking-rate multiplier (>1 is faster)
+	Breath       float64 // breathiness: RMS of per-speaker noise floor
+}
+
+// RandomSpeaker draws a speaker profile from the population distribution.
+func RandomSpeaker(rng *rand.Rand) Speaker {
+	return Speaker{
+		Pitch:        110 + rng.Float64()*110, // 110–220 Hz
+		FormantScale: clamp(1+rng.NormFloat64()*0.05, 0.88, 1.12),
+		Rate:         clamp(1+rng.NormFloat64()*0.08, 0.8, 1.25),
+		Breath:       0.002 + rng.Float64()*0.004,
+	}
+}
+
+// DefaultSpeaker returns a fixed, neutral speaker (useful in tests).
+func DefaultSpeaker() Speaker {
+	return Speaker{Pitch: 140, FormantScale: 1, Rate: 1, Breath: 0.003}
+}
+
+// Segment records that one phoneme occupies samples [Start, End).
+type Segment struct {
+	PhonemeID int
+	Start     int
+	End       int
+}
+
+// Alignment is the exact phoneme-to-sample mapping of a synthesized
+// utterance.
+type Alignment []Segment
+
+// Labels returns one phoneme id per analysis frame: the phoneme active at
+// each frame's centre sample (frames past the last segment get silence).
+func (a Alignment) Labels(numSamples, frameLen, hop int) []int {
+	if frameLen <= 0 || hop <= 0 {
+		return nil
+	}
+	nf := numFrames(numSamples, frameLen, hop)
+	labels := make([]int, nf)
+	sil := phoneme.SilIndex()
+	for f := 0; f < nf; f++ {
+		center := f*hop + frameLen/2
+		labels[f] = sil
+		for _, seg := range a {
+			if center >= seg.Start && center < seg.End {
+				labels[f] = seg.PhonemeID
+				break
+			}
+		}
+	}
+	return labels
+}
+
+func numFrames(n, frameLen, hop int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n <= frameLen {
+		return 1
+	}
+	return 1 + (n-frameLen+hop-1)/hop
+}
+
+// diphthongTargets maps diphthong symbols to their glide-target formants.
+var diphthongTargets = map[string][3]float64{
+	"AW": {440, 1020, 2240}, // -> UH
+	"AY": {390, 1990, 2550}, // -> IH
+	"EY": {390, 1990, 2550}, // -> IH
+	"OW": {300, 870, 2240},  // -> UW
+	"OY": {390, 1990, 2550}, // -> IH
+}
+
+// Synthesizer renders phoneme sequences to waveforms.
+type Synthesizer struct {
+	SampleRate int
+	// NoiseSNRdB is the utterance-level additive-noise SNR; 0 disables.
+	NoiseSNRdB float64
+}
+
+// NewSynthesizer returns a synthesizer at the given rate with a mild
+// recording-noise floor (28 dB SNR).
+func NewSynthesizer(sampleRate int) *Synthesizer {
+	return &Synthesizer{SampleRate: sampleRate, NoiseSNRdB: 28}
+}
+
+// Synthesize renders the phoneme-id sequence for the given speaker. The
+// rng drives duration jitter and noise; pass a seeded source for
+// reproducibility.
+func (s *Synthesizer) Synthesize(ids []int, spk Speaker, rng *rand.Rand) (*audio.Clip, Alignment, error) {
+	if s.SampleRate <= 0 {
+		return nil, nil, fmt.Errorf("speech: invalid sample rate %d", s.SampleRate)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("speech: empty phoneme sequence")
+	}
+	if spk.Rate <= 0 {
+		return nil, nil, fmt.Errorf("speech: speaker rate %g must be positive", spk.Rate)
+	}
+	clip := audio.NewClip(s.SampleRate, 0)
+	align := make(Alignment, 0, len(ids))
+	for _, id := range ids {
+		p, err := phoneme.Get(id)
+		if err != nil {
+			return nil, nil, fmt.Errorf("speech: %w", err)
+		}
+		start := len(clip.Samples)
+		seg := s.renderPhoneme(p, spk, rng)
+		clip.Samples = append(clip.Samples, seg...)
+		align = append(align, Segment{PhonemeID: id, Start: start, End: len(clip.Samples)})
+	}
+	// Speaker breathiness + recording noise.
+	for i := range clip.Samples {
+		clip.Samples[i] += rng.NormFloat64() * spk.Breath
+	}
+	if s.NoiseSNRdB > 0 {
+		noisy := audio.AddNoiseSNR(rng, clip, s.NoiseSNRdB)
+		clip = noisy
+	}
+	clip.Normalize(0.8)
+	return clip, align, nil
+}
+
+// renderPhoneme produces the samples for one phoneme instance.
+func (s *Synthesizer) renderPhoneme(p phoneme.Phoneme, spk Speaker, rng *rand.Rand) []float64 {
+	durMS := p.DurMS / spk.Rate * (1 + rng.NormFloat64()*0.07)
+	if durMS < 25 {
+		durMS = 25
+	}
+	n := int(durMS * float64(s.SampleRate) / 1000)
+	out := make([]float64, n)
+	if p.Manner == phoneme.MannerSilence {
+		return out
+	}
+	f1 := p.F1 * spk.FormantScale
+	f2 := p.F2 * spk.FormantScale
+	f3 := p.F3 * spk.FormantScale
+	nyq := float64(s.SampleRate)/2 - 100
+	f1, f2, f3 = math.Min(f1, nyq), math.Min(f2, nyq), math.Min(f3, nyq)
+	target, isDiph := diphthongTargets[p.Symbol]
+	t1, t2, t3 := f1, f2, f3
+	if isDiph {
+		t1 = target[0] * spk.FormantScale
+		t2 = target[1] * spk.FormantScale
+		t3 = target[2] * spk.FormantScale
+	}
+	phase1, phase2, phase3, phase0 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+	dt := 1 / float64(s.SampleRate)
+	switch p.Manner {
+	case phoneme.MannerVowel, phoneme.MannerApproximant, phoneme.MannerNasal:
+		a1, a2, a3 := 1.0, 0.55, 0.28
+		if p.Manner == phoneme.MannerNasal {
+			a2, a3 = 0.35, 0.15 // nasals are spectrally dull
+		}
+		for i := 0; i < n; i++ {
+			frac := float64(i) / float64(n)
+			g1 := f1 + (t1-f1)*frac
+			g2 := f2 + (t2-f2)*frac
+			g3 := f3 + (t3-f3)*frac
+			phase1 += 2 * math.Pi * g1 * dt
+			phase2 += 2 * math.Pi * g2 * dt
+			phase3 += 2 * math.Pi * g3 * dt
+			v := a1*math.Sin(phase1) + a2*math.Sin(phase2) + a3*math.Sin(phase3)
+			if p.Voiced {
+				phase0 += 2 * math.Pi * spk.Pitch * dt
+				v += 0.5 * math.Sin(phase0)
+			}
+			out[i] = v * p.Amp * envelope(i, n)
+		}
+	case phoneme.MannerFricative:
+		// Noise shaped by resonators at the locus frequencies.
+		res1 := newResonator(f2, 300, float64(s.SampleRate))
+		res2 := newResonator(f3, 500, float64(s.SampleRate))
+		for i := 0; i < n; i++ {
+			w := rng.NormFloat64()
+			v := res1.process(w) + 0.5*res2.process(w)
+			if p.Voiced {
+				phase0 += 2 * math.Pi * spk.Pitch * dt
+				v += 0.6 * math.Sin(phase0)
+			}
+			out[i] = v * p.Amp * envelope(i, n)
+		}
+	case phoneme.MannerStop, phoneme.MannerAffricate:
+		// Closure (silence) then a release burst of shaped noise; voiced
+		// stops carry a low-frequency voice bar during closure.
+		closure := n * 2 / 5
+		res := newResonator(f2, 400, float64(s.SampleRate))
+		for i := 0; i < n; i++ {
+			var v float64
+			if i < closure {
+				if p.Voiced {
+					phase0 += 2 * math.Pi * spk.Pitch * dt
+					v = 0.25 * math.Sin(phase0)
+				}
+			} else {
+				burst := float64(i-closure) / float64(n-closure)
+				decay := math.Exp(-3 * burst)
+				if p.Manner == phoneme.MannerAffricate {
+					decay = math.Exp(-1.2 * burst) // longer frication
+				}
+				v = res.process(rng.NormFloat64()) * decay * 2
+				if p.Voiced {
+					phase0 += 2 * math.Pi * spk.Pitch * dt
+					v += 0.3 * math.Sin(phase0)
+				}
+			}
+			out[i] = v * p.Amp
+		}
+	}
+	return out
+}
+
+// envelope is a raised-cosine attack/decay over the first and last 15% of
+// the phoneme, preventing clicks at boundaries.
+func envelope(i, n int) float64 {
+	edge := n * 15 / 100
+	if edge == 0 {
+		return 1
+	}
+	switch {
+	case i < edge:
+		return 0.5 - 0.5*math.Cos(math.Pi*float64(i)/float64(edge))
+	case i >= n-edge:
+		return 0.5 - 0.5*math.Cos(math.Pi*float64(n-1-i)/float64(edge))
+	default:
+		return 1
+	}
+}
+
+// resonator is a two-pole bandpass filter used to shape noise.
+type resonator struct {
+	b0, a1, a2 float64
+	y1, y2     float64
+}
+
+func newResonator(centerHz, bandwidthHz, sampleRate float64) *resonator {
+	if centerHz >= sampleRate/2 {
+		centerHz = sampleRate/2 - 100
+	}
+	r := math.Exp(-math.Pi * bandwidthHz / sampleRate)
+	theta := 2 * math.Pi * centerHz / sampleRate
+	return &resonator{
+		b0: (1 - r*r) * 0.5,
+		a1: 2 * r * math.Cos(theta),
+		a2: -r * r,
+	}
+}
+
+func (r *resonator) process(x float64) float64 {
+	y := r.b0*x + r.a1*r.y1 + r.a2*r.y2
+	r.y2 = r.y1
+	r.y1 = y
+	return y
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SynthesizeSentence is a convenience wrapper: text -> phonemes -> audio.
+func (s *Synthesizer) SynthesizeSentence(text string, spk Speaker, rng *rand.Rand) (*audio.Clip, Alignment, error) {
+	ids, err := phoneme.SentencePhonemes(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Synthesize(ids, spk, rng)
+}

@@ -1,0 +1,155 @@
+package mvpears
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/detector"
+)
+
+// systemSnap is the serialized form of a System: the engine models plus
+// the detector's training features (feature matrices are tiny — one
+// similarity vector per training sample — and refitting the classifier
+// from them is deterministic and fast, so classifier internals are not
+// stored).
+type systemSnap struct {
+	Version     int
+	Engines     []byte
+	Auxiliaries []EngineID
+	Classifier  string
+	BenignX     [][]float64
+	AEX         [][]float64
+}
+
+const systemSnapVersion = 1
+
+// Save writes the trained system (engine models + detector training
+// features) to w. Load it back with Open/Read.
+func (s *System) Save(w io.Writer) error {
+	if s.pools == nil {
+		return fmt.Errorf("mvpears: system has no trained detector to save; call TrainDetector first")
+	}
+	var engines bytes.Buffer
+	if err := s.engines.Save(&engines); err != nil {
+		return err
+	}
+	snap := systemSnap{
+		Version:    systemSnapVersion,
+		Engines:    engines.Bytes(),
+		Classifier: s.det.Classifier.Name(),
+		BenignX:    columnsToRows(s.pools.Benign),
+		AEX:        columnsToRows(s.pools.AE),
+	}
+	for _, aux := range s.det.Auxiliaries {
+		snap.Auxiliaries = append(snap.Auxiliaries, EngineID(aux.Name()))
+	}
+	switch snap.Classifier {
+	case "SVM":
+		snap.Classifier = "svm"
+	case "KNN":
+		snap.Classifier = "knn"
+	case "RandomForest":
+		snap.Classifier = "forest"
+	case "LogReg":
+		snap.Classifier = "logreg"
+	case "NaiveBayes":
+		snap.Classifier = "bayes"
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("mvpears: encoding system: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the system to a file (creating parent directories).
+func (s *System) SaveFile(path string) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("mvpears: creating model directory: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mvpears: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("mvpears: closing %s: %w", path, cerr)
+		}
+	}()
+	return s.Save(f)
+}
+
+// Read restores a system written by Save: engines are loaded and the
+// classifier is refit from the stored training features.
+func Read(r io.Reader) (*System, error) {
+	var snap systemSnap
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mvpears: decoding system: %w", err)
+	}
+	if snap.Version != systemSnapVersion {
+		return nil, fmt.Errorf("mvpears: model format version %d, want %d", snap.Version, systemSnapVersion)
+	}
+	engines, err := asr.Load(bytes.NewReader(snap.Engines))
+	if err != nil {
+		return nil, err
+	}
+	aux := make([]asr.Recognizer, 0, len(snap.Auxiliaries))
+	for _, id := range snap.Auxiliaries {
+		rec, err := engines.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		aux = append(aux, rec)
+	}
+	det, err := detector.New(engines.DS0, aux)
+	if err != nil {
+		return nil, err
+	}
+	det.Classifier = newClassifier(snap.Classifier)
+	sys := &System{engines: engines, det: det}
+	pools, err := detector.ScorePools(snap.BenignX, snap.AEX)
+	if err != nil {
+		return nil, err
+	}
+	sys.pools = pools
+	if err := det.Train(snap.BenignX, snap.AEX); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Open restores a system from a file written by SaveFile.
+func Open(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mvpears: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	sys, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("mvpears: loading %s: %w", path, err)
+	}
+	return sys, nil
+}
+
+// columnsToRows converts per-auxiliary score pools (columns) back into
+// per-sample feature vectors (rows).
+func columnsToRows(cols [][]float64) [][]float64 {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, len(cols))
+		for j := range cols {
+			v[j] = cols[j][i]
+		}
+		rows[i] = v
+	}
+	return rows
+}

@@ -1,0 +1,67 @@
+package mvpears
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSystemSaveOpenRoundTrip(t *testing.T) {
+	s := sharedSystem(t)
+	path := filepath.Join(t.TempDir(), "models", "system.gob")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SampleRate() != s.SampleRate() {
+		t.Fatalf("sample rate %d, want %d", loaded.SampleRate(), s.SampleRate())
+	}
+	names := loaded.AuxiliaryNames()
+	if len(names) != 3 {
+		t.Fatalf("auxiliaries %v", names)
+	}
+	// Same verdicts on fresh audio.
+	benign, err := s.GenerateSpeech("the music is loud", 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := s.Detect(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := loaded.Detect(benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Adversarial != d2.Adversarial {
+		t.Fatalf("verdict changed after round trip: %v vs %v", d1.Adversarial, d2.Adversarial)
+	}
+	for i := range d1.Scores {
+		if d1.Scores[i] != d2.Scores[i] {
+			t.Fatalf("scores changed: %v vs %v", d1.Scores, d2.Scores)
+		}
+	}
+}
+
+func TestSystemSaveRequiresTraining(t *testing.T) {
+	s, err := Build(WithQuickScale(), WithoutTraining())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err == nil {
+		t.Fatal("expected error saving untrained system")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

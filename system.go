@@ -1,0 +1,251 @@
+package mvpears
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/attack"
+	"mvpears/internal/classify"
+	"mvpears/internal/detector"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Detection is the detector's verdict for one audio input.
+type Detection struct {
+	// Adversarial is true when the input is classified as an AE.
+	Adversarial bool
+	// Scores are the per-auxiliary similarity scores (the feature
+	// vector), in the order the auxiliaries were configured.
+	Scores []float64
+	// Transcriptions maps each engine name (target first under its own
+	// name) to its transcription of the input.
+	Transcriptions map[string]string
+	// Timing decomposes the detection cost.
+	Timing DetectionTiming
+}
+
+// DetectionTiming mirrors the paper's §V-I overhead decomposition.
+type DetectionTiming struct {
+	Recognition time.Duration
+	Similarity  time.Duration
+	Classify    time.Duration
+}
+
+// Detect classifies the clip as benign or adversarial. The System must
+// have a trained classifier (Build's default).
+func (s *System) Detect(clip *Clip) (*Detection, error) {
+	dec, timing, err := s.det.DetectTimed(clip)
+	if err != nil {
+		return nil, err
+	}
+	out := &Detection{
+		Adversarial:    dec.Adversarial,
+		Scores:         dec.Scores,
+		Transcriptions: map[string]string{s.det.Target.Name(): dec.Transcriptions.Target},
+		Timing: DetectionTiming{
+			Recognition: timing.Recognition,
+			Similarity:  timing.Similarity,
+			Classify:    timing.Classify,
+		},
+	}
+	for i, aux := range s.det.Auxiliaries {
+		out.Transcriptions[aux.Name()] = dec.Transcriptions.Aux[i]
+	}
+	return out, nil
+}
+
+// DetectFile loads a WAV file (resampling to the engines' rate if needed)
+// and runs Detect.
+func (s *System) DetectFile(path string) (*Detection, error) {
+	clip, err := LoadWAV(path)
+	if err != nil {
+		return nil, err
+	}
+	if clip.SampleRate != s.engines.SampleRate {
+		clip, err = clip.Resample(s.engines.SampleRate)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.Detect(clip)
+}
+
+// Transcribe runs the target engine (DS0) on the clip.
+func (s *System) Transcribe(clip *Clip) (string, error) {
+	return s.det.Target.Transcribe(clip)
+}
+
+// TranscribeAll runs every configured engine and returns name ->
+// transcription.
+func (s *System) TranscribeAll(clip *Clip) (map[string]string, error) {
+	out := make(map[string]string, len(s.det.Auxiliaries)+1)
+	text, err := s.det.Target.Transcribe(clip)
+	if err != nil {
+		return nil, err
+	}
+	out[s.det.Target.Name()] = text
+	for _, aux := range s.det.Auxiliaries {
+		text, err := aux.Transcribe(clip)
+		if err != nil {
+			return nil, err
+		}
+		out[aux.Name()] = text
+	}
+	return out, nil
+}
+
+// FeatureVector returns the similarity-score vector of the clip without
+// classifying it.
+func (s *System) FeatureVector(clip *Clip) ([]float64, error) {
+	return s.det.FeatureVector(clip)
+}
+
+// SampleRate returns the audio sample rate the engines expect.
+func (s *System) SampleRate() int { return s.engines.SampleRate }
+
+// AuxiliaryNames lists the configured auxiliary engines in order.
+func (s *System) AuxiliaryNames() []string {
+	out := make([]string, len(s.det.Auxiliaries))
+	for i, aux := range s.det.Auxiliaries {
+		out[i] = aux.Name()
+	}
+	return out
+}
+
+// AEResult describes a crafted adversarial example.
+type AEResult struct {
+	AE         *Clip
+	Success    bool
+	HostText   string  // what the target transcribed for the host
+	TargetText string  // the attacker's command
+	FinalText  string  // what the target transcribes for the AE
+	Similarity float64 // waveform similarity AE vs host
+	SNRdB      float64
+	Iterations int
+}
+
+func fromAttackResult(r *attack.Result) *AEResult {
+	return &AEResult{
+		AE:         r.AE,
+		Success:    r.Success,
+		HostText:   r.HostText,
+		TargetText: r.TargetText,
+		FinalText:  r.FinalText,
+		Similarity: r.Similarity,
+		SNRdB:      r.SNRdB,
+		Iterations: r.Iterations,
+	}
+}
+
+// CraftWhiteBoxAE runs the gradient (Carlini&Wagner-style) attack against
+// the target engine: it perturbs host so DS0 transcribes command.
+func (s *System) CraftWhiteBoxAE(host *Clip, command string) (*AEResult, error) {
+	res, err := attack.WhiteBox(s.engines.DS0, host, command, attack.DefaultWhiteBoxConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromAttackResult(res), nil
+}
+
+// CraftBlackBoxAE runs the query-only genetic attack against the target
+// engine. The command must be at most two words (the method's documented
+// limit, matching the paper).
+func (s *System) CraftBlackBoxAE(host *Clip, command string, seed int64) (*AEResult, error) {
+	cfg := attack.DefaultBlackBoxConfig()
+	cfg.Seed = seed
+	res, err := attack.BlackBox(s.engines.DS0, host, command, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fromAttackResult(res), nil
+}
+
+// CraftNonTargetedAE degrades the clip with -6 dB noise until the target's
+// transcription has over 80% word error rate (the paper's §V-J recipe).
+func (s *System) CraftNonTargetedAE(clip *Clip, seed int64) (*Clip, bool, error) {
+	cfg := attack.DefaultNonTargetedConfig()
+	cfg.Seed = seed
+	res, err := attack.NonTargeted(s.engines.DS0, clip, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.AE, res.Success, nil
+}
+
+// ThresholdDetector is a classifier-free detector calibrated on benign
+// audio only: an input whose similarity score (against one auxiliary)
+// falls below the threshold is adversarial.
+type ThresholdDetector struct {
+	inner *detector.ThresholdDetector
+}
+
+// Threshold returns the calibrated similarity threshold.
+func (t *ThresholdDetector) Threshold() float64 { return t.inner.Threshold }
+
+// Detect classifies the clip by threshold.
+func (t *ThresholdDetector) Detect(clip *Clip) (bool, float64, error) {
+	dec, err := t.inner.Detect(clip)
+	if err != nil {
+		return false, 0, err
+	}
+	return dec.Adversarial, dec.Scores[0], nil
+}
+
+// CalibrateThreshold builds a single-auxiliary threshold detector using
+// benign clips only, choosing the threshold so at most maxFPR of them are
+// flagged (the paper's §V-G unseen-attack detector).
+func (s *System) CalibrateThreshold(aux EngineID, benign []*Clip, maxFPR float64) (*ThresholdDetector, error) {
+	rec, err := s.engines.Get(aux)
+	if err != nil {
+		return nil, err
+	}
+	if aux == DS0 {
+		return nil, fmt.Errorf("mvpears: the target engine cannot be its own auxiliary")
+	}
+	if len(benign) == 0 {
+		return nil, fmt.Errorf("mvpears: calibration needs benign clips")
+	}
+	single, err := detector.New(s.engines.DS0, []asr.Recognizer{rec})
+	if err != nil {
+		return nil, err
+	}
+	X := make([][]float64, 0, len(benign))
+	for i, clip := range benign {
+		v, err := single.FeatureVector(clip)
+		if err != nil {
+			return nil, fmt.Errorf("mvpears: calibration clip %d: %w", i, err)
+		}
+		X = append(X, v)
+	}
+	td, err := detector.CalibrateThreshold(single, X, maxFPR)
+	if err != nil {
+		return nil, err
+	}
+	return &ThresholdDetector{inner: td}, nil
+}
+
+// Classifier exposes the trained classifier (for ROC sweeps and
+// inspection).
+func (s *System) Classifier() classify.Classifier { return s.det.Classifier }
+
+// EngineInfo summarizes one engine's architecture.
+type EngineInfo = asr.EngineInfo
+
+// DescribeEngines returns the architecture inventory of the trained
+// engines — the diversity the MVP idea depends on.
+func (s *System) DescribeEngines() []EngineInfo { return s.engines.Describe() }
+
+// CraftAdaptiveTDAE runs the adaptive attack against temporal-dependency
+// detection: the command is embedded only after splitFrac of the audio
+// (0 < splitFrac < 1; 0.5 when out of range), so splicing the
+// half-transcriptions matches the whole-audio transcription.
+func (s *System) CraftAdaptiveTDAE(host *Clip, command string, splitFrac float64) (*AEResult, error) {
+	res, err := attack.AdaptiveTD(s.engines.DS0, host, command, splitFrac, attack.DefaultWhiteBoxConfig())
+	if err != nil {
+		return nil, err
+	}
+	return fromAttackResult(res), nil
+}
