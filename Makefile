@@ -1,0 +1,29 @@
+GO ?= go
+
+# Benchmarks tracked in BENCH_detect.json.
+BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
+BENCHTIME ?= 25x
+
+.PHONY: check build test race bench
+
+# The tier-1 gate: vet, build and test everything.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-test the packages with concurrent hot paths (batch detection,
+# per-clip feature cache, shared FFT plans).
+race:
+	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/...
+
+# Run the tracked hot-path benchmarks and print the raw lines; paste the
+# medians of a few runs into BENCH_detect.json when they move.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt

@@ -22,6 +22,7 @@ import (
 	"mvpears/internal/asr"
 	"mvpears/internal/attack"
 	"mvpears/internal/classify"
+	"mvpears/internal/detector"
 	"mvpears/internal/experiments"
 	"mvpears/internal/phonetic"
 	"mvpears/internal/similarity"
@@ -104,6 +105,51 @@ func BenchmarkNonTargeted(b *testing.B) { benchExperiment(b, "nontargeted") }
 // BenchmarkTransfer regenerates the §III-B transferability study
 // (includes live recursive attacks — the slowest bench).
 func BenchmarkTransfer(b *testing.B) { benchExperiment(b, "transfer") }
+
+// benchDetector builds the paper's three-auxiliary detector over the
+// bench environment's engines and trains its classifier on the
+// environment's samples.
+func benchDetector(b *testing.B) *detector.Detector {
+	b.Helper()
+	env := benchEnvironment(b)
+	det, err := detector.New(env.Set.DS0, env.Set.Auxiliaries())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := det.TrainOnSamples(env.Samples); err != nil {
+		b.Fatal(err)
+	}
+	return det
+}
+
+// BenchmarkDetectHotPath times one end-to-end detection (parallel
+// transcription + similarity + classification) — the per-input serving
+// cost the §V-I overhead study is about. Tracked in BENCH_detect.json.
+func BenchmarkDetectHotPath(b *testing.B) {
+	det := benchDetector(b)
+	clip := benchEnvironment(b).Samples[0].Clip
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(clip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchFeatures times feature extraction over the whole sample
+// set — the training-path throughput. Tracked in BENCH_detect.json.
+func BenchmarkBatchFeatures(b *testing.B) {
+	det := benchDetector(b)
+	samples := benchEnvironment(b).Samples
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := det.Features(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Micro-benchmarks decomposing the detection pipeline (§V-I's three
 // overhead components at operation granularity).

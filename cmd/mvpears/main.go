@@ -136,35 +136,58 @@ func runTranscribe(args []string) error {
 
 func runDetect(args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
-	in := fs.String("in", "", "input WAV path")
+	in := fs.String("in", "", "input WAV path (more files may follow as positional args)")
 	quick := fs.Bool("quick", false, "quick (less accurate) engine training")
 	classifier := fs.String("classifier", "svm", "svm, knn, forest, or logreg")
 	model := fs.String("model", "", "model cache path (train once, reuse)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
+	paths := fs.Args()
+	if *in != "" {
+		paths = append([]string{*in}, paths...)
+	}
+	if len(paths) == 0 {
 		return fmt.Errorf("detect: -in is required")
 	}
 	sys, err := buildSystem(*quick, *classifier, *model, true)
 	if err != nil {
 		return err
 	}
-	det, err := sys.DetectFile(*in)
+	clips := make([]*mvpears.Clip, len(paths))
+	for i, p := range paths {
+		clip, err := mvpears.LoadWAV(p)
+		if err != nil {
+			return err
+		}
+		if clip.SampleRate != sys.SampleRate() {
+			clip, err = clip.Resample(sys.SampleRate())
+			if err != nil {
+				return err
+			}
+		}
+		clips[i] = clip
+	}
+	dets, err := sys.DetectBatch(clips)
 	if err != nil {
 		return err
 	}
-	verdict := "BENIGN"
-	if det.Adversarial {
-		verdict = "ADVERSARIAL"
+	for i, det := range dets {
+		if len(dets) > 1 {
+			fmt.Printf("== %s ==\n", paths[i])
+		}
+		verdict := "BENIGN"
+		if det.Adversarial {
+			verdict = "ADVERSARIAL"
+		}
+		fmt.Printf("verdict: %s\n", verdict)
+		fmt.Printf("target DS0 heard: %q\n", det.Transcriptions["DS0"])
+		for j, name := range sys.AuxiliaryNames() {
+			fmt.Printf("aux %-4s heard %q (similarity %.3f)\n", name, det.Transcriptions[name], det.Scores[j])
+		}
+		fmt.Printf("timing: recognition %v, similarity %v, classify %v\n",
+			det.Timing.Recognition, det.Timing.Similarity, det.Timing.Classify)
 	}
-	fmt.Printf("verdict: %s\n", verdict)
-	fmt.Printf("target DS0 heard: %q\n", det.Transcriptions["DS0"])
-	for i, name := range sys.AuxiliaryNames() {
-		fmt.Printf("aux %-4s heard %q (similarity %.3f)\n", name, det.Transcriptions[name], det.Scores[i])
-	}
-	fmt.Printf("timing: recognition %v, similarity %v, classify %v\n",
-		det.Timing.Recognition, det.Timing.Similarity, det.Timing.Classify)
 	return nil
 }
 

@@ -1,0 +1,135 @@
+package asr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/dsp"
+)
+
+// FeatureCache memoizes MFCC extraction for ONE clip across engines.
+// MVP-EARS runs N+1 ASR engines on every input; engines whose feature
+// front ends are configured identically (e.g. DS0 and the CTC engine DS2
+// both use DefaultMFCCConfig) would otherwise each redo the same
+// FFT/filterbank/DCT work. Entries are keyed by the MFCCConfig
+// fingerprint, which covers every field of the defaulted configuration,
+// so two extractors share an entry exactly when they produce identical
+// features.
+//
+// The cache is safe for concurrent use: when several engines ask for the
+// same fingerprint at once, one extracts and the rest wait. Cached
+// feature matrices are shared read-only — consumers must not modify the
+// returned rows (every engine in this repository copies or folds them
+// into fresh buffers).
+type FeatureCache struct {
+	samples []float64
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	feats [][]float64
+	err   error
+}
+
+// NewFeatureCache builds a cache for one clip's samples.
+func NewFeatureCache(samples []float64) *FeatureCache {
+	return &FeatureCache{samples: samples, entries: make(map[string]*cacheEntry)}
+}
+
+// Extract returns the MFCC features of the cache's clip under m's
+// configuration, computing them at most once per distinct fingerprint.
+func (c *FeatureCache) Extract(m *dsp.MFCC) ([][]float64, error) {
+	key := m.Config().Fingerprint()
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.feats, e.err = m.Extract(c.samples)
+	})
+	return e.feats, e.err
+}
+
+// Len reports how many distinct front-end configurations have been
+// extracted (for tests and instrumentation).
+func (c *FeatureCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheTranscriber is implemented by engines whose Transcribe can reuse a
+// shared per-clip feature cache. All built-in engines implement it.
+type CacheTranscriber interface {
+	Recognizer
+	// TranscribeWithCache is Transcribe, sourcing MFCC extraction from
+	// cache when non-nil. The cache must have been built from clip's
+	// samples.
+	TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error)
+}
+
+// TranscribeAllWithCache transcribes one clip with every engine, sharing
+// a single per-clip feature cache so identical front ends extract MFCCs
+// once. When parallel is set the engines run concurrently (the paper's
+// serving architecture); otherwise in order. The result is indexed like
+// engines. On error, the first failing engine's error (by index) is
+// returned, wrapped with its name.
+func TranscribeAllWithCache(engines []Recognizer, clip *audio.Clip, parallel bool) ([]string, error) {
+	out := make([]string, len(engines))
+	if clip == nil {
+		return out, fmt.Errorf("asr: nil clip")
+	}
+	cache := NewFeatureCache(clip.Samples)
+	runOne := func(i int) error {
+		var (
+			text string
+			err  error
+		)
+		if ct, ok := engines[i].(CacheTranscriber); ok {
+			text, err = ct.TranscribeWithCache(clip, cache)
+		} else {
+			text, err = engines[i].Transcribe(clip)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", engines[i].Name(), err)
+		}
+		out[i] = text
+		return nil
+	}
+	// With a single P the goroutine fan-out is pure scheduler overhead:
+	// the engines would still run one at a time, just interleaved.
+	if runtime.GOMAXPROCS(0) == 1 {
+		parallel = false
+	}
+	if !parallel {
+		for i := range engines {
+			if err := runOne(i); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	wg.Add(len(engines))
+	for i := range engines {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runOne(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -32,8 +32,9 @@ type CTCEngine struct {
 }
 
 var (
-	_ Recognizer   = (*CTCEngine)(nil)
-	_ FrameLabeler = (*CTCEngine)(nil)
+	_ Recognizer       = (*CTCEngine)(nil)
+	_ FrameLabeler     = (*CTCEngine)(nil)
+	_ CacheTranscriber = (*CTCEngine)(nil)
 )
 
 // Name implements Recognizer.
@@ -41,18 +42,28 @@ func (e *CTCEngine) Name() string { return string(e.ID) }
 
 // logProbs runs the acoustic model and returns per-frame CTC
 // log-probabilities.
-func (e *CTCEngine) logProbs(clip *audio.Clip) ([][]float64, error) {
+func (e *CTCEngine) logProbs(clip *audio.Clip, cache *FeatureCache) ([][]float64, error) {
 	if err := validateClip(clip, e.SampleRate); err != nil {
 		return nil, err
 	}
-	feats, err := e.MFCC.Extract(clip.Samples)
+	var (
+		feats [][]float64
+		err   error
+	)
+	if cache != nil {
+		feats, err = cache.Extract(e.MFCC)
+	} else {
+		feats, err = e.MFCC.Extract(clip.Samples)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
 	}
-	stacked := dsp.StackContext(feats, e.Context)
-	out := make([][]float64, len(stacked))
-	for t, f := range stacked {
-		logits, err := e.Net.Forward(f)
+	out := make([][]float64, len(feats))
+	stacked := make([]float64, (2*e.Context+1)*e.MFCC.Config().NumCoeffs)
+	scratch := e.Net.NewScratch()
+	for t := range feats {
+		dsp.StackFrame(feats, t, e.Context, stacked)
+		logits, err := e.Net.ForwardScratch(stacked, scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +75,7 @@ func (e *CTCEngine) logProbs(clip *audio.Clip) ([][]float64, error) {
 // FrameLabels implements FrameLabeler: per-frame argmax with blanks
 // rendered as silence.
 func (e *CTCEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
-	lp, err := e.logProbs(clip)
+	lp, err := e.logProbs(clip, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +95,12 @@ func (e *CTCEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
 // Transcribe implements Recognizer: prefix beam search over the CTC
 // lattice, then lexicon+LM word decoding.
 func (e *CTCEngine) Transcribe(clip *audio.Clip) (string, error) {
-	lp, err := e.logProbs(clip)
+	return e.TranscribeWithCache(clip, nil)
+}
+
+// TranscribeWithCache implements CacheTranscriber.
+func (e *CTCEngine) TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error) {
+	lp, err := e.logProbs(clip, cache)
 	if err != nil {
 		return "", err
 	}

@@ -2,7 +2,6 @@ package asr
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"mvpears/internal/lm"
@@ -147,23 +146,55 @@ type candidate struct {
 	dist float64 // normalized phoneme edit distance
 }
 
+// decodeScratch holds the per-Decode working buffers (edit-distance DP
+// rows and the top-K heap), so scoring the whole lexicon per segment does
+// not allocate per word. One scratch belongs to one Decode call; the
+// Decoder itself stays safe for concurrent use.
+type decodeScratch struct {
+	prev, cur []int
+	top       []candidate
+}
+
 // topCandidates returns the TopK lexicon words closest to the phoneme
-// sequence, ties broken alphabetically (the word list is sorted).
-func (d *Decoder) topCandidates(seg []int) []candidate {
-	cands := make([]candidate, 0, len(d.words))
+// sequence, ties broken alphabetically (the word list is sorted, and
+// insertion keeps the earlier of equally distant words first — the same
+// order the previous stable full sort produced).
+func (d *Decoder) topCandidates(seg []int, s *decodeScratch) []candidate {
+	k := d.TopK
+	if k > len(d.words) {
+		k = len(d.words)
+	}
+	if k <= 0 {
+		return nil
+	}
+	if cap(s.top) < k {
+		s.top = make([]candidate, 0, k)
+	}
+	top := s.top[:0]
 	for i, w := range d.words {
-		dist := phoneme.EditDistance(seg, d.pronIDs[i])
+		dist := phoneme.EditDistanceBuf(seg, d.pronIDs[i], s.prev, s.cur)
 		denom := len(seg)
 		if len(d.pronIDs[i]) > denom {
 			denom = len(d.pronIDs[i])
 		}
-		cands = append(cands, candidate{word: w, dist: float64(dist) / float64(denom)})
+		nd := float64(dist) / float64(denom)
+		if len(top) == k && nd >= top[k-1].dist {
+			continue
+		}
+		// Insert in sorted position (strictly-less keeps ties in word
+		// order).
+		pos := len(top)
+		for pos > 0 && nd < top[pos-1].dist {
+			pos--
+		}
+		if len(top) < k {
+			top = append(top, candidate{})
+		}
+		copy(top[pos+1:], top[pos:len(top)-1])
+		top[pos] = candidate{word: w, dist: nd}
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
-	if len(cands) > d.TopK {
-		cands = cands[:d.TopK]
-	}
-	return cands
+	s.top = top
+	return top
 }
 
 // DecodePhonemes converts an already-collapsed phoneme-id sequence (as
@@ -204,10 +235,20 @@ func (d *Decoder) Decode(labels []int) (string, error) {
 // wordsFromSegments maps each phoneme segment to its best lexicon word
 // with LM rescoring and joins the words.
 func (d *Decoder) wordsFromSegments(segs [][]int) string {
+	maxPron := 0
+	for _, p := range d.pronIDs {
+		if len(p) > maxPron {
+			maxPron = len(p)
+		}
+	}
+	scratch := &decodeScratch{
+		prev: make([]int, maxPron+1),
+		cur:  make([]int, maxPron+1),
+	}
 	words := make([]string, 0, len(segs))
 	history := make([]string, 0, len(segs))
 	for _, seg := range segs {
-		cands := d.topCandidates(seg)
+		cands := d.topCandidates(seg, scratch)
 		if len(cands) == 0 {
 			continue
 		}

@@ -22,8 +22,9 @@ type GMMEngine struct {
 }
 
 var (
-	_ Recognizer   = (*GMMEngine)(nil)
-	_ FrameLabeler = (*GMMEngine)(nil)
+	_ Recognizer       = (*GMMEngine)(nil)
+	_ FrameLabeler     = (*GMMEngine)(nil)
+	_ CacheTranscriber = (*GMMEngine)(nil)
 )
 
 // Name implements Recognizer.
@@ -32,10 +33,22 @@ func (e *GMMEngine) Name() string { return string(e.ID) }
 // FrameLabels implements FrameLabeler: the Viterbi state path, which is by
 // construction one state per phoneme.
 func (e *GMMEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	return e.frameLabels(clip, nil)
+}
+
+func (e *GMMEngine) frameLabels(clip *audio.Clip, cache *FeatureCache) ([]int, error) {
 	if err := validateClip(clip, e.SampleRate); err != nil {
 		return nil, err
 	}
-	feats, err := e.MFCC.Extract(clip.Samples)
+	var (
+		feats [][]float64
+		err   error
+	)
+	if cache != nil {
+		feats, err = cache.Extract(e.MFCC)
+	} else {
+		feats, err = e.MFCC.Extract(clip.Samples)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
 	}
@@ -48,7 +61,12 @@ func (e *GMMEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
 
 // Transcribe implements Recognizer.
 func (e *GMMEngine) Transcribe(clip *audio.Clip) (string, error) {
-	labels, err := e.FrameLabels(clip)
+	return e.TranscribeWithCache(clip, nil)
+}
+
+// TranscribeWithCache implements CacheTranscriber.
+func (e *GMMEngine) TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error) {
+	labels, err := e.frameLabels(clip, cache)
 	if err != nil {
 		return "", err
 	}

@@ -24,8 +24,9 @@ type MLPEngine struct {
 }
 
 var (
-	_ Recognizer    = (*MLPEngine)(nil)
-	_ GradientModel = (*MLPEngine)(nil)
+	_ Recognizer       = (*MLPEngine)(nil)
+	_ GradientModel    = (*MLPEngine)(nil)
+	_ CacheTranscriber = (*MLPEngine)(nil)
 )
 
 // Name implements Recognizer.
@@ -34,8 +35,30 @@ func (e *MLPEngine) Name() string { return string(e.ID) }
 // NumFrames implements GradientModel.
 func (e *MLPEngine) NumFrames(numSamples int) int { return e.MFCC.NumFrames(numSamples) }
 
+// rawFeatures extracts the unstacked MFCC matrix, going through the
+// shared per-clip cache when one is supplied.
+func (e *MLPEngine) rawFeatures(clip *audio.Clip, cache *FeatureCache) ([][]float64, error) {
+	if err := validateClip(clip, e.SampleRate); err != nil {
+		return nil, err
+	}
+	var (
+		feats [][]float64
+		err   error
+	)
+	if cache != nil {
+		feats, err = cache.Extract(e.MFCC)
+	} else {
+		feats, err = e.MFCC.Extract(clip.Samples)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
+	}
+	return feats, nil
+}
+
 // features extracts context-stacked MFCCs; when keepState is true the MFCC
-// state needed for the backward pass is returned too.
+// state needed for the backward pass is returned too. The gradient path
+// never goes through the feature cache.
 func (e *MLPEngine) features(clip *audio.Clip, keepState bool) ([][]float64, *dsp.MFCCState, error) {
 	if err := validateClip(clip, e.SampleRate); err != nil {
 		return nil, nil, err
@@ -73,22 +96,40 @@ func (e *MLPEngine) FrameLogits(clip *audio.Clip) ([][]float64, error) {
 	return out, nil
 }
 
-// FrameLabels implements FrameLabeler: per-frame argmax phonemes.
-func (e *MLPEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
-	logits, err := e.FrameLogits(clip)
+// frameLabels computes per-frame argmax phonemes with reusable stacking
+// and network buffers: the steady state does no per-frame allocations.
+func (e *MLPEngine) frameLabels(clip *audio.Clip, cache *FeatureCache) ([]int, error) {
+	raw, err := e.rawFeatures(clip, cache)
 	if err != nil {
 		return nil, err
 	}
-	labels := make([]int, len(logits))
-	for t, l := range logits {
-		labels[t] = nn.Argmax(l)
+	labels := make([]int, len(raw))
+	stacked := make([]float64, (2*e.Context+1)*e.MFCC.Config().NumCoeffs)
+	scratch := e.Net.NewScratch()
+	for t := range raw {
+		dsp.StackFrame(raw, t, e.Context, stacked)
+		logits, err := e.Net.ForwardScratch(stacked, scratch)
+		if err != nil {
+			return nil, fmt.Errorf("asr: %s frame %d: %w", e.ID, t, err)
+		}
+		labels[t] = nn.Argmax(logits)
 	}
 	return labels, nil
 }
 
+// FrameLabels implements FrameLabeler: per-frame argmax phonemes.
+func (e *MLPEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	return e.frameLabels(clip, nil)
+}
+
 // Transcribe implements Recognizer.
 func (e *MLPEngine) Transcribe(clip *audio.Clip) (string, error) {
-	labels, err := e.FrameLabels(clip)
+	return e.TranscribeWithCache(clip, nil)
+}
+
+// TranscribeWithCache implements CacheTranscriber.
+func (e *MLPEngine) TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error) {
+	labels, err := e.frameLabels(clip, cache)
 	if err != nil {
 		return "", err
 	}

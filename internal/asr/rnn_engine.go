@@ -22,8 +22,9 @@ type RNNEngine struct {
 }
 
 var (
-	_ Recognizer   = (*RNNEngine)(nil)
-	_ FrameLabeler = (*RNNEngine)(nil)
+	_ Recognizer       = (*RNNEngine)(nil)
+	_ FrameLabeler     = (*RNNEngine)(nil)
+	_ CacheTranscriber = (*RNNEngine)(nil)
 )
 
 // Name implements Recognizer.
@@ -32,10 +33,22 @@ func (e *RNNEngine) Name() string { return string(e.ID) }
 // Features extracts the engine's input representation (MFCC + optional
 // deltas).
 func (e *RNNEngine) Features(clip *audio.Clip) ([][]float64, error) {
+	return e.features(clip, nil)
+}
+
+func (e *RNNEngine) features(clip *audio.Clip, cache *FeatureCache) ([][]float64, error) {
 	if err := validateClip(clip, e.SampleRate); err != nil {
 		return nil, err
 	}
-	feats, err := e.MFCC.Extract(clip.Samples)
+	var (
+		feats [][]float64
+		err   error
+	)
+	if cache != nil {
+		feats, err = cache.Extract(e.MFCC)
+	} else {
+		feats, err = e.MFCC.Extract(clip.Samples)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
 	}
@@ -55,7 +68,11 @@ func (e *RNNEngine) Features(clip *audio.Clip) ([][]float64, error) {
 
 // FrameLabels implements FrameLabeler.
 func (e *RNNEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
-	feats, err := e.Features(clip)
+	return e.frameLabels(clip, nil)
+}
+
+func (e *RNNEngine) frameLabels(clip *audio.Clip, cache *FeatureCache) ([]int, error) {
+	feats, err := e.features(clip, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +89,12 @@ func (e *RNNEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
 
 // Transcribe implements Recognizer.
 func (e *RNNEngine) Transcribe(clip *audio.Clip) (string, error) {
-	labels, err := e.FrameLabels(clip)
+	return e.TranscribeWithCache(clip, nil)
+}
+
+// TranscribeWithCache implements CacheTranscriber.
+func (e *RNNEngine) TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error) {
+	labels, err := e.frameLabels(clip, cache)
 	if err != nil {
 		return "", err
 	}

@@ -23,8 +23,9 @@ type WeakEngine struct {
 }
 
 var (
-	_ Recognizer   = (*WeakEngine)(nil)
-	_ FrameLabeler = (*WeakEngine)(nil)
+	_ Recognizer       = (*WeakEngine)(nil)
+	_ FrameLabeler     = (*WeakEngine)(nil)
+	_ CacheTranscriber = (*WeakEngine)(nil)
 )
 
 // Name implements Recognizer.
@@ -32,16 +33,29 @@ func (e *WeakEngine) Name() string { return string(e.ID) }
 
 // FrameLabels implements FrameLabeler.
 func (e *WeakEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
+	return e.frameLabels(clip, nil)
+}
+
+func (e *WeakEngine) frameLabels(clip *audio.Clip, cache *FeatureCache) ([]int, error) {
 	if err := validateClip(clip, e.SampleRate); err != nil {
 		return nil, err
 	}
-	feats, err := e.MFCC.Extract(clip.Samples)
+	var (
+		feats [][]float64
+		err   error
+	)
+	if cache != nil {
+		feats, err = cache.Extract(e.MFCC)
+	} else {
+		feats, err = e.MFCC.Extract(clip.Samples)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("asr: %s feature extraction: %w", e.ID, err)
 	}
 	labels := make([]int, len(feats))
+	q := make([]float64, e.MFCC.Config().NumCoeffs)
 	for t, f := range feats {
-		q := make([]float64, len(f))
+		q = q[:len(f)]
 		for i, v := range f {
 			if e.Quant > 0 {
 				q[i] = math.Round(v/e.Quant) * e.Quant
@@ -73,7 +87,12 @@ func (e *WeakEngine) FrameLabels(clip *audio.Clip) ([]int, error) {
 
 // Transcribe implements Recognizer.
 func (e *WeakEngine) Transcribe(clip *audio.Clip) (string, error) {
-	labels, err := e.FrameLabels(clip)
+	return e.TranscribeWithCache(clip, nil)
+}
+
+// TranscribeWithCache implements CacheTranscriber.
+func (e *WeakEngine) TranscribeWithCache(clip *audio.Clip, cache *FeatureCache) (string, error) {
+	labels, err := e.frameLabels(clip, cache)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,127 @@
+package detector
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/dataset"
+)
+
+// batchWorkers picks the worker-pool size for batch operations: one worker
+// in Sequential mode, otherwise GOMAXPROCS capped at the job count.
+func (d *Detector) batchWorkers(n int) int {
+	if d.Sequential {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runBatch executes fn(i) for every i in [0,n) on a bounded worker pool.
+// It fails fast: once any job errors, no new jobs are dispatched. The
+// lowest-indexed error is returned so failures are deterministic
+// regardless of scheduling.
+func (d *Detector) runBatch(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := d.batchWorkers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   int64 = -1
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchDetect classifies every clip using a bounded worker pool
+// (GOMAXPROCS workers; sequential when d.Sequential is set). Decisions are
+// returned in input order; on error the first failure by index is
+// returned and the partial results are discarded.
+func (d *Detector) BatchDetect(clips []*audio.Clip) ([]Decision, error) {
+	decs, _, err := d.BatchDetectTimed(clips)
+	return decs, err
+}
+
+// BatchDetectTimed is BatchDetect plus the per-clip timing decomposition.
+func (d *Detector) BatchDetectTimed(clips []*audio.Clip) ([]Decision, []Timing, error) {
+	decs := make([]Decision, len(clips))
+	timings := make([]Timing, len(clips))
+	err := d.runBatch(len(clips), func(i int) error {
+		dec, t, err := d.DetectTimed(clips[i])
+		if err != nil {
+			return fmt.Errorf("detector: clip %d: %w", i, err)
+		}
+		decs[i] = dec
+		timings[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return decs, timings, nil
+}
+
+// BatchFeatures extracts the similarity feature vector of every sample on
+// a bounded worker pool, returning the matrix and the {0,1} labels in
+// input order.
+func (d *Detector) BatchFeatures(samples []dataset.Sample) ([][]float64, []int, error) {
+	X := make([][]float64, len(samples))
+	y := make([]int, len(samples))
+	err := d.runBatch(len(samples), func(i int) error {
+		v, err := d.FeatureVector(samples[i].Clip)
+		if err != nil {
+			return fmt.Errorf("detector: sample %d (%s): %w", i, samples[i].Kind, err)
+		}
+		X[i] = v
+		if samples[i].IsAE() {
+			y[i] = 1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return X, y, nil
+}

@@ -9,7 +9,6 @@ package detector
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"mvpears/internal/asr"
@@ -81,55 +80,28 @@ type Transcriptions struct {
 	Aux    []string
 }
 
-// transcribeAll runs the target and every auxiliary, concurrently unless
-// Sequential is set.
+// transcribeAll runs the target and every auxiliary through the shared
+// transcription helper: engines run concurrently unless Sequential is
+// set, and engines with identical MFCC front ends share a per-clip
+// feature cache.
 func (d *Detector) transcribeAll(clip *audio.Clip) (Transcriptions, error) {
-	out := Transcriptions{Aux: make([]string, len(d.Auxiliaries))}
-	if d.Sequential {
-		text, err := d.Target.Transcribe(clip)
-		if err != nil {
-			return out, fmt.Errorf("detector: target %s: %w", d.Target.Name(), err)
-		}
-		out.Target = text
-		for i, aux := range d.Auxiliaries {
-			t, err := aux.Transcribe(clip)
-			if err != nil {
-				return out, fmt.Errorf("detector: auxiliary %s: %w", aux.Name(), err)
-			}
-			out.Aux[i] = t
-		}
-		return out, nil
+	engines := make([]asr.Recognizer, 0, len(d.Auxiliaries)+1)
+	engines = append(engines, d.Target)
+	engines = append(engines, d.Auxiliaries...)
+	texts, err := asr.TranscribeAllWithCache(engines, clip, !d.Sequential)
+	out := Transcriptions{}
+	if err != nil {
+		return out, fmt.Errorf("detector: %w", err)
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(d.Auxiliaries)+1)
-	wg.Add(len(d.Auxiliaries) + 1)
-	go func() {
-		defer wg.Done()
-		text, err := d.Target.Transcribe(clip)
-		if err != nil {
-			errs[0] = fmt.Errorf("detector: target %s: %w", d.Target.Name(), err)
-			return
-		}
-		out.Target = text
-	}()
-	for i := range d.Auxiliaries {
-		go func(i int) {
-			defer wg.Done()
-			text, err := d.Auxiliaries[i].Transcribe(clip)
-			if err != nil {
-				errs[i+1] = fmt.Errorf("detector: auxiliary %s: %w", d.Auxiliaries[i].Name(), err)
-				return
-			}
-			out.Aux[i] = text
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
+	out.Target = texts[0]
+	out.Aux = texts[1:]
 	return out, nil
+}
+
+// TranscribeAll runs the target and every auxiliary on the clip (exported
+// for callers that need raw transcriptions, e.g. the public System API).
+func (d *Detector) TranscribeAll(clip *audio.Clip) (Transcriptions, error) {
+	return d.transcribeAll(clip)
 }
 
 // Scores converts transcriptions into the similarity feature vector.
@@ -218,23 +190,11 @@ func (d *Detector) Train(benignX, aeX [][]float64) error {
 }
 
 // Features extracts the similarity feature vector of every sample,
-// returning the matrix and the {0,1} labels.
+// returning the matrix and the {0,1} labels. Samples are processed on a
+// bounded worker pool (see BatchFeatures); set Sequential for one-at-a-time
+// extraction.
 func (d *Detector) Features(samples []dataset.Sample) ([][]float64, []int, error) {
-	X := make([][]float64, 0, len(samples))
-	y := make([]int, 0, len(samples))
-	for i, s := range samples {
-		v, err := d.FeatureVector(s.Clip)
-		if err != nil {
-			return nil, nil, fmt.Errorf("detector: sample %d (%s): %w", i, s.Kind, err)
-		}
-		X = append(X, v)
-		label := 0
-		if s.IsAE() {
-			label = 1
-		}
-		y = append(y, label)
-	}
-	return X, y, nil
+	return d.BatchFeatures(samples)
 }
 
 // TrainOnSamples extracts features from the samples and fits the

@@ -10,7 +10,49 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
+
+// fftPlan holds the precomputed tables for one transform size: the
+// bit-reversal permutation and the forward/inverse twiddle factors
+// w_n^k = exp(∓i·2πk/n) for k < n/2. A stage of size s reads the table
+// with stride n/s, so one table serves every stage. Each twiddle is
+// evaluated directly with cmplx.Exp instead of the classic w *= wStep
+// recurrence, which accumulates one rounding error per butterfly and
+// visibly degrades long transforms.
+type fftPlan struct {
+	n      int
+	bitrev []int32
+	fwd    []complex128
+	inv    []complex128
+}
+
+// planCache maps transform size -> *fftPlan. Plans are immutable after
+// construction, so concurrent FFTs share them freely.
+var planCache sync.Map
+
+// getPlan returns the (possibly cached) plan for a power-of-two n >= 2.
+func getPlan(n int) *fftPlan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*fftPlan)
+	}
+	p := &fftPlan{n: n}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	p.bitrev = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.bitrev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	half := n / 2
+	p.fwd = make([]complex128, half)
+	p.inv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(n)
+		p.fwd[k] = cmplx.Exp(complex(0, -angle))
+		p.inv[k] = cmplx.Exp(complex(0, angle))
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*fftPlan)
+}
 
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
 // transform of x. len(x) must be a power of two.
@@ -39,30 +81,30 @@ func fftDir(x []complex128, inverse bool) error {
 	if n&(n-1) != 0 {
 		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
+	if n == 1 {
+		return nil
+	}
+	plan := getPlan(n)
+	for i, rev := range plan.bitrev {
+		if j := int(rev); j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
+	tw := plan.fwd
 	if inverse {
-		sign = 1.0
+		tw = plan.inv
 	}
 	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
+		half := size >> 1
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
+			ti := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tw[ti]
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
 			}
 		}
 	}
@@ -73,8 +115,18 @@ func fftDir(x []complex128, inverse bool) error {
 // complex bins (the remainder is conjugate-symmetric). len(x) must be a
 // power of two.
 func RFFT(x []float64) ([]complex128, error) {
+	return RFFTInto(x, nil)
+}
+
+// RFFTInto is RFFT with a caller-provided scratch buffer: if cap(buf) >=
+// len(x) the transform runs allocation-free and the returned slice aliases
+// buf. A nil or short buf falls back to a fresh allocation.
+func RFFTInto(x []float64, buf []complex128) ([]complex128, error) {
 	n := len(x)
-	buf := make([]complex128, n)
+	if cap(buf) < n {
+		buf = make([]complex128, n)
+	}
+	buf = buf[:n]
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
@@ -87,12 +139,22 @@ func RFFT(x []float64) ([]complex128, error) {
 // PowerSpectrum returns |X_k|^2 for the n/2+1 nonredundant bins of the real
 // signal x.
 func PowerSpectrum(x []float64) ([]float64, error) {
-	spec, err := RFFT(x)
+	return PowerSpectrumInto(x, nil, nil)
+}
+
+// PowerSpectrumInto is PowerSpectrum with caller-provided scratch: spec
+// must have cap >= len(x) and out cap >= len(x)/2+1 for an allocation-free
+// call; short or nil buffers are replaced by fresh ones.
+func PowerSpectrumInto(x []float64, spec []complex128, out []float64) ([]float64, error) {
+	bins, err := RFFTInto(x, spec)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(spec))
-	for i, c := range spec {
+	if cap(out) < len(bins) {
+		out = make([]float64, len(bins))
+	}
+	out = out[:len(bins)]
+	for i, c := range bins {
 		re, im := real(c), imag(c)
 		out[i] = re*re + im*im
 	}

@@ -132,6 +132,91 @@ func TestRFFTConjugateSymmetryProperty(t *testing.T) {
 	}
 }
 
+// TestFFTAccuracyLongTransform pins the accuracy of the precomputed
+// twiddle tables on a long transform. The previous implementation advanced
+// the twiddle factor by a running product (w *= wStep), accumulating
+// rounding error proportional to the transform length; per-entry
+// cmplx.Exp tables keep every butterfly's twiddle exact to the ulp, so a
+// 4096-point transform stays within a tight bound of the O(n^2) reference.
+func TestFFTAccuracyLongTransform(t *testing.T) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(9))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x)
+	got := make([]complex128, n)
+	copy(got, x)
+	if err := FFT(got); err != nil {
+		t.Fatal(err)
+	}
+	// Scale-aware bound: compare the worst bin error against the RMS
+	// magnitude of the spectrum.
+	var rms float64
+	for _, c := range want {
+		rms += real(c)*real(c) + imag(c)*imag(c)
+	}
+	rms = math.Sqrt(rms / n)
+	var worst float64
+	for k := range got {
+		if e := cmplx.Abs(got[k] - want[k]); e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-9*rms {
+		t.Fatalf("4096-point FFT worst-bin error %g exceeds 1e-9 of spectrum RMS %g", worst, rms)
+	}
+}
+
+// TestRFFTIntoReusesBuffers asserts the scratch variants are
+// allocation-free once the buffers exist and agree bit-for-bit with the
+// allocating API.
+func TestRFFTIntoReusesBuffers(t *testing.T) {
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = math.Sin(0.03 * float64(i))
+	}
+	spec, err := RFFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]complex128, 512)
+	specInto, err := RFFTInto(x, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specInto) != len(spec) {
+		t.Fatalf("length %d != %d", len(specInto), len(spec))
+	}
+	for k := range spec {
+		if spec[k] != specInto[k] {
+			t.Fatalf("bin %d: %v != %v", k, spec[k], specInto[k])
+		}
+	}
+	power, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(power))
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := RFFTInto(x, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := PowerSpectrumInto(x, buf, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch path allocates %v times per run", allocs)
+	}
+	for k := range power {
+		if power[k] != out[k] {
+			t.Fatalf("power bin %d: %v != %v", k, power[k], out[k])
+		}
+	}
+}
+
 func TestNextPow2(t *testing.T) {
 	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 255: 256, 256: 256, 257: 512}
 	for in, want := range cases {

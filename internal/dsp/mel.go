@@ -22,6 +22,13 @@ type MelBank struct {
 	NumFilters int
 	NumBins    int
 	Weights    [][]float64
+
+	// Sparse view of Weights: each filter's triangle touches only a
+	// contiguous run of bins, so Apply iterates starts[f]..starts[f]+
+	// len(sparse[f]) instead of scanning all NumBins (the runs still skip
+	// exact zeros, keeping summation order identical to the dense scan).
+	starts []int
+	sparse [][]float64
 }
 
 // NewMelBank constructs a triangular mel filterbank. fftSize is the FFT
@@ -59,20 +66,52 @@ func NewMelBank(numFilters, fftSize int, sampleRate, lowHz, highHz float64) (*Me
 		}
 		weights[f] = w
 	}
-	return &MelBank{NumFilters: numFilters, NumBins: nBins, Weights: weights}, nil
+	bank := &MelBank{NumFilters: numFilters, NumBins: nBins, Weights: weights}
+	bank.buildSparse()
+	return bank, nil
+}
+
+// buildSparse trims each filter to its nonzero bin run.
+func (m *MelBank) buildSparse() {
+	m.starts = make([]int, m.NumFilters)
+	m.sparse = make([][]float64, m.NumFilters)
+	for f, w := range m.Weights {
+		lo, hi := 0, len(w)
+		for lo < hi && w[lo] == 0 {
+			lo++
+		}
+		for hi > lo && w[hi-1] == 0 {
+			hi--
+		}
+		m.starts[f] = lo
+		m.sparse[f] = w[lo:hi]
+	}
 }
 
 // Apply maps a power spectrum to mel filterbank energies.
 func (m *MelBank) Apply(power []float64) ([]float64, error) {
+	return m.ApplyInto(power, nil)
+}
+
+// ApplyInto is Apply with a caller-provided output buffer: if cap(out) >=
+// NumFilters the call is allocation-free and the result aliases out.
+func (m *MelBank) ApplyInto(power, out []float64) ([]float64, error) {
 	if len(power) != m.NumBins {
 		return nil, fmt.Errorf("dsp: spectrum has %d bins, filterbank expects %d", len(power), m.NumBins)
 	}
-	out := make([]float64, m.NumFilters)
-	for f, w := range m.Weights {
+	if m.sparse == nil {
+		m.buildSparse()
+	}
+	if cap(out) < m.NumFilters {
+		out = make([]float64, m.NumFilters)
+	}
+	out = out[:m.NumFilters]
+	for f, w := range m.sparse {
+		base := power[m.starts[f]:]
 		var s float64
 		for k, wk := range w {
 			if wk != 0 {
-				s += wk * power[k]
+				s += wk * base[k]
 			}
 		}
 		out[f] = s
@@ -86,15 +125,19 @@ func (m *MelBank) ApplyTranspose(grad []float64) ([]float64, error) {
 	if len(grad) != m.NumFilters {
 		return nil, fmt.Errorf("dsp: gradient has %d filters, filterbank expects %d", len(grad), m.NumFilters)
 	}
+	if m.sparse == nil {
+		m.buildSparse()
+	}
 	out := make([]float64, m.NumBins)
-	for f, w := range m.Weights {
+	for f, w := range m.sparse {
 		g := grad[f]
 		if g == 0 {
 			continue
 		}
+		dst := out[m.starts[f]:]
 		for k, wk := range w {
 			if wk != 0 {
-				out[k] += wk * g
+				dst[k] += wk * g
 			}
 		}
 	}
@@ -109,20 +152,62 @@ func DCT2(x []float64, numCoeffs int) []float64 {
 		numCoeffs = n
 	}
 	out := make([]float64, numCoeffs)
-	scale0 := math.Sqrt(1 / float64(n))
-	scale := math.Sqrt(2 / float64(n))
+	NewDCT2Plan(n, numCoeffs).Into(x, out)
+	return out
+}
+
+// DCT2Plan precomputes the cosine basis of an n-point DCT-II truncated to
+// numCoeffs coefficients, so the per-frame transform does no trig calls.
+// The basis rows hold the raw cosines (scaling is applied after the dot
+// product), which keeps results bit-identical to the direct formula.
+type DCT2Plan struct {
+	n         int
+	numCoeffs int
+	cos       []float64 // cos[k*n+i] = cos(pi*k*(i+0.5)/n)
+	scale0    float64
+	scale     float64
+}
+
+// NewDCT2Plan builds the table for an n-point DCT-II keeping numCoeffs
+// coefficients (clamped to n).
+func NewDCT2Plan(n, numCoeffs int) *DCT2Plan {
+	if numCoeffs > n {
+		numCoeffs = n
+	}
+	p := &DCT2Plan{
+		n:         n,
+		numCoeffs: numCoeffs,
+		cos:       make([]float64, numCoeffs*n),
+		scale0:    math.Sqrt(1 / float64(n)),
+		scale:     math.Sqrt(2 / float64(n)),
+	}
 	for k := 0; k < numCoeffs; k++ {
-		var s float64
+		row := p.cos[k*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			s += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
-		}
-		if k == 0 {
-			out[k] = s * scale0
-		} else {
-			out[k] = s * scale
+			row[i] = math.Cos(math.Pi * float64(k) * (float64(i) + 0.5) / float64(n))
 		}
 	}
-	return out
+	return p
+}
+
+// NumCoeffs returns the number of coefficients the plan produces.
+func (p *DCT2Plan) NumCoeffs() int { return p.numCoeffs }
+
+// Into writes the first NumCoeffs DCT-II coefficients of x (len n) into
+// dst, which must have length >= NumCoeffs.
+func (p *DCT2Plan) Into(x, dst []float64) {
+	for k := 0; k < p.numCoeffs; k++ {
+		row := p.cos[k*p.n : (k+1)*p.n]
+		var s float64
+		for i, v := range x {
+			s += v * row[i]
+		}
+		if k == 0 {
+			dst[k] = s * p.scale0
+		} else {
+			dst[k] = s * p.scale
+		}
+	}
 }
 
 // DCT2Transpose computes the adjoint of DCT2: given dL/dy for the first

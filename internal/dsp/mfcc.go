@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // MFCCConfig configures an MFCC extractor. Different ASR engines in this
@@ -55,6 +56,17 @@ func (c MFCCConfig) withDefaults() MFCCConfig {
 	return c
 }
 
+// Fingerprint returns a canonical string covering every field of the
+// defaulted configuration. Two extractors produce identical features if
+// and only if their fingerprints match, so the string is safe to use as a
+// feature-cache key across engines.
+func (c MFCCConfig) Fingerprint() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("sr=%d|frame=%d|hop=%d|fft=%d|filters=%d|coeffs=%d|preemph=%g|win=%d|low=%g|high=%g|floor=%g",
+		c.SampleRate, c.FrameLen, c.Hop, c.FFTSize, c.NumFilters, c.NumCoeffs,
+		c.PreEmph, int(c.Window), c.LowHz, c.HighHz, c.LogFloor)
+}
+
 // Validate reports whether the configuration is internally consistent.
 func (c MFCCConfig) Validate() error {
 	c = c.withDefaults()
@@ -76,11 +88,26 @@ func (c MFCCConfig) Validate() error {
 }
 
 // MFCC extracts mel-frequency cepstral coefficients and can run the
-// analytic backward pass used by gradient-based audio attacks.
+// analytic backward pass used by gradient-based audio attacks. One
+// extractor is safe for concurrent use: per-call working memory comes
+// from an internal sync.Pool, so steady-state extraction does O(1) heap
+// allocations per clip instead of several per frame.
 type MFCC struct {
 	cfg    MFCCConfig
 	window []float64
 	bank   *MelBank
+	dct    *DCT2Plan
+	pool   sync.Pool // *mfccScratch
+}
+
+// mfccScratch is the reusable working set of one extract call. It is
+// owned by exactly one goroutine between pool Get and Put.
+type mfccScratch struct {
+	pre    []float64    // pre-emphasized signal (grown to clip length)
+	buf    []complex128 // FFTSize FFT workspace
+	power  []float64    // FFTSize/2+1 power bins
+	mel    []float64    // NumFilters mel energies
+	logMel []float64    // NumFilters log energies
 }
 
 // NewMFCC builds an extractor for the given configuration.
@@ -97,7 +124,16 @@ func NewMFCC(cfg MFCCConfig) (*MFCC, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MFCC{cfg: cfg, window: win, bank: bank}, nil
+	m := &MFCC{cfg: cfg, window: win, bank: bank, dct: NewDCT2Plan(cfg.NumFilters, cfg.NumCoeffs)}
+	m.pool.New = func() any {
+		return &mfccScratch{
+			buf:    make([]complex128, cfg.FFTSize),
+			power:  make([]float64, cfg.FFTSize/2+1),
+			mel:    make([]float64, cfg.NumFilters),
+			logMel: make([]float64, cfg.NumFilters),
+		}
+	}
+	return m, nil
 }
 
 // Config returns the (defaulted) configuration of the extractor.
@@ -133,50 +169,76 @@ func (m *MFCC) extract(x []float64, keep bool) ([][]float64, *MFCCState, error) 
 		return nil, nil, fmt.Errorf("dsp: cannot extract MFCC from empty signal")
 	}
 	cfg := m.cfg
+	s := m.pool.Get().(*mfccScratch)
+	defer m.pool.Put(s)
 	pre := x
 	if cfg.PreEmph != 0 {
-		pre = PreEmphasis(x, cfg.PreEmph)
+		if cap(s.pre) < len(x) {
+			s.pre = make([]float64, len(x))
+		}
+		s.pre = s.pre[:len(x)]
+		s.pre[0] = x[0]
+		for i := 1; i < len(x); i++ {
+			s.pre[i] = x[i] - cfg.PreEmph*x[i-1]
+		}
+		pre = s.pre
 	}
-	frames, err := Frame(pre, cfg.FrameLen, cfg.Hop)
-	if err != nil {
-		return nil, nil, err
-	}
+	nf := NumFrames(len(x), cfg.FrameLen, cfg.Hop)
 	var st *MFCCState
 	if keep {
 		st = &MFCCState{
 			inputLen: len(x),
-			spectra:  make([][]complex128, 0, len(frames)),
-			melPlus:  make([][]float64, 0, len(frames)),
+			spectra:  make([][]complex128, 0, nf),
+			melPlus:  make([][]float64, 0, nf),
 		}
 	}
-	feats := make([][]float64, 0, len(frames))
-	buf := make([]complex128, cfg.FFTSize)
-	for _, fr := range frames {
-		for i := range buf {
-			buf[i] = 0
+	// All output rows share one backing array: two allocations for the
+	// whole clip regardless of frame count.
+	feats := make([][]float64, nf)
+	rows := make([]float64, nf*cfg.NumCoeffs)
+	buf := s.buf
+	for f := 0; f < nf; f++ {
+		start := f * cfg.Hop
+		avail := len(pre) - start
+		if avail > cfg.FrameLen {
+			avail = cfg.FrameLen
 		}
-		for i, v := range fr {
-			buf[i] = complex(v*m.window[i], 0)
+		if avail < 0 {
+			avail = 0
+		}
+		for i := 0; i < avail; i++ {
+			buf[i] = complex(pre[start+i]*m.window[i], 0)
+		}
+		for i := avail; i < cfg.FFTSize; i++ {
+			buf[i] = 0
 		}
 		if err := FFT(buf); err != nil {
 			return nil, nil, err
 		}
-		power := make([]float64, cfg.FFTSize/2+1)
+		power := s.power
 		for k := range power {
 			re, im := real(buf[k]), imag(buf[k])
 			power[k] = re*re + im*im
 		}
-		mel, err := m.bank.Apply(power)
+		mel, err := m.bank.ApplyInto(power, s.mel)
 		if err != nil {
 			return nil, nil, err
 		}
-		logMel := make([]float64, len(mel))
-		melPlus := make([]float64, len(mel))
-		for i, v := range mel {
-			melPlus[i] = v + cfg.LogFloor
-			logMel[i] = math.Log(melPlus[i])
+		logMel := s.logMel
+		var melPlus []float64
+		if keep {
+			melPlus = make([]float64, len(mel))
 		}
-		feats = append(feats, DCT2(logMel, cfg.NumCoeffs))
+		for i, v := range mel {
+			vp := v + cfg.LogFloor
+			if keep {
+				melPlus[i] = vp
+			}
+			logMel[i] = math.Log(vp)
+		}
+		out := rows[f*cfg.NumCoeffs : (f+1)*cfg.NumCoeffs : (f+1)*cfg.NumCoeffs]
+		m.dct.Into(logMel, out)
+		feats[f] = out
 		if keep {
 			spec := make([]complex128, cfg.FFTSize)
 			copy(spec, buf)
@@ -312,6 +374,25 @@ func StackContext(feats [][]float64, context int) [][]float64 {
 		out[t] = v
 	}
 	return out
+}
+
+// StackFrame writes the context-stacked vector of frame t (as StackContext
+// would produce) into dst, which must have length (2*context+1)*dim where
+// dim = len(feats[t]). It lets per-frame consumers reuse one buffer
+// instead of materializing the whole stacked matrix.
+func StackFrame(feats [][]float64, t, context int, dst []float64) {
+	n := len(feats)
+	pos := 0
+	for c := -context; c <= context; c++ {
+		i := t + c
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		pos += copy(dst[pos:], feats[i])
+	}
 }
 
 // StackContextBackward maps a gradient over stacked vectors back to a

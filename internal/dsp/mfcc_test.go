@@ -432,3 +432,42 @@ func BenchmarkMFCCExtract1s(b *testing.B) {
 		}
 	}
 }
+
+// TestFingerprintDistinguishesConfigs asserts that the cache key covers
+// every MFCCConfig field: perturbing any single field must change the
+// fingerprint, or two engines with different front ends would silently
+// share cached features.
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	base := DefaultMFCCConfig(8000)
+	mutants := []struct {
+		name   string
+		mutate func(c MFCCConfig) MFCCConfig
+	}{
+		{"SampleRate", func(c MFCCConfig) MFCCConfig { c.SampleRate = 16000; return c }},
+		{"FrameLen", func(c MFCCConfig) MFCCConfig { c.FrameLen += 16; return c }},
+		{"Hop", func(c MFCCConfig) MFCCConfig { c.Hop += 8; return c }},
+		{"FFTSize", func(c MFCCConfig) MFCCConfig { c.FFTSize = 2 * NextPow2(c.FrameLen); return c }},
+		{"NumFilters", func(c MFCCConfig) MFCCConfig { c.NumFilters = 23; return c }},
+		{"NumCoeffs", func(c MFCCConfig) MFCCConfig { c.NumCoeffs = 12; return c }},
+		{"PreEmph", func(c MFCCConfig) MFCCConfig { c.PreEmph = 0.95; return c }},
+		{"Window", func(c MFCCConfig) MFCCConfig { c.Window = WindowHann; return c }},
+		{"LowHz", func(c MFCCConfig) MFCCConfig { c.LowHz = 120; return c }},
+		{"HighHz", func(c MFCCConfig) MFCCConfig { c.HighHz = 3800; return c }},
+		{"LogFloor", func(c MFCCConfig) MFCCConfig { c.LogFloor = 1e-8; return c }},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for _, m := range mutants {
+		fp := m.mutate(base).Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s: %q", m.name, prev, fp)
+		}
+		seen[fp] = m.name
+	}
+	// Defaulted and explicit forms of the same front end must share a key.
+	explicit := base
+	explicit.FFTSize = NextPow2(base.FrameLen)
+	explicit.HighHz = float64(base.SampleRate) / 2
+	if explicit.Fingerprint() != base.Fingerprint() {
+		t.Errorf("defaulted %q != explicit %q", base.Fingerprint(), explicit.Fingerprint())
+	}
+}

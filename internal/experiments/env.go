@@ -123,18 +123,24 @@ func BuildEnv(cfg Config, logf func(format string, args ...any)) (*Env, error) {
 	return env, nil
 }
 
-// fillTexts transcribes every sample with every engine using a worker
-// pool.
+// fillTexts transcribes every sample with every engine. Jobs are
+// per-sample: within a job the engines run sequentially but share a
+// per-clip feature cache (engines with identical MFCC front ends extract
+// features once); samples are spread over a GOMAXPROCS-sized worker pool.
 func (e *Env) fillTexts() error {
 	e.Texts = make(map[asr.EngineID][]string, len(engineOrder))
 	for _, id := range engineOrder {
 		e.Texts[id] = make([]string, len(e.Samples))
 	}
-	type job struct {
-		id  asr.EngineID
-		idx int
+	engines := make([]asr.Recognizer, len(engineOrder))
+	for i, id := range engineOrder {
+		rec, err := e.Set.Get(id)
+		if err != nil {
+			return fmt.Errorf("experiments: engine %s: %w", id, err)
+		}
+		engines[i] = rec
 	}
-	jobs := make(chan job)
+	jobs := make(chan int)
 	errCh := make(chan error, 1)
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
@@ -145,27 +151,23 @@ func (e *Env) fillTexts() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				rec, err := e.Set.Get(j.id)
-				if err == nil {
-					var text string
-					text, err = rec.Transcribe(e.Samples[j.idx].Clip)
-					if err == nil {
-						e.Texts[j.id][j.idx] = speech.NormalizeText(text)
-						continue
+			for idx := range jobs {
+				texts, err := asr.TranscribeAllWithCache(engines, e.Samples[idx].Clip, false)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("experiments: transcribing sample %d: %w", idx, err):
+					default:
 					}
+					continue
 				}
-				select {
-				case errCh <- fmt.Errorf("experiments: transcribing sample %d with %s: %w", j.idx, j.id, err):
-				default:
+				for j, id := range engineOrder {
+					e.Texts[id][idx] = speech.NormalizeText(texts[j])
 				}
 			}
 		}()
 	}
-	for _, id := range engineOrder {
-		for i := range e.Samples {
-			jobs <- job{id: id, idx: i}
-		}
+	for i := range e.Samples {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()

@@ -107,6 +107,51 @@ func (m *MLP) forward(x []float64, keep bool) ([]float64, *MLPCache, error) {
 	return cur, cache, nil
 }
 
+// MLPScratch holds reusable per-layer activation buffers for
+// ForwardScratch. One scratch belongs to one goroutine at a time; get a
+// fresh one per concurrent inference loop with NewScratch.
+type MLPScratch struct {
+	acts [][]float64
+}
+
+// NewScratch allocates a scratch sized for m's layers.
+func (m *MLP) NewScratch() *MLPScratch {
+	s := &MLPScratch{acts: make([][]float64, len(m.W))}
+	for l := range m.W {
+		s.acts[l] = make([]float64, m.Sizes[l+1])
+	}
+	return s
+}
+
+// ForwardScratch computes logits like Forward but without heap
+// allocations: all intermediate and output buffers live in scratch, and
+// the returned slice aliases scratch (valid until the next call with the
+// same scratch).
+func (m *MLP) ForwardScratch(x []float64, scratch *MLPScratch) ([]float64, error) {
+	if len(x) != m.InputSize() {
+		return nil, fmt.Errorf("nn: input size %d, want %d", len(x), m.InputSize())
+	}
+	cur := x
+	for l := 0; l < len(m.W); l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		next := scratch.acts[l]
+		w := m.W[l]
+		for o := 0; o < out; o++ {
+			s := m.B[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l < len(m.W)-1 {
+				s = math.Tanh(s)
+			}
+			next[o] = s
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
 // Grads accumulates parameter gradients for an MLP.
 type Grads struct {
 	W [][]float64

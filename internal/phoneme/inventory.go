@@ -211,25 +211,47 @@ func String(ids []int) string {
 // EditDistance returns the Levenshtein distance between two phoneme-id
 // sequences (used by lexicon decoding and the black-box attack fitness).
 func EditDistance(a, b []int) int {
+	return EditDistanceBuf(a, b, nil, nil)
+}
+
+// EditDistanceBuf is EditDistance with caller-provided DP rows, letting
+// hot loops (the lexicon decoder scores every word per segment) reuse two
+// buffers instead of allocating per call. Rows shorter than len(b)+1 are
+// replaced by fresh allocations, so nil is always safe.
+func EditDistanceBuf(a, b, prevBuf, curBuf []int) int {
 	if len(a) == 0 {
 		return len(b)
 	}
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	prev, cur := prevBuf, curBuf
+	if cap(prev) < len(b)+1 {
+		prev = make([]int, len(b)+1)
+	}
+	if cap(cur) < len(b)+1 {
+		cur = make([]int, len(b)+1)
+	}
+	prev = prev[:len(b)+1]
+	cur = cur[:len(b)+1]
 	for j := range prev {
 		prev[j] = j
 	}
 	for i := 1; i <= len(a); i++ {
 		cur[0] = i
+		ai := a[i-1]
 		for j := 1; j <= len(b); j++ {
-			cost := 1
-			if a[i-1] == b[j-1] {
-				cost = 0
+			best := prev[j-1]
+			if ai != b[j-1] {
+				best++
 			}
-			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
 		}
 		prev, cur = cur, prev
 	}

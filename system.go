@@ -79,20 +79,45 @@ func (s *System) Transcribe(clip *Clip) (string, error) {
 }
 
 // TranscribeAll runs every configured engine and returns name ->
-// transcription.
+// transcription. Engines run concurrently and share a per-clip feature
+// cache when their MFCC front ends match.
 func (s *System) TranscribeAll(clip *Clip) (map[string]string, error) {
-	out := make(map[string]string, len(s.det.Auxiliaries)+1)
-	text, err := s.det.Target.Transcribe(clip)
+	tr, err := s.det.TranscribeAll(clip)
 	if err != nil {
 		return nil, err
 	}
-	out[s.det.Target.Name()] = text
-	for _, aux := range s.det.Auxiliaries {
-		text, err := aux.Transcribe(clip)
-		if err != nil {
-			return nil, err
+	out := make(map[string]string, len(s.det.Auxiliaries)+1)
+	out[s.det.Target.Name()] = tr.Target
+	for i, aux := range s.det.Auxiliaries {
+		out[aux.Name()] = tr.Aux[i]
+	}
+	return out, nil
+}
+
+// DetectBatch classifies every clip on a bounded worker pool
+// (GOMAXPROCS-sized), returning detections in input order. It fails fast:
+// the first per-clip error aborts the batch.
+func (s *System) DetectBatch(clips []*Clip) ([]*Detection, error) {
+	decs, timings, err := s.det.BatchDetectTimed(clips)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Detection, len(decs))
+	for i, dec := range decs {
+		det := &Detection{
+			Adversarial:    dec.Adversarial,
+			Scores:         dec.Scores,
+			Transcriptions: map[string]string{s.det.Target.Name(): dec.Transcriptions.Target},
+			Timing: DetectionTiming{
+				Recognition: timings[i].Recognition,
+				Similarity:  timings[i].Similarity,
+				Classify:    timings[i].Classify,
+			},
 		}
-		out[aux.Name()] = text
+		for j, aux := range s.det.Auxiliaries {
+			det.Transcriptions[aux.Name()] = dec.Transcriptions.Aux[j]
+		}
+		out[i] = det
 	}
 	return out, nil
 }
