@@ -4,7 +4,7 @@ GO ?= go
 BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
 BENCHTIME ?= 25x
 
-.PHONY: check build test race bench
+.PHONY: check build test race bench serve
 
 # The tier-1 gate: vet, build and test everything.
 check:
@@ -19,9 +19,15 @@ test:
 	$(GO) test ./...
 
 # Race-test the packages with concurrent hot paths (batch detection,
-# per-clip feature cache, shared FFT plans).
+# per-clip feature cache, shared FFT plans, the serving worker pool).
 race:
-	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/...
+	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/...
+
+# Boot the detection daemon, bootstrapping a quick-scale model on first run.
+MODEL ?= model.gob
+ADDR ?= 127.0.0.1:8080
+serve:
+	$(GO) run ./cmd/mvpearsd -model $(MODEL) -addr $(ADDR) -bootstrap
 
 # Run the tracked hot-path benchmarks and print the raw lines; paste the
 # medians of a few runs into BENCH_detect.json when they move.

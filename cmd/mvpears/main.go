@@ -4,43 +4,62 @@
 //
 //	mvpears synth -text "open the front door" -out cmd.wav [-seed 7]
 //	mvpears transcribe -in clip.wav [-quick]
-//	mvpears detect -in clip.wav [-quick] [-classifier svm] [-model cache.gob]
+//	mvpears detect -in clip.wav [-json] [-quick] [-classifier svm] [-model cache.gob]
 //	mvpears engines [-quick]                # print the engine inventory
 //
 // Engines are trained from scratch on startup (the models are small);
 // -quick trades accuracy for startup time.
+//
+// detect exit codes: 0 all clips benign, 2 at least one adversarial,
+// 1 on error — so shell pipelines can gate on the verdict. With -json it
+// emits the same schema as mvpearsd's /v1/detect (one file) or
+// /v1/detect/batch (several files) responses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mvpears"
+	"mvpears/internal/server"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvpears:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+// exitCode folds a plain error into the (code, err) convention.
+func exitCode(err error) (int, error) {
+	if err != nil {
+		return 1, err
+	}
+	return 0, nil
+}
+
+func run(args []string) (int, error) {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: mvpears <synth|transcribe|detect> [flags]")
+		return 1, fmt.Errorf("usage: mvpears <synth|transcribe|detect> [flags]")
 	}
 	switch args[0] {
 	case "synth":
-		return runSynth(args[1:])
+		return exitCode(runSynth(args[1:]))
 	case "transcribe":
-		return runTranscribe(args[1:])
+		return exitCode(runTranscribe(args[1:]))
 	case "detect":
 		return runDetect(args[1:])
 	case "engines":
-		return runEngines(args[1:])
+		return exitCode(runEngines(args[1:]))
 	default:
-		return fmt.Errorf("unknown subcommand %q (synth, transcribe, detect, engines)", args[0])
+		return 1, fmt.Errorf("unknown subcommand %q (synth, transcribe, detect, engines)", args[0])
 	}
 }
 
@@ -134,44 +153,61 @@ func runTranscribe(args []string) error {
 	return nil
 }
 
-func runDetect(args []string) error {
+func runDetect(args []string) (int, error) {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
 	in := fs.String("in", "", "input WAV path (more files may follow as positional args)")
 	quick := fs.Bool("quick", false, "quick (less accurate) engine training")
 	classifier := fs.String("classifier", "svm", "svm, knn, forest, or logreg")
 	model := fs.String("model", "", "model cache path (train once, reuse)")
+	jsonOut := fs.Bool("json", false, "emit the mvpearsd response schema instead of human-readable text")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 1, err
 	}
 	paths := fs.Args()
 	if *in != "" {
 		paths = append([]string{*in}, paths...)
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("detect: -in is required")
+		return 1, fmt.Errorf("detect: -in is required")
 	}
 	sys, err := buildSystem(*quick, *classifier, *model, true)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	clips := make([]*mvpears.Clip, len(paths))
 	for i, p := range paths {
 		clip, err := mvpears.LoadWAV(p)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		if clip.SampleRate != sys.SampleRate() {
 			clip, err = clip.Resample(sys.SampleRate())
 			if err != nil {
-				return err
+				return 1, err
 			}
 		}
 		clips[i] = clip
 	}
 	dets, err := sys.DetectBatch(clips)
 	if err != nil {
-		return err
+		return 1, err
 	}
+	if *jsonOut {
+		if err := printDetectJSON(sys, paths, dets); err != nil {
+			return 1, err
+		}
+	} else {
+		printDetectText(sys, paths, dets)
+	}
+	for _, det := range dets {
+		if det.Adversarial {
+			return 2, nil
+		}
+	}
+	return 0, nil
+}
+
+func printDetectText(sys *mvpears.System, paths []string, dets []*mvpears.Detection) {
 	for i, det := range dets {
 		if len(dets) > 1 {
 			fmt.Printf("== %s ==\n", paths[i])
@@ -188,7 +224,25 @@ func runDetect(args []string) error {
 		fmt.Printf("timing: recognition %v, similarity %v, classify %v\n",
 			det.Timing.Recognition, det.Timing.Similarity, det.Timing.Classify)
 	}
-	return nil
+}
+
+// printDetectJSON mirrors the daemon's wire format: one file renders the
+// /v1/detect response, several render the /v1/detect/batch response.
+func printDetectJSON(sys *mvpears.System, paths []string, dets []*mvpears.Detection) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	aux := sys.AuxiliaryNames()
+	if len(dets) == 1 {
+		return enc.Encode(server.NewDetectionJSON(dets[0], aux))
+	}
+	resp := server.BatchResponseJSON{Results: make([]server.FileDetectionJSON, len(dets))}
+	for i, det := range dets {
+		resp.Results[i] = server.FileDetectionJSON{
+			File:          paths[i],
+			DetectionJSON: server.NewDetectionJSON(det, aux),
+		}
+	}
+	return enc.Encode(resp)
 }
 
 func runEngines(args []string) error {

@@ -1,0 +1,103 @@
+// Command mvpearsd serves a trained MVP-EARS system over HTTP.
+//
+// Usage:
+//
+//	mvpearsd -model model.gob [-addr 127.0.0.1:8080] [-workers N] [-queue N]
+//	         [-max-upload 16777216] [-timeout 30s] [-drain 30s] [-bootstrap]
+//
+// The daemon boots from a persisted model artifact (written by
+// `mvpears detect -model` or by -bootstrap) — it never retrains at
+// startup. It exposes:
+//
+//	POST /v1/detect        one WAV body -> verdict JSON
+//	POST /v1/detect/batch  multipart WAVs -> per-file verdicts
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining)
+//	GET  /metrics          Prometheus text format
+//
+// SIGINT/SIGTERM drain gracefully within -drain; the final metric values
+// are flushed to stderr on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"mvpears"
+	"mvpears/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mvpearsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mvpearsd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	model := fs.String("model", "", "path to a persisted system artifact (required)")
+	workers := fs.Int("workers", 0, "concurrent detections (default: GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth (default: 2*workers)")
+	maxUpload := fs.Int64("max-upload", 16<<20, "max WAV upload size in bytes")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request detection deadline")
+	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	bootstrap := fs.Bool("bootstrap", false, "train a quick-scale system and save it to -model when the artifact is missing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required (train one with `mvpears detect -quick -model PATH -in clip.wav`, or pass -bootstrap)")
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	sys, err := mvpears.Open(*model)
+	switch {
+	case err == nil:
+		logger.Printf("loaded model artifact %s", *model)
+	case *bootstrap:
+		logger.Printf("no usable artifact at %s (%v); bootstrapping a quick-scale system", *model, err)
+		sys, err = mvpears.Build(mvpears.WithQuickScale())
+		if err != nil {
+			return fmt.Errorf("bootstrapping: %w", err)
+		}
+		if err := sys.SaveFile(*model); err != nil {
+			return fmt.Errorf("saving bootstrap artifact: %w", err)
+		}
+		logger.Printf("saved bootstrap artifact to %s", *model)
+	default:
+		return fmt.Errorf("opening model %s: %w (pass -bootstrap to train a quick-scale one)", *model, err)
+	}
+
+	s, err := server.New(server.Config{
+		Backend:        sys,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	logger.Printf("serving on http://%s (auxiliaries %v, %d Hz)", ln.Addr(), sys.AuxiliaryNames(), sys.SampleRate())
+
+	runErr := s.RunUntilSignal(ln, *drain, os.Interrupt, syscall.SIGTERM)
+
+	// Final flush: the last metric values, for postmortems and log scrapes.
+	fmt.Fprintln(os.Stderr, "--- final metrics ---")
+	if err := s.DumpMetrics(os.Stderr); err != nil {
+		logger.Printf("dumping metrics: %v", err)
+	}
+	return runErr
+}

@@ -1,6 +1,7 @@
 package asr
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,12 +83,24 @@ type CacheTranscriber interface {
 // engines. On error, the first failing engine's error (by index) is
 // returned, wrapped with its name.
 func TranscribeAllWithCache(engines []Recognizer, clip *audio.Clip, parallel bool) ([]string, error) {
+	return TranscribeAllWithCacheCtx(context.Background(), engines, clip, parallel)
+}
+
+// TranscribeAllWithCacheCtx is TranscribeAllWithCache with cancellation:
+// the context is checked before each engine runs, so a cancelled or
+// expired request stops dispatching work at engine granularity (each
+// engine is a few milliseconds of pure CPU). A cancelled run returns the
+// context's error.
+func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *audio.Clip, parallel bool) ([]string, error) {
 	out := make([]string, len(engines))
 	if clip == nil {
 		return out, fmt.Errorf("asr: nil clip")
 	}
 	cache := NewFeatureCache(clip.Samples)
 	runOne := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var (
 			text string
 			err  error

@@ -2,6 +2,7 @@ package audio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,27 @@ const (
 	waveMagic = "WAVE"
 	fmtChunk  = "fmt "
 	dataChunk = "data"
+
+	// maxFmtChunkBytes bounds the fmt chunk allocation. Real fmt chunks
+	// are 16–40 bytes; anything larger is a malformed or hostile header.
+	maxFmtChunkBytes = 1 << 12
+)
+
+// Typed decode errors, matchable with errors.Is. Servers map them to
+// HTTP statuses: ErrTooLarge -> 413, everything else -> 400.
+var (
+	// ErrNotWAV marks input that is not a RIFF/WAVE stream at all.
+	ErrNotWAV = errors.New("not a RIFF/WAVE stream")
+	// ErrUnsupported marks valid WAV encodings this repo does not decode
+	// (non-PCM, non-mono, non-16-bit).
+	ErrUnsupported = errors.New("unsupported WAV encoding")
+	// ErrTruncated marks a stream that ends before its declared payload.
+	ErrTruncated = errors.New("truncated WAV stream")
+	// ErrMalformed marks a structurally invalid WAV stream (bad chunk
+	// layout, absurd chunk sizes, zero sample rate, ...).
+	ErrMalformed = errors.New("malformed WAV stream")
+	// ErrTooLarge marks a payload exceeding the caller's size limit.
+	ErrTooLarge = errors.New("WAV payload exceeds size limit")
 )
 
 // WriteWAV encodes the clip as 16-bit mono PCM.
@@ -52,14 +74,24 @@ func WriteWAV(w io.Writer, c *Clip) error {
 	return nil
 }
 
-// ReadWAV decodes a 16-bit mono PCM WAV stream.
+// ReadWAV decodes a 16-bit mono PCM WAV stream with no size limit.
 func ReadWAV(r io.Reader) (*Clip, error) {
+	return ReadWAVLimited(r, 0)
+}
+
+// ReadWAVLimited decodes a 16-bit mono PCM WAV stream, rejecting a data
+// payload larger than maxDataBytes with ErrTooLarge (0 means unlimited).
+// Decoding is hardened against hostile input: declared chunk sizes are
+// never trusted for up-front allocations, so a tiny truncated stream
+// claiming a 4 GiB payload fails with ErrTruncated instead of exhausting
+// memory. All rejections wrap one of the typed errors above.
+func ReadWAVLimited(r io.Reader, maxDataBytes int64) (*Clip, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+		return nil, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
 	}
 	if string(hdr[0:4]) != riffMagic || string(hdr[8:12]) != waveMagic {
-		return nil, fmt.Errorf("audio: not a RIFF/WAVE stream")
+		return nil, fmt.Errorf("audio: %w", ErrNotWAV)
 	}
 	var (
 		sampleRate int
@@ -70,43 +102,60 @@ func ReadWAV(r io.Reader) (*Clip, error) {
 	for {
 		var chunk [8]byte
 		if _, err := io.ReadFull(r, chunk[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil, fmt.Errorf("audio: WAV stream has no data chunk")
+			if err == io.EOF {
+				return nil, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
 			}
-			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+			return nil, fmt.Errorf("audio: %w: reading chunk header: %v", ErrTruncated, err)
 		}
 		id := string(chunk[0:4])
 		size := binary.LittleEndian.Uint32(chunk[4:8])
 		switch id {
 		case fmtChunk:
+			if size > maxFmtChunkBytes {
+				return nil, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
+			}
 			body := make([]byte, size)
 			if _, err := io.ReadFull(r, body); err != nil {
-				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
+				return nil, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
 			}
 			if len(body) < 16 {
-				return nil, fmt.Errorf("audio: fmt chunk too short (%d bytes)", len(body))
+				return nil, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
 			}
 			format := binary.LittleEndian.Uint16(body[0:2])
 			if format != 1 {
-				return nil, fmt.Errorf("audio: unsupported WAV format code %d (want PCM)", format)
+				return nil, fmt.Errorf("audio: %w: format code %d (want PCM)", ErrUnsupported, format)
 			}
 			channels = int(binary.LittleEndian.Uint16(body[2:4]))
 			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
 			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+			if sampleRate == 0 {
+				return nil, fmt.Errorf("audio: %w: zero sample rate", ErrMalformed)
+			}
 			haveFmt = true
+			if err := skipPad(r, size); err != nil {
+				return nil, err
+			}
 		case dataChunk:
 			if !haveFmt {
-				return nil, fmt.Errorf("audio: data chunk before fmt chunk")
+				return nil, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
 			}
 			if bits != 16 {
-				return nil, fmt.Errorf("audio: unsupported bit depth %d (want 16)", bits)
+				return nil, fmt.Errorf("audio: %w: bit depth %d (want 16)", ErrUnsupported, bits)
 			}
 			if channels != 1 {
-				return nil, fmt.Errorf("audio: unsupported channel count %d (want mono)", channels)
+				return nil, fmt.Errorf("audio: %w: %d channels (want mono)", ErrUnsupported, channels)
 			}
-			body := make([]byte, size)
-			if _, err := io.ReadFull(r, body); err != nil {
-				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+			if maxDataBytes > 0 && int64(size) > maxDataBytes {
+				return nil, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
+			}
+			// Grow with the bytes actually present instead of trusting
+			// the declared size for one huge allocation.
+			body, err := io.ReadAll(io.LimitReader(r, int64(size)))
+			if err != nil {
+				return nil, fmt.Errorf("audio: %w: reading data chunk: %v", ErrTruncated, err)
+			}
+			if int64(len(body)) < int64(size) {
+				return nil, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, len(body), size)
 			}
 			n := len(body) / 2
 			samples := make([]float64, n)
@@ -118,10 +167,27 @@ func ReadWAV(r io.Reader) (*Clip, error) {
 		default:
 			// Skip unknown chunks (LIST, INFO, ...).
 			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
-				return nil, fmt.Errorf("audio: skipping %q chunk: %w", id, err)
+				return nil, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, id, err)
+			}
+			if err := skipPad(r, size); err != nil {
+				return nil, err
 			}
 		}
 	}
+}
+
+// skipPad consumes the RIFF pad byte after an odd-sized chunk. A missing
+// pad byte at EOF is tolerated (common in the wild); a mid-stream read
+// error is not.
+func skipPad(r io.Reader, size uint32) error {
+	if size%2 == 0 {
+		return nil
+	}
+	var pad [1]byte
+	if _, err := io.ReadFull(r, pad[:]); err != nil && err != io.EOF {
+		return fmt.Errorf("audio: %w: reading chunk pad byte: %v", ErrTruncated, err)
+	}
+	return nil
 }
 
 // SaveWAV writes the clip to a file.

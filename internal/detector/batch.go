@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,16 +28,20 @@ func (d *Detector) batchWorkers(n int) int {
 }
 
 // runBatch executes fn(i) for every i in [0,n) on a bounded worker pool.
-// It fails fast: once any job errors, no new jobs are dispatched. The
-// lowest-indexed error is returned so failures are deterministic
-// regardless of scheduling.
-func (d *Detector) runBatch(n int, fn func(i int) error) error {
+// It fails fast: once any job errors or the context is cancelled, no new
+// jobs are dispatched. The lowest-indexed error is returned so failures
+// are deterministic regardless of scheduling; a cancelled batch returns
+// the context's error.
+func (d *Detector) runBatch(ctx context.Context, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
 	workers := d.batchWorkers(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -55,7 +60,7 @@ func (d *Detector) runBatch(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				if err := fn(i); err != nil {
@@ -72,7 +77,7 @@ func (d *Detector) runBatch(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // BatchDetect classifies every clip using a bounded worker pool
@@ -84,12 +89,24 @@ func (d *Detector) BatchDetect(clips []*audio.Clip) ([]Decision, error) {
 	return decs, err
 }
 
+// BatchDetectCtx is BatchDetect with cancellation: a cancelled context
+// stops dispatching clips and the batch fails with the context's error.
+func (d *Detector) BatchDetectCtx(ctx context.Context, clips []*audio.Clip) ([]Decision, error) {
+	decs, _, err := d.BatchDetectTimedCtx(ctx, clips)
+	return decs, err
+}
+
 // BatchDetectTimed is BatchDetect plus the per-clip timing decomposition.
 func (d *Detector) BatchDetectTimed(clips []*audio.Clip) ([]Decision, []Timing, error) {
+	return d.BatchDetectTimedCtx(context.Background(), clips)
+}
+
+// BatchDetectTimedCtx is BatchDetectTimed with cancellation.
+func (d *Detector) BatchDetectTimedCtx(ctx context.Context, clips []*audio.Clip) ([]Decision, []Timing, error) {
 	decs := make([]Decision, len(clips))
 	timings := make([]Timing, len(clips))
-	err := d.runBatch(len(clips), func(i int) error {
-		dec, t, err := d.DetectTimed(clips[i])
+	err := d.runBatch(ctx, len(clips), func(i int) error {
+		dec, t, err := d.DetectTimedCtx(ctx, clips[i])
 		if err != nil {
 			return fmt.Errorf("detector: clip %d: %w", i, err)
 		}
@@ -109,7 +126,7 @@ func (d *Detector) BatchDetectTimed(clips []*audio.Clip) ([]Decision, []Timing, 
 func (d *Detector) BatchFeatures(samples []dataset.Sample) ([][]float64, []int, error) {
 	X := make([][]float64, len(samples))
 	y := make([]int, len(samples))
-	err := d.runBatch(len(samples), func(i int) error {
+	err := d.runBatch(context.Background(), len(samples), func(i int) error {
 		v, err := d.FeatureVector(samples[i].Clip)
 		if err != nil {
 			return fmt.Errorf("detector: sample %d (%s): %w", i, samples[i].Kind, err)

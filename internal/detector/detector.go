@@ -8,6 +8,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -83,12 +84,12 @@ type Transcriptions struct {
 // transcribeAll runs the target and every auxiliary through the shared
 // transcription helper: engines run concurrently unless Sequential is
 // set, and engines with identical MFCC front ends share a per-clip
-// feature cache.
-func (d *Detector) transcribeAll(clip *audio.Clip) (Transcriptions, error) {
+// feature cache. The context cancels per-engine dispatch.
+func (d *Detector) transcribeAll(ctx context.Context, clip *audio.Clip) (Transcriptions, error) {
 	engines := make([]asr.Recognizer, 0, len(d.Auxiliaries)+1)
 	engines = append(engines, d.Target)
 	engines = append(engines, d.Auxiliaries...)
-	texts, err := asr.TranscribeAllWithCache(engines, clip, !d.Sequential)
+	texts, err := asr.TranscribeAllWithCacheCtx(ctx, engines, clip, !d.Sequential)
 	out := Transcriptions{}
 	if err != nil {
 		return out, fmt.Errorf("detector: %w", err)
@@ -101,7 +102,7 @@ func (d *Detector) transcribeAll(clip *audio.Clip) (Transcriptions, error) {
 // TranscribeAll runs the target and every auxiliary on the clip (exported
 // for callers that need raw transcriptions, e.g. the public System API).
 func (d *Detector) TranscribeAll(clip *audio.Clip) (Transcriptions, error) {
-	return d.transcribeAll(clip)
+	return d.transcribeAll(context.Background(), clip)
 }
 
 // Scores converts transcriptions into the similarity feature vector.
@@ -116,7 +117,12 @@ func (d *Detector) Scores(tr Transcriptions) []float64 {
 // FeatureVector transcribes the clip on all engines and returns the
 // similarity scores.
 func (d *Detector) FeatureVector(clip *audio.Clip) ([]float64, error) {
-	tr, err := d.transcribeAll(clip)
+	return d.FeatureVectorCtx(context.Background(), clip)
+}
+
+// FeatureVectorCtx is FeatureVector with cancellation.
+func (d *Detector) FeatureVectorCtx(ctx context.Context, clip *audio.Clip) ([]float64, error) {
+	tr, err := d.transcribeAll(ctx, clip)
 	if err != nil {
 		return nil, err
 	}
@@ -143,14 +149,26 @@ func (d *Detector) Detect(clip *audio.Clip) (Decision, error) {
 	return dec, err
 }
 
+// DetectCtx is Detect with cancellation: a cancelled or expired context
+// aborts the remaining per-engine work and returns the context's error.
+func (d *Detector) DetectCtx(ctx context.Context, clip *audio.Clip) (Decision, error) {
+	dec, _, err := d.DetectTimedCtx(ctx, clip)
+	return dec, err
+}
+
 // DetectTimed is Detect plus the per-stage timing decomposition.
 func (d *Detector) DetectTimed(clip *audio.Clip) (Decision, Timing, error) {
+	return d.DetectTimedCtx(context.Background(), clip)
+}
+
+// DetectTimedCtx is DetectTimed with cancellation.
+func (d *Detector) DetectTimedCtx(ctx context.Context, clip *audio.Clip) (Decision, Timing, error) {
 	var timing Timing
 	if d.Classifier == nil {
 		return Decision{}, timing, fmt.Errorf("detector: no classifier configured")
 	}
 	start := time.Now()
-	tr, err := d.transcribeAll(clip)
+	tr, err := d.transcribeAll(ctx, clip)
 	if err != nil {
 		return Decision{}, timing, err
 	}

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 
 	"mvpears/internal/audio"
@@ -44,7 +45,7 @@ func CalibrateThreshold(d *Detector, benignX [][]float64, maxFPR float64) (*Thre
 // Detect flags the clip as adversarial when its similarity score is below
 // the threshold.
 func (t *ThresholdDetector) Detect(clip *audio.Clip) (Decision, error) {
-	tr, err := t.Detector.transcribeAll(clip)
+	tr, err := t.Detector.transcribeAll(context.Background(), clip)
 	if err != nil {
 		return Decision{}, err
 	}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"time"
+
+	"mvpears"
+)
+
+// The wire schema of the detection API. cmd/mvpears `detect -json` emits
+// the same types, so offline and online verdicts are machine-comparable.
+
+// Verdict strings used on the wire.
+const (
+	VerdictBenign      = "benign"
+	VerdictAdversarial = "adversarial"
+)
+
+// TimingJSON decomposes one detection's cost in milliseconds, mirroring
+// the paper's §V-I overhead split.
+type TimingJSON struct {
+	RecognitionMS float64 `json:"recognition_ms"`
+	SimilarityMS  float64 `json:"similarity_ms"`
+	ClassifyMS    float64 `json:"classify_ms"`
+}
+
+// DetectionJSON is one verdict: the classification, the per-auxiliary
+// similarity scores (in auxiliary order), every engine's transcription,
+// and the timing decomposition.
+type DetectionJSON struct {
+	Verdict        string            `json:"verdict"`
+	Adversarial    bool              `json:"adversarial"`
+	Scores         []float64         `json:"scores"`
+	Auxiliaries    []string          `json:"auxiliaries"`
+	Transcriptions map[string]string `json:"transcriptions"`
+	Timing         TimingJSON        `json:"timing"`
+}
+
+// FileDetectionJSON is a verdict tagged with the file (or multipart part)
+// it belongs to.
+type FileDetectionJSON struct {
+	File string `json:"file"`
+	DetectionJSON
+}
+
+// BatchResponseJSON is the body of POST /v1/detect/batch.
+type BatchResponseJSON struct {
+	Results []FileDetectionJSON `json:"results"`
+}
+
+// ErrorJSON is the body of every non-2xx API response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewDetectionJSON converts a detection into its wire form. auxiliaries
+// is the system's auxiliary-name list, aligned with det.Scores.
+func NewDetectionJSON(det *mvpears.Detection, auxiliaries []string) DetectionJSON {
+	verdict := VerdictBenign
+	if det.Adversarial {
+		verdict = VerdictAdversarial
+	}
+	return DetectionJSON{
+		Verdict:        verdict,
+		Adversarial:    det.Adversarial,
+		Scores:         det.Scores,
+		Auxiliaries:    auxiliaries,
+		Transcriptions: det.Transcriptions,
+		Timing: TimingJSON{
+			RecognitionMS: ms(det.Timing.Recognition),
+			SimilarityMS:  ms(det.Timing.Similarity),
+			ClassifyMS:    ms(det.Timing.Classify),
+		},
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

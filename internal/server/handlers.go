@@ -1,0 +1,232 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+
+	"mvpears"
+	"mvpears/internal/audio"
+)
+
+// writeJSON renders v with the given status. Encoding into a buffer first
+// is unnecessary: the values are small and fully in-memory.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStatus maps a WAV decode failure to its HTTP status.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.Is(err, audio.ErrTooLarge) || errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// readClip decodes one size-limited WAV stream and resamples it to the
+// backend's rate.
+func (s *Server) readClip(r io.Reader) (*mvpears.Clip, error) {
+	clip, err := audio.ReadWAVLimited(r, s.cfg.MaxUploadBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(clip.Samples) == 0 {
+		return nil, fmt.Errorf("%w: empty data chunk", audio.ErrMalformed)
+	}
+	if rate := s.cfg.Backend.SampleRate(); clip.SampleRate != rate {
+		clip, err = clip.Resample(rate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", audio.ErrMalformed, err)
+		}
+	}
+	return clip, nil
+}
+
+// submit runs fn on the worker pool under the per-request deadline and
+// translates admission / deadline failures into HTTP responses. It
+// reports whether fn completed; on false the response has been written.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context)) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	err := s.pool.Do(ctx, fn)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrQueueFull):
+		s.queueRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "detection exceeded the %v request deadline", s.cfg.RequestTimeout)
+	default: // context.Canceled: the client is gone, best-effort status
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	}
+	return false
+}
+
+// observe records a served verdict in the detection metrics.
+func (s *Server) observe(det *mvpears.Detection) {
+	verdict := VerdictBenign
+	if det.Adversarial {
+		verdict = VerdictAdversarial
+	}
+	s.detectionsTotal.With(verdict).Inc()
+	s.stageSeconds.With("recognition").Observe(det.Timing.Recognition.Seconds())
+	s.stageSeconds.With("similarity").Observe(det.Timing.Similarity.Seconds())
+	s.stageSeconds.With("classify").Observe(det.Timing.Classify.Seconds())
+}
+
+// handleDetect serves POST /v1/detect: the request body is one WAV file,
+// the response one DetectionJSON.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a WAV body")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024) // payload + header slack
+	clip, err := s.readClip(body)
+	if err != nil {
+		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
+		return
+	}
+	var (
+		det    *mvpears.Detection
+		detErr error
+	)
+	if !s.submit(w, r, func(ctx context.Context) {
+		det, detErr = s.cfg.Backend.DetectCtx(ctx, clip)
+	}) {
+		return
+	}
+	if detErr != nil {
+		writeError(w, http.StatusInternalServerError, "detection failed: %v", detErr)
+		return
+	}
+	s.observe(det)
+	writeJSON(w, http.StatusOK, NewDetectionJSON(det, s.cfg.Backend.AuxiliaryNames()))
+}
+
+// handleDetectBatch serves POST /v1/detect/batch: a multipart/form-data
+// body whose file parts are WAVs. The whole batch is one admission-queue
+// job routed through the backend's batch API, so a saturated server
+// rejects it atomically with 429.
+func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with multipart WAV parts")
+		return
+	}
+	// Bound the whole batch body (files * per-file limit, plus framing)
+	// before the multipart reader takes ownership of it.
+	total := s.cfg.MaxUploadBytes*int64(s.cfg.MaxBatchFiles) + 1<<20
+	r.Body = http.MaxBytesReader(w, r.Body, total)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "expected multipart/form-data: %v", err)
+		return
+	}
+
+	var (
+		names []string
+		clips []*mvpears.Clip
+	)
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading multipart body: %v", err)
+			return
+		}
+		name := partName(part)
+		if len(clips) >= s.cfg.MaxBatchFiles {
+			part.Close()
+			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d files", s.cfg.MaxBatchFiles)
+			return
+		}
+		clip, err := s.readClip(part)
+		part.Close()
+		if err != nil {
+			writeError(w, decodeStatus(err), "decoding %q: %v", name, err)
+			return
+		}
+		names = append(names, name)
+		clips = append(clips, clip)
+	}
+	if len(clips) == 0 {
+		writeError(w, http.StatusBadRequest, "no WAV file parts in request")
+		return
+	}
+	var (
+		dets   []*mvpears.Detection
+		detErr error
+	)
+	if !s.submit(w, r, func(ctx context.Context) {
+		dets, detErr = s.cfg.Backend.DetectBatchCtx(ctx, clips)
+	}) {
+		return
+	}
+	if detErr != nil {
+		writeError(w, http.StatusInternalServerError, "batch detection failed: %v", detErr)
+		return
+	}
+	resp := BatchResponseJSON{Results: make([]FileDetectionJSON, len(dets))}
+	aux := s.cfg.Backend.AuxiliaryNames()
+	for i, det := range dets {
+		s.observe(det)
+		resp.Results[i] = FileDetectionJSON{File: names[i], DetectionJSON: NewDetectionJSON(det, aux)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// partName labels one multipart part by filename, falling back to the
+// form name and then the part index-agnostic placeholder.
+func partName(part *multipart.Part) string {
+	if n := part.FileName(); n != "" {
+		return n
+	}
+	if n := part.FormName(); n != "" {
+		return n
+	}
+	return "unnamed"
+}
+
+// handleHealthz reports process liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 200 while serving, 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.Render(w); err != nil {
+		s.cfg.Logger.Printf("mvpearsd: rendering metrics: %v", err)
+	}
+}

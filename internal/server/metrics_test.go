@@ -1,0 +1,107 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func mustContain(t *testing.T, out string, lines ...string) {
+	t.Helper()
+	for _, line := range lines {
+		if !strings.Contains(out, line) {
+			t.Fatalf("output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	g := r.Gauge("depth", "Depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	mustContain(t, render(t, r),
+		"# HELP jobs_total Jobs.",
+		"# TYPE jobs_total counter",
+		"jobs_total 5",
+		"# TYPE depth gauge",
+		"depth 7",
+	)
+}
+
+func TestCounterVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "Requests.", "route", "code")
+	v.With("detect", "200").Add(3)
+	v.With("detect", "429").Inc()
+	v.With("metrics", "200").Inc()
+	// Same labels return the same child.
+	v.With("detect", "200").Inc()
+	out := render(t, r)
+	mustContain(t, out,
+		`requests_total{route="detect",code="200"} 4`,
+		`requests_total{route="detect",code="429"} 1`,
+		`requests_total{route="metrics",code="200"} 1`,
+	)
+	// Deterministic ordering: children render sorted by label key.
+	if strings.Index(out, `code="200"`) > strings.Index(out, `code="429"`) {
+		t.Fatalf("label series not sorted:\n%s", out)
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.1) // on the bound: counted in le="0.1"
+	h.Observe(0.5)
+	h.Observe(3)
+	mustContain(t, render(t, r),
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_sum 3.65",
+		"latency_seconds_count 4",
+	)
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramVecRendering(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("stage_seconds", "Stages.", []float64{0.5}, "stage")
+	v.With("recognition").Observe(0.2)
+	v.With("classify").Observe(0.9)
+	mustContain(t, render(t, r),
+		`stage_seconds_bucket{stage="recognition",le="0.5"} 1`,
+		`stage_seconds_bucket{stage="classify",le="0.5"} 0`,
+		`stage_seconds_bucket{stage="classify",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="classify"} 0.9`,
+		`stage_seconds_count{stage="recognition"} 1`,
+	)
+}
+
+func TestGaugeFuncAndLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("queue_depth", "Queue.", func() float64 { return 3 })
+	v := r.CounterVec("odd_total", "Odd.", "name")
+	v.With(`a"b\c`).Inc()
+	mustContain(t, render(t, r),
+		"queue_depth 3",
+		`odd_total{name="a\"b\\c"} 1`,
+	)
+}

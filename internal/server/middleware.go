@@ -1,0 +1,55 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the status code written by a handler so the
+// instrumentation middleware can label metrics with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the serving middleware stack: panic
+// recovery (a handler bug answers 500, not a dead process), the in-flight
+// gauge, and per-route request counters + latency histograms.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		s.inFlight.Inc()
+		defer func() {
+			s.inFlight.Dec()
+			if p := recover(); p != nil {
+				s.panicsTotal.Inc()
+				s.cfg.Logger.Printf("mvpearsd: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				if rec.status == 0 {
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			s.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
+			s.requestSeconds.With(route).Observe(time.Since(start).Seconds())
+		}()
+		h(rec, r)
+	})
+}

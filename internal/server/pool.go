@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission-control errors, mapped by the handlers to HTTP statuses.
+var (
+	// ErrQueueFull is returned when the fixed-depth admission queue is
+	// saturated — the server is overloaded and the caller should retry
+	// later (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrPoolClosed is returned once draining has begun (HTTP 503).
+	ErrPoolClosed = errors.New("server: pool is draining")
+)
+
+// workerPool runs detection jobs on a fixed number of workers behind a
+// fixed-depth admission queue. It is the server's backpressure mechanism:
+// at most `workers` detections run concurrently, at most `depth` more
+// wait in the queue, and everything beyond that is rejected immediately
+// with ErrQueueFull instead of accumulating goroutines or memory.
+type workerPool struct {
+	jobs chan *poolJob
+	wg   sync.WaitGroup // live workers
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type poolJob struct {
+	ctx  context.Context
+	run  func(ctx context.Context)
+	done chan struct{}
+	// panicked holds the recovered panic value when run blew up, so Do
+	// can resurface it on the submitting goroutine. Written by the worker
+	// before close(done), read after <-done.
+	panicked any
+}
+
+// newWorkerPool starts `workers` workers behind a queue of `depth` slots.
+func newWorkerPool(workers, depth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &workerPool{jobs: make(chan *poolJob, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		// A job whose request already gave up (deadline, client gone)
+		// is skipped, not run: queued-but-abandoned work must not eat
+		// worker time.
+		if j.ctx.Err() == nil {
+			j.panicked = runGuarded(j)
+		}
+		close(j.done)
+	}
+}
+
+// runGuarded executes the job, converting a panic into a return value so
+// one buggy job cannot kill the worker (and with it the process).
+func runGuarded(j *poolJob) (recovered any) {
+	defer func() { recovered = recover() }()
+	j.run(j.ctx)
+	return nil
+}
+
+// Do submits fn and waits for it to finish or for ctx to end. Admission
+// is non-blocking: a full queue returns ErrQueueFull at once. When Do
+// returns nil, fn has completed. When it returns ctx.Err(), fn either
+// never ran (skipped while queued) or is finishing on a worker whose
+// result will be discarded; fn must therefore honor its ctx argument.
+func (p *workerPool) Do(ctx context.Context, fn func(ctx context.Context)) error {
+	j := &poolJob{ctx: ctx, run: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-j.done:
+		if j.panicked != nil {
+			// Re-raise on the submitting goroutine, where the HTTP
+			// middleware's recover turns it into a 500.
+			panic(j.panicked)
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueLen reports how many jobs are waiting (not running).
+func (p *workerPool) QueueLen() int { return len(p.jobs) }
+
+// Close drains the pool: no new jobs are admitted, already-queued jobs
+// still run, and Close returns once every worker has exited. Safe to call
+// more than once.
+func (p *workerPool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,227 @@
+// Package server is the online serving subsystem of MVP-EARS: a
+// long-lived HTTP daemon that puts a trained detection system in front of
+// an ASR pipeline, the deployment the paper budgets per-query overhead
+// for (§V-I). It provides
+//
+//   - POST /v1/detect        — one WAV upload -> verdict JSON
+//   - POST /v1/detect/batch  — multipart WAVs -> per-file verdicts
+//   - GET  /healthz, /readyz — liveness / readiness
+//   - GET  /metrics          — Prometheus text format, hand-rolled
+//
+// Requests flow through a bounded worker pool behind a fixed-depth
+// admission queue: overload answers 429 with Retry-After instead of
+// growing goroutines, per-request deadlines cancel detection work via
+// context, and Shutdown drains gracefully (stop admitting, finish
+// in-flight, keep /metrics consistent).
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mvpears"
+)
+
+// Backend is the detection capability the server fronts. *mvpears.System
+// satisfies it; tests substitute stubs to exercise overload and failure
+// paths without training engines.
+type Backend interface {
+	// DetectCtx classifies one clip, honoring ctx cancellation.
+	DetectCtx(ctx context.Context, clip *mvpears.Clip) (*mvpears.Detection, error)
+	// DetectBatchCtx classifies a batch in input order.
+	DetectBatchCtx(ctx context.Context, clips []*mvpears.Clip) ([]*mvpears.Detection, error)
+	// SampleRate is the rate uploads are resampled to.
+	SampleRate() int
+	// AuxiliaryNames lists the auxiliary engines, aligned with scores.
+	AuxiliaryNames() []string
+}
+
+var _ Backend = (*mvpears.System)(nil)
+
+// Config parameterizes a Server. The zero value of every optional field
+// gets a sensible default in New.
+type Config struct {
+	// Backend is the trained detection system. Required.
+	Backend Backend
+	// Workers bounds concurrent detections (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds waiting detections (default 2*Workers). Work
+	// beyond Workers+QueueDepth is rejected with 429.
+	QueueDepth int
+	// MaxUploadBytes bounds one WAV payload (default 16 MiB).
+	MaxUploadBytes int64
+	// MaxBatchFiles bounds the parts of one batch request (default 64).
+	MaxBatchFiles int
+	// RequestTimeout is the per-request detection deadline (default 30s).
+	RequestTimeout time.Duration
+	// Logger receives request-level problems (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 16 << 20
+	}
+	if c.MaxBatchFiles <= 0 {
+		c.MaxBatchFiles = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// Server is one mvpearsd instance: handlers, worker pool and metrics.
+type Server struct {
+	cfg      Config
+	pool     *workerPool
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+
+	metrics *Registry
+	// requestsTotal counts finished HTTP requests by route and status.
+	requestsTotal *CounterVec
+	// requestSeconds tracks request latency by route.
+	requestSeconds *HistogramVec
+	// stageSeconds tracks the per-stage detection cost (§V-I split).
+	stageSeconds *HistogramVec
+	// detectionsTotal counts verdicts served.
+	detectionsTotal *CounterVec
+	// inFlight gauges requests currently inside a handler.
+	inFlight *Gauge
+	// queueRejected counts 429s from the admission queue.
+	queueRejected *Counter
+	// panicsTotal counts recovered handler panics.
+	panicsTotal *Counter
+}
+
+// New validates cfg, applies defaults and assembles a Server (no
+// listening socket yet — use Serve/ListenAndServe, or Handler for tests).
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("server: Config.Backend is required")
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+		metrics: NewRegistry(),
+	}
+	s.requestsTotal = s.metrics.CounterVec(
+		"mvpearsd_requests_total", "Finished HTTP requests.", "route", "code")
+	s.requestSeconds = s.metrics.HistogramVec(
+		"mvpearsd_request_duration_seconds", "End-to-end request latency.",
+		DefaultLatencyBuckets, "route")
+	s.stageSeconds = s.metrics.HistogramVec(
+		"mvpearsd_detect_stage_seconds", "Per-stage detection cost (recognition/similarity/classify).",
+		DefaultLatencyBuckets, "stage")
+	s.detectionsTotal = s.metrics.CounterVec(
+		"mvpearsd_detections_total", "Verdicts served.", "verdict")
+	s.inFlight = s.metrics.Gauge(
+		"mvpearsd_in_flight_requests", "Requests currently being handled.")
+	s.metrics.GaugeFunc(
+		"mvpearsd_queue_depth", "Detections waiting in the admission queue.",
+		func() float64 { return float64(s.pool.QueueLen()) })
+	s.queueRejected = s.metrics.Counter(
+		"mvpearsd_queue_rejected_total", "Requests rejected with 429 by the admission queue.")
+	s.panicsTotal = s.metrics.Counter(
+		"mvpearsd_handler_panics_total", "Handler panics recovered into 500s.")
+	s.metrics.GaugeFunc(
+		"mvpearsd_worker_pool_size", "Configured detection workers.",
+		func() float64 { return float64(cfg.Workers) })
+
+	s.mux.Handle("/v1/detect", s.instrument("detect", s.handleDetect))
+	s.mux.Handle("/v1/detect/batch", s.instrument("detect_batch", s.handleDetectBatch))
+	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          cfg.Logger,
+	}
+	return s, nil
+}
+
+// Handler exposes the routed handler (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. Like net/http, it
+// returns http.ErrServerClosed after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listening on %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: readiness flips to 503, the
+// listener stops accepting, in-flight requests (and their queued
+// detection jobs) run to completion within ctx, then the worker pool is
+// closed. Safe to call once per Server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.httpSrv.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DumpMetrics renders the current metric values (the daemon's final
+// flush on shutdown).
+func (s *Server) DumpMetrics(w io.Writer) error {
+	return s.metrics.Render(w)
+}
+
+// RunUntilSignal serves on ln until one of sigs arrives (or serving fails
+// on its own), then drains gracefully within drainTimeout. It returns nil
+// after a clean signal-triggered drain.
+func (s *Server) RunUntilSignal(ln net.Listener, drainTimeout time.Duration, sigs ...os.Signal) error {
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, sigs...)
+	defer signal.Stop(sigCh)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		s.cfg.Logger.Printf("mvpearsd: received %v, draining (timeout %v)", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("server: draining: %w", err)
+		}
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}

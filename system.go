@@ -1,6 +1,7 @@
 package mvpears
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,13 +35,8 @@ type DetectionTiming struct {
 	Classify    time.Duration
 }
 
-// Detect classifies the clip as benign or adversarial. The System must
-// have a trained classifier (Build's default).
-func (s *System) Detect(clip *Clip) (*Detection, error) {
-	dec, timing, err := s.det.DetectTimed(clip)
-	if err != nil {
-		return nil, err
-	}
+// toDetection converts a detector decision + timing into the public form.
+func (s *System) toDetection(dec detector.Decision, timing detector.Timing) *Detection {
 	out := &Detection{
 		Adversarial:    dec.Adversarial,
 		Scores:         dec.Scores,
@@ -54,7 +50,25 @@ func (s *System) Detect(clip *Clip) (*Detection, error) {
 	for i, aux := range s.det.Auxiliaries {
 		out.Transcriptions[aux.Name()] = dec.Transcriptions.Aux[i]
 	}
-	return out, nil
+	return out
+}
+
+// Detect classifies the clip as benign or adversarial. The System must
+// have a trained classifier (Build's default).
+func (s *System) Detect(clip *Clip) (*Detection, error) {
+	return s.DetectCtx(context.Background(), clip)
+}
+
+// DetectCtx is Detect with cancellation: a cancelled or expired context
+// aborts the remaining per-engine work and returns the context's error.
+// This is the entry point used by the mvpearsd serving layer to enforce
+// per-request deadlines.
+func (s *System) DetectCtx(ctx context.Context, clip *Clip) (*Detection, error) {
+	dec, timing, err := s.det.DetectTimedCtx(ctx, clip)
+	if err != nil {
+		return nil, err
+	}
+	return s.toDetection(dec, timing), nil
 }
 
 // DetectFile loads a WAV file (resampling to the engines' rate if needed)
@@ -98,26 +112,20 @@ func (s *System) TranscribeAll(clip *Clip) (map[string]string, error) {
 // (GOMAXPROCS-sized), returning detections in input order. It fails fast:
 // the first per-clip error aborts the batch.
 func (s *System) DetectBatch(clips []*Clip) ([]*Detection, error) {
-	decs, timings, err := s.det.BatchDetectTimed(clips)
+	return s.DetectBatchCtx(context.Background(), clips)
+}
+
+// DetectBatchCtx is DetectBatch with cancellation: a cancelled context
+// stops dispatching clips and the whole batch fails with the context's
+// error.
+func (s *System) DetectBatchCtx(ctx context.Context, clips []*Clip) ([]*Detection, error) {
+	decs, timings, err := s.det.BatchDetectTimedCtx(ctx, clips)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*Detection, len(decs))
 	for i, dec := range decs {
-		det := &Detection{
-			Adversarial:    dec.Adversarial,
-			Scores:         dec.Scores,
-			Transcriptions: map[string]string{s.det.Target.Name(): dec.Transcriptions.Target},
-			Timing: DetectionTiming{
-				Recognition: timings[i].Recognition,
-				Similarity:  timings[i].Similarity,
-				Classify:    timings[i].Classify,
-			},
-		}
-		for j, aux := range s.det.Auxiliaries {
-			det.Transcriptions[aux.Name()] = dec.Transcriptions.Aux[j]
-		}
-		out[i] = det
+		out[i] = s.toDetection(dec, timings[i])
 	}
 	return out, nil
 }
