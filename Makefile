@@ -1,7 +1,8 @@
 GO ?= go
 
-# Benchmarks tracked in BENCH_detect.json.
+# Benchmarks tracked in BENCH_detect.json / BENCH_serve.json.
 BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
+SERVE_BENCH ?= BenchmarkServe
 BENCHTIME ?= 25x
 
 .PHONY: check build test race bench serve
@@ -29,7 +30,9 @@ ADDR ?= 127.0.0.1:8080
 serve:
 	$(GO) run ./cmd/mvpearsd -model $(MODEL) -addr $(ADDR) -bootstrap
 
-# Run the tracked hot-path benchmarks and print the raw lines; paste the
-# medians of a few runs into BENCH_detect.json when they move.
+# Run the tracked hot-path and serving-path benchmarks and print the raw
+# lines; paste the medians of a few runs into BENCH_detect.json /
+# BENCH_serve.json when they move.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
+	$(GO) test -run '^$$' -bench '$(SERVE_BENCH)' -benchmem ./internal/server | tee BENCH_serve.txt

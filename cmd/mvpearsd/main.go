@@ -4,6 +4,7 @@
 //
 //	mvpearsd -model model.gob [-addr 127.0.0.1:8080] [-workers N] [-queue N]
 //	         [-max-upload 16777216] [-timeout 30s] [-drain 30s] [-bootstrap]
+//	         [-cache-entries 4096] [-cache-bytes 67108864] [-cache-off]
 //
 // The daemon boots from a persisted model artifact (written by
 // `mvpears detect -model` or by -bootstrap) — it never retrains at
@@ -49,6 +50,9 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request detection deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	bootstrap := fs.Bool("bootstrap", false, "train a quick-scale system and save it to -model when the artifact is missing")
+	cacheEntries := fs.Int("cache-entries", 0, "verdict cache entry bound (default: 4096)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "verdict cache byte bound (default: 64 MiB)")
+	cacheOff := fs.Bool("cache-off", false, "disable the verdict cache and singleflight collapsing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +86,9 @@ func run(args []string) error {
 		MaxUploadBytes: *maxUpload,
 		RequestTimeout: *timeout,
 		Logger:         logger,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		CacheOff:       *cacheOff,
 	})
 	if err != nil {
 		return err

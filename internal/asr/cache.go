@@ -41,6 +41,41 @@ func NewFeatureCache(samples []float64) *FeatureCache {
 	return &FeatureCache{samples: samples, entries: make(map[string]*cacheEntry)}
 }
 
+// Reset rebinds the cache to a new clip's samples, dropping every entry
+// while keeping the map's allocated buckets for reuse.
+func (c *FeatureCache) Reset(samples []float64) {
+	c.mu.Lock()
+	c.samples = samples
+	clear(c.entries)
+	c.mu.Unlock()
+}
+
+// featureCachePool recycles FeatureCache values across requests: a
+// serving process allocates one per detection, and the map's buckets are
+// the only state worth keeping (entries are per-clip and cleared).
+var featureCachePool = sync.Pool{
+	New: func() any { return &FeatureCache{entries: make(map[string]*cacheEntry)} },
+}
+
+// GetFeatureCache returns a pooled cache bound to samples. Release it
+// with PutFeatureCache once no engine is using it.
+func GetFeatureCache(samples []float64) *FeatureCache {
+	c := featureCachePool.Get().(*FeatureCache)
+	c.Reset(samples)
+	return c
+}
+
+// PutFeatureCache returns a cache to the pool. The caller must guarantee
+// no goroutine still reads from it; cached feature matrices handed out by
+// Extract remain valid (they are never reused), only the cache itself is.
+func PutFeatureCache(c *FeatureCache) {
+	if c == nil {
+		return
+	}
+	c.Reset(nil)
+	featureCachePool.Put(c)
+}
+
 // Extract returns the MFCC features of the cache's clip under m's
 // configuration, computing them at most once per distinct fingerprint.
 func (c *FeatureCache) Extract(m *dsp.MFCC) ([][]float64, error) {
@@ -96,7 +131,10 @@ func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *
 	if clip == nil {
 		return out, fmt.Errorf("asr: nil clip")
 	}
-	cache := NewFeatureCache(clip.Samples)
+	// Pooled: both call shapes below join every engine before returning,
+	// so no goroutine can still hold the cache when it is released.
+	cache := GetFeatureCache(clip.Samples)
+	defer PutFeatureCache(cache)
 	runOne := func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -102,6 +102,58 @@ func TestFeatureCacheSharesIdenticalConfigs(t *testing.T) {
 	}
 }
 
+// TestFeatureCachePoolReuse asserts a pooled cache forgets its previous
+// clip entirely: entries from the old samples never leak into the next
+// request's extraction.
+func TestFeatureCachePoolReuse(t *testing.T) {
+	synth := speech.NewSynthesizer(8000)
+	rng := rand.New(rand.NewSource(4))
+	clipA, _, err := synth.SynthesizeSentence("open the door", speech.DefaultSpeaker(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipB, _, err := synth.SynthesizeSentence("close the window", speech.DefaultSpeaker(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dsp.NewMFCC(dsp.DefaultMFCCConfig(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := GetFeatureCache(clipA.Samples)
+	fa, err := cache.Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutFeatureCache(cache)
+	cache2 := GetFeatureCache(clipB.Samples)
+	if cache2.Len() != 0 {
+		t.Fatalf("pooled cache kept %d stale entries", cache2.Len())
+	}
+	fb, err := cache2.Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PutFeatureCache(cache2)
+	// Same config, different clip: the features must be clipB's, not a
+	// stale hit from clipA.
+	want, err := m.Extract(clipB.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != len(want) {
+		t.Fatalf("pooled cache served stale features: %d frames, want %d", len(fb), len(want))
+	}
+	for i := range fb {
+		for j := range fb[i] {
+			if fb[i][j] != want[i][j] {
+				t.Fatalf("frame %d coeff %d: %v != %v", i, j, fb[i][j], want[i][j])
+			}
+		}
+	}
+	_ = fa
+}
+
 // TestTranscribeAllWithCacheMatchesDirect asserts the shared helper (the
 // cache-on path used by the detector) produces exactly the per-engine
 // Transcribe outputs (the cache-off path), in both sequential and

@@ -86,12 +86,63 @@ func ReadWAV(r io.Reader) (*Clip, error) {
 // claiming a 4 GiB payload fails with ErrTruncated instead of exhausting
 // memory. All rejections wrap one of the typed errors above.
 func ReadWAVLimited(r io.Reader, maxDataBytes int64) (*Clip, error) {
+	pcm, err := ReadWAVPCM(r, maxDataBytes, nil)
+	if err != nil {
+		return nil, err
+	}
+	return pcm.Decode(), nil
+}
+
+// PCM16 is a structurally decoded WAV stream: the sample rate plus the raw
+// little-endian 16-bit PCM payload, before any float conversion. It is the
+// canonical form of the audio content — two encodings of the same samples
+// (different chunk ordering, extra LIST/INFO chunks, trailing pad bytes)
+// decode to identical PCM16 values — which makes it the right input for
+// content-addressed caching: a consumer can fingerprint Data without ever
+// materializing float64 samples.
+type PCM16 struct {
+	SampleRate int
+	// Data is the raw little-endian int16 payload. When a scratch buffer
+	// was passed to ReadWAVPCM, Data aliases it and is only valid until
+	// the scratch is reused.
+	Data []byte
+}
+
+// NumSamples returns the sample count (a trailing odd byte is ignored,
+// matching Decode).
+func (p PCM16) NumSamples() int { return len(p.Data) / 2 }
+
+// Decode converts the raw payload into a Clip with float64 samples in
+// [-1, 1]. The returned clip owns its samples (no aliasing of Data).
+func (p PCM16) Decode() *Clip {
+	n := p.NumSamples()
+	samples := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := int16(binary.LittleEndian.Uint16(p.Data[i*2:]))
+		samples[i] = float64(s) / 32767
+	}
+	return &Clip{SampleRate: p.SampleRate, Samples: samples}
+}
+
+// readChunkBytes bounds one read while filling the data payload, so a
+// hostile header declaring a huge size cannot force one huge allocation.
+const readChunkBytes = 256 << 10
+
+// ReadWAVPCM decodes the structure of a 16-bit mono PCM WAV stream,
+// returning the sample rate and the raw PCM payload without converting to
+// float64. scratch, when non-nil, is reused for the payload (its capacity
+// is grown as needed); pass nil to allocate fresh. The same hardening as
+// ReadWAVLimited applies: declared sizes are never trusted for up-front
+// allocations and a payload over maxDataBytes fails with ErrTooLarge
+// (0 means unlimited).
+func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) {
+	var none PCM16
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
+		return none, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
 	}
 	if string(hdr[0:4]) != riffMagic || string(hdr[8:12]) != waveMagic {
-		return nil, fmt.Errorf("audio: %w", ErrNotWAV)
+		return none, fmt.Errorf("audio: %w", ErrNotWAV)
 	}
 	var (
 		sampleRate int
@@ -103,77 +154,92 @@ func ReadWAVLimited(r io.Reader, maxDataBytes int64) (*Clip, error) {
 		var chunk [8]byte
 		if _, err := io.ReadFull(r, chunk[:]); err != nil {
 			if err == io.EOF {
-				return nil, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
+				return none, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
 			}
-			return nil, fmt.Errorf("audio: %w: reading chunk header: %v", ErrTruncated, err)
+			return none, fmt.Errorf("audio: %w: reading chunk header: %v", ErrTruncated, err)
 		}
 		id := string(chunk[0:4])
 		size := binary.LittleEndian.Uint32(chunk[4:8])
 		switch id {
 		case fmtChunk:
 			if size > maxFmtChunkBytes {
-				return nil, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
+				return none, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
 			}
 			body := make([]byte, size)
 			if _, err := io.ReadFull(r, body); err != nil {
-				return nil, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
+				return none, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
 			}
 			if len(body) < 16 {
-				return nil, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
+				return none, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
 			}
 			format := binary.LittleEndian.Uint16(body[0:2])
 			if format != 1 {
-				return nil, fmt.Errorf("audio: %w: format code %d (want PCM)", ErrUnsupported, format)
+				return none, fmt.Errorf("audio: %w: format code %d (want PCM)", ErrUnsupported, format)
 			}
 			channels = int(binary.LittleEndian.Uint16(body[2:4]))
 			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
 			bits = int(binary.LittleEndian.Uint16(body[14:16]))
 			if sampleRate == 0 {
-				return nil, fmt.Errorf("audio: %w: zero sample rate", ErrMalformed)
+				return none, fmt.Errorf("audio: %w: zero sample rate", ErrMalformed)
 			}
 			haveFmt = true
 			if err := skipPad(r, size); err != nil {
-				return nil, err
+				return none, err
 			}
 		case dataChunk:
 			if !haveFmt {
-				return nil, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
+				return none, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
 			}
 			if bits != 16 {
-				return nil, fmt.Errorf("audio: %w: bit depth %d (want 16)", ErrUnsupported, bits)
+				return none, fmt.Errorf("audio: %w: bit depth %d (want 16)", ErrUnsupported, bits)
 			}
 			if channels != 1 {
-				return nil, fmt.Errorf("audio: %w: %d channels (want mono)", ErrUnsupported, channels)
+				return none, fmt.Errorf("audio: %w: %d channels (want mono)", ErrUnsupported, channels)
 			}
 			if maxDataBytes > 0 && int64(size) > maxDataBytes {
-				return nil, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
+				return none, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
 			}
 			// Grow with the bytes actually present instead of trusting
 			// the declared size for one huge allocation.
-			body, err := io.ReadAll(io.LimitReader(r, int64(size)))
-			if err != nil {
-				return nil, fmt.Errorf("audio: %w: reading data chunk: %v", ErrTruncated, err)
+			buf := scratch[:0]
+			for int64(len(buf)) < int64(size) {
+				step := int64(size) - int64(len(buf))
+				if step > readChunkBytes {
+					step = readChunkBytes
+				}
+				start := len(buf)
+				buf = growBytes(buf, int(step))
+				n, err := io.ReadFull(r, buf[start:])
+				buf = buf[:start+n]
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return none, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, len(buf), size)
+				}
+				if err != nil {
+					return none, fmt.Errorf("audio: %w: reading data chunk: %v", ErrTruncated, err)
+				}
 			}
-			if int64(len(body)) < int64(size) {
-				return nil, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, len(body), size)
-			}
-			n := len(body) / 2
-			samples := make([]float64, n)
-			for i := 0; i < n; i++ {
-				s := int16(binary.LittleEndian.Uint16(body[i*2:]))
-				samples[i] = float64(s) / 32767
-			}
-			return &Clip{SampleRate: sampleRate, Samples: samples}, nil
+			return PCM16{SampleRate: sampleRate, Data: buf}, nil
 		default:
 			// Skip unknown chunks (LIST, INFO, ...).
 			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
-				return nil, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, id, err)
+				return none, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, id, err)
 			}
 			if err := skipPad(r, size); err != nil {
-				return nil, err
+				return none, err
 			}
 		}
 	}
+}
+
+// growBytes extends b by n zero-valued bytes, reallocating only when the
+// capacity is exhausted (so a pooled scratch amortizes to zero).
+func growBytes(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[:len(b)+n]
+	}
+	grown := make([]byte, len(b)+n, 2*cap(b)+n)
+	copy(grown, b)
+	return grown
 }
 
 // skipPad consumes the RIFF pad byte after an odd-sized chunk. A missing

@@ -27,22 +27,32 @@ func (d *Detector) batchWorkers(n int) int {
 	return w
 }
 
-// runBatch executes fn(i) for every i in [0,n) on a bounded worker pool.
-// It fails fast: once any job errors or the context is cancelled, no new
-// jobs are dispatched. The lowest-indexed error is returned so failures
-// are deterministic regardless of scheduling; a cancelled batch returns
-// the context's error.
-func (d *Detector) runBatch(ctx context.Context, n int, fn func(i int) error) error {
+// runBatch executes fn(i, engineParallel) for every i in [0,n) on one
+// bounded worker pool sized once for the whole call chain. engineParallel
+// tells the job whether its per-clip engine fan-out may still run
+// concurrently: once the batch pool itself has more than one worker the
+// CPUs are already saturated, so jobs run their engines sequentially
+// instead of multiplying pool-size × engine-count goroutines.
+//
+// The pool fails fast: once any job errors or the context is cancelled,
+// no new jobs are dispatched. The lowest-indexed error is returned so
+// failures are deterministic regardless of scheduling; a cancelled batch
+// returns the context's error.
+func (d *Detector) runBatch(ctx context.Context, n int, fn func(i int, engineParallel bool) error) error {
 	if n == 0 {
 		return nil
 	}
 	workers := d.batchWorkers(n)
 	if workers == 1 {
+		// The batch itself is serial (Sequential mode, a single clip, or a
+		// single CPU), so per-clip engine parallelism keeps its usual
+		// setting.
+		engineParallel := !d.Sequential
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(i, engineParallel); err != nil {
 				return err
 			}
 		}
@@ -63,7 +73,7 @@ func (d *Detector) runBatch(ctx context.Context, n int, fn func(i int) error) er
 				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(i, false); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -105,8 +115,8 @@ func (d *Detector) BatchDetectTimed(clips []*audio.Clip) ([]Decision, []Timing, 
 func (d *Detector) BatchDetectTimedCtx(ctx context.Context, clips []*audio.Clip) ([]Decision, []Timing, error) {
 	decs := make([]Decision, len(clips))
 	timings := make([]Timing, len(clips))
-	err := d.runBatch(ctx, len(clips), func(i int) error {
-		dec, t, err := d.DetectTimedCtx(ctx, clips[i])
+	err := d.runBatch(ctx, len(clips), func(i int, engineParallel bool) error {
+		dec, t, err := d.detectTimedP(ctx, clips[i], engineParallel)
 		if err != nil {
 			return fmt.Errorf("detector: clip %d: %w", i, err)
 		}
@@ -126,8 +136,8 @@ func (d *Detector) BatchDetectTimedCtx(ctx context.Context, clips []*audio.Clip)
 func (d *Detector) BatchFeatures(samples []dataset.Sample) ([][]float64, []int, error) {
 	X := make([][]float64, len(samples))
 	y := make([]int, len(samples))
-	err := d.runBatch(context.Background(), len(samples), func(i int) error {
-		v, err := d.FeatureVector(samples[i].Clip)
+	err := d.runBatch(context.Background(), len(samples), func(i int, engineParallel bool) error {
+		v, err := d.featureVectorP(context.Background(), samples[i].Clip, engineParallel)
 		if err != nil {
 			return fmt.Errorf("detector: sample %d (%s): %w", i, samples[i].Kind, err)
 		}

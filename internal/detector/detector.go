@@ -86,10 +86,18 @@ type Transcriptions struct {
 // set, and engines with identical MFCC front ends share a per-clip
 // feature cache. The context cancels per-engine dispatch.
 func (d *Detector) transcribeAll(ctx context.Context, clip *audio.Clip) (Transcriptions, error) {
+	return d.transcribeAllP(ctx, clip, !d.Sequential)
+}
+
+// transcribeAllP is transcribeAll with the engine-level parallelism
+// decided by the caller. Batch operations pass false when their worker
+// pool already saturates the CPUs, so a batch does not multiply
+// pool-size × engine-count goroutines.
+func (d *Detector) transcribeAllP(ctx context.Context, clip *audio.Clip, parallel bool) (Transcriptions, error) {
 	engines := make([]asr.Recognizer, 0, len(d.Auxiliaries)+1)
 	engines = append(engines, d.Target)
 	engines = append(engines, d.Auxiliaries...)
-	texts, err := asr.TranscribeAllWithCacheCtx(ctx, engines, clip, !d.Sequential)
+	texts, err := asr.TranscribeAllWithCacheCtx(ctx, engines, clip, parallel)
 	out := Transcriptions{}
 	if err != nil {
 		return out, fmt.Errorf("detector: %w", err)
@@ -122,7 +130,12 @@ func (d *Detector) FeatureVector(clip *audio.Clip) ([]float64, error) {
 
 // FeatureVectorCtx is FeatureVector with cancellation.
 func (d *Detector) FeatureVectorCtx(ctx context.Context, clip *audio.Clip) ([]float64, error) {
-	tr, err := d.transcribeAll(ctx, clip)
+	return d.featureVectorP(ctx, clip, !d.Sequential)
+}
+
+// featureVectorP is FeatureVectorCtx with explicit engine parallelism.
+func (d *Detector) featureVectorP(ctx context.Context, clip *audio.Clip, parallel bool) ([]float64, error) {
+	tr, err := d.transcribeAllP(ctx, clip, parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +176,17 @@ func (d *Detector) DetectTimed(clip *audio.Clip) (Decision, Timing, error) {
 
 // DetectTimedCtx is DetectTimed with cancellation.
 func (d *Detector) DetectTimedCtx(ctx context.Context, clip *audio.Clip) (Decision, Timing, error) {
+	return d.detectTimedP(ctx, clip, !d.Sequential)
+}
+
+// detectTimedP is DetectTimedCtx with explicit engine parallelism.
+func (d *Detector) detectTimedP(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
 	var timing Timing
 	if d.Classifier == nil {
 		return Decision{}, timing, fmt.Errorf("detector: no classifier configured")
 	}
 	start := time.Now()
-	tr, err := d.transcribeAll(ctx, clip)
+	tr, err := d.transcribeAllP(ctx, clip, parallel)
 	if err != nil {
 		return Decision{}, timing, err
 	}

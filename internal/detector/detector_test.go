@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mvpears/internal/asr"
 	"mvpears/internal/audio"
@@ -463,6 +465,59 @@ func TestBatchDetectMatchesSequential(t *testing.T) {
 		if got.Transcriptions.Target != want.Transcriptions.Target {
 			t.Fatalf("clip %d: batch target %q != sequential %q", i, got.Transcriptions.Target, want.Transcriptions.Target)
 		}
+	}
+}
+
+// probeRecognizer counts how many Transcribe calls run at once across
+// every probe sharing the counters.
+type probeRecognizer struct {
+	name string
+	cur  *atomic.Int64
+	max  *atomic.Int64
+}
+
+func (p *probeRecognizer) Name() string { return p.name }
+
+func (p *probeRecognizer) Transcribe(clip *audio.Clip) (string, error) {
+	n := p.cur.Add(1)
+	for {
+		m := p.max.Load()
+		if n <= m || p.max.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	time.Sleep(2 * time.Millisecond) // widen the overlap window
+	p.cur.Add(-1)
+	return "ok", nil
+}
+
+// TestBatchDoesNotNestParallelism asserts a batch runs ONE bounded worker
+// pool for the whole call chain: engine transcriptions never exceed the
+// pool size, i.e. per-clip engine fan-out is disabled once the batch pool
+// itself saturates the CPUs (previously a batch ran pool-size ×
+// engine-count goroutines at once).
+func TestBatchDoesNotNestParallelism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	var cur, max atomic.Int64
+	mk := func(name string) asr.Recognizer {
+		return &probeRecognizer{name: name, cur: &cur, max: &max}
+	}
+	d, err := New(mk("t"), []asr.Recognizer{mk("a1"), mk("a2"), mk("a3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Train([][]float64{{1, 1, 1}}, [][]float64{{0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	clips := make([]*audio.Clip, 12)
+	for i := range clips {
+		clips[i] = audio.NewClip(8000, 160)
+	}
+	if _, err := d.BatchDetect(clips); err != nil {
+		t.Fatal(err)
+	}
+	if got, workers := max.Load(), int64(4); got > workers {
+		t.Fatalf("batch ran %d transcriptions at once, want at most the pool size %d", got, workers)
 	}
 }
 

@@ -33,6 +33,11 @@ type DetectionJSON struct {
 	Auxiliaries    []string          `json:"auxiliaries"`
 	Transcriptions map[string]string `json:"transcriptions"`
 	Timing         TimingJSON        `json:"timing"`
+	// Cached marks a verdict served without running a detection for this
+	// request: a verdict-cache hit, or a result shared with a concurrent
+	// identical request via singleflight. Timing then describes the
+	// original detection, not this request.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // FileDetectionJSON is a verdict tagged with the file (or multipart part)

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mvpears"
+	"mvpears/internal/audio"
+)
+
+// Serving-path benchmarks over a real quick-scale system (tracked in
+// BENCH_serve.json): a cache hit answers from the verdict cache without
+// float decode, worker-pool admission or detection; a miss pays the full
+// pipeline; a duplicate storm collapses onto one detection via
+// singleflight.
+
+// benchSystem shares the e2e quick-scale system with the benchmarks.
+func benchSystem(b *testing.B) *mvpears.System {
+	b.Helper()
+	e2eOnce.Do(func() {
+		e2eSys, e2eErr = mvpears.Build(mvpears.WithQuickScale(), mvpears.WithSeed(1))
+	})
+	if e2eErr != nil {
+		b.Fatalf("building system: %v", e2eErr)
+	}
+	return e2eSys
+}
+
+func benchServer(b *testing.B) (*Server, http.Handler) {
+	b.Helper()
+	s, err := New(Config{
+		Backend: benchSystem(b),
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, s.Handler()
+}
+
+// benchWAV renders a deterministic clip whose content (and therefore
+// cache key) is decided by seed.
+func benchWAV(b *testing.B, rate, n, seed int) []byte {
+	b.Helper()
+	c := audio.NewClip(rate, n)
+	x := uint32(seed)*2654435761 + 1
+	for i := range c.Samples {
+		x = x*1664525 + 1013904223
+		c.Samples[i] = float64(x>>16)/65536*0.9 - 0.45
+	}
+	var buf bytes.Buffer
+	if err := audio.WriteWAV(&buf, c); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func serveDetect(h http.Handler, body []byte) int {
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+// BenchmarkServeHit measures the cache-hit serving path: decode the WAV
+// structurally, fingerprint it, answer from the cache.
+func BenchmarkServeHit(b *testing.B) {
+	_, h := benchServer(b)
+	body := benchWAV(b, 8000, 2000, 0)
+	if code := serveDetect(h, body); code != http.StatusOK {
+		b.Fatalf("priming status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := serveDetect(h, body); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeMiss measures the full pipeline: every request carries
+// content the cache has never seen.
+func BenchmarkServeMiss(b *testing.B) {
+	_, h := benchServer(b)
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		bodies[i] = benchWAV(b, 8000, 2000, i+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := serveDetect(h, bodies[i]); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+}
+
+// BenchmarkServeDuplicateStorm measures 16 concurrent identical uploads
+// of never-seen content per iteration: singleflight collapses them onto
+// one detection.
+func BenchmarkServeDuplicateStorm(b *testing.B) {
+	const storm = 16
+	_, h := benchServer(b)
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		bodies[i] = benchWAV(b, 8000, 2000, 1_000_000+i)
+	}
+	var bad atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for g := 0; g < storm; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if code := serveDetect(h, bodies[i]); code != http.StatusOK {
+					bad.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if n := bad.Load(); n != 0 {
+		b.Fatalf("%d storm requests failed", n)
+	}
+}

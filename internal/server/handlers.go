@@ -8,9 +8,11 @@ import (
 	"io"
 	"mime/multipart"
 	"net/http"
+	"sync"
 
 	"mvpears"
 	"mvpears/internal/audio"
+	"mvpears/internal/vcache"
 )
 
 // writeJSON renders v with the given status. Encoding into a buffer first
@@ -34,23 +36,67 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// readClip decodes one size-limited WAV stream and resamples it to the
-// backend's rate.
-func (s *Server) readClip(r io.Reader) (*mvpears.Clip, error) {
-	clip, err := audio.ReadWAVLimited(r, s.cfg.MaxUploadBytes)
+// scratchPool recycles WAV payload buffers across requests: the serving
+// hot path reads each upload into a pooled buffer, fingerprints it, and —
+// on a cache hit — answers without ever converting to float64 samples.
+var scratchPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+func putScratch(b *[]byte) { scratchPool.Put(b) }
+
+// readPCM structurally decodes one size-limited WAV stream into the
+// pooled scratch buffer, without float conversion. The scratch pointer is
+// updated to the (possibly grown) payload buffer so the pool keeps it.
+func (s *Server) readPCM(r io.Reader, scratch *[]byte) (audio.PCM16, error) {
+	pcm, err := audio.ReadWAVPCM(r, s.cfg.MaxUploadBytes, (*scratch)[:0])
 	if err != nil {
-		return nil, err
+		return audio.PCM16{}, err
 	}
-	if len(clip.Samples) == 0 {
-		return nil, fmt.Errorf("%w: empty data chunk", audio.ErrMalformed)
+	*scratch = pcm.Data
+	if pcm.NumSamples() == 0 {
+		return audio.PCM16{}, fmt.Errorf("%w: empty data chunk", audio.ErrMalformed)
 	}
+	return pcm, nil
+}
+
+// finishClip converts structurally decoded PCM into the backend's input:
+// float samples at the backend's rate. This is the expensive half of
+// decoding that cache hits skip entirely.
+func (s *Server) finishClip(pcm audio.PCM16) (*mvpears.Clip, error) {
+	clip := pcm.Decode()
 	if rate := s.cfg.Backend.SampleRate(); clip.SampleRate != rate {
+		var err error
 		clip, err = clip.Resample(rate)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", audio.ErrMalformed, err)
 		}
 	}
 	return clip, nil
+}
+
+// cacheKey derives the verdict-cache key for one upload ("" when caching
+// is off). The key covers the model fingerprint plus the original
+// (pre-resample) rate and canonical PCM content, which deterministically
+// decide the pipeline input.
+func (s *Server) cacheKey(pcm audio.PCM16) string {
+	if s.vc == nil {
+		return ""
+	}
+	return vcache.KeyPCM16(s.modelFP, pcm.SampleRate, pcm.Data)
+}
+
+// detectionSize approximates one cached verdict's resident bytes for the
+// cache's byte bound: key, scores, transcriptions, struct overhead.
+func detectionSize(key string, det *mvpears.Detection) int64 {
+	size := int64(len(key)) + 128
+	size += int64(len(det.Scores)) * 8
+	for k, v := range det.Transcriptions {
+		size += int64(len(k)+len(v)) + 32
+	}
+	return size
 }
 
 // submit runs fn on the worker pool under the per-request deadline and
@@ -77,20 +123,102 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, fn func(ctx cont
 	return false
 }
 
-// observe records a served verdict in the detection metrics.
-func (s *Server) observe(det *mvpears.Detection) {
+// countVerdict records one served verdict.
+func (s *Server) countVerdict(det *mvpears.Detection) {
 	verdict := VerdictBenign
 	if det.Adversarial {
 		verdict = VerdictAdversarial
 	}
 	s.detectionsTotal.With(verdict).Inc()
+}
+
+// observe records a freshly computed verdict: the verdict count plus the
+// per-stage timings. Cached and flight-shared verdicts count only the
+// verdict — their stage cost was paid (and observed) once, by the request
+// that actually ran the detection.
+func (s *Server) observe(det *mvpears.Detection) {
+	s.countVerdict(det)
 	s.stageSeconds.With("recognition").Observe(det.Timing.Recognition.Seconds())
 	s.stageSeconds.With("similarity").Observe(det.Timing.Similarity.Seconds())
 	s.stageSeconds.With("classify").Observe(det.Timing.Classify.Seconds())
 }
 
+// serveDetection writes one 200 verdict response. fresh marks a verdict
+// this request computed itself (observed with stage timings); a cached or
+// flight-shared result is marked Cached on the wire.
+func (s *Server) serveDetection(w http.ResponseWriter, det *mvpears.Detection, fresh bool) {
+	if fresh {
+		s.observe(det)
+	} else {
+		s.countVerdict(det)
+	}
+	out := NewDetectionJSON(det, s.cfg.Backend.AuxiliaryNames())
+	out.Cached = !fresh
+	writeJSON(w, http.StatusOK, out)
+}
+
+// detect runs one detection under the request deadline, collapsing
+// concurrent duplicates onto a single worker-pool job when the verdict
+// cache is enabled (the leader also populates the cache). fresh reports
+// whether this call's own detection ran, as opposed to sharing a
+// concurrent request's flight.
+func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip) (det *mvpears.Detection, fresh bool, err error) {
+	ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
+	defer cancel()
+	run := func(ctx context.Context) (*mvpears.Detection, error) {
+		var det *mvpears.Detection
+		var detErr error
+		if err := s.pool.Do(ctx, func(jctx context.Context) {
+			det, detErr = s.cfg.Backend.DetectCtx(jctx, clip)
+		}); err != nil {
+			return nil, err
+		}
+		return det, detErr
+	}
+	if s.vc == nil {
+		det, err := run(ctx)
+		return det, err == nil, err
+	}
+	det, shared, err := s.flight.Do(ctx, key, func(fctx context.Context) (*mvpears.Detection, error) {
+		det, err := run(fctx)
+		if err != nil {
+			return nil, err
+		}
+		s.vc.Put(key, det, detectionSize(key, det))
+		return det, nil
+	})
+	return det, err == nil && !shared, err
+}
+
+// writeDetectError maps a detection failure to its HTTP response. A panic
+// recovered inside a flight is re-raised here so the middleware's panic
+// accounting and 500 behavior are identical with and without collapsing.
+func (s *Server) writeDetectError(w http.ResponseWriter, err error) {
+	var pe *vcache.PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Value)
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.queueRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "detection exceeded the %v request deadline", s.cfg.RequestTimeout)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, "detection failed: %v", err)
+	}
+}
+
 // handleDetect serves POST /v1/detect: the request body is one WAV file,
-// the response one DetectionJSON.
+// the response one DetectionJSON. The serving path is content-addressed:
+// the upload is fingerprinted from its raw PCM, a cache hit answers with
+// zero detection work (no float decode, no worker-pool admission), and
+// concurrent misses for the same fingerprint collapse onto one detection.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -98,32 +226,40 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024) // payload + header slack
-	clip, err := s.readClip(body)
+	scratch := getScratch()
+	defer putScratch(scratch)
+	pcm, err := s.readPCM(body, scratch)
 	if err != nil {
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
 		return
 	}
-	var (
-		det    *mvpears.Detection
-		detErr error
-	)
-	if !s.submit(w, r, func(ctx context.Context) {
-		det, detErr = s.cfg.Backend.DetectCtx(ctx, clip)
-	}) {
+	key := s.cacheKey(pcm)
+	if key != "" {
+		if det, ok := s.vc.Get(key); ok {
+			s.serveDetection(w, det, false)
+			return
+		}
+	}
+	clip, err := s.finishClip(pcm)
+	if err != nil {
+		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
 		return
 	}
-	if detErr != nil {
-		writeError(w, http.StatusInternalServerError, "detection failed: %v", detErr)
+	det, fresh, err := s.detect(r.Context(), key, clip)
+	if err != nil {
+		s.writeDetectError(w, err)
 		return
 	}
-	s.observe(det)
-	writeJSON(w, http.StatusOK, NewDetectionJSON(det, s.cfg.Backend.AuxiliaryNames()))
+	s.serveDetection(w, det, fresh)
 }
 
 // handleDetectBatch serves POST /v1/detect/batch: a multipart/form-data
-// body whose file parts are WAVs. The whole batch is one admission-queue
-// job routed through the backend's batch API, so a saturated server
-// rejects it atomically with 429.
+// body whose file parts are WAVs. Parts already in the verdict cache are
+// answered from it; the remaining misses form one admission-queue job
+// routed through the backend's batch API, so a saturated server rejects
+// the batch's detection work atomically with 429. Batch misses populate
+// the cache but do not singleflight-collapse (a batch is one job; its
+// members are not independent requests worth a flight each).
 func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -141,9 +277,15 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		names []string
-		clips []*mvpears.Clip
+		names     []string
+		pcms      []audio.PCM16
+		scratches []*[]byte
 	)
+	defer func() {
+		for _, b := range scratches {
+			putScratch(b)
+		}
+	}()
 	for {
 		part, err := mr.NextPart()
 		if err == io.EOF {
@@ -154,42 +296,84 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		name := partName(part)
-		if len(clips) >= s.cfg.MaxBatchFiles {
+		if len(pcms) >= s.cfg.MaxBatchFiles {
 			part.Close()
 			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d files", s.cfg.MaxBatchFiles)
 			return
 		}
-		clip, err := s.readClip(part)
+		scratch := getScratch()
+		scratches = append(scratches, scratch)
+		pcm, err := s.readPCM(part, scratch)
 		part.Close()
 		if err != nil {
 			writeError(w, decodeStatus(err), "decoding %q: %v", name, err)
 			return
 		}
 		names = append(names, name)
-		clips = append(clips, clip)
+		pcms = append(pcms, pcm)
 	}
-	if len(clips) == 0 {
+	if len(pcms) == 0 {
 		writeError(w, http.StatusBadRequest, "no WAV file parts in request")
 		return
 	}
-	var (
-		dets   []*mvpears.Detection
-		detErr error
-	)
-	if !s.submit(w, r, func(ctx context.Context) {
-		dets, detErr = s.cfg.Backend.DetectBatchCtx(ctx, clips)
-	}) {
-		return
+
+	dets := make([]*mvpears.Detection, len(pcms))
+	cached := make([]bool, len(pcms))
+	keys := make([]string, len(pcms))
+	var missIdx []int
+	for i, pcm := range pcms {
+		keys[i] = s.cacheKey(pcm)
+		if keys[i] != "" {
+			if det, ok := s.vc.Get(keys[i]); ok {
+				dets[i] = det
+				cached[i] = true
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
 	}
-	if detErr != nil {
-		writeError(w, http.StatusInternalServerError, "batch detection failed: %v", detErr)
-		return
+	if len(missIdx) > 0 {
+		clips := make([]*mvpears.Clip, len(missIdx))
+		for j, i := range missIdx {
+			clip, err := s.finishClip(pcms[i])
+			if err != nil {
+				writeError(w, decodeStatus(err), "decoding %q: %v", names[i], err)
+				return
+			}
+			clips[j] = clip
+		}
+		var (
+			missDets []*mvpears.Detection
+			detErr   error
+		)
+		if !s.submit(w, r, func(ctx context.Context) {
+			missDets, detErr = s.cfg.Backend.DetectBatchCtx(ctx, clips)
+		}) {
+			return
+		}
+		if detErr != nil {
+			writeError(w, http.StatusInternalServerError, "batch detection failed: %v", detErr)
+			return
+		}
+		for j, i := range missIdx {
+			dets[i] = missDets[j]
+			if keys[i] != "" {
+				s.vc.Put(keys[i], missDets[j], detectionSize(keys[i], missDets[j]))
+			}
+		}
 	}
+
 	resp := BatchResponseJSON{Results: make([]FileDetectionJSON, len(dets))}
 	aux := s.cfg.Backend.AuxiliaryNames()
 	for i, det := range dets {
-		s.observe(det)
-		resp.Results[i] = FileDetectionJSON{File: names[i], DetectionJSON: NewDetectionJSON(det, aux)}
+		if cached[i] {
+			s.countVerdict(det)
+		} else {
+			s.observe(det)
+		}
+		fd := FileDetectionJSON{File: names[i], DetectionJSON: NewDetectionJSON(det, aux)}
+		fd.Cached = cached[i]
+		resp.Results[i] = fd
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -193,6 +193,14 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// CounterFunc registers a counter whose value is sampled at render time
+// (for monotonic values owned elsewhere, e.g. cache hit counts).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.add(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
 // Gauge registers and returns a new gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/vcache"
 )
 
 // Backend is the detection capability the server fronts. *mvpears.System
@@ -46,6 +47,19 @@ type Backend interface {
 }
 
 var _ Backend = (*mvpears.System)(nil)
+
+// ModelFingerprinter is implemented by backends whose model has a stable
+// content fingerprint (*mvpears.System hashes its persisted artifact).
+// The verdict cache requires it: keys are prefixed with the fingerprint
+// so a cache can never serve verdicts computed by a different model, and
+// because the fingerprint is derived from the artifact bytes, keys stay
+// valid across daemon restarts of the same model. A backend without a
+// fingerprint serves with the cache disabled.
+type ModelFingerprinter interface {
+	ModelFingerprint() (string, error)
+}
+
+var _ ModelFingerprinter = (*mvpears.System)(nil)
 
 // Config parameterizes a Server. The zero value of every optional field
 // gets a sensible default in New.
@@ -65,6 +79,18 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger receives request-level problems (default log.Default()).
 	Logger *log.Logger
+	// CacheEntries bounds the verdict cache's entry count (default 4096).
+	CacheEntries int
+	// CacheBytes bounds the verdict cache's resident bytes (default 64 MiB).
+	CacheBytes int64
+	// CacheOff disables the verdict cache and singleflight collapsing.
+	// The cache is also disabled (with a log line) when Backend does not
+	// implement ModelFingerprinter.
+	CacheOff bool
+	// Cache optionally injects a prebuilt verdict cache, e.g. one shared
+	// across Server instances in tests. Nil builds a private cache from
+	// CacheEntries/CacheBytes.
+	Cache *vcache.Cache[*mvpears.Detection]
 }
 
 func (c *Config) applyDefaults() {
@@ -85,6 +111,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
 	}
 }
 
@@ -111,6 +143,13 @@ type Server struct {
 	queueRejected *Counter
 	// panicsTotal counts recovered handler panics.
 	panicsTotal *Counter
+
+	// modelFP prefixes every verdict-cache key (see internal/vcache).
+	modelFP string
+	// vc is the cross-request verdict cache; nil when caching is off.
+	vc *vcache.Cache[*mvpears.Detection]
+	// flight collapses concurrent duplicate detections onto one worker.
+	flight *vcache.Group[*mvpears.Detection]
 }
 
 // New validates cfg, applies defaults and assembles a Server (no
@@ -125,6 +164,20 @@ func New(cfg Config) (*Server, error) {
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 		metrics: NewRegistry(),
+	}
+	if !cfg.CacheOff {
+		if fper, ok := cfg.Backend.(ModelFingerprinter); !ok {
+			cfg.Logger.Printf("mvpearsd: verdict cache disabled: backend exposes no model fingerprint")
+		} else if fp, err := fper.ModelFingerprint(); err != nil {
+			cfg.Logger.Printf("mvpearsd: verdict cache disabled: fingerprinting model: %v", err)
+		} else {
+			s.modelFP = fp
+			s.vc = cfg.Cache
+			if s.vc == nil {
+				s.vc = vcache.New[*mvpears.Detection](cfg.CacheEntries, cfg.CacheBytes)
+			}
+			s.flight = &vcache.Group[*mvpears.Detection]{Timeout: cfg.RequestTimeout}
+		}
 	}
 	s.requestsTotal = s.metrics.CounterVec(
 		"mvpearsd_requests_total", "Finished HTTP requests.", "route", "code")
@@ -148,6 +201,31 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.GaugeFunc(
 		"mvpearsd_worker_pool_size", "Configured detection workers.",
 		func() float64 { return float64(cfg.Workers) })
+	// Verdict-cache series are always registered (zero when disabled) so
+	// the exposition shape does not depend on the backend.
+	s.metrics.CounterFunc(
+		"mvpearsd_cache_hits_total", "Verdicts served from the cross-request cache.",
+		func() uint64 { return s.cacheStats().Hits })
+	s.metrics.CounterFunc(
+		"mvpearsd_cache_misses_total", "Verdict-cache lookups that ran a detection.",
+		func() uint64 { return s.cacheStats().Misses })
+	s.metrics.CounterFunc(
+		"mvpearsd_cache_evictions_total", "Verdicts evicted by entry or byte pressure.",
+		func() uint64 { return s.cacheStats().Evictions })
+	s.metrics.GaugeFunc(
+		"mvpearsd_cache_resident_bytes", "Approximate bytes held by cached verdicts.",
+		func() float64 { return float64(s.cacheStats().Bytes) })
+	s.metrics.GaugeFunc(
+		"mvpearsd_cache_entries", "Verdicts currently cached.",
+		func() float64 { return float64(s.cacheStats().Entries) })
+	s.metrics.CounterFunc(
+		"mvpearsd_singleflight_collapsed_total", "Requests that shared another request's in-flight detection.",
+		func() uint64 {
+			if s.flight == nil {
+				return 0
+			}
+			return s.flight.Collapsed()
+		})
 
 	s.mux.Handle("/v1/detect", s.instrument("detect", s.handleDetect))
 	s.mux.Handle("/v1/detect/batch", s.instrument("detect_batch", s.handleDetectBatch))
@@ -160,6 +238,14 @@ func New(cfg Config) (*Server, error) {
 		ErrorLog:          cfg.Logger,
 	}
 	return s, nil
+}
+
+// cacheStats snapshots the verdict-cache counters (zeros when disabled).
+func (s *Server) cacheStats() vcache.Stats {
+	if s.vc == nil {
+		return vcache.Stats{}
+	}
+	return s.vc.Stats()
 }
 
 // Handler exposes the routed handler (for httptest and embedding).

@@ -1,0 +1,125 @@
+// Package vcache is a content-addressed verdict cache for the MVP-EARS
+// serving path. The paper's §V-I overhead study shows recognition (N+1
+// full ASR transcriptions) dominates per-query cost; real service traffic
+// is duplicate-rich (replayed clips, retried uploads, viral audio,
+// query-based attack probes that re-submit near-identical audio hundreds
+// of times), so the second and later requests for the same audio should
+// cost a hash, not a pipeline run.
+//
+// Three pieces compose the cache:
+//
+//   - Keys: a canonical fingerprint of (model, sample rate, PCM content).
+//     The audio part hashes the normalized 16-bit PCM stream — not the WAV
+//     container bytes — so re-encodings with different chunk layouts map to
+//     the same key. The model part is the fingerprint of the persisted
+//     engine/classifier artifact, so keys remain valid across daemon
+//     restarts but a different model can never serve another model's
+//     verdicts.
+//   - Cache: a sharded, mutex-striped LRU bounded by both entry count and
+//     resident bytes, with hit/miss/eviction/bytes counters.
+//   - Group: singleflight duplicate collapsing, so K concurrent requests
+//     for one fingerprint run one detection and share the result. Flights
+//     are context-correct: work runs under a flight-owned context that a
+//     single waiter's cancellation cannot cancel; it is cancelled only
+//     when every interested caller has gone away.
+package vcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Canonical PCM: WAV decoding maps int16 s to float s/32767 and encoding
+// quantizes with round(clamp(v,-1,1)*32767). The only int16 value this
+// round trip does not preserve is -32768 (clamped to -32767), so hashing
+// treats -32768 as -32767; with that, fingerprinting the raw little-endian
+// payload and fingerprinting decoded float64 samples agree bit-for-bit.
+
+// hashChunkBytes sizes the stack staging buffer used while hashing, so
+// key derivation performs no heap allocation beyond the key string.
+const hashChunkBytes = 8 << 10
+
+// KeyPCM16 derives the cache key for raw little-endian 16-bit PCM audio
+// under the given model fingerprint. A trailing odd byte is ignored (it
+// decodes to no sample).
+func KeyPCM16(modelFP string, sampleRate int, data []byte) string {
+	h := sha256.New()
+	hashRateHeader(h, sampleRate)
+	var chunk [hashChunkBytes]byte
+	rest := data[:len(data)&^1]
+	for len(rest) > 0 {
+		n := copy(chunk[:], rest)
+		n &^= 1 // keep sample pairs intact across chunk boundaries
+		canonicalizePCM(chunk[:n])
+		h.Write(chunk[:n])
+		rest = rest[n:]
+	}
+	return finishKey(modelFP, h.Sum(chunk[:0]))
+}
+
+// KeySamples derives the cache key for float64 samples in [-1, 1] — the
+// same key KeyPCM16 produces for the samples' 16-bit PCM encoding.
+func KeySamples(modelFP string, sampleRate int, samples []float64) string {
+	h := sha256.New()
+	hashRateHeader(h, sampleRate)
+	var chunk [hashChunkBytes]byte
+	for len(samples) > 0 {
+		n := len(samples)
+		if n > len(chunk)/2 {
+			n = len(chunk) / 2
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint16(chunk[i*2:], uint16(quantize(samples[i])))
+		}
+		h.Write(chunk[:n*2])
+		samples = samples[n:]
+	}
+	return finishKey(modelFP, h.Sum(chunk[:0]))
+}
+
+type hashWriter interface{ Write(p []byte) (int, error) }
+
+func hashRateHeader(h hashWriter, sampleRate int) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(sampleRate))
+	h.Write(hdr[:])
+}
+
+// canonicalizePCM rewrites -32768 samples to -32767 in place (buf holds
+// little-endian int16 pairs).
+func canonicalizePCM(buf []byte) {
+	for i := 0; i+1 < len(buf); i += 2 {
+		if buf[i] == 0x00 && buf[i+1] == 0x80 {
+			buf[i] = 0x01
+		}
+	}
+}
+
+// quantize mirrors the WAV encoder: round(clamp(v,-1,1)*32767).
+func quantize(v float64) int16 {
+	if v < -1 {
+		v = -1
+	}
+	if v > 1 {
+		v = 1
+	}
+	scaled := v * 32767
+	if scaled >= 0 {
+		return int16(scaled + 0.5)
+	}
+	return int16(scaled - 0.5)
+}
+
+// finishKey renders "modelFP:hex(audio digest)". The model fingerprint
+// goes in front unhashed so operators can read which model a key belongs
+// to in logs and a model swap visibly invalidates every key.
+func finishKey(modelFP string, sum []byte) string {
+	out := make([]byte, 0, len(modelFP)+1+hex.EncodedLen(len(sum)))
+	out = append(out, modelFP...)
+	out = append(out, ':')
+	var enc [sha256.Size * 2]byte
+	hex.Encode(enc[:], sum)
+	out = append(out, enc[:]...)
+	return string(out)
+}

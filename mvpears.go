@@ -28,6 +28,7 @@ package mvpears
 
 import (
 	"fmt"
+	"sync"
 
 	"mvpears/internal/asr"
 	"mvpears/internal/audio"
@@ -185,6 +186,10 @@ type System struct {
 	det     *detector.Detector
 	data    *dataset.Dataset
 	pools   *dataset.Pools
+
+	// fp is the model artifact fingerprint (see ModelFingerprint).
+	fpMu sync.Mutex
+	fp   string
 }
 
 // Build trains the ASR engines, crafts the AE training dataset (unless

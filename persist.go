@@ -2,7 +2,9 @@ package mvpears
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -29,8 +31,20 @@ type systemSnap struct {
 const systemSnapVersion = 1
 
 // Save writes the trained system (engine models + detector training
-// features) to w. Load it back with Open/Read.
+// features) to w. Load it back with Open/Read. The artifact bytes are
+// hashed while streaming, so the system's ModelFingerprint matches the
+// fingerprint a later Open of the same file will compute.
 func (s *System) Save(w io.Writer) error {
+	h := sha256.New()
+	if err := s.save(io.MultiWriter(w, h)); err != nil {
+		return err
+	}
+	s.setFingerprint(hex.EncodeToString(h.Sum(nil)), false)
+	return nil
+}
+
+// save is the encoding body of Save, without fingerprint bookkeeping.
+func (s *System) save(w io.Writer) error {
 	if s.pools == nil {
 		return fmt.Errorf("mvpears: system has no trained detector to save; call TrainDetector first")
 	}
@@ -84,10 +98,15 @@ func (s *System) SaveFile(path string) (err error) {
 }
 
 // Read restores a system written by Save: engines are loaded and the
-// classifier is refit from the stored training features.
+// classifier is refit from the stored training features. The artifact
+// bytes are hashed as they stream past, giving the loaded system a
+// ModelFingerprint that identifies exactly the bytes it was built from —
+// two daemons loading the same file agree on the fingerprint (it survives
+// restarts), and any change to the artifact changes it.
 func Read(r io.Reader) (*System, error) {
+	h := sha256.New()
 	var snap systemSnap
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(io.TeeReader(r, h)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("mvpears: decoding system: %w", err)
 	}
 	if snap.Version != systemSnapVersion {
@@ -119,7 +138,42 @@ func Read(r io.Reader) (*System, error) {
 	if err := det.Train(snap.BenignX, snap.AEX); err != nil {
 		return nil, err
 	}
+	sys.setFingerprint(hex.EncodeToString(h.Sum(nil)), true)
 	return sys, nil
+}
+
+// ModelFingerprint returns a hex SHA-256 identifying the exact model
+// artifact this system was loaded from (or would produce if saved now).
+// Systems restored by Open/Read carry the hash of the file bytes, so the
+// fingerprint is stable across daemon restarts; a system trained
+// in-process computes it lazily by hashing its own encoding. The serving
+// layer prefixes verdict-cache keys with this value so a cache can never
+// return verdicts produced by a different model.
+func (s *System) ModelFingerprint() (string, error) {
+	s.fpMu.Lock()
+	defer s.fpMu.Unlock()
+	if s.fp != "" {
+		return s.fp, nil
+	}
+	h := sha256.New()
+	if err := s.save(h); err != nil {
+		return "", err
+	}
+	s.fp = hex.EncodeToString(h.Sum(nil))
+	return s.fp, nil
+}
+
+// setFingerprint records the artifact hash. Loading (force) always wins:
+// a loaded system's identity is the file it came from. Saving only fills
+// an unset fingerprint — re-encoding can legally produce different bytes
+// (gob map ordering), and changing an in-use fingerprint would silently
+// split a serving cache keyed on it.
+func (s *System) setFingerprint(fp string, force bool) {
+	s.fpMu.Lock()
+	if force || s.fp == "" {
+		s.fp = fp
+	}
+	s.fpMu.Unlock()
 }
 
 // Open restores a system from a file written by SaveFile.
