@@ -5,13 +5,18 @@ BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
 SERVE_BENCH ?= BenchmarkServe
 BENCHTIME ?= 25x
 
-.PHONY: check build test race bench serve
+.PHONY: check vet build test race bench serve smoke
 
 # The tier-1 gate: vet, build and test everything.
-check:
-	$(GO) vet ./...
+check: vet
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Static hygiene: go vet plus gofmt drift (fails listing unformatted files).
+vet:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -22,7 +27,7 @@ test:
 # Race-test the packages with concurrent hot paths (batch detection,
 # per-clip feature cache, shared FFT plans, the serving worker pool).
 race:
-	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/...
+	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/... ./internal/obs/...
 
 # Boot the detection daemon, bootstrapping a quick-scale model on first run.
 MODEL ?= model.gob
@@ -36,3 +41,8 @@ serve:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
 	$(GO) test -run '^$$' -bench '$(SERVE_BENCH)' -benchmem ./internal/server | tee BENCH_serve.txt
+
+# Boot a real daemon (bootstrap model, admin listener) and probe its
+# endpoints end to end: health, metrics, pprof, and a traced detection.
+smoke:
+	./scripts/smoke.sh

@@ -4,7 +4,7 @@
 //
 //	mvpears synth -text "open the front door" -out cmd.wav [-seed 7]
 //	mvpears transcribe -in clip.wav [-quick]
-//	mvpears detect -in clip.wav [-json] [-quick] [-classifier svm] [-model cache.gob]
+//	mvpears detect -in clip.wav [-json] [-explain] [-quick] [-classifier svm] [-model cache.gob]
 //	mvpears engines [-quick]                # print the engine inventory
 //
 // Engines are trained from scratch on startup (the models are small);
@@ -17,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mvpears"
+	"mvpears/internal/obs"
 	"mvpears/internal/server"
 )
 
@@ -160,6 +162,7 @@ func runDetect(args []string) (int, error) {
 	classifier := fs.String("classifier", "svm", "svm, knn, forest, or logreg")
 	model := fs.String("model", "", "model cache path (train once, reuse)")
 	jsonOut := fs.Bool("json", false, "emit the mvpearsd response schema instead of human-readable text")
+	explain := fs.Bool("explain", false, "include per-engine phonetic evidence with each verdict")
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
@@ -188,7 +191,11 @@ func runDetect(args []string) (int, error) {
 		}
 		clips[i] = clip
 	}
-	dets, err := sys.DetectBatch(clips)
+	ctx := context.Background()
+	if *explain {
+		ctx = obs.WithExplain(ctx)
+	}
+	dets, err := sys.DetectBatchCtx(ctx, clips)
 	if err != nil {
 		return 1, err
 	}
@@ -221,6 +228,14 @@ func printDetectText(sys *mvpears.System, paths []string, dets []*mvpears.Detect
 		for j, name := range sys.AuxiliaryNames() {
 			fmt.Printf("aux %-4s heard %q (similarity %.3f)\n", name, det.Transcriptions[name], det.Scores[j])
 		}
+		if exp := det.Explanation; exp != nil {
+			fmt.Printf("similarity method: %s\n", exp.Method)
+			fmt.Printf("phonetic %-4s %q\n", exp.Target.Engine, exp.Target.Phonetic)
+			for _, aux := range exp.Auxiliaries {
+				fmt.Printf("phonetic %-4s %q\n", aux.Engine, aux.Phonetic)
+			}
+			fmt.Printf("weakest agreement: %s at %.3f\n", exp.MinEngine, exp.MinSimilarity)
+		}
 		fmt.Printf("timing: recognition %v, similarity %v, classify %v\n",
 			det.Timing.Recognition, det.Timing.Similarity, det.Timing.Classify)
 	}
@@ -233,14 +248,15 @@ func printDetectJSON(sys *mvpears.System, paths []string, dets []*mvpears.Detect
 	enc.SetIndent("", "  ")
 	aux := sys.AuxiliaryNames()
 	if len(dets) == 1 {
-		return enc.Encode(server.NewDetectionJSON(dets[0], aux))
+		dj := server.NewDetectionJSON(dets[0], aux)
+		dj.Explanation = server.NewExplanationJSON(dets[0].Explanation)
+		return enc.Encode(dj)
 	}
 	resp := server.BatchResponseJSON{Results: make([]server.FileDetectionJSON, len(dets))}
 	for i, det := range dets {
-		resp.Results[i] = server.FileDetectionJSON{
-			File:          paths[i],
-			DetectionJSON: server.NewDetectionJSON(det, aux),
-		}
+		dj := server.NewDetectionJSON(det, aux)
+		dj.Explanation = server.NewExplanationJSON(det.Explanation)
+		resp.Results[i] = server.FileDetectionJSON{File: paths[i], DetectionJSON: dj}
 	}
 	return enc.Encode(resp)
 }

@@ -5,31 +5,47 @@
 //	mvpearsd -model model.gob [-addr 127.0.0.1:8080] [-workers N] [-queue N]
 //	         [-max-upload 16777216] [-timeout 30s] [-drain 30s] [-bootstrap]
 //	         [-cache-entries 4096] [-cache-bytes 67108864] [-cache-off]
+//	         [-admin-addr 127.0.0.1:8081] [-log-sample 1.0] [-slow 1s]
+//	         [-access-log] [-audit audit.jsonl]
 //
 // The daemon boots from a persisted model artifact (written by
 // `mvpears detect -model` or by -bootstrap) — it never retrains at
 // startup. It exposes:
 //
-//	POST /v1/detect        one WAV body -> verdict JSON
+//	POST /v1/detect        one WAV body -> verdict JSON (?explain=1 adds
+//	                       per-engine phonetic evidence)
 //	POST /v1/detect/batch  multipart WAVs -> per-file verdicts
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining)
 //	GET  /metrics          Prometheus text format
+//
+// With -admin-addr a second, operator-only listener serves /debug/pprof/,
+// /infoz (build + model identity), /metrics and /healthz — profiling never
+// shares the public serving port.
+//
+// Every response carries an X-Request-ID header (propagated from the
+// request when present); with -access-log each request is logged as one
+// JSON line (sampled by -log-sample; requests slower than -slow always
+// log, with full span detail). -audit appends every adversarial verdict to
+// a JSONL file.
 //
 // SIGINT/SIGTERM drain gracefully within -drain; the final metric values
 // are flushed to stderr on exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"syscall"
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 	"mvpears/internal/server"
 )
 
@@ -43,6 +59,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mvpearsd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	adminAddr := fs.String("admin-addr", "", "operator listener address (pprof, /infoz, /metrics); empty disables it")
 	model := fs.String("model", "", "path to a persisted system artifact (required)")
 	workers := fs.Int("workers", 0, "concurrent detections (default: GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "admission queue depth (default: 2*workers)")
@@ -53,6 +70,10 @@ func run(args []string) error {
 	cacheEntries := fs.Int("cache-entries", 0, "verdict cache entry bound (default: 4096)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "verdict cache byte bound (default: 64 MiB)")
 	cacheOff := fs.Bool("cache-off", false, "disable the verdict cache and singleflight collapsing")
+	accessLog := fs.Bool("access-log", true, "write structured JSON request logs to stderr")
+	logSample := fs.Float64("log-sample", 1.0, "fraction of ordinary requests to log (slow requests and 5xx always log)")
+	slow := fs.Duration("slow", time.Second, "latency above which a request always logs with full span detail")
+	auditPath := fs.String("audit", "", "append adversarial verdicts to this JSONL file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,17 +100,32 @@ func run(args []string) error {
 		return fmt.Errorf("opening model %s: %w (pass -bootstrap to train a quick-scale one)", *model, err)
 	}
 
-	s, err := server.New(server.Config{
-		Backend:        sys,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxUploadBytes: *maxUpload,
-		RequestTimeout: *timeout,
-		Logger:         logger,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		CacheOff:       *cacheOff,
-	})
+	cfg := server.Config{
+		Backend:              sys,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		MaxUploadBytes:       *maxUpload,
+		RequestTimeout:       *timeout,
+		Logger:               logger,
+		CacheEntries:         *cacheEntries,
+		CacheBytes:           *cacheBytes,
+		CacheOff:             *cacheOff,
+		LogSampleRate:        *logSample,
+		SlowRequestThreshold: *slow,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	if *auditPath != "" {
+		sink, err := obs.OpenAuditSink(*auditPath)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		cfg.Audit = sink
+		logger.Printf("auditing adversarial verdicts to %s", *auditPath)
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -97,9 +133,34 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
-	logger.Printf("serving on http://%s (auxiliaries %v, %d Hz)", ln.Addr(), sys.AuxiliaryNames(), sys.SampleRate())
 
+	// The admin listener is separate by design: operators can firewall it
+	// independently and a pprof profile can never contend for (or leak
+	// through) the public serving socket.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("listening on admin %s: %w", *adminAddr, err)
+		}
+		adminSrv = &http.Server{Handler: s.AdminHandler(), ReadHeaderTimeout: 10 * time.Second, ErrorLog: logger}
+		go func() {
+			if err := adminSrv.Serve(adminLn); err != nil && err != http.ErrServerClosed {
+				logger.Printf("admin listener: %v", err)
+			}
+		}()
+		logger.Printf("admin endpoints on http://%s (/debug/pprof/, /infoz, /metrics)", adminLn.Addr())
+	}
+
+	logger.Printf("serving on http://%s (auxiliaries %v, %d Hz)", ln.Addr(), sys.AuxiliaryNames(), sys.SampleRate())
 	runErr := s.RunUntilSignal(ln, *drain, os.Interrupt, syscall.SIGTERM)
+	if adminSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			logger.Printf("admin shutdown: %v", err)
+		}
+		cancel()
+	}
 
 	// Final flush: the last metric values, for postmortems and log scrapes.
 	fmt.Fprintln(os.Stderr, "--- final metrics ---")

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"mvpears/internal/audio"
 	"mvpears/internal/dsp"
+	"mvpears/internal/obs"
 )
 
 // FeatureCache memoizes MFCC extraction for ONE clip across engines.
@@ -135,9 +137,17 @@ func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *
 	// so no goroutine can still hold the cache when it is released.
 	cache := GetFeatureCache(clip.Samples)
 	defer PutFeatureCache(cache)
+	// A traced request gets one span per engine (concurrent engines record
+	// into the trace under its own lock); untraced requests skip the clock
+	// reads entirely.
+	trace := obs.TraceFrom(ctx)
 	runOne := func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		var start time.Time
+		if trace != nil {
+			start = time.Now()
 		}
 		var (
 			text string
@@ -147,6 +157,9 @@ func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *
 			text, err = ct.TranscribeWithCache(clip, cache)
 		} else {
 			text, err = engines[i].Transcribe(clip)
+		}
+		if trace != nil {
+			trace.Record(obs.StageTranscribe, engines[i].Name(), start)
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", engines[i].Name(), err)

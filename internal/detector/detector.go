@@ -16,6 +16,7 @@ import (
 	"mvpears/internal/audio"
 	"mvpears/internal/classify"
 	"mvpears/internal/dataset"
+	"mvpears/internal/obs"
 	"mvpears/internal/phonetic"
 	"mvpears/internal/similarity"
 )
@@ -179,29 +180,61 @@ func (d *Detector) DetectTimedCtx(ctx context.Context, clip *audio.Clip) (Decisi
 	return d.detectTimedP(ctx, clip, !d.Sequential)
 }
 
-// detectTimedP is DetectTimedCtx with explicit engine parallelism.
+// detectTimedP is DetectTimedCtx with explicit engine parallelism. When
+// the context carries an obs.Trace, the pipeline records one span per
+// stage (transcribe, phonetic, similarity, classify; the per-engine
+// transcription spans are recorded inside internal/asr, and the decode
+// span by whoever decoded the audio).
 func (d *Detector) detectTimedP(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
 	var timing Timing
 	if d.Classifier == nil {
 		return Decision{}, timing, fmt.Errorf("detector: no classifier configured")
 	}
+	trace := obs.TraceFrom(ctx)
 	start := time.Now()
 	tr, err := d.transcribeAllP(ctx, clip, parallel)
 	if err != nil {
 		return Decision{}, timing, err
 	}
+	trace.Record(obs.StageTranscribe, "", start)
 	timing.Recognition = time.Since(start)
+
+	// Phonetic encoding and similarity scoring are timed as separate
+	// stages; Encode + Score compose to exactly Method.Compare, so the
+	// score vector is bit-identical to the untraced path's.
+	simStart := time.Now()
+	encTarget := d.Method.Encode(tr.Target)
+	encAux := make([]string, len(tr.Aux))
+	for i, aux := range tr.Aux {
+		encAux[i] = d.Method.Encode(aux)
+	}
+	trace.Record(obs.StagePhonetic, "", simStart)
 	start = time.Now()
-	scores := d.Scores(tr)
-	timing.Similarity = time.Since(start)
+	scores := make([]float64, len(encAux))
+	for i, enc := range encAux {
+		scores[i] = d.Method.Score(encTarget, enc)
+	}
+	trace.Record(obs.StageSimilarity, "", start)
+	// Timing.Similarity keeps the paper's §V-I meaning: encoding + scoring.
+	timing.Similarity = time.Since(simStart)
+
 	start = time.Now()
 	pred, err := d.Classifier.Predict(scores)
 	if err != nil {
 		return Decision{}, timing, fmt.Errorf("detector: classifying: %w", err)
 	}
+	trace.Record(obs.StageClassify, "", start)
 	timing.Classify = time.Since(start)
 	return Decision{Adversarial: pred == 1, Scores: scores, Transcriptions: tr}, timing, nil
 }
+
+// PhoneticEncode applies the detector's similarity method's phonetic
+// encoder to a transcription (identity for non-PE methods). Verdict
+// explanations use it to show the encodings behind each score.
+func (d *Detector) PhoneticEncode(s string) string { return d.Method.Encode(s) }
+
+// MethodName names the configured similarity method (e.g. PE_JaroWinkler).
+func (d *Detector) MethodName() string { return string(d.Method.Name) }
 
 // Train fits the classifier on precomputed feature vectors: benignX get
 // label 0, aeX label 1.

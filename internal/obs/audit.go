@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// AuditEntry is one adversarial verdict, as the audit sink persists it.
+// The fields deliberately mirror what /v1/detect already returns — the
+// audit log widens the operator's view, not the attacker's oracle.
+type AuditEntry struct {
+	Time      time.Time `json:"time"`
+	RequestID string    `json:"request_id,omitempty"`
+	Route     string    `json:"route"`
+	// File is the multipart part name for batch requests.
+	File           string            `json:"file,omitempty"`
+	Verdict        string            `json:"verdict"`
+	Scores         []float64         `json:"scores"`
+	MinScore       float64           `json:"min_score"`
+	MinEngine      string            `json:"min_engine,omitempty"`
+	Transcriptions map[string]string `json:"transcriptions"`
+	Cached         bool              `json:"cached,omitempty"`
+}
+
+// AuditSink appends JSONL audit entries to a writer, one line per
+// adversarial verdict, serialized under a mutex so concurrent handlers
+// never interleave lines. A nil *AuditSink drops everything.
+type AuditSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	enc *json.Encoder
+}
+
+// NewAuditSink wraps an arbitrary writer (tests, buffers).
+func NewAuditSink(w io.Writer) *AuditSink {
+	return &AuditSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// OpenAuditSink opens (or creates) path for append-only writing.
+func OpenAuditSink(path string) (*AuditSink, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening audit sink: %w", err)
+	}
+	s := NewAuditSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Write appends one entry. Nil-safe.
+func (s *AuditSink) Write(e AuditEntry) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(e)
+}
+
+// Close closes the underlying file, if the sink owns one. Nil-safe.
+func (s *AuditSink) Close() error {
+	if s == nil || s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}

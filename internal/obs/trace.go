@@ -1,0 +1,260 @@
+// Package obs is the observability layer of MVP-EARS: a lightweight,
+// allocation-conscious pipeline tracer carried through context, request-ID
+// generation and propagation, structured JSON request logging on log/slog,
+// and an append-only JSONL audit sink for adversarial verdicts.
+//
+// The tracer is stdlib-only by design (no OpenTelemetry dependency): the
+// detection pipeline is a fixed five-stage chain — decode, per-engine
+// transcription, phonetic encoding, similarity, classify — so a bounded
+// span slice under one mutex covers it without the generality (or the
+// allocations) of a full tracing SDK. Every recording method is nil-safe:
+// pipeline code calls obs.TraceFrom(ctx).Record(...) unconditionally, and
+// an untraced request costs one context lookup and one branch.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The pipeline stages, in execution order. These are the values of the
+// stage label on the mvpears_stage_seconds metric family.
+const (
+	StageDecode     = "decode"     // WAV decode + resample to the engine rate
+	StageTranscribe = "transcribe" // the parallel per-engine transcription fan-out
+	StagePhonetic   = "phonetic"   // phonetic encoding of every transcription
+	StageSimilarity = "similarity" // pairwise similarity scoring
+	StageClassify   = "classify"   // classifier inference on the score vector
+)
+
+// Stages lists every pipeline stage in execution order.
+var Stages = []string{StageDecode, StageTranscribe, StagePhonetic, StageSimilarity, StageClassify}
+
+// Span is one timed unit of pipeline work. Engine is empty for
+// whole-stage spans and names the ASR engine for per-engine transcription
+// spans (which nest inside the aggregate transcribe span).
+type Span struct {
+	Stage  string
+	Engine string
+	// Start is the offset from the trace's start.
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Trace collects the spans and verdict annotations of one request. A nil
+// *Trace is valid and records nothing, so pipeline code never branches on
+// whether tracing is enabled.
+type Trace struct {
+	id    string
+	begin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+
+	verdict   string
+	cached    bool
+	collapsed bool
+}
+
+// NewTrace starts a trace identified by id (usually the request ID).
+func NewTrace(id string) *Trace {
+	return &Trace{
+		id:    id,
+		begin: time.Now(),
+		// The serving pipeline records 5 stage spans plus one span per
+		// engine; 12 covers the default four-engine system without growth.
+		spans: make([]Span, 0, 12),
+	}
+}
+
+// ID returns the trace's identifier ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Record appends one span that started at start and ends now. Safe for
+// concurrent use (parallel engines record into the same trace) and a no-op
+// on a nil trace.
+func (t *Trace) Record(stage, engine string, start time.Time) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Stage:  stage,
+		Engine: engine,
+		Start:  start.Sub(t.begin),
+		Dur:    now.Sub(start),
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans (nil on a nil trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Elapsed is the wall time since the trace began (0 on a nil trace).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.begin)
+}
+
+// SetVerdict annotates the trace with the served verdict string.
+func (t *Trace) SetVerdict(v string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.verdict = v
+	t.mu.Unlock()
+}
+
+// SetCached marks the request as answered from the verdict cache.
+func (t *Trace) SetCached() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.cached = true
+	t.mu.Unlock()
+}
+
+// SetCollapsed marks the request as having shared another request's
+// in-flight detection (singleflight).
+func (t *Trace) SetCollapsed() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.collapsed = true
+	t.mu.Unlock()
+}
+
+// Annotations returns the verdict and the cached/collapsed flags.
+func (t *Trace) Annotations() (verdict string, cached, collapsed bool) {
+	if t == nil {
+		return "", false, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.verdict, t.cached, t.collapsed
+}
+
+// StageTotals sums span durations by stage. Per-engine transcription spans
+// are excluded: the aggregate transcribe span already covers their wall
+// time, and the engines run concurrently so their sum is not a wall-time.
+func (t *Trace) StageTotals() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(Stages))
+	for _, sp := range t.spans {
+		if sp.Engine != "" {
+			continue
+		}
+		out[sp.Stage] += sp.Dur
+	}
+	return out
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	explainKey
+)
+
+// WithTrace attaches t to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil (which is safe to record
+// into) when the request is untraced.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// WithExplain marks the context as requesting a verdict explanation:
+// System.DetectCtx populates Detection.Explanation when it is set.
+func WithExplain(ctx context.Context) context.Context {
+	return context.WithValue(ctx, explainKey, true)
+}
+
+// ExplainRequested reports whether WithExplain was applied.
+func ExplainRequested(ctx context.Context) bool {
+	v, _ := ctx.Value(explainKey).(bool)
+	return v
+}
+
+// Transfer copies the observability values (trace and explain flag) of src
+// onto dst without linking their cancellation. The serving layer uses it
+// to carry a request's trace into a singleflight leader whose context is
+// deliberately detached from any single caller.
+func Transfer(dst, src context.Context) context.Context {
+	if t := TraceFrom(src); t != nil {
+		dst = WithTrace(dst, t)
+	}
+	if ExplainRequested(src) {
+		dst = WithExplain(dst)
+	}
+	return dst
+}
+
+// Request IDs: an 8-byte per-process random prefix plus an atomic counter.
+// Uniqueness across processes comes from the prefix, uniqueness within a
+// process from the counter, and generation costs one atomic add — cheap
+// enough for the cache-hit serving path.
+var (
+	reqIDPrefix = func() string {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Degraded but functional: time-seeded prefix.
+			return fmt.Sprintf("%016x", time.Now().UnixNano())
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDCounter atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request identifier.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDCounter.Add(1))
+}
+
+// SanitizeRequestID validates a client-supplied X-Request-ID for echoing:
+// printable ASCII, no quotes or backslashes (it lands in headers, JSON and
+// log lines), at most 128 bytes. It returns "" when the value is unusable,
+// in which case the caller should generate a fresh ID.
+func SanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}

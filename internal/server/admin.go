@@ -1,0 +1,77 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// InfoJSON is the body of the admin listener's /infoz endpoint: enough to
+// identify what is running (build, model, engine set) and how it is
+// configured, without touching the serving port.
+type InfoJSON struct {
+	GoVersion        string   `json:"go_version"`
+	BuildVCSRevision string   `json:"build_vcs_revision,omitempty"`
+	BuildVCSTime     string   `json:"build_vcs_time,omitempty"`
+	ModelFingerprint string   `json:"model_fingerprint,omitempty"`
+	SampleRate       int      `json:"sample_rate"`
+	Auxiliaries      []string `json:"auxiliaries"`
+	Workers          int      `json:"workers"`
+	QueueDepth       int      `json:"queue_depth"`
+	CacheEnabled     bool     `json:"cache_enabled"`
+	Goroutines       int      `json:"goroutines"`
+	GOMAXPROCS       int      `json:"gomaxprocs"`
+	UptimeSeconds    float64  `json:"uptime_seconds"`
+	Draining         bool     `json:"draining"`
+}
+
+// handleInfoz reports the build/model identity of the running daemon.
+func (s *Server) handleInfoz(w http.ResponseWriter, r *http.Request) {
+	info := InfoJSON{
+		GoVersion:        runtime.Version(),
+		ModelFingerprint: s.modelFP,
+		SampleRate:       s.cfg.Backend.SampleRate(),
+		Auxiliaries:      s.cfg.Backend.AuxiliaryNames(),
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.cfg.QueueDepth,
+		CacheEnabled:     s.vc != nil,
+		Goroutines:       runtime.NumGoroutine(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.BuildVCSRevision = kv.Value
+			case "vcs.time":
+				info.BuildVCSTime = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// AdminHandler builds the operator-only endpoint set, meant to be served
+// on a separate listener (mvpearsd -admin-addr) so profiling and
+// introspection never share the public serving port:
+//
+//	GET /debug/pprof/...  net/http/pprof profiles
+//	GET /infoz            build + model + runtime identity (JSON)
+//	GET /metrics          the same Prometheus exposition as the serving port
+//	GET /healthz          liveness
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/infoz", s.handleInfoz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}

@@ -38,6 +38,61 @@ type DetectionJSON struct {
 	// identical request via singleflight. Timing then describes the
 	// original detection, not this request.
 	Cached bool `json:"cached,omitempty"`
+	// Explanation is present only when the request asked for it
+	// (?explain=1 on /v1/detect, or mvpears detect -explain).
+	Explanation *ExplanationJSON `json:"explanation,omitempty"`
+}
+
+// EngineEvidenceJSON is one engine's contribution to an explanation.
+// Similarity is nil for the target engine (a self-comparison would always
+// be 1) and the exact Scores entry for auxiliaries.
+type EngineEvidenceJSON struct {
+	Engine        string   `json:"engine"`
+	Transcription string   `json:"transcription"`
+	Phonetic      string   `json:"phonetic"`
+	Similarity    *float64 `json:"similarity,omitempty"`
+}
+
+// ExplanationJSON is the wire form of a verdict explanation: the phonetic
+// encodings the similarity method actually compared, the per-auxiliary
+// score vector, and the strongest disagreement. It exposes nothing beyond
+// what the plain /v1/detect response already returns (transcriptions and
+// scores) plus a deterministic re-encoding of it, so it does not widen the
+// attacker's oracle.
+type ExplanationJSON struct {
+	Method string `json:"method"`
+	// Engines lists the target first, then the auxiliaries in score order.
+	Engines       []EngineEvidenceJSON `json:"engines"`
+	MinSimilarity float64              `json:"min_similarity"`
+	MinEngine     string               `json:"min_engine"`
+}
+
+// NewExplanationJSON converts an explanation into its wire form.
+func NewExplanationJSON(exp *mvpears.Explanation) *ExplanationJSON {
+	if exp == nil {
+		return nil
+	}
+	out := &ExplanationJSON{
+		Method:        exp.Method,
+		Engines:       make([]EngineEvidenceJSON, 0, len(exp.Auxiliaries)+1),
+		MinSimilarity: exp.MinSimilarity,
+		MinEngine:     exp.MinEngine,
+	}
+	out.Engines = append(out.Engines, EngineEvidenceJSON{
+		Engine:        exp.Target.Engine,
+		Transcription: exp.Target.Transcription,
+		Phonetic:      exp.Target.Phonetic,
+	})
+	for _, aux := range exp.Auxiliaries {
+		score := aux.Similarity
+		out.Engines = append(out.Engines, EngineEvidenceJSON{
+			Engine:        aux.Engine,
+			Transcription: aux.Transcription,
+			Phonetic:      aux.Phonetic,
+			Similarity:    &score,
+		})
+	}
+	return out
 }
 
 // FileDetectionJSON is a verdict tagged with the file (or multipart part)
@@ -52,9 +107,12 @@ type BatchResponseJSON struct {
 	Results []FileDetectionJSON `json:"results"`
 }
 
-// ErrorJSON is the body of every non-2xx API response.
+// ErrorJSON is the body of every non-2xx API response. RequestID repeats
+// the X-Request-ID response header so client-side logs can be joined with
+// the server's even when only bodies are captured.
 type ErrorJSON struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // NewDetectionJSON converts a detection into its wire form. auxiliaries

@@ -9,9 +9,11 @@ import (
 	"mime/multipart"
 	"net/http"
 	"sync"
+	"time"
 
 	"mvpears"
 	"mvpears/internal/audio"
+	"mvpears/internal/obs"
 	"mvpears/internal/vcache"
 )
 
@@ -23,8 +25,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError renders a JSON error body. The request ID was placed on the
+// response header by the instrumentation middleware before the handler
+// ran, so every error path — 4xx, 429, 5xx — can echo it in the body.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, ErrorJSON{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
+}
+
+// explainRequested reports whether the request asked for a verdict
+// explanation (?explain=1; any value but "0"/"false" counts).
+func explainRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("explain")
+	return v != "" && v != "0" && v != "false"
 }
 
 // decodeStatus maps a WAV decode failure to its HTTP status.
@@ -89,12 +104,19 @@ func (s *Server) cacheKey(pcm audio.PCM16) string {
 }
 
 // detectionSize approximates one cached verdict's resident bytes for the
-// cache's byte bound: key, scores, transcriptions, struct overhead.
+// cache's byte bound: key, scores, transcriptions, explanation (when the
+// detection ran under an explain request), struct overhead.
 func detectionSize(key string, det *mvpears.Detection) int64 {
 	size := int64(len(key)) + 128
 	size += int64(len(det.Scores)) * 8
 	for k, v := range det.Transcriptions {
 		size += int64(len(k)+len(v)) + 32
+	}
+	if exp := det.Explanation; exp != nil {
+		size += int64(len(exp.Method)) + 96
+		for _, e := range append([]mvpears.EngineEvidence{exp.Target}, exp.Auxiliaries...) {
+			size += int64(len(e.Engine)+len(e.Transcription)+len(e.Phonetic)) + 48
+		}
 	}
 	return size
 }
@@ -123,37 +145,127 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, fn func(ctx cont
 	return false
 }
 
-// countVerdict records one served verdict.
-func (s *Server) countVerdict(det *mvpears.Detection) {
+// countVerdict records one served verdict and returns its wire string.
+func (s *Server) countVerdict(det *mvpears.Detection) string {
 	verdict := VerdictBenign
 	if det.Adversarial {
 		verdict = VerdictAdversarial
 	}
 	s.detectionsTotal.With(verdict).Inc()
+	return verdict
 }
 
-// observe records a freshly computed verdict: the verdict count plus the
-// per-stage timings. Cached and flight-shared verdicts count only the
-// verdict — their stage cost was paid (and observed) once, by the request
-// that actually ran the detection.
-func (s *Server) observe(det *mvpears.Detection) {
-	s.countVerdict(det)
+// observe records a freshly computed verdict: the verdict count, the
+// per-stage timings, and the per-auxiliary similarity-score distributions.
+// Cached and flight-shared verdicts count only the verdict — their stage
+// cost was paid (and observed) once, by the request that actually ran the
+// detection, and re-observing their scores would weight the similarity
+// distributions by request popularity instead of by content.
+func (s *Server) observe(det *mvpears.Detection) string {
+	verdict := s.countVerdict(det)
 	s.stageSeconds.With("recognition").Observe(det.Timing.Recognition.Seconds())
 	s.stageSeconds.With("similarity").Observe(det.Timing.Similarity.Seconds())
 	s.stageSeconds.With("classify").Observe(det.Timing.Classify.Seconds())
+	aux := s.cfg.Backend.AuxiliaryNames()
+	min := 1.0
+	for i, score := range det.Scores {
+		if i < len(aux) {
+			s.engineSimilarity.With(aux[i]).Observe(score)
+		}
+		if score < min {
+			min = score
+		}
+	}
+	if len(det.Scores) > 0 {
+		s.minSimilarity.Observe(min)
+	}
+	return verdict
+}
+
+// observeTrace feeds the request's pipeline spans into the stage and
+// engine histogram families. Called once per request that ran its own
+// detection work (so cache hits keep costing zero observations).
+func (s *Server) observeTrace(t *obs.Trace) {
+	for _, sp := range t.Spans() {
+		if sp.Engine != "" {
+			s.engineSeconds.With(sp.Engine).Observe(sp.Dur.Seconds())
+			continue
+		}
+		s.pipelineSeconds.With(sp.Stage).Observe(sp.Dur.Seconds())
+	}
+}
+
+// minScore returns the smallest auxiliary score and its engine name.
+func minScore(scores []float64, aux []string) (string, float64) {
+	engine, min := "", 1.0
+	for i, score := range scores {
+		if score <= min {
+			min = score
+			if i < len(aux) {
+				engine = aux[i]
+			}
+		}
+	}
+	return engine, min
+}
+
+// audit appends one adversarial verdict to the audit sink (when enabled).
+func (s *Server) audit(t *obs.Trace, route, file string, det *mvpears.Detection, verdict string, cached bool) {
+	if s.cfg.Audit == nil || !det.Adversarial {
+		return
+	}
+	aux := s.cfg.Backend.AuxiliaryNames()
+	minEngine, min := minScore(det.Scores, aux)
+	err := s.cfg.Audit.Write(obs.AuditEntry{
+		Time:           time.Now().UTC(),
+		RequestID:      t.ID(),
+		Route:          route,
+		File:           file,
+		Verdict:        verdict,
+		Scores:         det.Scores,
+		MinScore:       min,
+		MinEngine:      minEngine,
+		Transcriptions: det.Transcriptions,
+		Cached:         cached,
+	})
+	if err != nil {
+		s.cfg.Logger.Printf("mvpearsd: audit sink: %v", err)
+	}
+}
+
+// explanationFor resolves a verdict explanation for the response: the one
+// computed with the detection when present, otherwise derived after the
+// fact (cache hits, shared flights) via the backend's Explainer.
+func (s *Server) explanationFor(det *mvpears.Detection) *ExplanationJSON {
+	exp := det.Explanation
+	if exp == nil {
+		if ex, ok := s.cfg.Backend.(Explainer); ok {
+			exp = ex.Explain(det)
+		}
+	}
+	return NewExplanationJSON(exp)
 }
 
 // serveDetection writes one 200 verdict response. fresh marks a verdict
-// this request computed itself (observed with stage timings); a cached or
-// flight-shared result is marked Cached on the wire.
-func (s *Server) serveDetection(w http.ResponseWriter, det *mvpears.Detection, fresh bool) {
+// this request computed itself (observed with stage timings and span
+// histograms); a cached or flight-shared result is marked Cached on the
+// wire and annotated on the trace for the access log.
+func (s *Server) serveDetection(w http.ResponseWriter, r *http.Request, det *mvpears.Detection, fresh bool) {
+	trace := obs.TraceFrom(r.Context())
+	var verdict string
 	if fresh {
-		s.observe(det)
+		verdict = s.observe(det)
+		s.observeTrace(trace)
 	} else {
-		s.countVerdict(det)
+		verdict = s.countVerdict(det)
 	}
+	trace.SetVerdict(verdict)
+	s.audit(trace, "detect", "", det, verdict, !fresh)
 	out := NewDetectionJSON(det, s.cfg.Backend.AuxiliaryNames())
 	out.Cached = !fresh
+	if explainRequested(r) {
+		out.Explanation = s.explanationFor(det)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -180,6 +292,11 @@ func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip) (d
 		return det, err == nil, err
 	}
 	det, shared, err := s.flight.Do(ctx, key, func(fctx context.Context) (*mvpears.Detection, error) {
+		// The flight's context is deliberately detached from any single
+		// caller's cancellation; re-attach this request's observability
+		// values (trace, explain flag) so the leader's detection records
+		// spans — and an explanation — for the request that led it.
+		fctx = obs.Transfer(fctx, rctx)
 		det, err := run(fctx)
 		if err != nil {
 			return nil, err
@@ -187,6 +304,9 @@ func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip) (d
 		s.vc.Put(key, det, detectionSize(key, det))
 		return det, nil
 	})
+	if shared {
+		obs.TraceFrom(rctx).SetCollapsed()
+	}
 	return det, err == nil && !shared, err
 }
 
@@ -225,9 +345,11 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a WAV body")
 		return
 	}
+	trace := obs.TraceFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024) // payload + header slack
 	scratch := getScratch()
 	defer putScratch(scratch)
+	decodeStart := time.Now()
 	pcm, err := s.readPCM(body, scratch)
 	if err != nil {
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
@@ -236,7 +358,8 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	key := s.cacheKey(pcm)
 	if key != "" {
 		if det, ok := s.vc.Get(key); ok {
-			s.serveDetection(w, det, false)
+			trace.SetCached()
+			s.serveDetection(w, r, det, false)
 			return
 		}
 	}
@@ -245,12 +368,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
 		return
 	}
-	det, fresh, err := s.detect(r.Context(), key, clip)
+	trace.Record(obs.StageDecode, "", decodeStart)
+	rctx := r.Context()
+	if explainRequested(r) {
+		rctx = obs.WithExplain(rctx)
+	}
+	det, fresh, err := s.detect(rctx, key, clip)
 	if err != nil {
 		s.writeDetectError(w, err)
 		return
 	}
-	s.serveDetection(w, det, fresh)
+	s.serveDetection(w, r, det, fresh)
 }
 
 // handleDetectBatch serves POST /v1/detect/batch: a multipart/form-data
@@ -266,6 +394,13 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with multipart WAV parts")
 		return
 	}
+	trace := obs.TraceFrom(r.Context())
+	explain := explainRequested(r)
+	if explain {
+		// The explain flag rides the request context into the batch job, so
+		// fresh detections carry their explanations out of the backend.
+		r = r.WithContext(obs.WithExplain(r.Context()))
+	}
 	// Bound the whole batch body (files * per-file limit, plus framing)
 	// before the multipart reader takes ownership of it.
 	total := s.cfg.MaxUploadBytes*int64(s.cfg.MaxBatchFiles) + 1<<20
@@ -275,6 +410,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "expected multipart/form-data: %v", err)
 		return
 	}
+	decodeStart := time.Now()
 
 	var (
 		names     []string
@@ -342,6 +478,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			clips[j] = clip
 		}
+		trace.Record(obs.StageDecode, "", decodeStart)
 		var (
 			missDets []*mvpears.Detection
 			detErr   error
@@ -363,17 +500,37 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if len(missIdx) > 0 {
+		s.observeTrace(trace)
+	} else {
+		trace.SetCached() // every part answered from the verdict cache
+	}
 	resp := BatchResponseJSON{Results: make([]FileDetectionJSON, len(dets))}
 	aux := s.cfg.Backend.AuxiliaryNames()
+	anyAdversarial := false
 	for i, det := range dets {
+		var verdict string
 		if cached[i] {
-			s.countVerdict(det)
+			verdict = s.countVerdict(det)
 		} else {
-			s.observe(det)
+			verdict = s.observe(det)
 		}
+		if det.Adversarial {
+			anyAdversarial = true
+		}
+		s.audit(trace, "detect_batch", names[i], det, verdict, cached[i])
 		fd := FileDetectionJSON{File: names[i], DetectionJSON: NewDetectionJSON(det, aux)}
 		fd.Cached = cached[i]
+		if explain {
+			fd.Explanation = s.explanationFor(det)
+		}
 		resp.Results[i] = fd
+	}
+	// The access log gets the batch's worst verdict.
+	if anyAdversarial {
+		trace.SetVerdict(VerdictAdversarial)
+	} else {
+		trace.SetVerdict(VerdictBenign)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

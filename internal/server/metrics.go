@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,8 +56,17 @@ type Histogram struct {
 	total  uint64
 }
 
-// Observe records one value.
+// Observe records one value. A NaN observation is dropped — SearchFloat64s
+// would otherwise place it in the first bucket and poison _sum forever —
+// and a negative one is clamped to 0 (every tracked quantity is a duration
+// or a similarity score, so negatives can only be clock skew or a bug).
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
@@ -89,6 +99,13 @@ func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
 // whose recognition stage dominates at a few milliseconds per engine.
 var DefaultLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// SimilarityBuckets covers the [0,1] Jaro-Winkler score range, dense near
+// 1 where benign traffic concentrates — drift out of the top buckets is
+// the transferable-AE early-warning signal.
+var SimilarityBuckets = []float64{
+	0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1,
 }
 
 // labeled pairs one child metric with its rendered label set.

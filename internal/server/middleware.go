@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"mvpears/internal/obs"
 )
 
 // statusRecorder captures the status code written by a handler so the
@@ -27,19 +29,36 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// requestID propagates a usable client-supplied X-Request-ID or mints one.
+func requestID(r *http.Request) string {
+	if id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {
+		return id
+	}
+	return obs.NewRequestID()
+}
+
 // instrument wraps a handler with the serving middleware stack: panic
-// recovery (a handler bug answers 500, not a dead process), the in-flight
-// gauge, and per-route request counters + latency histograms.
+// recovery (a handler bug answers 500, not a dead process), request-ID
+// assignment and echo, pipeline tracing, the in-flight gauge, per-route
+// request counters + latency histograms, and the structured access log.
+//
+// The X-Request-ID header is set on the response before the handler runs,
+// so every path out of the handler — including 429s, decode errors and
+// recovered panics — echoes it, and error bodies can embed it.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		reqID := requestID(r)
+		rec.Header().Set("X-Request-ID", reqID)
+		trace := obs.NewTrace(reqID)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
 		s.inFlight.Inc()
 		defer func() {
 			s.inFlight.Dec()
 			if p := recover(); p != nil {
 				s.panicsTotal.Inc()
-				s.cfg.Logger.Printf("mvpearsd: panic in %s %s: %v", r.Method, r.URL.Path, p)
+				s.cfg.Logger.Printf("mvpearsd: panic in %s %s (request %s): %v", r.Method, r.URL.Path, reqID, p)
 				if rec.status == 0 {
 					http.Error(rec, "internal server error", http.StatusInternalServerError)
 				}
@@ -49,6 +68,20 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			s.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
 			s.requestSeconds.With(route).Observe(time.Since(start).Seconds())
+			if s.reqLog != nil {
+				verdict, cached, collapsed := trace.Annotations()
+				s.reqLog.Log(obs.RequestRecord{
+					RequestID: reqID,
+					Route:     route,
+					Method:    r.Method,
+					Status:    rec.status,
+					Duration:  time.Since(start),
+					Verdict:   verdict,
+					Cached:    cached,
+					Collapsed: collapsed,
+					Trace:     trace,
+				})
+			}
 		}()
 		h(rec, r)
 	})

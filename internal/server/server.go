@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 	"mvpears/internal/vcache"
 )
 
@@ -61,6 +62,18 @@ type ModelFingerprinter interface {
 
 var _ ModelFingerprinter = (*mvpears.System)(nil)
 
+// Explainer is implemented by backends that can derive a verdict
+// explanation from a Detection after the fact. The serving layer uses it
+// for ?explain=1 requests answered from the verdict cache or a shared
+// singleflight, where the stored Detection may predate the explain request
+// — the encoding is deterministic in the transcriptions, so a late
+// explanation is identical to one computed with the verdict.
+type Explainer interface {
+	Explain(det *mvpears.Detection) *mvpears.Explanation
+}
+
+var _ Explainer = (*mvpears.System)(nil)
+
 // Config parameterizes a Server. The zero value of every optional field
 // gets a sensible default in New.
 type Config struct {
@@ -91,6 +104,18 @@ type Config struct {
 	// across Server instances in tests. Nil builds a private cache from
 	// CacheEntries/CacheBytes.
 	Cache *vcache.Cache[*mvpears.Detection]
+	// AccessLog receives structured JSON request logs (one line per
+	// sampled request). Nil disables access logging.
+	AccessLog io.Writer
+	// LogSampleRate is the fraction of ordinary requests to log (default
+	// 1 = all; slow requests and 5xx responses always log).
+	LogSampleRate float64
+	// SlowRequestThreshold is the latency at which a request always logs
+	// with full span detail (default 1s).
+	SlowRequestThreshold time.Duration
+	// Audit, when non-nil, receives one JSONL entry per adversarial
+	// verdict served.
+	Audit *obs.AuditSink
 }
 
 func (c *Config) applyDefaults() {
@@ -118,6 +143,12 @@ func (c *Config) applyDefaults() {
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 64 << 20
 	}
+	if c.LogSampleRate <= 0 {
+		c.LogSampleRate = 1
+	}
+	if c.SlowRequestThreshold <= 0 {
+		c.SlowRequestThreshold = time.Second
+	}
 }
 
 // Server is one mvpearsd instance: handlers, worker pool and metrics.
@@ -135,6 +166,16 @@ type Server struct {
 	requestSeconds *HistogramVec
 	// stageSeconds tracks the per-stage detection cost (§V-I split).
 	stageSeconds *HistogramVec
+	// pipelineSeconds tracks the traced pipeline spans by stage (decode /
+	// transcribe / phonetic / similarity / classify).
+	pipelineSeconds *HistogramVec
+	// engineSeconds tracks per-engine transcription wall time.
+	engineSeconds *HistogramVec
+	// engineSimilarity tracks the target-vs-auxiliary similarity score
+	// distribution per auxiliary engine (score drift = AE early warning).
+	engineSimilarity *HistogramVec
+	// minSimilarity tracks the per-detection minimum auxiliary score.
+	minSimilarity *Histogram
 	// detectionsTotal counts verdicts served.
 	detectionsTotal *CounterVec
 	// inFlight gauges requests currently inside a handler.
@@ -143,6 +184,10 @@ type Server struct {
 	queueRejected *Counter
 	// panicsTotal counts recovered handler panics.
 	panicsTotal *Counter
+	// reqLog writes the structured access log; nil when disabled.
+	reqLog *obs.RequestLogger
+	// start anchors the daemon's uptime (for /infoz).
+	start time.Time
 
 	// modelFP prefixes every verdict-cache key (see internal/vcache).
 	modelFP string
@@ -164,6 +209,10 @@ func New(cfg Config) (*Server, error) {
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		mux:     http.NewServeMux(),
 		metrics: NewRegistry(),
+		start:   time.Now(),
+	}
+	if cfg.AccessLog != nil {
+		s.reqLog = obs.NewRequestLogger(cfg.AccessLog, cfg.LogSampleRate, cfg.SlowRequestThreshold)
 	}
 	if !cfg.CacheOff {
 		if fper, ok := cfg.Backend.(ModelFingerprinter); !ok {
@@ -187,6 +236,18 @@ func New(cfg Config) (*Server, error) {
 	s.stageSeconds = s.metrics.HistogramVec(
 		"mvpearsd_detect_stage_seconds", "Per-stage detection cost (recognition/similarity/classify).",
 		DefaultLatencyBuckets, "stage")
+	s.pipelineSeconds = s.metrics.HistogramVec(
+		"mvpears_stage_seconds", "Traced pipeline span wall time by stage (decode/transcribe/phonetic/similarity/classify).",
+		DefaultLatencyBuckets, "stage")
+	s.engineSeconds = s.metrics.HistogramVec(
+		"mvpears_engine_seconds", "Per-engine transcription wall time.",
+		DefaultLatencyBuckets, "engine")
+	s.engineSimilarity = s.metrics.HistogramVec(
+		"mvpears_engine_similarity", "Target-vs-auxiliary similarity score distribution per auxiliary engine.",
+		SimilarityBuckets, "engine")
+	s.minSimilarity = s.metrics.Histogram(
+		"mvpears_engine_min_similarity", "Per-detection minimum auxiliary similarity score (transferable-AE early warning).",
+		SimilarityBuckets)
 	s.detectionsTotal = s.metrics.CounterVec(
 		"mvpearsd_detections_total", "Verdicts served.", "verdict")
 	s.inFlight = s.metrics.Gauge(

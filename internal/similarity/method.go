@@ -32,11 +32,18 @@ type Method struct {
 
 // Compare applies the encoder (if any) and the metric.
 func (m Method) Compare(a, b string) float64 {
-	if m.Encoder != nil {
-		a = m.Encoder(a)
-		b = m.Encoder(b)
+	return m.Score(m.Encode(a), m.Encode(b))
+}
+
+// Encode applies the method's encoder (identity when nil). Callers that
+// need the encoding and the score separately — the traced detection
+// pipeline, verdict explanations — use Encode + Score, which compose to
+// exactly Compare.
+func (m Method) Encode(s string) string {
+	if m.Encoder == nil {
+		return s
 	}
-	return m.Score(a, b)
+	return m.Encoder(s)
 }
 
 // Registry holds the method set under evaluation.

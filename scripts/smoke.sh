@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test: boot a real mvpearsd (bootstrapping a quick-scale model),
+# probe the public and admin listeners, run one traced detection, and
+# assert the observability surface is live — /healthz, /metrics,
+# /debug/pprof/, and all five mvpears_stage_seconds pipeline stages.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18080}
+ADMIN_ADDR=${ADMIN_ADDR:-127.0.0.1:18081}
+WORKDIR=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; wait "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "== build =="
+go build -o "$WORKDIR/mvpears" ./cmd/mvpears
+go build -o "$WORKDIR/mvpearsd" ./cmd/mvpearsd
+
+echo "== fixture =="
+"$WORKDIR/mvpears" synth -text "open the front door" -out "$WORKDIR/clip.wav" -seed 7
+
+echo "== boot =="
+"$WORKDIR/mvpearsd" -model "$WORKDIR/model.gob" -bootstrap \
+    -addr "$ADDR" -admin-addr "$ADMIN_ADDR" \
+    -audit "$WORKDIR/audit.jsonl" >"$WORKDIR/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "daemon died during boot:"; cat "$WORKDIR/daemon.log"; exit 1
+    fi
+    sleep 0.5
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "daemon never became healthy"; cat "$WORKDIR/daemon.log"; exit 1; }
+
+fail() { echo "FAIL: $1"; cat "$WORKDIR/daemon.log"; exit 1; }
+
+echo "== admin listener =="
+curl -fsS "http://$ADMIN_ADDR/healthz" >/dev/null || fail "admin /healthz"
+curl -fsS "http://$ADMIN_ADDR/debug/pprof/" >/dev/null || fail "admin /debug/pprof/"
+curl -fsS "http://$ADMIN_ADDR/infoz" | grep -q '"model_fingerprint"' || fail "admin /infoz missing model fingerprint"
+
+echo "== traced detection =="
+VERDICT=$(curl -fsS -X POST --data-binary @"$WORKDIR/clip.wav" \
+    -H 'Content-Type: audio/wav' -H 'X-Request-ID: smoke-1' \
+    -D "$WORKDIR/headers.txt" \
+    "http://$ADDR/v1/detect?explain=1")
+echo "$VERDICT" | grep -q '"verdict"' || fail "no verdict in response: $VERDICT"
+echo "$VERDICT" | grep -q '"explanation"' || fail "no explanation in ?explain=1 response: $VERDICT"
+grep -qi '^x-request-id: smoke-1' "$WORKDIR/headers.txt" || fail "X-Request-ID not echoed"
+
+echo "== stage metrics =="
+METRICS=$(curl -fsS "http://$ADMIN_ADDR/metrics")
+for stage in decode transcribe phonetic similarity classify; do
+    echo "$METRICS" | grep -q "mvpears_stage_seconds_count{stage=\"$stage\"}" \
+        || fail "metrics missing stage \"$stage\""
+done
+echo "$METRICS" | grep -q 'mvpears_engine_seconds_count{engine="DS0"}' || fail "metrics missing engine seconds"
+
+echo "smoke OK"

@@ -10,6 +10,7 @@ import (
 	"mvpears/internal/attack"
 	"mvpears/internal/classify"
 	"mvpears/internal/detector"
+	"mvpears/internal/obs"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -26,6 +27,43 @@ type Detection struct {
 	Transcriptions map[string]string
 	// Timing decomposes the detection cost.
 	Timing DetectionTiming
+	// Explanation is populated when the detection ran under an
+	// obs.WithExplain context (or via Explain): the per-engine phonetic
+	// encodings and similarity scores behind the verdict.
+	Explanation *Explanation
+}
+
+// EngineEvidence is one engine's contribution to a verdict explanation.
+type EngineEvidence struct {
+	// Engine is the engine's name (DS0, DS1, ...).
+	Engine string
+	// Transcription is what the engine heard.
+	Transcription string
+	// Phonetic is the similarity method's encoding of the transcription
+	// (identity for non-PE methods).
+	Phonetic string
+	// Similarity is the Jaro-Winkler score of this engine's encoding
+	// against the target's — exactly the corresponding Detection.Scores
+	// entry. It is 1 for the target itself (self-similarity).
+	Similarity float64
+}
+
+// Explanation makes a verdict auditable: which auxiliary disagreed with
+// the target and by how much, in the representation the classifier
+// actually saw. The similarity values are the Detection's Scores verbatim
+// — no recomputation — so explanation and verdict can never drift apart.
+type Explanation struct {
+	// Method names the similarity method (PE_JaroWinkler by default).
+	Method string
+	// Target is the target engine's evidence (Similarity is 1).
+	Target EngineEvidence
+	// Auxiliaries is aligned with Detection.Scores.
+	Auxiliaries []EngineEvidence
+	// MinSimilarity is the smallest auxiliary score — the strongest
+	// disagreement, the paper's transferable-AE early-warning signal.
+	MinSimilarity float64
+	// MinEngine names the auxiliary holding MinSimilarity.
+	MinEngine string
 }
 
 // DetectionTiming mirrors the paper's §V-I overhead decomposition.
@@ -62,13 +100,57 @@ func (s *System) Detect(clip *Clip) (*Detection, error) {
 // DetectCtx is Detect with cancellation: a cancelled or expired context
 // aborts the remaining per-engine work and returns the context's error.
 // This is the entry point used by the mvpearsd serving layer to enforce
-// per-request deadlines.
+// per-request deadlines. The context also carries observability state: an
+// obs.Trace collects per-stage spans, and obs.WithExplain makes the
+// returned Detection carry its Explanation.
 func (s *System) DetectCtx(ctx context.Context, clip *Clip) (*Detection, error) {
 	dec, timing, err := s.det.DetectTimedCtx(ctx, clip)
 	if err != nil {
 		return nil, err
 	}
-	return s.toDetection(dec, timing), nil
+	det := s.toDetection(dec, timing)
+	if obs.ExplainRequested(ctx) {
+		det.Explanation = s.Explain(det)
+	}
+	return det, nil
+}
+
+// Explain derives the verdict explanation of a Detection: the phonetic
+// encoding of every transcription plus the per-auxiliary similarity
+// scores, copied bit-for-bit from det.Scores. It works on any Detection
+// this System produced (including ones served from a verdict cache) since
+// the encoding is a deterministic function of the transcriptions.
+func (s *System) Explain(det *Detection) *Explanation {
+	targetName := s.det.Target.Name()
+	exp := &Explanation{
+		Method: s.det.MethodName(),
+		Target: EngineEvidence{
+			Engine:        targetName,
+			Transcription: det.Transcriptions[targetName],
+			Phonetic:      s.det.PhoneticEncode(det.Transcriptions[targetName]),
+			Similarity:    1,
+		},
+		Auxiliaries:   make([]EngineEvidence, len(s.det.Auxiliaries)),
+		MinSimilarity: 1,
+	}
+	for i, aux := range s.det.Auxiliaries {
+		name := aux.Name()
+		score := 0.0
+		if i < len(det.Scores) {
+			score = det.Scores[i]
+		}
+		exp.Auxiliaries[i] = EngineEvidence{
+			Engine:        name,
+			Transcription: det.Transcriptions[name],
+			Phonetic:      s.det.PhoneticEncode(det.Transcriptions[name]),
+			Similarity:    score,
+		}
+		if score <= exp.MinSimilarity {
+			exp.MinSimilarity = score
+			exp.MinEngine = name
+		}
+	}
+	return exp
 }
 
 // DetectFile loads a WAV file (resampling to the engines' rate if needed)
@@ -117,15 +199,20 @@ func (s *System) DetectBatch(clips []*Clip) ([]*Detection, error) {
 
 // DetectBatchCtx is DetectBatch with cancellation: a cancelled context
 // stops dispatching clips and the whole batch fails with the context's
-// error.
+// error. Like DetectCtx it honors obs.WithExplain, populating every
+// detection's Explanation.
 func (s *System) DetectBatchCtx(ctx context.Context, clips []*Clip) ([]*Detection, error) {
 	decs, timings, err := s.det.BatchDetectTimedCtx(ctx, clips)
 	if err != nil {
 		return nil, err
 	}
+	explain := obs.ExplainRequested(ctx)
 	out := make([]*Detection, len(decs))
 	for i, dec := range decs {
 		out[i] = s.toDetection(dec, timings[i])
+		if explain {
+			out[i].Explanation = s.Explain(out[i])
+		}
 	}
 	return out, nil
 }
