@@ -1,8 +1,11 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_detect.json / BENCH_serve.json.
+# SERVE_BENCH matches BenchmarkServeMissCascade (the cascade+int8 path);
+# NN_BENCH covers the quantized inference kernels it rides on.
 BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
 SERVE_BENCH ?= BenchmarkServe
+NN_BENCH ?= BenchmarkQuantizedForward
 BENCHTIME ?= 25x
 
 .PHONY: check vet build test race bench serve smoke
@@ -41,6 +44,7 @@ serve:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
 	$(GO) test -run '^$$' -bench '$(SERVE_BENCH)' -benchmem ./internal/server | tee BENCH_serve.txt
+	$(GO) test -run '^$$' -bench '$(NN_BENCH)' -benchmem ./internal/nn | tee BENCH_nn.txt
 
 # Boot a real daemon (bootstrap model, admin listener) and probe its
 # endpoints end to end: health, metrics, pprof, and a traced detection.

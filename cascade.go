@@ -1,0 +1,130 @@
+package mvpears
+
+import (
+	"fmt"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/detector"
+)
+
+// Serving-path acceleration: cascaded engine scheduling and int8
+// quantized inference. Both are pure inference-time toggles — they derive
+// state from the trained model at enable time, persist nothing, and leave
+// ModelFingerprint (and therefore verdict-cache keys) unchanged.
+
+// CascadeDecision reports how the cascade scheduler handled one input:
+// which auxiliary engines ran, which were skipped, and why.
+type CascadeDecision struct {
+	// ShortCircuit is true when the benign margin allowed skipping
+	// auxiliaries; SampledFull when this was a deterministic 1-in-N
+	// full-ensemble monitoring run.
+	ShortCircuit bool
+	SampledFull  bool
+	// EnginesRun / EnginesSkipped name auxiliary engines in evaluation
+	// (cheapest-first) order; the target always runs.
+	EnginesRun     []string
+	EnginesSkipped []string
+	// Margin is the benign-confidence margin in effect and FirstScore the
+	// cheapest auxiliary's similarity score it was checked against.
+	Margin     float64
+	FirstScore float64
+	// Imputed marks Scores dimensions (configured auxiliary order) that
+	// hold benign fill means instead of measured similarities.
+	Imputed []bool
+}
+
+func fromCascadeInfo(info *detector.CascadeInfo) *CascadeDecision {
+	if info == nil {
+		return nil
+	}
+	return &CascadeDecision{
+		ShortCircuit:   info.ShortCircuit,
+		SampledFull:    info.SampledFull,
+		EnginesRun:     info.EnginesRun,
+		EnginesSkipped: info.EnginesSkipped,
+		Margin:         info.Margin,
+		FirstScore:     info.FirstScore,
+		Imputed:        info.Imputed,
+	}
+}
+
+// EnableQuantized switches every neural engine that passes the
+// transcription-parity gate to int8 batched inference (see
+// asr.EnableQuantized). Returns the engines enabled and those that failed
+// parity and kept float64. Quantized weights are derived in memory and
+// never saved; the model fingerprint is unchanged.
+func (s *System) EnableQuantized() (enabled, fellBack []EngineID, err error) {
+	return s.engines.EnableQuantized(nil)
+}
+
+// DisableQuantized restores float64 inference everywhere.
+func (s *System) DisableQuantized() { s.engines.DisableQuantized() }
+
+// EnableCascade attaches the cascade scheduler to the detector. margin 0
+// auto-calibrates from the training features (the no-flip construction:
+// strictly above the cheapest-auxiliary score of every training vector
+// the classifier flags adversarial); margin > 1 disables short-circuits.
+// sampleEvery runs the full ensemble on every Nth request for
+// distribution monitoring (0 = never). Engine costs are measured with a
+// boot-time calibration pass.
+func (s *System) EnableCascade(margin float64, sampleEvery int) error {
+	if s.pools == nil {
+		return fmt.Errorf("mvpears: cascade needs a trained detector (training features unavailable)")
+	}
+	costs, err := asr.CalibrateCosts(s.det.Auxiliaries, s.engines.SampleRate)
+	if err != nil {
+		return fmt.Errorf("mvpears: calibrating engine costs: %w", err)
+	}
+	cfg := detector.CascadeConfig{
+		Margin:      margin,
+		SampleEvery: sampleEvery,
+		Costs:       costs,
+	}
+	benignX := columnsToRows(s.pools.Benign)
+	aeX := columnsToRows(s.pools.AE)
+	if err := s.det.EnableCascade(cfg, benignX, aeX); err != nil {
+		return fmt.Errorf("mvpears: %w", err)
+	}
+	return nil
+}
+
+// DisableCascade detaches the scheduler; detection reverts to the
+// unconditional full ensemble.
+func (s *System) DisableCascade() { s.det.DisableCascade() }
+
+// CascadeStatus describes the active scheduler, for /healthz-style
+// introspection.
+type CascadeStatus struct {
+	Enabled     bool
+	Margin      float64
+	SampleEvery int
+	// EngineOrder is the auxiliary evaluation order, cheapest first.
+	EngineOrder []string
+	// EngineCosts are the boot-time calibrated costs per auxiliary.
+	EngineCosts map[string]time.Duration
+}
+
+// Cascade returns the current scheduler status.
+func (s *System) Cascade() CascadeStatus {
+	c := s.det.Cascade
+	if c == nil {
+		return CascadeStatus{}
+	}
+	order := make([]string, 0, len(s.det.Auxiliaries))
+	for _, i := range c.Order() {
+		order = append(order, s.det.Auxiliaries[i].Name())
+	}
+	return CascadeStatus{
+		Enabled:     true,
+		Margin:      c.Margin(),
+		SampleEvery: c.SampleEvery(),
+		EngineOrder: order,
+		EngineCosts: c.Costs(),
+	}
+}
+
+// QuantizedEngines lists the engines currently running int8 inference.
+func (s *System) QuantizedEngines() []EngineID {
+	return s.engines.QuantizedEngines()
+}

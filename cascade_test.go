@@ -1,0 +1,277 @@
+package mvpears
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cascadeCorpus builds a mixed table of benign clips and (where crafting
+// succeeds) white-box AEs against the shared system.
+func cascadeCorpus(t *testing.T, s *System) (clips []*Clip, kinds []string) {
+	t.Helper()
+	benign := []struct {
+		text string
+		seed int64
+	}{
+		{"the door is open", 1201},
+		{"play the music now", 1202},
+		{"good morning to you", 1203},
+		{"the cat is small", 1204},
+		{"we keep the old book here", 1205},
+		{"the house is warm today", 1206},
+	}
+	for _, b := range benign {
+		clip, err := s.GenerateSpeech(b.text, b.seed)
+		if err != nil {
+			t.Fatalf("GenerateSpeech(%q): %v", b.text, err)
+		}
+		clips = append(clips, clip)
+		kinds = append(kinds, "benign")
+	}
+	hosts := []struct {
+		text, target string
+		seed         int64
+	}{
+		{"the dinner was warm and good", "open the front door", 1301},
+		{"we keep the old book here", "unlock the device", 1302},
+	}
+	for _, h := range hosts {
+		host, err := s.GenerateSpeech(h.text, h.seed)
+		if err != nil {
+			t.Fatalf("GenerateSpeech(%q): %v", h.text, err)
+		}
+		ae, err := s.CraftWhiteBoxAE(host, h.target)
+		if err != nil {
+			t.Fatalf("CraftWhiteBoxAE: %v", err)
+		}
+		if !ae.Success {
+			continue
+		}
+		clips = append(clips, ae.AE)
+		kinds = append(kinds, "ae")
+	}
+	return clips, kinds
+}
+
+// TestCascadeNoFlip is the tentpole safety property: for every clip in a
+// mixed benign/AE table, any clip the full ensemble flags adversarial
+// must also be flagged by the cascade — short-circuiting may only ever
+// skip work on clips both paths call benign.
+func TestCascadeNoFlip(t *testing.T) {
+	s := sharedSystem(t)
+	t.Cleanup(s.DisableCascade)
+
+	clips, kinds := cascadeCorpus(t, s)
+
+	// Full-ensemble reference verdicts with the cascade off.
+	s.DisableCascade()
+	full := make([]*Detection, len(clips))
+	for i, clip := range clips {
+		det, err := s.Detect(clip)
+		if err != nil {
+			t.Fatalf("full-ensemble Detect clip %d: %v", i, err)
+		}
+		if det.Cascade != nil {
+			t.Fatalf("clip %d: Cascade decision present with cascade disabled", i)
+		}
+		full[i] = det
+	}
+
+	// Auto-calibrated margin, no monitoring samples so every benign
+	// short-circuit opportunity is actually taken.
+	if err := s.EnableCascade(0, 0); err != nil {
+		t.Fatalf("EnableCascade: %v", err)
+	}
+	st := s.Cascade()
+	if !st.Enabled || st.Margin <= 0 || st.Margin > 1 {
+		t.Fatalf("cascade status after enable: %+v", st)
+	}
+	if len(st.EngineOrder) == 0 || len(st.EngineCosts) == 0 {
+		t.Fatalf("cascade calibration missing order/costs: %+v", st)
+	}
+
+	shortCircuits := 0
+	for i, clip := range clips {
+		det, err := s.Detect(clip)
+		if err != nil {
+			t.Fatalf("cascade Detect clip %d: %v", i, err)
+		}
+		c := det.Cascade
+		if c == nil {
+			t.Fatalf("clip %d: no Cascade decision with cascade enabled", i)
+		}
+		if full[i].Adversarial && !det.Adversarial {
+			t.Errorf("clip %d (%s): full ensemble flags adversarial, cascade says benign (%+v)", i, kinds[i], c)
+		}
+		if c.ShortCircuit {
+			shortCircuits++
+			if det.Adversarial {
+				t.Errorf("clip %d (%s): short-circuited yet flagged adversarial", i, kinds[i])
+			}
+			if len(c.EnginesSkipped) == 0 {
+				t.Errorf("clip %d: short-circuit with nothing skipped", i)
+			}
+		} else if len(c.EnginesSkipped) != 0 {
+			t.Errorf("clip %d: engines skipped without a short-circuit: %+v", i, c)
+		}
+		if kinds[i] == "ae" && full[i].Adversarial && c.ShortCircuit {
+			t.Errorf("clip %d: known AE short-circuited", i)
+		}
+	}
+	t.Logf("%d/%d clips short-circuited at margin %.4f", shortCircuits, len(clips), st.Margin)
+}
+
+// TestCascadeSamplingDeterministic checks the 1-in-N monitoring policy: a
+// margin above 1 never short-circuits on its own, and sampleEvery=2 marks
+// every second request as a deliberate full-ensemble run.
+func TestCascadeSamplingDeterministic(t *testing.T) {
+	s := sharedSystem(t)
+	t.Cleanup(s.DisableCascade)
+
+	if err := s.EnableCascade(1.5, 2); err != nil {
+		t.Fatalf("EnableCascade: %v", err)
+	}
+	clip, err := s.GenerateSpeech("the same clip again", 1401)
+	if err != nil {
+		t.Fatalf("GenerateSpeech: %v", err)
+	}
+	sampled := 0
+	for i := 0; i < 4; i++ {
+		det, err := s.Detect(clip)
+		if err != nil {
+			t.Fatalf("Detect #%d: %v", i, err)
+		}
+		c := det.Cascade
+		if c == nil {
+			t.Fatalf("Detect #%d: no cascade decision", i)
+		}
+		if c.ShortCircuit {
+			t.Errorf("Detect #%d: short-circuit with margin 1.5", i)
+		}
+		if c.SampledFull {
+			sampled++
+		}
+	}
+	if sampled != 2 {
+		t.Errorf("sampled-full runs = %d over 4 requests at 1-in-2, want 2", sampled)
+	}
+
+	s.DisableCascade()
+	det, err := s.Detect(clip)
+	if err != nil {
+		t.Fatalf("Detect after disable: %v", err)
+	}
+	if det.Cascade != nil {
+		t.Fatalf("cascade decision still reported after DisableCascade")
+	}
+}
+
+// TestCascadeConcurrent drives the cascade from several goroutines so the
+// race detector covers the scheduler's shared state (sampling counter,
+// margin, order).
+func TestCascadeConcurrent(t *testing.T) {
+	s := sharedSystem(t)
+	t.Cleanup(s.DisableCascade)
+
+	if err := s.EnableCascade(0, 3); err != nil {
+		t.Fatalf("EnableCascade: %v", err)
+	}
+	words := []string{"one", "two", "three", "four"}
+	clips := make([]*Clip, len(words))
+	for i := range clips {
+		clip, err := s.GenerateSpeech(fmt.Sprintf("concurrent clip number %s", words[i]), int64(1500+i))
+		if err != nil {
+			t.Fatalf("GenerateSpeech: %v", err)
+		}
+		clips[i] = clip
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(clips))
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, clip := range clips {
+				det, err := s.DetectCtx(context.Background(), clip)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if det.Cascade == nil {
+					errs <- fmt.Errorf("missing cascade decision")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantizedVerdictParity checks quantization end to end at the system
+// level: enabling int8 inference must leave every transcription and every
+// verdict in a mixed benign/AE table unchanged.
+func TestQuantizedVerdictParity(t *testing.T) {
+	s := sharedSystem(t)
+	t.Cleanup(s.DisableQuantized)
+
+	clips, kinds := cascadeCorpus(t, s)
+
+	s.DisableQuantized()
+	refDet := make([]*Detection, len(clips))
+	refTx := make([]map[string]string, len(clips))
+	for i, clip := range clips {
+		det, err := s.Detect(clip)
+		if err != nil {
+			t.Fatalf("float Detect clip %d: %v", i, err)
+		}
+		refDet[i] = det
+		tx, err := s.TranscribeAll(clip)
+		if err != nil {
+			t.Fatalf("float TranscribeAll clip %d: %v", i, err)
+		}
+		refTx[i] = tx
+	}
+
+	enabled, fellBack, err := s.EnableQuantized()
+	if err != nil {
+		t.Fatalf("EnableQuantized: %v", err)
+	}
+	t.Logf("quantized: enabled %v, fell back %v", enabled, fellBack)
+	if len(enabled) == 0 {
+		t.Fatalf("no engine passed the parity gate")
+	}
+	if got := s.QuantizedEngines(); len(got) != len(enabled) {
+		t.Fatalf("QuantizedEngines %v, enabled %v", got, enabled)
+	}
+
+	for i, clip := range clips {
+		det, err := s.Detect(clip)
+		if err != nil {
+			t.Fatalf("quantized Detect clip %d: %v", i, err)
+		}
+		if det.Adversarial != refDet[i].Adversarial {
+			t.Errorf("clip %d (%s): verdict flipped under quantization (%v -> %v)",
+				i, kinds[i], refDet[i].Adversarial, det.Adversarial)
+		}
+		tx, err := s.TranscribeAll(clip)
+		if err != nil {
+			t.Fatalf("quantized TranscribeAll clip %d: %v", i, err)
+		}
+		for name, want := range refTx[i] {
+			if tx[name] != want {
+				t.Errorf("clip %d engine %s: quantized %q != float %q", i, name, tx[name], want)
+			}
+		}
+	}
+
+	s.DisableQuantized()
+	if got := s.QuantizedEngines(); len(got) != 0 {
+		t.Fatalf("engines still quantized after disable: %v", got)
+	}
+}

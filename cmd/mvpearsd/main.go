@@ -7,6 +7,7 @@
 //	         [-cache-entries 4096] [-cache-bytes 67108864] [-cache-off]
 //	         [-admin-addr 127.0.0.1:8081] [-log-sample 1.0] [-slow 1s]
 //	         [-access-log] [-audit audit.jsonl]
+//	         [-cascade-margin -1] [-cascade-sample 16] [-quantized]
 //
 // The daemon boots from a persisted model artifact (written by
 // `mvpears detect -model` or by -bootstrap) — it never retrains at
@@ -28,6 +29,18 @@
 // JSON line (sampled by -log-sample; requests slower than -slow always
 // log, with full span detail). -audit appends every adversarial verdict to
 // a JSONL file.
+//
+// The cache-miss path can be accelerated without retraining or changing
+// the persisted model: -quantized switches the neural engines to int8
+// batched inference behind a boot-time transcription-parity gate (an
+// engine that fails parity keeps float64), and -cascade-margin attaches
+// the cascaded engine scheduler, which runs auxiliaries cheapest-first
+// and answers confidently benign clips from a partial similarity vector
+// (0 auto-calibrates the no-flip margin from the training features;
+// negative keeps the cascade off). -cascade-sample N still runs the full
+// ensemble on every Nth cascaded request for distribution monitoring.
+// Neither toggle changes the model fingerprint, so verdict-cache keys
+// are shared with unaccelerated daemons of the same model.
 //
 // SIGINT/SIGTERM drain gracefully within -drain; the final metric values
 // are flushed to stderr on exit.
@@ -74,6 +87,9 @@ func run(args []string) error {
 	logSample := fs.Float64("log-sample", 1.0, "fraction of ordinary requests to log (slow requests and 5xx always log)")
 	slow := fs.Duration("slow", time.Second, "latency above which a request always logs with full span detail")
 	auditPath := fs.String("audit", "", "append adversarial verdicts to this JSONL file")
+	cascadeMargin := fs.Float64("cascade-margin", -1, "benign-confidence margin for cascaded engine scheduling (negative: off, 0: auto-calibrate, >1: cascade on but never short-circuits)")
+	cascadeSample := fs.Int("cascade-sample", 16, "run the full ensemble on every Nth cascaded request for monitoring (0: never)")
+	quantized := fs.Bool("quantized", false, "int8-quantize the neural engines, gated by a boot-time transcription-parity check (failing engines keep float64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +114,22 @@ func run(args []string) error {
 		logger.Printf("saved bootstrap artifact to %s", *model)
 	default:
 		return fmt.Errorf("opening model %s: %w (pass -bootstrap to train a quick-scale one)", *model, err)
+	}
+
+	if *quantized {
+		enabled, fellBack, err := sys.EnableQuantized()
+		if err != nil {
+			return fmt.Errorf("enabling int8 inference: %w", err)
+		}
+		logger.Printf("int8 inference enabled for %v (parity fallback to float64: %v)", enabled, fellBack)
+	}
+	if *cascadeMargin >= 0 {
+		if err := sys.EnableCascade(*cascadeMargin, *cascadeSample); err != nil {
+			return fmt.Errorf("enabling cascade: %w", err)
+		}
+		st := sys.Cascade()
+		logger.Printf("cascade enabled: margin %.4f, full-ensemble sample 1/%d, engine order %v (calibrated costs %v)",
+			st.Margin, st.SampleEvery, st.EngineOrder, st.EngineCosts)
 	}
 
 	cfg := server.Config{

@@ -129,14 +129,31 @@ func TranscribeAllWithCache(engines []Recognizer, clip *audio.Clip, parallel boo
 // engine is a few milliseconds of pure CPU). A cancelled run returns the
 // context's error.
 func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *audio.Clip, parallel bool) ([]string, error) {
-	out := make([]string, len(engines))
 	if clip == nil {
-		return out, fmt.Errorf("asr: nil clip")
+		return make([]string, len(engines)), fmt.Errorf("asr: nil clip")
 	}
-	// Pooled: both call shapes below join every engine before returning,
-	// so no goroutine can still hold the cache when it is released.
+	// Pooled: TranscribeInto joins every engine before returning, so no
+	// goroutine can still hold the cache when it is released.
 	cache := GetFeatureCache(clip.Samples)
 	defer PutFeatureCache(cache)
+	out := make([]string, len(engines))
+	err := TranscribeInto(ctx, engines, clip, cache, parallel, out)
+	return out, err
+}
+
+// TranscribeInto transcribes the clip with the given engines, sourcing
+// features from an externally owned cache and writing results into out
+// (len(out) >= len(engines)). It is the staged form of
+// TranscribeAllWithCacheCtx: the cascade scheduler calls it once per
+// phase with the SAME cache, so a front end extracted in phase one is
+// never redone when the remaining engines run in phase two.
+func TranscribeInto(ctx context.Context, engines []Recognizer, clip *audio.Clip, cache *FeatureCache, parallel bool, out []string) error {
+	if clip == nil {
+		return fmt.Errorf("asr: nil clip")
+	}
+	if len(out) < len(engines) {
+		return fmt.Errorf("asr: output slice has %d slots for %d engines", len(out), len(engines))
+	}
 	// A traced request gets one span per engine (concurrent engines record
 	// into the trace under its own lock); untraced requests skip the clock
 	// reads entirely.
@@ -175,10 +192,10 @@ func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *
 	if !parallel {
 		for i := range engines {
 			if err := runOne(i); err != nil {
-				return out, err
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
 	errs := make([]error, len(engines))
 	var wg sync.WaitGroup
@@ -192,8 +209,8 @@ func TranscribeAllWithCacheCtx(ctx context.Context, engines []Recognizer, clip *
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return out, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,70 @@
+package asr
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mvpears/internal/speech"
+)
+
+// Engine cost calibration for the cascade scheduler. Costs are measured
+// once at boot: each engine transcribes the same synthesized calibration
+// clip a few times with a fresh per-run feature cache (so every engine
+// pays its own front-end extraction, exactly as it would as the first
+// engine of a serving request) and the minimum wall time is kept — the
+// minimum, not the mean, because transient scheduler noise only ever adds
+// time. The ordering, not the absolute values, is what the scheduler
+// consumes, and live mvpears_engine_seconds histograms let operators
+// confirm the boot-time ordering still holds in production.
+
+// costCalibrationRounds is how many timed runs each engine gets.
+const costCalibrationRounds = 3
+
+// CalibrationClip synthesizes the deterministic utterance used for cost
+// measurement: a mid-length benign sentence with the default speaker.
+func CalibrationClip(sampleRate int) (*speech.Utterance, error) {
+	synth := speech.NewSynthesizer(sampleRate)
+	rng := rand.New(rand.NewSource(31337))
+	const text = "open the window and read the book"
+	clip, align, err := synth.SynthesizeSentence(text, speech.DefaultSpeaker(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("asr: synthesizing calibration clip: %w", err)
+	}
+	return &speech.Utterance{Text: text, Clip: clip, Alignment: align}, nil
+}
+
+// CalibrateCosts measures each engine's end-to-end transcription cost on
+// the calibration clip and returns the best-of-N duration per engine
+// name. The result is deterministic in ordering for identical hardware
+// and models; ties are impossible in practice (durations are nanosecond
+// wall times).
+func CalibrateCosts(engines []Recognizer, sampleRate int) (map[string]time.Duration, error) {
+	utt, err := CalibrationClip(sampleRate)
+	if err != nil {
+		return nil, err
+	}
+	costs := make(map[string]time.Duration, len(engines))
+	for _, e := range engines {
+		best := time.Duration(0)
+		for round := 0; round < costCalibrationRounds; round++ {
+			cache := GetFeatureCache(utt.Clip.Samples)
+			start := time.Now()
+			if ct, ok := e.(CacheTranscriber); ok {
+				_, err = ct.TranscribeWithCache(utt.Clip, cache)
+			} else {
+				_, err = e.Transcribe(utt.Clip)
+			}
+			elapsed := time.Since(start)
+			PutFeatureCache(cache)
+			if err != nil {
+				return nil, fmt.Errorf("asr: calibrating %s: %w", e.Name(), err)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		costs[e.Name()] = best
+	}
+	return costs, nil
+}

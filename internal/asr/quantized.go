@@ -1,0 +1,258 @@
+package asr
+
+import (
+	"fmt"
+	"sync"
+
+	"mvpears/internal/dsp"
+	"mvpears/internal/nn"
+	"mvpears/internal/speech"
+)
+
+// Int8-quantized engine wiring. The quantized networks are derived from
+// the float models at enable time and live only in unexported fields, so
+// serialization (gob encodes exported fields only), model fingerprints,
+// and verdict-cache keys are untouched — a daemon with -quantized and one
+// without share cache entries because they ARE the same model.
+//
+// Quantization is gated by decision parity: EnableQuantized transcribes a
+// deterministic eval corpus on both paths and keeps int8 only for engines
+// whose transcriptions are identical everywhere. An engine that fails the
+// gate silently keeps its float64 path, so turning the feature on can
+// never change a verdict.
+
+// quantMarginGuard is the logit top-2 gap below which the quantized MLP
+// path recomputes a frame in float64. Every frame whose argmax int8
+// quantization has been observed to flip had a top-2 gap under 0.13, so
+// the guard catches the ambiguous frames (≈5-10% of real speech) with
+// ~2x head room while the confident majority keeps the int8 fast path.
+// The parity gate in EnableQuantized remains the authority: the guard
+// only has to be good enough for the gate to pass, and an engine it
+// doesn't save falls back to float64 wholesale.
+const quantMarginGuard = 0.25
+
+// mlpQuantScratch bundles the int8 batch scratch with a float scratch for
+// margin-guard recomputations and pooled input/output row matrices (the
+// serving path classifies a few dozen frames per clip; reallocating the
+// two matrices per call dominated the short-circuit path's GC bill).
+type mlpQuantScratch struct {
+	q       *nn.QuantScratch
+	f       *nn.MLPScratch
+	xs, out [][]float64
+	xf, of  []float64
+}
+
+// growRows reslices rows/flat to a t×w matrix backed by one array,
+// reusing capacity.
+func growRows(rows [][]float64, flat []float64, t, w int) ([][]float64, []float64) {
+	if cap(flat) < t*w {
+		flat = make([]float64, t*w)
+	}
+	flat = flat[:t*w]
+	if cap(rows) < t {
+		rows = make([][]float64, t)
+	}
+	rows = rows[:t]
+	for i := range rows {
+		rows[i] = flat[i*w : (i+1)*w : (i+1)*w]
+	}
+	return rows, flat
+}
+
+// EnableQuantized switches the engine to int8 batched inference (derived
+// from Net; Net itself is untouched and remains the persisted model).
+func (e *MLPEngine) EnableQuantized() {
+	q := nn.Quantize(e.Net)
+	net := e.Net
+	e.qpool = &sync.Pool{New: func() any {
+		return &mlpQuantScratch{q: q.NewScratch(), f: net.NewScratch()}
+	}}
+	e.qnet = q
+}
+
+// DisableQuantized restores the float64 forward path.
+func (e *MLPEngine) DisableQuantized() { e.qnet, e.qpool = nil, nil }
+
+// Quantized reports whether the int8 path is active.
+func (e *MLPEngine) Quantized() bool { return e.qnet != nil }
+
+// frameLabelsQuantized is the int8 batch form of frameLabels: all frames
+// are context-stacked into one matrix and classified with one blocked
+// GEMM per layer. Frames whose quantized logit top-2 gap falls below
+// quantMarginGuard — the only frames int8 noise could plausibly flip —
+// are recomputed with the float64 network.
+func (e *MLPEngine) frameLabelsQuantized(raw [][]float64) ([]int, error) {
+	t := len(raw)
+	labels := make([]int, t)
+	if t == 0 {
+		return labels, nil
+	}
+	width := (2*e.Context + 1) * e.MFCC.Config().NumCoeffs
+	sc := e.qpool.Get().(*mlpQuantScratch)
+	defer e.qpool.Put(sc)
+	sc.xs, sc.xf = growRows(sc.xs, sc.xf, t, width)
+	xs := sc.xs
+	for i := range xs {
+		dsp.StackFrame(raw, i, e.Context, xs[i])
+	}
+	sc.out, sc.of = growRows(sc.out, sc.of, t, e.qnet.OutputSize())
+	out := sc.out
+	if err := e.qnet.ForwardBatch(xs, out, sc.q); err != nil {
+		return nil, fmt.Errorf("asr: %s quantized forward: %w", e.ID, err)
+	}
+	for i := range out {
+		best, second, arg := -1e300, -1e300, 0
+		for o, v := range out[i] {
+			if v > best {
+				second, best, arg = best, v, o
+			} else if v > second {
+				second = v
+			}
+		}
+		if best-second < quantMarginGuard {
+			logits, err := e.Net.ForwardScratch(xs[i], sc.f)
+			if err != nil {
+				return nil, fmt.Errorf("asr: %s margin-guard forward: %w", e.ID, err)
+			}
+			arg = nn.Argmax(logits)
+		}
+		labels[i] = arg
+	}
+	return labels, nil
+}
+
+// rnnQuantScratch bundles the int8 sequence scratch with a pooled logit
+// matrix.
+type rnnQuantScratch struct {
+	q   *nn.RNNQuantScratch
+	out [][]float64
+	of  []float64
+}
+
+// EnableQuantized switches the engine to int8 batched inference.
+func (e *RNNEngine) EnableQuantized() {
+	q := nn.QuantizeRNN(e.Net)
+	e.qpool = &sync.Pool{New: func() any { return &rnnQuantScratch{q: q.NewScratch()} }}
+	e.qnet = q
+}
+
+// DisableQuantized restores the float64 forward path.
+func (e *RNNEngine) DisableQuantized() { e.qnet, e.qpool = nil, nil }
+
+// Quantized reports whether the int8 path is active.
+func (e *RNNEngine) Quantized() bool { return e.qnet != nil }
+
+// frameLabelsQuantized is the int8 form of frameLabels: batched input and
+// output projections around the sequential int8 recurrence.
+func (e *RNNEngine) frameLabelsQuantized(feats [][]float64) ([]int, error) {
+	t := len(feats)
+	labels := make([]int, t)
+	if t == 0 {
+		return labels, nil
+	}
+	sc := e.qpool.Get().(*rnnQuantScratch)
+	defer e.qpool.Put(sc)
+	sc.out, sc.of = growRows(sc.out, sc.of, t, e.qnet.OutputSize())
+	out := sc.out
+	if err := e.qnet.ForwardSeq(feats, out, sc.q); err != nil {
+		return nil, fmt.Errorf("asr: %s quantized forward: %w", e.ID, err)
+	}
+	for i := range out {
+		labels[i] = nn.Argmax(out[i])
+	}
+	return labels, nil
+}
+
+// quantizable enumerates the set's neural engines that have an int8 path.
+type quantizable interface {
+	CacheTranscriber
+	EnableQuantized()
+	DisableQuantized()
+	Quantized() bool
+}
+
+// quantizables returns the set's engines with an int8 path (nil engines
+// excluded).
+func (s *EngineSet) quantizables() []quantizable {
+	var qs []quantizable
+	if s.DS0 != nil {
+		qs = append(qs, s.DS0)
+	}
+	if s.DS1 != nil {
+		qs = append(qs, s.DS1)
+	}
+	if s.GCS != nil {
+		qs = append(qs, s.GCS)
+	}
+	return qs
+}
+
+// ParityEvalSize is the number of deterministic eval utterances the
+// quantization parity gate transcribes per engine.
+const ParityEvalSize = 24
+
+// ParityEvalSet synthesizes the deterministic utterance corpus the parity
+// gate checks against. Exported so tests and tools can replay the exact
+// gate corpus.
+func ParityEvalSet(sampleRate int) ([]speech.Utterance, error) {
+	synth := speech.NewSynthesizer(sampleRate)
+	return speech.GenerateUtterances(synth, ParityEvalSize, 424242)
+}
+
+// EnableQuantized turns on int8 inference for every neural engine that
+// passes the transcription-parity gate over utts (nil utts → the built-in
+// ParityEvalSet): the engine's quantized transcription must be IDENTICAL
+// to its float64 transcription on every eval clip, or that engine falls
+// back to float64. Returns the engines enabled and the engines that
+// failed the gate.
+func (s *EngineSet) EnableQuantized(utts []speech.Utterance) (enabled, fellBack []EngineID, err error) {
+	if utts == nil {
+		utts, err = ParityEvalSet(s.SampleRate)
+		if err != nil {
+			return nil, nil, fmt.Errorf("asr: synthesizing parity eval set: %w", err)
+		}
+	}
+	for _, e := range s.quantizables() {
+		ref := make([]string, len(utts))
+		for i, u := range utts {
+			ref[i], err = e.Transcribe(u.Clip)
+			if err != nil {
+				return enabled, fellBack, fmt.Errorf("asr: parity reference %s: %w", e.Name(), err)
+			}
+		}
+		e.EnableQuantized()
+		ok := true
+		for i, u := range utts {
+			got, qerr := e.Transcribe(u.Clip)
+			if qerr != nil || got != ref[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			enabled = append(enabled, EngineID(e.Name()))
+		} else {
+			e.DisableQuantized()
+			fellBack = append(fellBack, EngineID(e.Name()))
+		}
+	}
+	return enabled, fellBack, nil
+}
+
+// DisableQuantized restores float64 inference on every engine.
+func (s *EngineSet) DisableQuantized() {
+	for _, e := range s.quantizables() {
+		e.DisableQuantized()
+	}
+}
+
+// QuantizedEngines lists the engines currently running int8 inference.
+func (s *EngineSet) QuantizedEngines() []EngineID {
+	var out []EngineID
+	for _, e := range s.quantizables() {
+		if e.Quantized() {
+			out = append(out, EngineID(e.Name()))
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package asr
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEnableQuantizedParity is the quantization accuracy gate over the
+// persisted eval set: every engine the gate enables must produce
+// transcriptions identical to its float64 path on every eval utterance
+// (that is the gate's contract — this test re-verifies it from outside).
+func TestEnableQuantizedParity(t *testing.T) {
+	set := testEngines(t)
+	t.Cleanup(set.DisableQuantized)
+
+	utts, err := ParityEvalSet(set.SampleRate)
+	if err != nil {
+		t.Fatalf("synthesizing parity eval set: %v", err)
+	}
+	if len(utts) != ParityEvalSize {
+		t.Fatalf("eval set size %d, want %d", len(utts), ParityEvalSize)
+	}
+
+	// Float references first, with everything guaranteed off.
+	set.DisableQuantized()
+	refs := make(map[string][]string)
+	for _, e := range set.quantizables() {
+		texts := make([]string, len(utts))
+		for i, u := range utts {
+			texts[i], err = e.Transcribe(u.Clip)
+			if err != nil {
+				t.Fatalf("%s float transcription: %v", e.Name(), err)
+			}
+		}
+		refs[e.Name()] = texts
+	}
+
+	enabled, fellBack, err := set.EnableQuantized(utts)
+	if err != nil {
+		t.Fatalf("EnableQuantized: %v", err)
+	}
+	t.Logf("enabled %v, fell back %v", enabled, fellBack)
+	if got := set.QuantizedEngines(); len(got) != len(enabled) {
+		t.Fatalf("QuantizedEngines %v, enabled %v", got, enabled)
+	}
+
+	// Independent parity re-check: the quantized path of every enabled
+	// engine must reproduce the float transcriptions bit for bit.
+	for _, e := range set.quantizables() {
+		if !e.Quantized() {
+			continue
+		}
+		ref := refs[e.Name()]
+		for i, u := range utts {
+			got, err := e.Transcribe(u.Clip)
+			if err != nil {
+				t.Fatalf("%s quantized transcription: %v", e.Name(), err)
+			}
+			if got != ref[i] {
+				t.Errorf("%s eval clip %d: quantized %q != float %q", e.Name(), i, got, ref[i])
+			}
+		}
+	}
+
+	set.DisableQuantized()
+	if got := set.QuantizedEngines(); len(got) != 0 {
+		t.Fatalf("engines still quantized after disable: %v", got)
+	}
+}
+
+// TestCalibrateCosts checks the boot-time cost measurement the cascade
+// orders engines by: every engine gets a positive wall-time cost.
+func TestCalibrateCosts(t *testing.T) {
+	set := testEngines(t)
+	engines := []Recognizer{set.DS0, set.DS1, set.GCS, set.AT}
+	costs, err := CalibrateCosts(engines, set.SampleRate)
+	if err != nil {
+		t.Fatalf("CalibrateCosts: %v", err)
+	}
+	for _, e := range engines {
+		d, ok := costs[e.Name()]
+		if !ok {
+			t.Errorf("no cost measured for %s", e.Name())
+			continue
+		}
+		if d <= 0 || d > time.Minute {
+			t.Errorf("%s cost %v out of range", e.Name(), d)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package asr
 
 import (
 	"fmt"
+	"sync"
 
 	"mvpears/internal/audio"
 	"mvpears/internal/dsp"
@@ -19,6 +20,12 @@ type RNNEngine struct {
 	UseDeltas  bool
 	Net        *nn.RNN
 	Dec        *Decoder
+
+	// qnet is the optional int8 inference form of Net (EnableQuantized).
+	// Unexported on purpose: gob skips it, so persistence and model
+	// fingerprints never see quantized state — it is derived at load.
+	qnet  *nn.QuantizedRNN
+	qpool *sync.Pool // *nn.RNNQuantScratch
 }
 
 var (
@@ -75,6 +82,9 @@ func (e *RNNEngine) frameLabels(clip *audio.Clip, cache *FeatureCache) ([]int, e
 	feats, err := e.features(clip, cache)
 	if err != nil {
 		return nil, err
+	}
+	if e.qnet != nil {
+		return e.frameLabelsQuantized(feats)
 	}
 	logits, _, err := e.Net.ForwardSeq(feats)
 	if err != nil {

@@ -115,8 +115,19 @@ func (p PCM16) NumSamples() int { return len(p.Data) / 2 }
 // Decode converts the raw payload into a Clip with float64 samples in
 // [-1, 1]. The returned clip owns its samples (no aliasing of Data).
 func (p PCM16) Decode() *Clip {
+	return p.DecodeInto(nil)
+}
+
+// DecodeInto is Decode with a caller-provided sample buffer: when
+// cap(samples) covers the payload the conversion reuses it, so a pooled
+// buffer makes the float decode allocation-free. The clip aliases the
+// buffer — the caller must not reuse it while the clip is live.
+func (p PCM16) DecodeInto(samples []float64) *Clip {
 	n := p.NumSamples()
-	samples := make([]float64, n)
+	if cap(samples) < n {
+		samples = make([]float64, n)
+	}
+	samples = samples[:n]
 	for i := 0; i < n; i++ {
 		s := int16(binary.LittleEndian.Uint16(p.Data[i*2:]))
 		samples[i] = float64(s) / 32767
@@ -137,13 +148,19 @@ const readChunkBytes = 256 << 10
 // (0 means unlimited).
 func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) {
 	var none PCM16
-	var hdr [12]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// Header, chunk-header and fmt-body reads all reuse the caller's
+	// scratch: with a pooled scratch the structural decode allocates
+	// nothing until the data payload (and nothing at all when the payload
+	// fits the pooled capacity). Safe because every value is extracted
+	// from the buffer before the next read overwrites it.
+	hdr := growBytes(scratch[:0], 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return none, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
 	}
 	if string(hdr[0:4]) != riffMagic || string(hdr[8:12]) != waveMagic {
 		return none, fmt.Errorf("audio: %w", ErrNotWAV)
 	}
+	scratch = hdr[:0]
 	var (
 		sampleRate int
 		channels   int
@@ -151,24 +168,25 @@ func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) 
 		haveFmt    bool
 	)
 	for {
-		var chunk [8]byte
-		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+		chunk := growBytes(scratch[:0], 8)
+		if _, err := io.ReadFull(r, chunk); err != nil {
 			if err == io.EOF {
 				return none, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
 			}
 			return none, fmt.Errorf("audio: %w: reading chunk header: %v", ErrTruncated, err)
 		}
-		id := string(chunk[0:4])
+		scratch = chunk[:0]
 		size := binary.LittleEndian.Uint32(chunk[4:8])
-		switch id {
-		case fmtChunk:
+		switch {
+		case string(chunk[0:4]) == fmtChunk:
 			if size > maxFmtChunkBytes {
 				return none, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
 			}
-			body := make([]byte, size)
+			body := growBytes(scratch[:0], int(size))
 			if _, err := io.ReadFull(r, body); err != nil {
 				return none, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
 			}
+			scratch = body[:0]
 			if len(body) < 16 {
 				return none, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
 			}
@@ -186,7 +204,7 @@ func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) 
 			if err := skipPad(r, size); err != nil {
 				return none, err
 			}
-		case dataChunk:
+		case string(chunk[0:4]) == dataChunk:
 			if !haveFmt {
 				return none, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
 			}
@@ -222,7 +240,7 @@ func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) 
 		default:
 			// Skip unknown chunks (LIST, INFO, ...).
 			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
-				return none, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, id, err)
+				return none, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, string(chunk[0:4]), err)
 			}
 			if err := skipPad(r, size); err != nil {
 				return none, err

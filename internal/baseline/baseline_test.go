@@ -32,8 +32,9 @@ func fixture(t *testing.T) (*asr.EngineSet, []*audio.Clip, *audio.Clip) {
 		// Corpus seed picked so the quick-scale white-box attack yields an
 		// AE that is preprocess-fragile (the property TestPreprocessDetector
 		// asserts); attack outcomes at this scale are sensitive to the
-		// last float bit of the DSP stack.
-		utts, err := speech.GenerateUtterances(synth, 12, 810)
+		// last float bit of the DSP stack (re-pinned 810->829 when the
+		// packed real FFT changed inference-path rounding).
+		utts, err := speech.GenerateUtterances(synth, 12, 829)
 		if err != nil {
 			fixtureErr = err
 			return

@@ -1,0 +1,79 @@
+package classify
+
+import "fmt"
+
+// Partial-vector scoring for the cascade scheduler. When the detector
+// short-circuits it has similarity scores for only a prefix of the
+// auxiliaries; the classifiers are trained on full-width vectors, so the
+// missing dimensions are imputed with the benign training mean — the
+// value a benign clip is expected to produce — before classification.
+// Imputing benign means is deliberately the *optimistic* completion: a
+// partial vector that still classifies adversarial under it is a strong
+// adversarial signal, and the cascade responds by running the full
+// ensemble rather than trusting the imputation.
+
+// PartialFill holds per-dimension benign fill values for completing
+// partial similarity vectors.
+type PartialFill struct {
+	Fill []float64
+}
+
+// FitPartialFill computes the per-dimension benign training means.
+func FitPartialFill(benignX [][]float64) (*PartialFill, error) {
+	if len(benignX) == 0 || len(benignX[0]) == 0 {
+		return nil, fmt.Errorf("classify: cannot fit partial fill to empty data")
+	}
+	dim := len(benignX[0])
+	fill := make([]float64, dim)
+	for _, x := range benignX {
+		if len(x) != dim {
+			return nil, fmt.Errorf("classify: inconsistent feature width %d, want %d", len(x), dim)
+		}
+		for j, v := range x {
+			fill[j] += v
+		}
+	}
+	inv := 1 / float64(len(benignX))
+	for j := range fill {
+		fill[j] *= inv
+	}
+	return &PartialFill{Fill: fill}, nil
+}
+
+// Complete builds a full-width vector from the observed dimensions:
+// observed[i] where have[i], the benign fill mean elsewhere. The result
+// is freshly allocated.
+func (p *PartialFill) Complete(observed []float64, have []bool) ([]float64, error) {
+	if len(observed) != len(p.Fill) || len(have) != len(p.Fill) {
+		return nil, fmt.Errorf("classify: partial vector width %d/%d, want %d", len(observed), len(have), len(p.Fill))
+	}
+	full := make([]float64, len(p.Fill))
+	for i := range full {
+		if have[i] {
+			full[i] = observed[i]
+		} else {
+			full[i] = p.Fill[i]
+		}
+	}
+	return full, nil
+}
+
+// PredictPartial completes the partial vector with benign fills and
+// classifies it, returning the label and the completed vector.
+func PredictPartial(c Classifier, p *PartialFill, observed []float64, have []bool) (int, []float64, error) {
+	if c == nil {
+		return 0, nil, fmt.Errorf("classify: nil classifier")
+	}
+	if p == nil {
+		return 0, nil, fmt.Errorf("classify: nil partial fill")
+	}
+	full, err := p.Complete(observed, have)
+	if err != nil {
+		return 0, nil, err
+	}
+	label, err := c.Predict(full)
+	if err != nil {
+		return 0, nil, err
+	}
+	return label, full, nil
+}

@@ -1,0 +1,377 @@
+package detector
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+	"mvpears/internal/classify"
+	"mvpears/internal/obs"
+)
+
+// Cascade scheduling: make the miss path pay only for the confidence it
+// needs. Auxiliary engines are ordered cheapest-first (costs measured
+// once at boot); the detector first runs the target plus the cheapest
+// auxiliary, and if that single similarity score already clears a
+// calibrated benign-confidence margin AND the partial vector (missing
+// dimensions imputed with benign means) classifies benign, the remaining
+// auxiliaries are skipped. Otherwise — any adversarial lean at all — the
+// full ensemble runs.
+//
+// Why checking once is enough: the short-circuit condition is
+// min(observed scores) >= margin, and the running minimum over a prefix
+// is monotone non-increasing as engines are added. If the first (cheapest)
+// auxiliary's score fails the margin, every longer prefix fails it too,
+// so the general "check after each auxiliary" loop collapses to exactly
+// two phases: {target, cheapest aux} then {everything else}. One check,
+// no wasted intermediate classifications.
+//
+// Why a short-circuit can never flip a verdict: the margin is calibrated
+// strictly above the cheapest-auxiliary score of every calibration sample
+// the *full* classifier flags adversarial. A clip resembling any known
+// adversarial vector therefore fails the margin and takes the full path,
+// reproducing the full ensemble's verdict bit for bit. The partial
+// prediction is a second, independent gate: even above the margin, a
+// partial vector the classifier dislikes falls through to the full run.
+//
+// A deterministic 1-in-N sample of requests bypasses the cascade and runs
+// the full ensemble regardless, so the classifier's input distribution
+// stays monitored in production (observable via the sampled-full-run
+// counter in /metrics).
+
+// CascadeConfig configures the scheduler.
+type CascadeConfig struct {
+	// Margin is the benign-confidence margin a partial similarity vector
+	// must clear to short-circuit. 0 means auto-calibrate from the
+	// training features; values > 1 disable short-circuiting (similarity
+	// scores live in [0, 1]), making the cascade a no-op.
+	Margin float64
+	// SampleEvery runs the full ensemble on every Nth request regardless
+	// of the margin (deterministic, counter-based). 0 disables sampling.
+	SampleEvery int
+	// Costs are measured per-engine transcription costs keyed by engine
+	// name (asr.CalibrateCosts). Missing engines keep their configured
+	// position. When nil, the configured auxiliary order is used as-is.
+	Costs map[string]time.Duration
+	// MarginSlack is added to the calibrated margin (auto-calibration
+	// only) as head room against float jitter between calibration and
+	// serving. Defaults to 0.02 when zero.
+	MarginSlack float64
+}
+
+// Cascade is the runtime state of the scheduler, attached to a Detector
+// by EnableCascade. Safe for concurrent use: all fields are read-only
+// after construction except the atomic sampling counter.
+type Cascade struct {
+	cfg     CascadeConfig
+	order   []int // auxiliary indices, cheapest first
+	margin  float64
+	fill    *classify.PartialFill
+	counter atomic.Uint64
+}
+
+// Margin returns the effective (possibly auto-calibrated) margin.
+func (c *Cascade) Margin() float64 { return c.margin }
+
+// Order returns the auxiliary evaluation order (indices into
+// Detector.Auxiliaries), cheapest first.
+func (c *Cascade) Order() []int { return append([]int(nil), c.order...) }
+
+// SampleEvery returns the configured full-ensemble sampling period.
+func (c *Cascade) SampleEvery() int { return c.cfg.SampleEvery }
+
+// Costs returns the calibrated per-engine costs the ordering came from
+// (nil when the configured order was used).
+func (c *Cascade) Costs() map[string]time.Duration {
+	if c.cfg.Costs == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(c.cfg.Costs))
+	for k, v := range c.cfg.Costs {
+		out[k] = v
+	}
+	return out
+}
+
+// CascadeInfo reports, for one decision, which engines ran and why. It
+// feeds the ?explain=1 surface and the cascade metrics.
+type CascadeInfo struct {
+	// Enabled is true when the decision went through the scheduler (it is
+	// false on the plain full-ensemble path, including batch/training).
+	Enabled bool
+	// ShortCircuit is true when auxiliaries were skipped.
+	ShortCircuit bool
+	// SampledFull is true when this request was a deterministic 1-in-N
+	// monitoring run of the full ensemble.
+	SampledFull bool
+	// EnginesRun / EnginesSkipped name the auxiliary engines that did and
+	// did not transcribe the clip (the target always runs).
+	EnginesRun     []string
+	EnginesSkipped []string
+	// Margin is the benign-confidence margin in effect; FirstScore is the
+	// cheapest auxiliary's similarity score the margin was checked
+	// against (only meaningful when Enabled and not SampledFull).
+	Margin     float64
+	FirstScore float64
+	// Imputed marks the score dimensions (in configured auxiliary order)
+	// that were filled with benign means rather than measured.
+	Imputed []bool
+}
+
+// EnableCascade attaches a cascade scheduler to the detector. benignX and
+// aeX are the classifier's training features (configured auxiliary
+// order); they supply both the benign fill means for partial vectors and
+// the margin auto-calibration set. The classifier must already be
+// trained.
+func (d *Detector) EnableCascade(cfg CascadeConfig, benignX, aeX [][]float64) error {
+	if d.Classifier == nil {
+		return fmt.Errorf("detector: cascade needs a trained classifier")
+	}
+	if len(benignX) == 0 {
+		return fmt.Errorf("detector: cascade needs benign training features")
+	}
+	if cfg.SampleEvery < 0 {
+		return fmt.Errorf("detector: negative cascade sampling period %d", cfg.SampleEvery)
+	}
+	if cfg.MarginSlack == 0 {
+		cfg.MarginSlack = 0.02
+	}
+	fill, err := classify.FitPartialFill(benignX)
+	if err != nil {
+		return err
+	}
+	order := costOrder(d.Auxiliaries, cfg.Costs)
+	margin := cfg.Margin
+	if margin == 0 {
+		margins, err := d.calibrateMargins(benignX, aeX, cfg.MarginSlack)
+		if err != nil {
+			return err
+		}
+		// Phase one wants the cheapest auxiliary whose no-flip margin is
+		// reachable at all: similarity scores live in [0, 1], so an engine
+		// on which some classifier-flagged calibration vector scores a
+		// perfect 1.0 gets a margin above 1 and can never short-circuit
+		// safely. Leading with it would silently degrade the cascade to an
+		// always-full ensemble — and since boot-time cost calibration is
+		// wall-clock noisy, which engine sorts cheapest can differ between
+		// otherwise identical boots. Picking the cheapest USABLE engine
+		// keeps the short-circuit alive deterministically; the remaining
+		// engines stay in cost order.
+		margin = margins[order[0]]
+		for k, idx := range order {
+			if margins[idx] <= 1 {
+				margin = margins[idx]
+				if k > 0 {
+					copy(order[1:k+1], order[:k])
+					order[0] = idx
+				}
+				break
+			}
+		}
+	}
+	d.Cascade = &Cascade{cfg: cfg, order: order, margin: margin, fill: fill}
+	return nil
+}
+
+// DisableCascade detaches the scheduler; detection reverts to the full
+// ensemble.
+func (d *Detector) DisableCascade() { d.Cascade = nil }
+
+// costOrder returns auxiliary indices sorted by measured cost (ascending,
+// stable: engines without a measurement keep their configured position
+// and sort after measured ones).
+func costOrder(aux []asr.Recognizer, costs map[string]time.Duration) []int {
+	order := make([]int, len(aux))
+	for i := range order {
+		order[i] = i
+	}
+	if len(costs) == 0 {
+		return order
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, oka := costs[aux[order[a]].Name()]
+		cb, okb := costs[aux[order[b]].Name()]
+		if oka != okb {
+			return oka
+		}
+		return oka && ca < cb
+	})
+	return order
+}
+
+// calibrateMargins computes, for every auxiliary dimension, the smallest
+// safe margin: strictly above that dimension's score on every calibration
+// vector the full classifier flags adversarial, plus slack. A margin
+// above 1 (possible when adversarial training vectors score high on that
+// auxiliary) means the dimension can never short-circuit — safe, just not
+// fast — which EnableCascade uses to pick a usable phase-one engine.
+func (d *Detector) calibrateMargins(benignX, aeX [][]float64, slack float64) ([]float64, error) {
+	n := len(d.Auxiliaries)
+	maxAdv := make([]float64, n)
+	seen := false
+	for _, pool := range [][][]float64{benignX, aeX} {
+		for _, row := range pool {
+			if len(row) < n {
+				return nil, fmt.Errorf("detector: feature width %d for %d auxiliaries", len(row), n)
+			}
+			pred, err := d.Classifier.Predict(row)
+			if err != nil {
+				return nil, fmt.Errorf("detector: margin calibration: %w", err)
+			}
+			if pred == 1 {
+				seen = true
+				for j := 0; j < n; j++ {
+					if row[j] > maxAdv[j] {
+						maxAdv[j] = row[j]
+					}
+				}
+			}
+		}
+	}
+	margins := make([]float64, n)
+	for j := range margins {
+		if !seen {
+			// The classifier flags nothing in the calibration set; any
+			// margin is no-flip-safe. Use the most permissive safe value.
+			margins[j] = slack
+			continue
+		}
+		margins[j] = maxAdv[j] + slack
+	}
+	return margins, nil
+}
+
+// detectCascade is the scheduled form of detectTimedP. It preserves the
+// stage timing decomposition; trace spans are recorded per engine by
+// asr.TranscribeInto and per stage here, exactly like the full path.
+func (d *Detector) detectCascade(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
+	var timing Timing
+	c := d.Cascade
+	trace := obs.TraceFrom(ctx)
+	n := len(d.Auxiliaries)
+	info := &CascadeInfo{Enabled: true, Margin: c.margin}
+
+	// Deterministic 1-in-N monitoring: every SampleEvery-th request runs
+	// the full ensemble through the plain path so the classifier's input
+	// distribution stays observable.
+	if c.cfg.SampleEvery > 0 && c.counter.Add(1)%uint64(c.cfg.SampleEvery) == 0 {
+		dec, timing, err := d.detectFull(ctx, clip, parallel)
+		if err == nil {
+			info.SampledFull = true
+			info.EnginesRun = auxNames(d.Auxiliaries, c.order)
+			info.Imputed = make([]bool, n)
+			dec.Cascade = info
+		}
+		return dec, timing, err
+	}
+
+	// One feature cache spans both phases, so a front end extracted for
+	// the target or the cheapest auxiliary is never redone in phase two.
+	cache := asr.GetFeatureCache(clip.Samples)
+	defer asr.PutFeatureCache(cache)
+
+	texts := make([]string, n+1) // index 0 = target, i+1 = auxiliary i
+	first := c.order[0]
+
+	// Phase one: target + cheapest auxiliary.
+	start := time.Now()
+	phase1 := []asr.Recognizer{d.Target, d.Auxiliaries[first]}
+	p1out := make([]string, 2)
+	if err := asr.TranscribeInto(ctx, phase1, clip, cache, parallel, p1out); err != nil {
+		return Decision{}, timing, fmt.Errorf("detector: %w", err)
+	}
+	texts[0] = p1out[0]
+	texts[first+1] = p1out[1]
+	timing.Recognition = time.Since(start)
+
+	simStart := time.Now()
+	firstScore := d.Method.Compare(texts[0], texts[first+1])
+	timing.Similarity = time.Since(simStart)
+	info.FirstScore = firstScore
+
+	if firstScore >= c.margin {
+		// Margin cleared: classify the partial vector (benign means in
+		// the unobserved dimensions). Only a benign prediction may
+		// short-circuit; any adversarial lean runs everything.
+		observed := make([]float64, n)
+		have := make([]bool, n)
+		observed[first], have[first] = firstScore, true
+		clsStart := time.Now()
+		pred, full, err := classify.PredictPartial(d.Classifier, c.fill, observed, have)
+		if err != nil {
+			return Decision{}, timing, fmt.Errorf("detector: partial classification: %w", err)
+		}
+		timing.Classify = time.Since(clsStart)
+		if pred == 0 {
+			trace.Record(obs.StageTranscribe, "", start)
+			trace.Record(obs.StageSimilarity, "", simStart)
+			trace.Record(obs.StageClassify, "", clsStart)
+			info.ShortCircuit = true
+			info.EnginesRun = []string{d.Auxiliaries[first].Name()}
+			info.Imputed = make([]bool, n)
+			for i := range info.Imputed {
+				info.Imputed[i] = !have[i]
+				if i != first {
+					info.EnginesSkipped = append(info.EnginesSkipped, d.Auxiliaries[i].Name())
+				}
+			}
+			tr := Transcriptions{Target: texts[0], Aux: texts[1:]}
+			return Decision{Adversarial: false, Scores: full, Transcriptions: tr, Cascade: info}, timing, nil
+		}
+	}
+
+	// Phase two: every remaining auxiliary, then the ordinary full-vector
+	// classification. The running prefix minimum can only fall, so no
+	// further margin checks are needed (see package comment).
+	start2 := time.Now()
+	rest := make([]asr.Recognizer, 0, n-1)
+	restIdx := make([]int, 0, n-1)
+	for _, i := range c.order[1:] {
+		rest = append(rest, d.Auxiliaries[i])
+		restIdx = append(restIdx, i)
+	}
+	p2out := make([]string, len(rest))
+	if err := asr.TranscribeInto(ctx, rest, clip, cache, parallel, p2out); err != nil {
+		return Decision{}, timing, fmt.Errorf("detector: %w", err)
+	}
+	for k, i := range restIdx {
+		texts[i+1] = p2out[k]
+	}
+	timing.Recognition += time.Since(start2)
+	trace.Record(obs.StageTranscribe, "", start)
+
+	simStart2 := time.Now()
+	scores := make([]float64, n)
+	scores[first] = firstScore
+	for _, i := range restIdx {
+		scores[i] = d.Method.Compare(texts[0], texts[i+1])
+	}
+	trace.Record(obs.StageSimilarity, "", simStart2)
+	timing.Similarity += time.Since(simStart2)
+
+	clsStart := time.Now()
+	pred, err := d.Classifier.Predict(scores)
+	if err != nil {
+		return Decision{}, timing, fmt.Errorf("detector: classifying: %w", err)
+	}
+	trace.Record(obs.StageClassify, "", clsStart)
+	timing.Classify = time.Since(clsStart)
+
+	info.EnginesRun = auxNames(d.Auxiliaries, c.order)
+	info.Imputed = make([]bool, n)
+	tr := Transcriptions{Target: texts[0], Aux: texts[1:]}
+	return Decision{Adversarial: pred == 1, Scores: scores, Transcriptions: tr, Cascade: info}, timing, nil
+}
+
+// auxNames lists auxiliary names in evaluation order.
+func auxNames(aux []asr.Recognizer, order []int) []string {
+	names := make([]string, len(order))
+	for k, i := range order {
+		names[k] = aux[i].Name()
+	}
+	return names
+}

@@ -48,6 +48,10 @@ type Detector struct {
 	// architecture runs engines concurrently; sequential mode exists for
 	// deterministic timing studies).
 	Sequential bool
+	// Cascade, when non-nil (EnableCascade), schedules Detect* calls
+	// cheapest-engine-first with a calibrated benign short-circuit.
+	// Training and batch feature extraction always use the full ensemble.
+	Cascade *Cascade
 }
 
 // New builds a detector with the paper's defaults (PE_JaroWinkler + SVM).
@@ -148,6 +152,11 @@ type Decision struct {
 	Adversarial    bool
 	Scores         []float64
 	Transcriptions Transcriptions
+	// Cascade reports scheduling provenance (which engines ran and why)
+	// when the decision went through a cascade; nil on the plain path.
+	// When the cascade short-circuits, the skipped dimensions of Scores
+	// hold benign fill means — Cascade.Imputed marks them.
+	Cascade *CascadeInfo
 }
 
 // Timing decomposes one detection into the paper's §V-I overhead parts.
@@ -180,16 +189,25 @@ func (d *Detector) DetectTimedCtx(ctx context.Context, clip *audio.Clip) (Decisi
 	return d.detectTimedP(ctx, clip, !d.Sequential)
 }
 
-// detectTimedP is DetectTimedCtx with explicit engine parallelism. When
-// the context carries an obs.Trace, the pipeline records one span per
-// stage (transcribe, phonetic, similarity, classify; the per-engine
+// detectTimedP is DetectTimedCtx with explicit engine parallelism: the
+// cascade scheduler when one is attached, the full ensemble otherwise.
+func (d *Detector) detectTimedP(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
+	if d.Classifier == nil {
+		return Decision{}, Timing{}, fmt.Errorf("detector: no classifier configured")
+	}
+	if d.Cascade != nil {
+		return d.detectCascade(ctx, clip, parallel)
+	}
+	return d.detectFull(ctx, clip, parallel)
+}
+
+// detectFull runs the unconditional full-ensemble pipeline. When the
+// context carries an obs.Trace, the pipeline records one span per stage
+// (transcribe, phonetic, similarity, classify; the per-engine
 // transcription spans are recorded inside internal/asr, and the decode
 // span by whoever decoded the audio).
-func (d *Detector) detectTimedP(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
+func (d *Detector) detectFull(ctx context.Context, clip *audio.Clip, parallel bool) (Decision, Timing, error) {
 	var timing Timing
-	if d.Classifier == nil {
-		return Decision{}, timing, fmt.Errorf("detector: no classifier configured")
-	}
 	trace := obs.TraceFrom(ctx)
 	start := time.Now()
 	tr, err := d.transcribeAllP(ctx, clip, parallel)

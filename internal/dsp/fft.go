@@ -161,6 +161,57 @@ func PowerSpectrumInto(x []float64, spec []complex128, out []float64) ([]float64
 	return out, nil
 }
 
+// RealPowerInto computes the power spectrum |X_k|^2 for the n/2+1
+// nonredundant bins of the real signal x (len(x) a power of two >= 2)
+// into power, using buf (cap >= n/2) as workspace. It runs a half-size
+// complex FFT over even/odd-packed samples and untangles the result —
+// about half the butterfly work of the full transform RFFT does, which is
+// what makes it the front-end kernel of the serving path: MFCC extraction
+// only ever consumes the power spectrum, never the full complex bins.
+func RealPowerInto(x []float64, buf []complex128, power []float64) error {
+	n := len(x)
+	if n < 2 || n&(n-1) != 0 {
+		return fmt.Errorf("dsp: real FFT length %d is not a power of two >= 2", n)
+	}
+	h := n / 2
+	if cap(buf) < h {
+		return fmt.Errorf("dsp: real FFT workspace cap %d < %d", cap(buf), h)
+	}
+	if len(power) < h+1 {
+		return fmt.Errorf("dsp: power buffer len %d < %d", len(power), h+1)
+	}
+	buf = buf[:h]
+	for j := 0; j < h; j++ {
+		buf[j] = complex(x[2*j], x[2*j+1])
+	}
+	if err := FFT(buf); err != nil {
+		return err
+	}
+	// Untangle: with z_j = x_{2j} + i·x_{2j+1} and Z its H-point FFT, the
+	// even/odd spectra are E_k = (Z_k + conj(Z_{H-k}))/2 and
+	// O_k = -i(Z_k - conj(Z_{H-k}))/2, and X_k = E_k + W_n^k·O_k. The DC
+	// and Nyquist bins collapse to sums of Z_0's parts. The loop is spelled
+	// out in real arithmetic: the complex128 form costs roughly as much as
+	// the half-size FFT it follows.
+	re0, im0 := real(buf[0]), imag(buf[0])
+	dc := re0 + im0
+	ny := re0 - im0
+	power[0] = dc * dc
+	power[h] = ny * ny
+	tw := getPlan(n).fwd
+	for k := 1; k < h; k++ {
+		a, b := real(buf[k]), imag(buf[k])
+		c, d := real(buf[h-k]), imag(buf[h-k])
+		er, ei := 0.5*(a+c), 0.5*(b-d)
+		or, oi := 0.5*(b+d), -0.5*(a-c)
+		tr, ti := real(tw[k]), imag(tw[k])
+		xr := er + tr*or - ti*oi
+		xi := ei + tr*oi + ti*or
+		power[k] = xr*xr + xi*xi
+	}
+	return nil
+}
+
 // NextPow2 returns the smallest power of two >= n (and at least 1).
 func NextPow2(n int) int {
 	p := 1

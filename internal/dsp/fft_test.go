@@ -240,3 +240,39 @@ func BenchmarkFFT256(b *testing.B) {
 		}
 	}
 }
+
+// TestRealPowerInto checks the packed half-size real FFT against the
+// full complex transform on random signals across sizes.
+func TestRealPowerInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 64, 256, 512} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want, err := PowerSpectrum(x)
+		if err != nil {
+			t.Fatalf("n=%d PowerSpectrum: %v", n, err)
+		}
+		got := make([]float64, n/2+1)
+		if err := RealPowerInto(x, make([]complex128, n/2), got); err != nil {
+			t.Fatalf("n=%d RealPowerInto: %v", n, err)
+		}
+		for k := range want {
+			diff := math.Abs(got[k] - want[k])
+			scale := math.Abs(want[k]) + 1
+			if diff/scale > 1e-10 {
+				t.Errorf("n=%d bin %d: got %g want %g", n, k, got[k], want[k])
+			}
+		}
+	}
+	if err := RealPowerInto(make([]float64, 3), make([]complex128, 2), make([]float64, 3)); err == nil {
+		t.Error("non-power-of-two length not rejected")
+	}
+	if err := RealPowerInto(make([]float64, 8), make([]complex128, 2), make([]float64, 5)); err == nil {
+		t.Error("short workspace not rejected")
+	}
+	if err := RealPowerInto(make([]float64, 8), make([]complex128, 4), make([]float64, 3)); err == nil {
+		t.Error("short power buffer not rejected")
+	}
+}

@@ -105,6 +105,7 @@ type MFCC struct {
 type mfccScratch struct {
 	pre    []float64    // pre-emphasized signal (grown to clip length)
 	buf    []complex128 // FFTSize FFT workspace
+	frame  []float64    // FFTSize windowed real frame (inference path)
 	power  []float64    // FFTSize/2+1 power bins
 	mel    []float64    // NumFilters mel energies
 	logMel []float64    // NumFilters log energies
@@ -128,6 +129,7 @@ func NewMFCC(cfg MFCCConfig) (*MFCC, error) {
 	m.pool.New = func() any {
 		return &mfccScratch{
 			buf:    make([]complex128, cfg.FFTSize),
+			frame:  make([]float64, cfg.FFTSize),
 			power:  make([]float64, cfg.FFTSize/2+1),
 			mel:    make([]float64, cfg.NumFilters),
 			logMel: make([]float64, cfg.NumFilters),
@@ -206,19 +208,36 @@ func (m *MFCC) extract(x []float64, keep bool) ([][]float64, *MFCCState, error) 
 		if avail < 0 {
 			avail = 0
 		}
-		for i := 0; i < avail; i++ {
-			buf[i] = complex(pre[start+i]*m.window[i], 0)
-		}
-		for i := avail; i < cfg.FFTSize; i++ {
-			buf[i] = 0
-		}
-		if err := FFT(buf); err != nil {
-			return nil, nil, err
-		}
 		power := s.power
-		for k := range power {
-			re, im := real(buf[k]), imag(buf[k])
-			power[k] = re*re + im*im
+		if keep {
+			// The backward pass needs the full complex spectrum, so the
+			// gradient path keeps the full-size transform.
+			for i := 0; i < avail; i++ {
+				buf[i] = complex(pre[start+i]*m.window[i], 0)
+			}
+			for i := avail; i < cfg.FFTSize; i++ {
+				buf[i] = 0
+			}
+			if err := FFT(buf); err != nil {
+				return nil, nil, err
+			}
+			for k := range power {
+				re, im := real(buf[k]), imag(buf[k])
+				power[k] = re*re + im*im
+			}
+		} else {
+			// Inference only consumes the power spectrum: window into a
+			// real frame and use the half-size packed real FFT.
+			frame := s.frame
+			for i := 0; i < avail; i++ {
+				frame[i] = pre[start+i] * m.window[i]
+			}
+			for i := avail; i < cfg.FFTSize; i++ {
+				frame[i] = 0
+			}
+			if err := RealPowerInto(frame, buf, power); err != nil {
+				return nil, nil, err
+			}
 		}
 		mel, err := m.bank.ApplyInto(power, s.mel)
 		if err != nil {

@@ -1,0 +1,490 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8-quantized inference for the MLP and RNN acoustic models.
+//
+// The detection hot path is frame classification: thousands of small
+// matrix-vector products per clip, all bound by scalar multiply-add
+// throughput on float64 weights. Quantizing weights to int8 with
+// per-output-row symmetric scales shrinks the working set 8x and moves every
+// multiply-accumulate onto int32, and batching all of a clip's frames into
+// one blocked matrix-matrix product per layer lets each loaded input value
+// feed four weight rows with independent accumulators — the form the
+// scalar pipeline actually keeps busy. Dequantization happens once per
+// output (at the accumulator), so activations and logits stay float64 and
+// the nonlinearities are exact.
+//
+// Quantized models are DERIVED state: they are built from a float model at
+// load time (Quantize/QuantizeRNN), are never serialized, and hold no
+// state the float model does not. Model fingerprints and verdict-cache
+// keys therefore never see them. Callers gate their use behind an
+// accuracy-parity check (see internal/asr) and fall back to the float
+// model when the check fails.
+
+// qmat is one int8-quantized matrix with per-output-row symmetric scales:
+// the float weight w[r*cols+j] is approximated by scales[r] *
+// float64(q[r*cols+j]). Per-row (per-output-channel) scales rather than
+// one per-matrix scale: a single outlier row no longer inflates the
+// quantization step of every other row, which is the difference between
+// the acoustic MLPs passing and failing the transcription-parity gate.
+type qmat struct {
+	q      []int8
+	scales []float64
+}
+
+// quantizeMat quantizes the rows x cols matrix w symmetrically, one scale
+// per row: scales[r] = max|w[r]| / 127, q = round(w/scale) clamped to
+// [-127, 127]. An all-zero row gets scale 0 and zero q, which dequantizes
+// exactly.
+func quantizeMat(w []float64, rows, cols int) qmat {
+	m := qmat{q: make([]int8, len(w)), scales: make([]float64, rows)}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		var max float64
+		for _, v := range row {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		scale := max / 127
+		m.scales[r] = scale
+		inv := 1 / scale
+		for j, v := range row {
+			q := math.Round(v * inv)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			m.q[r*cols+j] = int8(q)
+		}
+	}
+	return m
+}
+
+// quantizeVecInto quantizes one activation vector symmetrically into dst
+// and returns the scale (0 for an all-zero vector).
+func quantizeVecInto(x []float64, dst []int8) float64 {
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		for i := range dst[:len(x)] {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := max / 127
+	inv := 1 / scale
+	for i, v := range x {
+		q := math.Round(v * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// dotInt8 is the int8 x int8 -> int32 inner product of the single-frame
+// path. With |q| <= 127 each term is bounded by 16129, so an int32
+// accumulator is exact up to ~133k terms — orders of magnitude above any
+// layer width in this repository. Four independent accumulators break the
+// add dependency chain; integer addition is associative, so the result is
+// identical to the naive loop.
+func dotInt8(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a) &^ 3
+	_ = b[len(a)-1] // hoist the bound check out of the loop
+	for i := 0; i < n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	acc := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		acc += int32(a[i]) * int32(b[i])
+	}
+	return acc
+}
+
+// fastTanh is the rational tanh approximation used by the quantized
+// paths: x·p(x²)/q(x²) with the classic 13/6-degree minimax coefficients
+// (the same polynomial Eigen ships for float32), clamped to ±1 beyond
+// |x| = 9. Max error is ~1e-7 — three orders of magnitude below int8
+// quantization noise — and it avoids math.Tanh's exp-based evaluation.
+// Both the single-frame and batched quantized paths use it, so they stay
+// bit-identical to each other; float-vs-quantized decision parity is
+// enforced at the engine level.
+func fastTanh(x float64) float64 {
+	if x > 9 {
+		return 1
+	}
+	if x < -9 {
+		return -1
+	}
+	x2 := x * x
+	p := 2.00018790482477e-13 + x2*-2.76076847742355e-16
+	p = -8.60467152213735e-11 + x2*p
+	p = 5.12229709037114e-08 + x2*p
+	p = 1.48572235717979e-05 + x2*p
+	p = 6.37261928875436e-04 + x2*p
+	p = 4.89352455891786e-03 + x2*p
+	q := 1.19825839466702e-06
+	q = 1.18534705686654e-04 + x2*q
+	q = 2.26843463243900e-03 + x2*q
+	q = 4.89352518554385e-03 + x2*q
+	return x * p / q
+}
+
+// dot4Int8 computes the inner products of x against four weight rows at
+// once: each loaded input byte feeds four independent accumulators, so
+// the multiplies pipeline and input traffic is quartered. Kept as its own
+// function so the register allocator sees only these nine live values —
+// inlined into qlayerBatch the surrounding state spills the accumulators
+// to the stack every iteration.
+//
+//go:noinline
+func dot4Int8(x, w0, w1, w2, w3 []int8) (s0, s1, s2, s3 int32) {
+	// Reslice the rows to len(x) so the compiler can prove every index
+	// below is in bounds and drop the checks.
+	w0, w1, w2, w3 = w0[:len(x)], w1[:len(x)], w2[:len(x)], w3[:len(x)]
+	for j, xv8 := range x {
+		xv := int32(xv8)
+		s0 += xv * int32(w0[j])
+		s1 += xv * int32(w1[j])
+		s2 += xv * int32(w2[j])
+		s3 += xv * int32(w3[j])
+	}
+	return s0, s1, s2, s3
+}
+
+// qlayerBatch is the blocked int8 GEMM behind every batched layer: t
+// quantized input rows (stride rstride, per-row scales) against an
+// outW x inW quantized weight matrix, dequantized into float rows of fout
+// (stride fstride), with optional bias and tanh. Output rows are blocked
+// four at a time so each loaded input byte feeds four independent int32
+// accumulators. The accumulated integer is exact, and the dequantization
+// v = float64(acc)*(scales[i]*w.scales[o]) + bias matches the
+// single-frame path term for term, so batching never changes a logit.
+func qlayerBatch(t, inW, outW int, qrows []int8, rstride int, scales []float64, w qmat, bias []float64, act bool, fout []float64, fstride int) {
+	o := 0
+	for ; o+3 < outW; o += 4 {
+		w0 := w.q[(o+0)*inW : (o+0)*inW+inW]
+		w1 := w.q[(o+1)*inW : (o+1)*inW+inW]
+		w2 := w.q[(o+2)*inW : (o+2)*inW+inW]
+		w3 := w.q[(o+3)*inW : (o+3)*inW+inW]
+		sw0, sw1, sw2, sw3 := w.scales[o], w.scales[o+1], w.scales[o+2], w.scales[o+3]
+		var b0, b1, b2, b3 float64
+		if bias != nil {
+			b0, b1, b2, b3 = bias[o], bias[o+1], bias[o+2], bias[o+3]
+		}
+		for i := 0; i < t; i++ {
+			x := qrows[i*rstride : i*rstride+inW]
+			s0, s1, s2, s3 := dot4Int8(x, w0, w1, w2, w3)
+			si := scales[i]
+			a0 := float64(s0)*(si*sw0) + b0
+			a1 := float64(s1)*(si*sw1) + b1
+			a2 := float64(s2)*(si*sw2) + b2
+			a3 := float64(s3)*(si*sw3) + b3
+			if act {
+				a0, a1, a2, a3 = fastTanh(a0), fastTanh(a1), fastTanh(a2), fastTanh(a3)
+			}
+			frow := fout[i*fstride : i*fstride+outW]
+			frow[o], frow[o+1], frow[o+2], frow[o+3] = a0, a1, a2, a3
+		}
+	}
+	for ; o < outW; o++ {
+		wrow := w.q[o*inW : o*inW+inW]
+		sw := w.scales[o]
+		var bo float64
+		if bias != nil {
+			bo = bias[o]
+		}
+		for i := 0; i < t; i++ {
+			x := qrows[i*rstride : i*rstride+inW]
+			s := float64(dotInt8(x, wrow))*(scales[i]*sw) + bo
+			if act {
+				s = fastTanh(s)
+			}
+			fout[i*fstride+o] = s
+		}
+	}
+}
+
+// QuantizedMLP is the int8 inference form of an MLP: per-output-row
+// symmetric weight scales, float64 biases, int32 accumulation, dequantization at
+// each layer's output. Safe for concurrent use once built (all fields are
+// read-only); per-call scratch lives in QuantScratch.
+type QuantizedMLP struct {
+	sizes []int
+	w     []qmat
+	b     [][]float64
+}
+
+// Quantize derives the int8 inference model from m. The float model is
+// not retained; weights are copied into quantized form.
+func Quantize(m *MLP) *QuantizedMLP {
+	q := &QuantizedMLP{
+		sizes: append([]int(nil), m.Sizes...),
+		w:     make([]qmat, len(m.W)),
+		b:     make([][]float64, len(m.B)),
+	}
+	for l := range m.W {
+		q.w[l] = quantizeMat(m.W[l], m.Sizes[l+1], m.Sizes[l])
+		q.b[l] = append([]float64(nil), m.B[l]...)
+	}
+	return q
+}
+
+// InputSize returns the expected input dimension.
+func (q *QuantizedMLP) InputSize() int { return q.sizes[0] }
+
+// OutputSize returns the logits dimension.
+func (q *QuantizedMLP) OutputSize() int { return q.sizes[len(q.sizes)-1] }
+
+// maxWidth returns the widest layer dimension.
+func (q *QuantizedMLP) maxWidth() int {
+	maxW := 0
+	for _, s := range q.sizes {
+		if s > maxW {
+			maxW = s
+		}
+	}
+	return maxW
+}
+
+// QuantScratch holds the reusable buffers of quantized forward passes. One
+// scratch belongs to one goroutine at a time.
+type QuantScratch struct {
+	qin  []int8      // quantized current-layer input (single-frame path)
+	acts [][]float64 // float outputs per layer (single-frame path)
+
+	// Batch buffers, sized lazily to the largest utterance seen.
+	qbatch []int8    // T x maxWidth quantized activations, row-major
+	scales []float64 // per-frame activation scales
+	fbatch []float64 // T x maxWidth float activations of the current layer
+}
+
+// NewScratch allocates a scratch sized for q's layers.
+func (q *QuantizedMLP) NewScratch() *QuantScratch {
+	sc := &QuantScratch{
+		qin:  make([]int8, q.maxWidth()),
+		acts: make([][]float64, len(q.w)),
+	}
+	for l := range q.w {
+		sc.acts[l] = make([]float64, q.sizes[l+1])
+	}
+	return sc
+}
+
+// Forward computes logits for one input vector using scratch buffers. The
+// returned slice aliases scratch and is valid until the next call.
+func (q *QuantizedMLP) Forward(x []float64, scratch *QuantScratch) ([]float64, error) {
+	if len(x) != q.InputSize() {
+		return nil, fmt.Errorf("nn: input size %d, want %d", len(x), q.InputSize())
+	}
+	cur := x
+	for l := range q.w {
+		in, out := q.sizes[l], q.sizes[l+1]
+		sx := quantizeVecInto(cur, scratch.qin)
+		qx := scratch.qin[:in]
+		next := scratch.acts[l]
+		wq := q.w[l].q
+		ws := q.w[l].scales
+		for o := 0; o < out; o++ {
+			acc := dotInt8(qx, wq[o*in:(o+1)*in])
+			s := float64(acc)*(sx*ws[o]) + q.b[l][o]
+			if l < len(q.w)-1 {
+				s = fastTanh(s)
+			}
+			next[o] = s
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ensureBatch sizes the scratch's batch buffers for T rows of width w.
+func (sc *QuantScratch) ensureBatch(t, w int) {
+	if cap(sc.qbatch) < t*w {
+		sc.qbatch = make([]int8, t*w)
+	}
+	sc.qbatch = sc.qbatch[:t*w]
+	if cap(sc.scales) < t {
+		sc.scales = make([]float64, t)
+	}
+	sc.scales = sc.scales[:t]
+	if cap(sc.fbatch) < t*w {
+		sc.fbatch = make([]float64, t*w)
+	}
+	sc.fbatch = sc.fbatch[:t*w]
+}
+
+// ForwardBatch runs the whole utterance through the network with one
+// blocked matrix-matrix product per layer: all T frames are quantized
+// (per-frame scales, shared int8 weight matrix), multiplied, dequantized,
+// activated, and re-quantized as the next layer's input. out must have T
+// rows of OutputSize(); rows are fully overwritten. Each frame's logits
+// are bit-identical to the single-frame Forward path — the per-frame
+// scale makes rows independent, and the blocked integer accumulation is
+// exact.
+func (q *QuantizedMLP) ForwardBatch(xs [][]float64, out [][]float64, scratch *QuantScratch) error {
+	t := len(xs)
+	if t == 0 {
+		return nil
+	}
+	if len(out) < t {
+		return fmt.Errorf("nn: batch output has %d rows, want %d", len(out), t)
+	}
+	maxW := q.maxWidth()
+	scratch.ensureBatch(t, maxW)
+	in := q.sizes[0]
+	for i, x := range xs {
+		if len(x) != in {
+			return fmt.Errorf("nn: frame %d has size %d, want %d", i, len(x), in)
+		}
+		scratch.scales[i] = quantizeVecInto(x, scratch.qbatch[i*maxW:i*maxW+in])
+	}
+	last := len(q.w) - 1
+	for l := range q.w {
+		inW, outW := q.sizes[l], q.sizes[l+1]
+		qlayerBatch(t, inW, outW, scratch.qbatch, maxW, scratch.scales, q.w[l], q.b[l], l != last, scratch.fbatch, maxW)
+		if l != last {
+			for i := 0; i < t; i++ {
+				frow := scratch.fbatch[i*maxW : i*maxW+outW]
+				scratch.scales[i] = quantizeVecInto(frow, scratch.qbatch[i*maxW:i*maxW+outW])
+			}
+		}
+	}
+	outW := q.OutputSize()
+	for i := 0; i < t; i++ {
+		copy(out[i][:outW], scratch.fbatch[i*maxW:i*maxW+outW])
+	}
+	return nil
+}
+
+// QuantizedRNN is the int8 inference form of an Elman RNN. The
+// input-to-hidden contribution of every timestep is one blocked batch
+// product up front; the recurrent hidden-to-hidden term stays sequential
+// (each step depends on the previous hidden state) but runs blocked on
+// int8 with the hidden state quantized once per step; the output
+// projection is one blocked batch product over the collected hidden
+// states.
+type QuantizedRNN struct {
+	in, hidden, out int
+	wx, wh, wy      qmat
+	bh, by          []float64
+}
+
+// QuantizeRNN derives the int8 inference model from r.
+func QuantizeRNN(r *RNN) *QuantizedRNN {
+	return &QuantizedRNN{
+		in: r.In, hidden: r.Hidden, out: r.Out,
+		wx: quantizeMat(r.Wx, r.Hidden, r.In),
+		wh: quantizeMat(r.Wh, r.Hidden, r.Hidden),
+		wy: quantizeMat(r.Wy, r.Out, r.Hidden),
+		bh: append([]float64(nil), r.Bh...),
+		by: append([]float64(nil), r.By...),
+	}
+}
+
+// RNNQuantScratch holds the reusable buffers of one ForwardSeq call.
+type RNNQuantScratch struct {
+	qxs     []int8    // T x in quantized input frames
+	xscales []float64 // per-frame input scales
+	xContr  []float64 // T x hidden input-projection contributions
+	h       []float64 // current hidden state (float)
+	whc     []float64 // hidden: recurrent contribution of the current step
+	qhs     []int8    // T x hidden quantized hidden states
+	hscales []float64 // per-frame hidden-state scales
+	yout    []float64 // T x out logits
+}
+
+// NewScratch allocates a scratch for q.
+func (q *QuantizedRNN) NewScratch() *RNNQuantScratch {
+	return &RNNQuantScratch{
+		h:   make([]float64, q.hidden),
+		whc: make([]float64, q.hidden),
+	}
+}
+
+// OutputSize returns the logits dimension.
+func (q *QuantizedRNN) OutputSize() int { return q.out }
+
+func ensureI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+func ensureF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ForwardSeq computes per-frame logits for the sequence. out must have
+// len(xs) rows of OutputSize(); rows are fully overwritten.
+func (q *QuantizedRNN) ForwardSeq(xs [][]float64, out [][]float64, sc *RNNQuantScratch) error {
+	t := len(xs)
+	if t == 0 {
+		return nil
+	}
+	if len(out) < t {
+		return fmt.Errorf("nn: batch output has %d rows, want %d", len(out), t)
+	}
+	sc.qxs = ensureI8(sc.qxs, t*q.in)
+	sc.xscales = ensureF64(sc.xscales, t)
+	sc.xContr = ensureF64(sc.xContr, t*q.hidden)
+	sc.qhs = ensureI8(sc.qhs, t*q.hidden)
+	sc.hscales = ensureF64(sc.hscales, t)
+	sc.yout = ensureF64(sc.yout, t*q.out)
+	for i, x := range xs {
+		if len(x) != q.in {
+			return fmt.Errorf("nn: frame %d has size %d, want %d", i, len(x), q.in)
+		}
+		sc.xscales[i] = quantizeVecInto(x, sc.qxs[i*q.in:(i+1)*q.in])
+	}
+	// Batched input projection: Wx applied to every frame at once (no
+	// bias, no activation — the recurrence adds both).
+	qlayerBatch(t, q.in, q.hidden, sc.qxs, q.in, sc.xscales, q.wx, nil, false, sc.xContr, q.hidden)
+	// Sequential recurrence; the hidden state is quantized once per step
+	// (for the next step's Wh product and the final Wy batch).
+	for i := 0; i < t; i++ {
+		if i == 0 {
+			for j := range sc.whc {
+				sc.whc[j] = 0
+			}
+		} else {
+			qlayerBatch(1, q.hidden, q.hidden, sc.qhs[(i-1)*q.hidden:i*q.hidden], q.hidden,
+				sc.hscales[i-1:i], q.wh, nil, false, sc.whc, q.hidden)
+		}
+		xrow := sc.xContr[i*q.hidden : (i+1)*q.hidden]
+		for j := 0; j < q.hidden; j++ {
+			sc.h[j] = fastTanh(q.bh[j] + xrow[j] + sc.whc[j])
+		}
+		sc.hscales[i] = quantizeVecInto(sc.h, sc.qhs[i*q.hidden:(i+1)*q.hidden])
+	}
+	// Batched output projection over the collected hidden states.
+	qlayerBatch(t, q.hidden, q.out, sc.qhs, q.hidden, sc.hscales, q.wy, q.by, false, sc.yout, q.out)
+	for i := 0; i < t; i++ {
+		copy(out[i][:q.out], sc.yout[i*q.out:(i+1)*q.out])
+	}
+	return nil
+}

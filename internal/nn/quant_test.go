@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randFrames(rng *rand.Rand, t, dim int) [][]float64 {
+	xs := make([][]float64, t)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func allocRows(t, dim int) [][]float64 {
+	rows := make([][]float64, t)
+	for i := range rows {
+		rows[i] = make([]float64, dim)
+	}
+	return rows
+}
+
+// TestQuantizedMLPCloseToFloat checks the int8 path tracks the float path
+// closely enough that argmax decisions agree on the overwhelming majority
+// of random frames. Quantization error is bounded but nonzero, so exact
+// logit equality is not expected; the engine-level parity gate (in
+// internal/asr) is what enforces decision-identical transcriptions.
+func TestQuantizedMLPCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewMLP(rng, 65, 64, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Quantize(m)
+	sc := q.NewScratch()
+	fs := m.NewScratch()
+	frames := randFrames(rng, 200, 65)
+	agree := 0
+	for _, x := range frames {
+		fl, err := m.ForwardScratch(x, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ql, err := q.Forward(x, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for i := range fl {
+			if e := math.Abs(fl[i] - ql[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.5 {
+			t.Fatalf("quantized logits diverge: max abs err %g", maxErr)
+		}
+		if Argmax(fl) == Argmax(ql) {
+			agree++
+		}
+	}
+	if agree < 190 {
+		t.Fatalf("argmax agreement %d/200, want >= 190", agree)
+	}
+}
+
+// TestQuantizedMLPBatchMatchesSingle asserts the batched GEMM path is
+// bit-identical to the single-frame quantized path: per-frame input scales
+// make every row independent, so batching must not change any logit.
+func TestQuantizedMLPBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, err := NewMLP(rng, 30, 24, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Quantize(m)
+	frames := randFrames(rng, 50, 30)
+	out := allocRows(len(frames), q.OutputSize())
+	if err := q.ForwardBatch(frames, out, q.NewScratch()); err != nil {
+		t.Fatal(err)
+	}
+	sc := q.NewScratch()
+	for i, x := range frames {
+		single, err := q.Forward(x, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range single {
+			if single[o] != out[i][o] {
+				t.Fatalf("frame %d logit %d: batch %g != single %g", i, o, out[i][o], single[o])
+			}
+		}
+	}
+}
+
+// TestQuantizedMLPShapeErrors checks dimension validation.
+func TestQuantizedMLPShapeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, _ := NewMLP(rng, 8, 6, 4)
+	q := Quantize(m)
+	sc := q.NewScratch()
+	if _, err := q.Forward(make([]float64, 7), sc); err == nil {
+		t.Fatal("want error for wrong input size")
+	}
+	xs := randFrames(rng, 3, 8)
+	if err := q.ForwardBatch(xs, allocRows(2, 4), sc); err == nil {
+		t.Fatal("want error for short output batch")
+	}
+	xs[1] = make([]float64, 5)
+	if err := q.ForwardBatch(xs, allocRows(3, 4), sc); err == nil {
+		t.Fatal("want error for wrong frame size")
+	}
+}
+
+// TestQuantizedMLPZeroWeights checks an all-zero layer dequantizes
+// exactly (scale 0 must not produce NaNs).
+func TestQuantizedMLPZeroWeights(t *testing.T) {
+	m := &MLP{
+		Sizes: []int{4, 3},
+		W:     [][]float64{make([]float64, 12)},
+		B:     [][]float64{{0.5, -0.25, 0}},
+	}
+	q := Quantize(m)
+	got, err := q.Forward([]float64{1, -2, 3, 0}, q.NewScratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, -0.25, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// All-zero input vector: scale 0, output is just the bias.
+	got, err = q.Forward(make([]float64, 4), q.NewScratch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero-input logit %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantizedRNNCloseToFloat mirrors the MLP closeness test for the
+// Elman RNN sequence path.
+func TestQuantizedRNNCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	r, err := NewRNN(rng, 28, 48, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QuantizeRNN(r)
+	xs := randFrames(rng, 60, 28)
+	fl, _, err := r.ForwardSeq(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := allocRows(len(xs), q.OutputSize())
+	if err := q.ForwardSeq(xs, out, q.NewScratch()); err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range xs {
+		var maxErr float64
+		for o := range fl[i] {
+			if e := math.Abs(fl[i][o] - out[i][o]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.6 {
+			t.Fatalf("frame %d: quantized logits diverge, max abs err %g", i, maxErr)
+		}
+		if Argmax(fl[i]) == Argmax(out[i]) {
+			agree++
+		}
+	}
+	if agree < 54 {
+		t.Fatalf("argmax agreement %d/60, want >= 54", agree)
+	}
+}
+
+// TestQuantizedRNNDeterministic checks the quantized sequence pass is
+// reproducible across calls and scratches.
+func TestQuantizedRNNDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r, _ := NewRNN(rng, 10, 12, 8)
+	q := QuantizeRNN(r)
+	xs := randFrames(rng, 25, 10)
+	a := allocRows(len(xs), q.OutputSize())
+	b := allocRows(len(xs), q.OutputSize())
+	if err := q.ForwardSeq(xs, a, q.NewScratch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.ForwardSeq(xs, b, q.NewScratch()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for o := range a[i] {
+			if a[i][o] != b[i][o] {
+				t.Fatalf("frame %d logit %d differs across runs", i, o)
+			}
+		}
+	}
+}
+
+// BenchmarkQuantizedForward compares the float per-frame path against the
+// int8 batched path at the DS0 engine's layer shape over a typical
+// utterance length.
+func BenchmarkQuantizedForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMLP(rng, 65, 64, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const frames = 150
+	xs := randFrames(rng, frames, 65)
+
+	b.Run("float64", func(b *testing.B) {
+		sc := m.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				if _, err := m.ForwardScratch(x, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	q := Quantize(m)
+	b.Run("int8", func(b *testing.B) {
+		sc := q.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				if _, err := q.Forward(x, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("int8-batch", func(b *testing.B) {
+		sc := q.NewScratch()
+		out := allocRows(frames, q.OutputSize())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := q.ForwardBatch(xs, out, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuantizedRNNForward compares float vs int8 sequence passes at
+// the GCS engine's shape.
+func BenchmarkQuantizedRNNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r, err := NewRNN(rng, 28, 48, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const frames = 150
+	xs := randFrames(rng, frames, 28)
+
+	b.Run("float64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := r.ForwardSeq(xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	q := QuantizeRNN(r)
+	b.Run("int8", func(b *testing.B) {
+		sc := q.NewScratch()
+		out := allocRows(frames, q.OutputSize())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := q.ForwardSeq(xs, out, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

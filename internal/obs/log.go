@@ -15,11 +15,14 @@ type RequestRecord struct {
 	Method    string
 	Status    int
 	Duration  time.Duration
-	// Verdict / Cached / Collapsed come from the trace annotations and are
-	// zero for non-detection routes.
+	// Verdict / Cached / Collapsed / ShortCircuit come from the trace
+	// annotations and are zero for non-detection routes.
 	Verdict   string
 	Cached    bool
 	Collapsed bool
+	// ShortCircuit marks a verdict the cascade scheduler answered without
+	// running the full engine ensemble.
+	ShortCircuit bool
 	// Trace supplies the per-stage timings; nil is fine.
 	Trace *Trace
 }
@@ -104,6 +107,9 @@ func (l *RequestLogger) Log(rec RequestRecord) {
 			slog.Bool("cached", rec.Cached),
 			slog.Bool("collapsed", rec.Collapsed),
 		)
+		if rec.ShortCircuit {
+			attrs = append(attrs, slog.Bool("short_circuit", true))
+		}
 	}
 	if totals := rec.Trace.StageTotals(); len(totals) > 0 {
 		stageAttrs := make([]any, 0, len(totals))

@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,19 +57,20 @@ type Trace struct {
 	mu    sync.Mutex
 	spans []Span
 
-	verdict   string
-	cached    bool
-	collapsed bool
+	verdict      string
+	cached       bool
+	collapsed    bool
+	shortCircuit bool
 }
 
-// NewTrace starts a trace identified by id (usually the request ID).
+// NewTrace starts a trace identified by id (usually the request ID). The
+// span slice is allocated lazily on the first Record: a verdict-cache hit
+// never records a span, so the pure hit path pays nothing for tracing
+// beyond the Trace struct itself.
 func NewTrace(id string) *Trace {
 	return &Trace{
 		id:    id,
 		begin: time.Now(),
-		// The serving pipeline records 5 stage spans plus one span per
-		// engine; 12 covers the default four-engine system without growth.
-		spans: make([]Span, 0, 12),
 	}
 }
 
@@ -89,6 +91,11 @@ func (t *Trace) Record(stage, engine string, start time.Time) {
 	}
 	now := time.Now()
 	t.mu.Lock()
+	if t.spans == nil {
+		// The serving pipeline records 5 stage spans plus one span per
+		// engine; 12 covers the default four-engine system without growth.
+		t.spans = make([]Span, 0, 12)
+	}
 	t.spans = append(t.spans, Span{
 		Stage:  stage,
 		Engine: engine,
@@ -145,6 +152,27 @@ func (t *Trace) SetCollapsed() {
 	t.mu.Lock()
 	t.collapsed = true
 	t.mu.Unlock()
+}
+
+// SetShortCircuit marks the request's detection as having been answered
+// by the cascade scheduler without running the full engine ensemble.
+func (t *Trace) SetShortCircuit() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.shortCircuit = true
+	t.mu.Unlock()
+}
+
+// ShortCircuited reports whether SetShortCircuit was applied.
+func (t *Trace) ShortCircuited() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shortCircuit
 }
 
 // Annotations returns the verdict and the cached/collapsed flags.
@@ -237,9 +265,21 @@ var (
 	reqIDCounter atomic.Uint64
 )
 
-// NewRequestID returns a process-unique request identifier.
+// NewRequestID returns a process-unique request identifier of the form
+// <prefix>-<counter>, counter zero-padded to six digits. Built with
+// strconv instead of fmt.Sprintf: ID minting is on the cache-hit serving
+// path, where Sprintf's interface boxing and format parsing are
+// measurable.
 func NewRequestID() string {
-	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDCounter.Add(1))
+	n := reqIDCounter.Add(1)
+	var buf [40]byte // 16-byte prefix + '-' + up to 20 digits
+	b := append(buf[:0], reqIDPrefix...)
+	b = append(b, '-')
+	for pad := uint64(100000); pad >= 10 && n < pad; pad /= 10 {
+		b = append(b, '0')
+	}
+	b = strconv.AppendUint(b, n, 10)
+	return string(b)
 }
 
 // SanitizeRequestID validates a client-supplied X-Request-ID for echoing:

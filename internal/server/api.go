@@ -38,6 +38,10 @@ type DetectionJSON struct {
 	// identical request via singleflight. Timing then describes the
 	// original detection, not this request.
 	Cached bool `json:"cached,omitempty"`
+	// Cascade reports how the cascade scheduler handled the detection —
+	// which engines ran, which were skipped, and why. Absent when the
+	// cascade is not enabled.
+	Cascade *CascadeJSON `json:"cascade,omitempty"`
 	// Explanation is present only when the request asked for it
 	// (?explain=1 on /v1/detect, or mvpears detect -explain).
 	Explanation *ExplanationJSON `json:"explanation,omitempty"`
@@ -95,6 +99,56 @@ func NewExplanationJSON(exp *mvpears.Explanation) *ExplanationJSON {
 	return out
 }
 
+// CascadeJSON is the wire form of a cascade scheduling decision. On a
+// short-circuit, Scores dimensions flagged by Imputed hold benign fill
+// means (the calibration-set expectation) rather than measured
+// similarities, and the skipped engines' transcriptions are empty.
+type CascadeJSON struct {
+	ShortCircuit bool `json:"short_circuit"`
+	SampledFull  bool `json:"sampled_full,omitempty"`
+	// EnginesRun / EnginesSkipped name auxiliary engines in evaluation
+	// (cheapest-first) order; the target engine always runs.
+	EnginesRun     []string `json:"engines_run"`
+	EnginesSkipped []string `json:"engines_skipped,omitempty"`
+	Margin         float64  `json:"margin"`
+	FirstScore     float64  `json:"first_score"`
+	Imputed        []bool   `json:"imputed,omitempty"`
+	// Reason states in prose why this engine subset ran.
+	Reason string `json:"reason"`
+}
+
+// NewCascadeJSON converts a cascade decision into its wire form.
+func NewCascadeJSON(c *mvpears.CascadeDecision) *CascadeJSON {
+	if c == nil {
+		return nil
+	}
+	return &CascadeJSON{
+		ShortCircuit:   c.ShortCircuit,
+		SampledFull:    c.SampledFull,
+		EnginesRun:     c.EnginesRun,
+		EnginesSkipped: c.EnginesSkipped,
+		Margin:         c.Margin,
+		FirstScore:     c.FirstScore,
+		Imputed:        c.Imputed,
+		Reason:         cascadeReason(c),
+	}
+}
+
+// cascadeReason renders the scheduling outcome as prose for ?explain=1
+// consumers.
+func cascadeReason(c *mvpears.CascadeDecision) string {
+	switch {
+	case c.SampledFull:
+		return "deterministic 1-in-N monitoring sample: full ensemble ran regardless of scores"
+	case c.ShortCircuit:
+		return "cheapest auxiliary cleared the benign margin and the partial vector classified benign; remaining auxiliaries skipped"
+	case c.FirstScore < c.Margin:
+		return "cheapest auxiliary scored below the benign margin; full ensemble ran"
+	default:
+		return "partial similarity vector did not classify confidently benign; full ensemble ran"
+	}
+}
+
 // FileDetectionJSON is a verdict tagged with the file (or multipart part)
 // it belongs to.
 type FileDetectionJSON struct {
@@ -133,6 +187,7 @@ func NewDetectionJSON(det *mvpears.Detection, auxiliaries []string) DetectionJSO
 			SimilarityMS:  ms(det.Timing.Similarity),
 			ClassifyMS:    ms(det.Timing.Classify),
 		},
+		Cascade: NewCascadeJSON(det.Cascade),
 	}
 }
 

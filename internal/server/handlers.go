@@ -81,15 +81,32 @@ func (s *Server) readPCM(r io.Reader, scratch *[]byte) (audio.PCM16, error) {
 // float samples at the backend's rate. This is the expensive half of
 // decoding that cache hits skip entirely.
 func (s *Server) finishClip(pcm audio.PCM16) (*mvpears.Clip, error) {
-	clip := pcm.Decode()
+	clip, _, err := s.finishClipInto(pcm, nil)
+	return clip, err
+}
+
+// samplePool recycles decoded float sample buffers across single-detect
+// requests (the second-largest allocation on the miss path after the
+// feature matrices). Batch parts keep plain decoding: their clips live
+// inside a batch job whose lifetime is harder to pin down.
+var samplePool = sync.Pool{
+	New: func() any { b := make([]float64, 0, 8<<10); return &b },
+}
+
+// finishClipInto is finishClip decoding into buf (may be nil). It reports
+// whether the returned clip's samples alias buf — false when the clip was
+// resampled, in which case buf is already dead by return time.
+func (s *Server) finishClipInto(pcm audio.PCM16, buf []float64) (*mvpears.Clip, bool, error) {
+	clip := pcm.DecodeInto(buf)
 	if rate := s.cfg.Backend.SampleRate(); clip.SampleRate != rate {
 		var err error
 		clip, err = clip.Resample(rate)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", audio.ErrMalformed, err)
+			return nil, false, fmt.Errorf("%w: %v", audio.ErrMalformed, err)
 		}
+		return clip, false, nil
 	}
-	return clip, nil
+	return clip, buf != nil, nil
 }
 
 // cacheKey derives the verdict-cache key for one upload ("" when caching
@@ -166,9 +183,26 @@ func (s *Server) observe(det *mvpears.Detection) string {
 	s.stageSeconds.With("recognition").Observe(det.Timing.Recognition.Seconds())
 	s.stageSeconds.With("similarity").Observe(det.Timing.Similarity.Seconds())
 	s.stageSeconds.With("classify").Observe(det.Timing.Classify.Seconds())
-	aux := s.cfg.Backend.AuxiliaryNames()
-	min := 1.0
+	casc := det.Cascade
+	if casc != nil {
+		s.cascadeEnginesRun.Observe(float64(len(casc.EnginesRun)))
+		if casc.ShortCircuit {
+			s.cascadeShortCircuits.Inc()
+		}
+		if casc.SampledFull {
+			s.cascadeSampledFull.Inc()
+		}
+	}
+	aux := s.auxNames
+	min, observed := 1.0, 0
 	for i, score := range det.Scores {
+		// Imputed dimensions hold benign fill means, not measurements —
+		// feeding them into the similarity distributions would fabricate
+		// perfectly-benign-looking scores for engines that never ran.
+		if casc != nil && i < len(casc.Imputed) && casc.Imputed[i] {
+			continue
+		}
+		observed++
 		if i < len(aux) {
 			s.engineSimilarity.With(aux[i]).Observe(score)
 		}
@@ -176,7 +210,7 @@ func (s *Server) observe(det *mvpears.Detection) string {
 			min = score
 		}
 	}
-	if len(det.Scores) > 0 {
+	if observed > 0 {
 		s.minSimilarity.Observe(min)
 	}
 	return verdict
@@ -214,7 +248,7 @@ func (s *Server) audit(t *obs.Trace, route, file string, det *mvpears.Detection,
 	if s.cfg.Audit == nil || !det.Adversarial {
 		return
 	}
-	aux := s.cfg.Backend.AuxiliaryNames()
+	aux := s.auxNames
 	minEngine, min := minScore(det.Scores, aux)
 	err := s.cfg.Audit.Write(obs.AuditEntry{
 		Time:           time.Now().UTC(),
@@ -256,12 +290,15 @@ func (s *Server) serveDetection(w http.ResponseWriter, r *http.Request, det *mvp
 	if fresh {
 		verdict = s.observe(det)
 		s.observeTrace(trace)
+		if c := det.Cascade; c != nil && c.ShortCircuit {
+			trace.SetShortCircuit()
+		}
 	} else {
 		verdict = s.countVerdict(det)
 	}
 	trace.SetVerdict(verdict)
 	s.audit(trace, "detect", "", det, verdict, !fresh)
-	out := NewDetectionJSON(det, s.cfg.Backend.AuxiliaryNames())
+	out := NewDetectionJSON(det, s.auxNames)
 	out.Cached = !fresh
 	if explainRequested(r) {
 		out.Explanation = s.explanationFor(det)
@@ -274,15 +311,24 @@ func (s *Server) serveDetection(w http.ResponseWriter, r *http.Request, det *mvp
 // cache is enabled (the leader also populates the cache). fresh reports
 // whether this call's own detection ran, as opposed to sharing a
 // concurrent request's flight.
-func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip) (det *mvpears.Detection, fresh bool, err error) {
+func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip, release func()) (det *mvpears.Detection, fresh bool, err error) {
 	ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
 	defer cancel()
 	run := func(ctx context.Context) (*mvpears.Detection, error) {
 		var det *mvpears.Detection
 		var detErr error
 		if err := s.pool.Do(ctx, func(jctx context.Context) {
+			// The job owns the clip: a caller that times out after
+			// enqueueing has already returned by the time the worker
+			// runs, so the pooled samples can only be recycled here.
+			if release != nil {
+				defer release()
+			}
 			det, detErr = s.cfg.Backend.DetectCtx(jctx, clip)
 		}); err != nil {
+			if release != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed)) {
+				release() // never enqueued: the clip was never shared
+			}
 			return nil, err
 		}
 		return det, detErr
@@ -306,6 +352,12 @@ func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip) (d
 	})
 	if shared {
 		obs.TraceFrom(rctx).SetCollapsed()
+		if release != nil {
+			// A follower's fn — and so its run and its clip — was never
+			// touched by the flight; only its own goroutine ever saw the
+			// samples, so they can be recycled unconditionally.
+			release()
+		}
 	}
 	return det, err == nil && !shared, err
 }
@@ -363,17 +415,25 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	clip, err := s.finishClip(pcm)
+	samples := samplePool.Get().(*[]float64)
+	clip, pooled, err := s.finishClipInto(pcm, (*samples)[:0])
 	if err != nil {
+		samplePool.Put(samples)
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
 		return
+	}
+	var release func()
+	if pooled {
+		release = func() { *samples = clip.Samples[:0]; samplePool.Put(samples) }
+	} else {
+		samplePool.Put(samples)
 	}
 	trace.Record(obs.StageDecode, "", decodeStart)
 	rctx := r.Context()
 	if explainRequested(r) {
 		rctx = obs.WithExplain(rctx)
 	}
-	det, fresh, err := s.detect(rctx, key, clip)
+	det, fresh, err := s.detect(rctx, key, clip, release)
 	if err != nil {
 		s.writeDetectError(w, err)
 		return
@@ -506,7 +566,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		trace.SetCached() // every part answered from the verdict cache
 	}
 	resp := BatchResponseJSON{Results: make([]FileDetectionJSON, len(dets))}
-	aux := s.cfg.Backend.AuxiliaryNames()
+	aux := s.auxNames
 	anyAdversarial := false
 	for i, det := range dets {
 		var verdict string

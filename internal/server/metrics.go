@@ -108,6 +108,11 @@ var SimilarityBuckets = []float64{
 	0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1,
 }
 
+// EngineCountBuckets covers "how many auxiliary engines ran": small
+// integer counts, one bucket per engine up to the largest plausible
+// ensemble.
+var EngineCountBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 8}
+
 // labeled pairs one child metric with its rendered label set.
 type labeled[T any] struct {
 	key    string // rendered {a="x",b="y"} suffix, used for dedup + sorting

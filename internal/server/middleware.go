@@ -71,15 +71,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			if s.reqLog != nil {
 				verdict, cached, collapsed := trace.Annotations()
 				s.reqLog.Log(obs.RequestRecord{
-					RequestID: reqID,
-					Route:     route,
-					Method:    r.Method,
-					Status:    rec.status,
-					Duration:  time.Since(start),
-					Verdict:   verdict,
-					Cached:    cached,
-					Collapsed: collapsed,
-					Trace:     trace,
+					RequestID:    reqID,
+					Route:        route,
+					Method:       r.Method,
+					Status:       rec.status,
+					Duration:     time.Since(start),
+					Verdict:      verdict,
+					Cached:       cached,
+					Collapsed:    collapsed,
+					ShortCircuit: trace.ShortCircuited(),
+					Trace:        trace,
 				})
 			}
 		}()

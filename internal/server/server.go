@@ -178,6 +178,16 @@ type Server struct {
 	minSimilarity *Histogram
 	// detectionsTotal counts verdicts served.
 	detectionsTotal *CounterVec
+	// cascadeEnginesRun tracks how many auxiliary engines each cascaded
+	// detection actually ran (short-circuits land in the low buckets).
+	cascadeEnginesRun *Histogram
+	// cascadeShortCircuits counts detections the cascade answered from the
+	// partial similarity vector without running the full ensemble.
+	cascadeShortCircuits *Counter
+	// cascadeSampledFull counts the deterministic 1-in-N full-ensemble
+	// monitoring runs; divided by cascadeEnginesRun's count it is the
+	// observed sampling fraction.
+	cascadeSampledFull *Counter
 	// inFlight gauges requests currently inside a handler.
 	inFlight *Gauge
 	// queueRejected counts 429s from the admission queue.
@@ -186,6 +196,10 @@ type Server struct {
 	panicsTotal *Counter
 	// reqLog writes the structured access log; nil when disabled.
 	reqLog *obs.RequestLogger
+	// auxNames caches Backend.AuxiliaryNames(): the engine set is fixed
+	// for the server's lifetime, and the per-call slice allocation is
+	// measurable on the cache-hit path (every response embeds the list).
+	auxNames []string
 	// start anchors the daemon's uptime (for /infoz).
 	start time.Time
 
@@ -211,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewRegistry(),
 		start:   time.Now(),
 	}
+	s.auxNames = cfg.Backend.AuxiliaryNames()
 	if cfg.AccessLog != nil {
 		s.reqLog = obs.NewRequestLogger(cfg.AccessLog, cfg.LogSampleRate, cfg.SlowRequestThreshold)
 	}
@@ -250,6 +265,15 @@ func New(cfg Config) (*Server, error) {
 		SimilarityBuckets)
 	s.detectionsTotal = s.metrics.CounterVec(
 		"mvpearsd_detections_total", "Verdicts served.", "verdict")
+	// Cascade series are always registered (zero without -cascade-margin)
+	// so the exposition shape does not depend on backend configuration.
+	s.cascadeEnginesRun = s.metrics.Histogram(
+		"mvpears_cascade_engines_run", "Auxiliary engines run per cascaded detection.",
+		EngineCountBuckets)
+	s.cascadeShortCircuits = s.metrics.Counter(
+		"mvpears_cascade_short_circuits_total", "Detections answered from a partial similarity vector (auxiliaries skipped).")
+	s.cascadeSampledFull = s.metrics.Counter(
+		"mvpears_cascade_sampled_full_total", "Deterministic 1-in-N full-ensemble monitoring runs under the cascade.")
 	s.inFlight = s.metrics.Gauge(
 		"mvpearsd_in_flight_requests", "Requests currently being handled.")
 	s.metrics.GaugeFunc(

@@ -31,6 +31,12 @@ type Detection struct {
 	// obs.WithExplain context (or via Explain): the per-engine phonetic
 	// encodings and similarity scores behind the verdict.
 	Explanation *Explanation
+	// Cascade reports scheduling provenance when the verdict was produced
+	// under an enabled cascade (which engines ran and why); nil otherwise.
+	// On a short-circuited detection, the Scores dimensions flagged by
+	// Cascade.Imputed hold benign fill means, and the corresponding
+	// Transcriptions entries are empty.
+	Cascade *CascadeDecision
 }
 
 // EngineEvidence is one engine's contribution to a verdict explanation.
@@ -88,6 +94,7 @@ func (s *System) toDetection(dec detector.Decision, timing detector.Timing) *Det
 	for i, aux := range s.det.Auxiliaries {
 		out.Transcriptions[aux.Name()] = dec.Transcriptions.Aux[i]
 	}
+	out.Cascade = fromCascadeInfo(dec.Cascade)
 	return out
 }
 
