@@ -1,10 +1,11 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_detect.json / BENCH_serve.json.
-# SERVE_BENCH matches BenchmarkServeMissCascade (the cascade+int8 path);
+# SERVE_BENCH matches BenchmarkServeMissCascade (the cascade+int8 path)
+# and BenchmarkStreamWindow (the real-time sliding-window gate);
 # NN_BENCH covers the quantized inference kernels it rides on.
 BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
-SERVE_BENCH ?= BenchmarkServe
+SERVE_BENCH ?= BenchmarkServe|BenchmarkStreamWindow
 NN_BENCH ?= BenchmarkQuantizedForward
 BENCHTIME ?= 25x
 
@@ -30,7 +31,7 @@ test:
 # Race-test the packages with concurrent hot paths (batch detection,
 # per-clip feature cache, shared FFT plans, the serving worker pool).
 race:
-	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/... ./internal/obs/...
+	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/... ./internal/obs/... ./internal/stream/...
 
 # Boot the detection daemon, bootstrapping a quick-scale model on first run.
 MODEL ?= model.gob

@@ -8,6 +8,8 @@
 //	         [-admin-addr 127.0.0.1:8081] [-log-sample 1.0] [-slow 1s]
 //	         [-access-log] [-audit audit.jsonl]
 //	         [-cascade-margin -1] [-cascade-sample 16] [-quantized]
+//	         [-stream] [-stream-window 1s] [-stream-hop 250ms]
+//	         [-stream-max-sessions 64] [-stream-idle-timeout 30s]
 //
 // The daemon boots from a persisted model artifact (written by
 // `mvpears detect -model` or by -bootstrap) — it never retrains at
@@ -16,6 +18,9 @@
 //	POST /v1/detect        one WAV body -> verdict JSON (?explain=1 adds
 //	                       per-engine phonetic evidence)
 //	POST /v1/detect/batch  multipart WAVs -> per-file verdicts
+//	POST /v1/detect/stream chunked WAV in -> NDJSON sliding-window
+//	                       verdicts out, with early-exit flagging
+//	GET  /v1/detect/ws     WebSocket: PCM16 frames in, verdict events out
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining)
 //	GET  /metrics          Prometheus text format
@@ -90,6 +95,11 @@ func run(args []string) error {
 	cascadeMargin := fs.Float64("cascade-margin", -1, "benign-confidence margin for cascaded engine scheduling (negative: off, 0: auto-calibrate, >1: cascade on but never short-circuits)")
 	cascadeSample := fs.Int("cascade-sample", 16, "run the full ensemble on every Nth cascaded request for monitoring (0: never)")
 	quantized := fs.Bool("quantized", false, "int8-quantize the neural engines, gated by a boot-time transcription-parity check (failing engines keep float64)")
+	streamOn := fs.Bool("stream", true, "serve the live streaming endpoints (/v1/detect/stream, /v1/detect/ws)")
+	streamWindow := fs.Duration("stream-window", 0, "sliding-window length for streaming verdicts (default: 1s of audio)")
+	streamHop := fs.Duration("stream-hop", 0, "hop between streaming windows (default: 250ms of audio)")
+	streamMaxSessions := fs.Int("stream-max-sessions", 0, "max concurrent streaming sessions (default: 64)")
+	streamIdle := fs.Duration("stream-idle-timeout", 0, "evict streaming sessions idle this long (default: 30s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +157,18 @@ func run(args []string) error {
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
+	}
+	if *streamOn {
+		rate := sys.SampleRate()
+		toSamples := func(d time.Duration) int {
+			return int(float64(rate) * d.Seconds())
+		}
+		cfg.Stream = &server.StreamConfig{
+			Window:      toSamples(*streamWindow),
+			Hop:         toSamples(*streamHop),
+			MaxSessions: *streamMaxSessions,
+			IdleTimeout: *streamIdle,
+		}
 	}
 	if *auditPath != "" {
 		sink, err := obs.OpenAuditSink(*auditPath)

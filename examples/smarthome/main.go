@@ -1,33 +1,84 @@
-// Smart-home gateway: the paper's motivating scenario. A voice assistant
-// accepts spoken commands; an attacker plays an adversarial audio clip
-// (sounding like harmless speech) that the assistant's ASR transcribes as
-// "open the front door". MVP-EARS sits in front of the command executor
-// and rejects inputs on which the diverse ASR ensemble disagrees.
+// Smart-home gateway: the paper's motivating scenario, streamed. A voice
+// assistant hears spoken commands as live audio; an attacker plays an
+// adversarial clip (sounding like harmless speech) that the assistant's
+// ASR transcribes as "open the front door". MVP-EARS sits in front of the
+// command executor as a streaming detector: while the speaker is still
+// talking it emits provisional sliding-window verdicts, cuts an
+// adversarial stream the moment the ensemble's divergence is sustained
+// (early exit), and only executes a command after the final whole-clip
+// verdict — which is identical to the batch detector's.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"mvpears"
 )
 
+// chunkMS is the simulated microphone delivery granularity.
+const chunkMS = 125
+
 // commandGate is the smart-home policy: a command executes only when the
-// detector passes the audio AND the transcription matches a known
-// command.
+// streaming detector passes the audio AND the transcription matches a
+// known command.
 type commandGate struct {
 	sys     *mvpears.System
+	mgr     *mvpears.StreamManager
 	allowed map[string]string // transcription -> action
 }
 
 func (g *commandGate) handle(clip *mvpears.Clip, source string) {
-	det, err := g.sys.Detect(clip)
+	sess, err := g.mgr.Open()
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
+	fmt.Printf("\n[%s] streaming %.1fs of audio in %dms chunks...\n",
+		source, float64(len(clip.Samples))/float64(clip.SampleRate), chunkMS)
+
+	ctx := context.Background()
+	chunk := clip.SampleRate * chunkMS / 1000
+	windows := 0
+	for off := 0; off < len(clip.Samples); off += chunk {
+		end := min(off+chunk, len(clip.Samples))
+		ws, err := sess.Push(ctx, clip.Samples[off:end])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range ws {
+			windows++
+			verdict := "benign"
+			if w.Adversarial {
+				verdict = "ADVERSARIAL"
+			}
+			fmt.Printf("  window %d [%4.0f..%4.0fms] %-11s min score %.3f\n",
+				w.Index,
+				1000*float64(w.Start)/float64(clip.SampleRate),
+				1000*float64(w.End)/float64(clip.SampleRate),
+				verdict, minOf(w.Scores))
+			if w.EarlyExit {
+				fmt.Printf("  EARLY EXIT at %.0fms of %.0fms — microphone cut before the utterance finished\n",
+					1000*float64(w.End)/float64(clip.SampleRate),
+					1000*float64(len(clip.Samples))/float64(clip.SampleRate))
+			}
+		}
+	}
+
+	fin, err := sess.Finish(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := g.sys.DetectionFromStream(fin)
 	heard := det.Transcriptions["DS0"]
-	fmt.Printf("\n[%s] assistant heard: %q\n", source, heard)
-	fmt.Printf("  ensemble similarity scores: %.3f\n", det.Scores)
+	fmt.Printf("  final (after %d windows): assistant heard %q, scores %.3f\n", windows, heard, det.Scores)
+	if fin.EarlyExit != nil {
+		fmt.Printf("  flagged after hearing only %v of audio (engine %s at %.3f, floor %.3f)\n",
+			fin.EarlyExit.AudioTime.Round(time.Millisecond), fin.EarlyExit.Engine,
+			fin.EarlyExit.Score, fin.EarlyExit.Floor)
+	}
 	if det.Adversarial {
 		fmt.Println("  MVP-EARS: ADVERSARIAL — command rejected, user alerted")
 		return
@@ -39,14 +90,35 @@ func (g *commandGate) handle(clip *mvpears.Clip, source string) {
 	}
 }
 
+func minOf(xs []float64) float64 {
+	m := 1.0
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
 func main() {
 	fmt.Println("building the smart-home voice gateway (quick scale)...")
 	sys, err := mvpears.Build(mvpears.WithQuickScale(), mvpears.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Half-second windows every 125 ms: short utterances still span
+	// several provisional verdicts.
+	mgr, err := sys.NewStreamManager(mvpears.StreamOptions{
+		Window: sys.SampleRate() / 2,
+		Hop:    sys.SampleRate() / 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
 	gate := &commandGate{
 		sys: sys,
+		mgr: mgr,
 		allowed: map[string]string{
 			"open the front door": "unlocking front door",
 			"turn off the lights": "lights off",
@@ -97,5 +169,6 @@ func main() {
 	gate.handle(ae.AE, "TV advert")
 
 	fmt.Println("\nwithout MVP-EARS, the AE would have unlocked the door;")
-	fmt.Println("with it, at least one diverse auxiliary ASR disagreed and the command was blocked.")
+	fmt.Println("with it, the diverse ensemble diverged while the advert was still playing")
+	fmt.Println("and the stream was cut before the command could complete.")
 }

@@ -148,6 +148,47 @@ const readChunkBytes = 256 << 10
 // (0 means unlimited).
 func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) {
 	var none PCM16
+	sampleRate, size, scratch, err := readWAVHeader(r, scratch)
+	if err != nil {
+		return none, err
+	}
+	if maxDataBytes > 0 && int64(size) > maxDataBytes {
+		return none, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
+	}
+	// Grow with the bytes actually present instead of trusting
+	// the declared size for one huge allocation.
+	buf := scratch[:0]
+	for int64(len(buf)) < int64(size) {
+		step := int64(size) - int64(len(buf))
+		if step > readChunkBytes {
+			step = readChunkBytes
+		}
+		start := len(buf)
+		buf = growBytes(buf, int(step))
+		n, err := io.ReadFull(r, buf[start:])
+		buf = buf[:start+n]
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return none, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, len(buf), size)
+		}
+		if err != nil {
+			// Multi-%w: the cause must stay matchable — a tripped
+			// http.MaxBytesReader surfaces here and servers map it to
+			// 413, not 400.
+			return none, fmt.Errorf("audio: %w: reading data chunk: %w", ErrTruncated, err)
+		}
+	}
+	if err := verifyTrailer(r, size); err != nil {
+		return none, err
+	}
+	return PCM16{SampleRate: sampleRate, Data: buf}, nil
+}
+
+// readWAVHeader parses RIFF chunks up to and through the data chunk
+// header, validating the fmt chunk (PCM, mono, 16-bit) on the way. It
+// returns the sample rate and the declared data-chunk size; the reader
+// is positioned at the first payload byte. scratch, when non-nil, backs
+// the header reads and is returned for further reuse.
+func readWAVHeader(r io.Reader, scratch []byte) (sampleRate int, dataSize uint32, out []byte, err error) {
 	// Header, chunk-header and fmt-body reads all reuse the caller's
 	// scratch: with a pooled scratch the structural decode allocates
 	// nothing until the data payload (and nothing at all when the payload
@@ -155,98 +196,122 @@ func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) 
 	// from the buffer before the next read overwrites it.
 	hdr := growBytes(scratch[:0], 12)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return none, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
+		return 0, 0, nil, fmt.Errorf("audio: %w: reading RIFF header: %v", ErrNotWAV, err)
 	}
 	if string(hdr[0:4]) != riffMagic || string(hdr[8:12]) != waveMagic {
-		return none, fmt.Errorf("audio: %w", ErrNotWAV)
+		return 0, 0, nil, fmt.Errorf("audio: %w", ErrNotWAV)
 	}
 	scratch = hdr[:0]
 	var (
-		sampleRate int
-		channels   int
-		bits       int
-		haveFmt    bool
+		channels int
+		bits     int
+		haveFmt  bool
 	)
 	for {
 		chunk := growBytes(scratch[:0], 8)
 		if _, err := io.ReadFull(r, chunk); err != nil {
 			if err == io.EOF {
-				return none, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
+				return 0, 0, nil, fmt.Errorf("audio: %w: no data chunk", ErrMalformed)
 			}
-			return none, fmt.Errorf("audio: %w: reading chunk header: %v", ErrTruncated, err)
+			return 0, 0, nil, fmt.Errorf("audio: %w: reading chunk header: %w", ErrTruncated, err)
 		}
 		scratch = chunk[:0]
 		size := binary.LittleEndian.Uint32(chunk[4:8])
 		switch {
 		case string(chunk[0:4]) == fmtChunk:
 			if size > maxFmtChunkBytes {
-				return none, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
+				return 0, 0, nil, fmt.Errorf("audio: %w: fmt chunk of %d bytes", ErrMalformed, size)
 			}
 			body := growBytes(scratch[:0], int(size))
 			if _, err := io.ReadFull(r, body); err != nil {
-				return none, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
+				return 0, 0, nil, fmt.Errorf("audio: %w: reading fmt chunk: %v", ErrTruncated, err)
 			}
 			scratch = body[:0]
 			if len(body) < 16 {
-				return none, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
+				return 0, 0, nil, fmt.Errorf("audio: %w: fmt chunk too short (%d bytes)", ErrMalformed, len(body))
 			}
 			format := binary.LittleEndian.Uint16(body[0:2])
 			if format != 1 {
-				return none, fmt.Errorf("audio: %w: format code %d (want PCM)", ErrUnsupported, format)
+				return 0, 0, nil, fmt.Errorf("audio: %w: format code %d (want PCM)", ErrUnsupported, format)
 			}
 			channels = int(binary.LittleEndian.Uint16(body[2:4]))
 			sampleRate = int(binary.LittleEndian.Uint32(body[4:8]))
 			bits = int(binary.LittleEndian.Uint16(body[14:16]))
 			if sampleRate == 0 {
-				return none, fmt.Errorf("audio: %w: zero sample rate", ErrMalformed)
+				return 0, 0, nil, fmt.Errorf("audio: %w: zero sample rate", ErrMalformed)
 			}
 			haveFmt = true
 			if err := skipPad(r, size); err != nil {
-				return none, err
+				return 0, 0, nil, err
 			}
 		case string(chunk[0:4]) == dataChunk:
 			if !haveFmt {
-				return none, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
+				return 0, 0, nil, fmt.Errorf("audio: %w: data chunk before fmt chunk", ErrMalformed)
 			}
 			if bits != 16 {
-				return none, fmt.Errorf("audio: %w: bit depth %d (want 16)", ErrUnsupported, bits)
+				return 0, 0, nil, fmt.Errorf("audio: %w: bit depth %d (want 16)", ErrUnsupported, bits)
 			}
 			if channels != 1 {
-				return none, fmt.Errorf("audio: %w: %d channels (want mono)", ErrUnsupported, channels)
+				return 0, 0, nil, fmt.Errorf("audio: %w: %d channels (want mono)", ErrUnsupported, channels)
 			}
-			if maxDataBytes > 0 && int64(size) > maxDataBytes {
-				return none, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
-			}
-			// Grow with the bytes actually present instead of trusting
-			// the declared size for one huge allocation.
-			buf := scratch[:0]
-			for int64(len(buf)) < int64(size) {
-				step := int64(size) - int64(len(buf))
-				if step > readChunkBytes {
-					step = readChunkBytes
-				}
-				start := len(buf)
-				buf = growBytes(buf, int(step))
-				n, err := io.ReadFull(r, buf[start:])
-				buf = buf[:start+n]
-				if err == io.EOF || err == io.ErrUnexpectedEOF {
-					return none, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, len(buf), size)
-				}
-				if err != nil {
-					return none, fmt.Errorf("audio: %w: reading data chunk: %v", ErrTruncated, err)
-				}
-			}
-			return PCM16{SampleRate: sampleRate, Data: buf}, nil
+			return sampleRate, size, scratch, nil
 		default:
 			// Skip unknown chunks (LIST, INFO, ...).
 			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
-				return none, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, string(chunk[0:4]), err)
+				return 0, 0, nil, fmt.Errorf("audio: %w: skipping %q chunk: %v", ErrTruncated, string(chunk[0:4]), err)
 			}
 			if err := skipPad(r, size); err != nil {
-				return none, err
+				return 0, 0, nil, err
 			}
 		}
 	}
+}
+
+// verifyTrailer consumes whatever follows the data payload and requires
+// it to be well-formed: the optional pad byte, then either EOF or valid
+// trailing RIFF chunks (LIST, id3 , ...). A declared data size that
+// understates the body — extra PCM bytes dangling after the chunk, the
+// signature of a corrupted chunked upload — is rejected instead of being
+// silently dropped from the verdict's input.
+func verifyTrailer(r io.Reader, dataSize uint32) error {
+	if err := skipPad(r, dataSize); err != nil {
+		return err
+	}
+	for {
+		var hdr [8]byte
+		n, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("audio: %w: %d trailing bytes after data chunk are not a chunk", ErrMalformed, n)
+		}
+		if err != nil {
+			return fmt.Errorf("audio: %w: reading trailing chunk header: %w", ErrTruncated, err)
+		}
+		if !chunkIDValid(hdr[0:4]) {
+			return fmt.Errorf("audio: %w: trailing bytes after data chunk are not a chunk (data chunk length understates body?)", ErrMalformed)
+		}
+		size := binary.LittleEndian.Uint32(hdr[4:8])
+		if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+			return fmt.Errorf("audio: %w: trailing %q chunk has fewer than %d declared bytes", ErrTruncated, string(hdr[0:4]), size)
+		}
+		if err := skipPad(r, size); err != nil {
+			return err
+		}
+	}
+}
+
+// chunkIDValid reports whether the four bytes look like a RIFF chunk ID
+// (printable ASCII). Raw PCM noise almost never does, which is what
+// distinguishes legitimate trailing metadata from a length mismatch.
+func chunkIDValid(id []byte) bool {
+	for _, b := range id {
+		if b < 0x20 || b > 0x7E {
+			return false
+		}
+	}
+	return true
 }
 
 // growBytes extends b by n zero-valued bytes, reallocating only when the

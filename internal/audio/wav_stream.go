@@ -1,0 +1,175 @@
+package audio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// unknownDataSize is the conventional "size not known yet" marker some
+// live encoders write into the data chunk header (alongside 0): the
+// payload then runs to EOF.
+const unknownDataSize = 0xFFFFFFFF
+
+// WAVStreamReader incrementally decodes a 16-bit mono PCM WAV stream:
+// the header is parsed up front, then samples are surfaced chunk by
+// chunk as the body arrives — the decoder for live uploads, where
+// waiting for the full payload would defeat streaming detection.
+//
+// A declared data size of 0 or 0xFFFFFFFF means "unknown until EOF"
+// (live encoders cannot know the length when they emit the header); the
+// payload then runs to end of stream. A known size is enforced both
+// ways: a stream that ends early fails with ErrTruncated, and trailing
+// bytes that are not well-formed RIFF chunks fail with ErrMalformed.
+type WAVStreamReader struct {
+	r          io.Reader
+	sampleRate int
+	declared   uint32
+	unknown    bool
+	maxBytes   int64
+	read       int64 // payload bytes consumed so far
+	carry      byte  // odd byte straddling a read boundary
+	hasCarry   bool
+	done       bool
+	buf        []byte
+}
+
+// NewWAVStreamReader reads and validates the WAV header (through the
+// data chunk header) from r. maxDataBytes bounds the payload
+// (ErrTooLarge; 0 means unlimited).
+func NewWAVStreamReader(r io.Reader, maxDataBytes int64) (*WAVStreamReader, error) {
+	rate, size, _, err := readWAVHeader(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	unknown := size == 0 || size == unknownDataSize
+	if !unknown && maxDataBytes > 0 && int64(size) > maxDataBytes {
+		return nil, fmt.Errorf("audio: %w: data chunk of %d bytes (limit %d)", ErrTooLarge, size, maxDataBytes)
+	}
+	return &WAVStreamReader{
+		r:          r,
+		sampleRate: rate,
+		declared:   size,
+		unknown:    unknown,
+		maxBytes:   maxDataBytes,
+	}, nil
+}
+
+// SampleRate returns the stream's sample rate.
+func (w *WAVStreamReader) SampleRate() int { return w.sampleRate }
+
+// ReadSamples decodes up to len(out) samples into out, returning how
+// many were produced. It returns (0, io.EOF) once the payload is fully
+// consumed — after verifying any trailer when the data size was
+// declared. A short read mid-payload surfaces ErrTruncated with the
+// transport cause wrapped (matchable with errors.As).
+func (w *WAVStreamReader) ReadSamples(out []float64) (int, error) {
+	if w.done {
+		return 0, io.EOF
+	}
+	if len(out) == 0 {
+		return 0, nil
+	}
+	want := int64(len(out))*2 - boolInt64(w.hasCarry)
+	if !w.unknown {
+		if remaining := int64(w.declared) - w.read; want > remaining {
+			want = remaining
+		}
+		if want <= 0 {
+			return 0, w.finish()
+		}
+	}
+	if cap(w.buf) < int(want) {
+		grow := int64(64 << 10)
+		if grow < want {
+			grow = want
+		}
+		w.buf = make([]byte, grow)
+	}
+	n, err := w.r.Read(w.buf[:want])
+	w.read += int64(n)
+	if w.unknown && w.maxBytes > 0 && w.read > w.maxBytes {
+		return 0, fmt.Errorf("audio: %w: streamed data exceeds %d bytes", ErrTooLarge, w.maxBytes)
+	}
+	produced := w.decodeInto(out, w.buf[:n])
+	if err == io.EOF {
+		// A reader may surface EOF together with the final data (io.Pipe
+		// successors, HTTP bodies): a payload that completed exactly is
+		// whole, with no trailer to verify.
+		if w.unknown || w.read >= int64(w.declared) {
+			w.done = true
+			if w.hasCarry {
+				// A dangling odd byte is tolerated like Decode's.
+				w.hasCarry = false
+			}
+			if produced > 0 {
+				return produced, nil
+			}
+			return 0, io.EOF
+		}
+		return produced, fmt.Errorf("audio: %w: data chunk has %d of %d declared bytes", ErrTruncated, w.read, w.declared)
+	}
+	if err != nil {
+		return produced, fmt.Errorf("audio: %w: reading data chunk: %w", ErrTruncated, err)
+	}
+	if !w.unknown && w.read >= int64(w.declared) && produced == 0 {
+		return 0, w.finish()
+	}
+	return produced, nil
+}
+
+// finish verifies the trailer once the declared payload is consumed and
+// seals the reader.
+func (w *WAVStreamReader) finish() error {
+	w.done = true
+	if err := verifyTrailer(w.r, w.declared); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// decodeInto converts raw payload bytes (plus any carried odd byte) into
+// float64 samples, stashing a new odd trailing byte for the next call.
+func (w *WAVStreamReader) decodeInto(out []float64, data []byte) int {
+	produced := 0
+	if w.hasCarry && len(data) > 0 {
+		s := int16(uint16(w.carry) | uint16(data[0])<<8)
+		out[produced] = float64(s) / 32767
+		produced++
+		data = data[1:]
+		w.hasCarry = false
+	}
+	for len(data) >= 2 && produced < len(out) {
+		s := int16(binary.LittleEndian.Uint16(data))
+		out[produced] = float64(s) / 32767
+		produced++
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		w.carry = data[0]
+		w.hasCarry = true
+	}
+	return produced
+}
+
+// AppendPCM16 converts little-endian 16-bit PCM bytes to float64 samples
+// appended to dst, using the same mapping as WAV decoding. data must
+// hold whole samples (even length) — callers carrying a stream are
+// responsible for buffering a straddling odd byte.
+func AppendPCM16(dst []float64, data []byte) ([]float64, error) {
+	if len(data)%2 != 0 {
+		return dst, fmt.Errorf("audio: %w: odd PCM16 payload of %d bytes", ErrMalformed, len(data))
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		s := int16(binary.LittleEndian.Uint16(data[i:]))
+		dst = append(dst, float64(s)/32767)
+	}
+	return dst, nil
+}
+
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -3,6 +3,7 @@ package detector
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -65,17 +66,35 @@ type CascadeConfig struct {
 
 // Cascade is the runtime state of the scheduler, attached to a Detector
 // by EnableCascade. Safe for concurrent use: all fields are read-only
-// after construction except the atomic sampling counter.
+// after construction except the atomic sampling counter and the atomic
+// per-auxiliary cost estimates.
 type Cascade struct {
 	cfg     CascadeConfig
-	order   []int // auxiliary indices, cheapest first
+	order   []int // auxiliary indices, boot-time cheapest first
 	margin  float64
+	margins []float64 // per-auxiliary no-flip margins (index = aux index)
 	fill    *classify.PartialFill
 	counter atomic.Uint64
+
+	// ewma holds a live exponentially-weighted moving average of each
+	// auxiliary's observed transcription cost in seconds (float64 bits;
+	// +Inf = never measured). Boot-time CalibrateCosts seeds it, and
+	// ObserveCost folds in what the engines actually cost in production,
+	// so phase-one selection tracks runtime reality: an engine that slows
+	// down (contention, thermal throttling, a regressed model revision)
+	// gets demoted without a restart.
+	ewma      []atomic.Uint64
+	idxByName map[string]int
 }
 
-// Margin returns the effective (possibly auto-calibrated) margin.
-func (c *Cascade) Margin() float64 { return c.margin }
+// costEWMAAlpha weights a new cost observation against the running
+// average. 0.2 reaches ~90% of a level shift in ten observations —
+// responsive to real slowdowns, deaf to single-request jitter.
+const costEWMAAlpha = 0.2
+
+// Margin returns the no-flip margin of the auxiliary phase one would
+// choose right now.
+func (c *Cascade) Margin() float64 { return c.margins[c.phaseOne()] }
 
 // Order returns the auxiliary evaluation order (indices into
 // Detector.Auxiliaries), cheapest first.
@@ -95,6 +114,67 @@ func (c *Cascade) Costs() map[string]time.Duration {
 		out[k] = v
 	}
 	return out
+}
+
+// LiveCosts returns the current EWMA cost estimate per auxiliary engine.
+// Engines never measured (no boot calibration, no observations yet) are
+// omitted.
+func (c *Cascade) LiveCosts() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(c.ewma))
+	for name, idx := range c.idxByName {
+		v := math.Float64frombits(c.ewma[idx].Load())
+		if math.IsInf(v, 1) {
+			continue
+		}
+		out[name] = time.Duration(v * float64(time.Second))
+	}
+	return out
+}
+
+// ObserveCost folds one observed transcription duration for the named
+// auxiliary engine into its live cost estimate. Unknown engine names
+// (including the target, whose cost is paid on every path) are ignored.
+// Safe for concurrent use.
+func (c *Cascade) ObserveCost(engine string, d time.Duration) {
+	idx, ok := c.idxByName[engine]
+	if !ok || d < 0 {
+		return
+	}
+	obs := d.Seconds()
+	for {
+		old := c.ewma[idx].Load()
+		prev := math.Float64frombits(old)
+		next := obs
+		if !math.IsInf(prev, 1) {
+			next = (1-costEWMAAlpha)*prev + costEWMAAlpha*obs
+		}
+		if c.ewma[idx].CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// phaseOne picks the auxiliary the scheduler leads with right now: the
+// usable engine (no-flip margin reachable within [0,1]) with the lowest
+// live cost estimate. Ties and never-measured engines resolve by the
+// boot-time order, and if no engine is usable the boot-time head keeps
+// its place (the cascade then degrades to an always-full ensemble, which
+// is safe).
+func (c *Cascade) phaseOne() int {
+	best, bestCost := -1, math.Inf(1)
+	for _, idx := range c.order {
+		if c.margins[idx] > 1 {
+			continue
+		}
+		cost := math.Float64frombits(c.ewma[idx].Load())
+		if best == -1 || cost < bestCost {
+			best, bestCost = idx, cost
+		}
+	}
+	if best == -1 {
+		return c.order[0]
+	}
+	return best
 }
 
 // CascadeInfo reports, for one decision, which engines ran and why. It
@@ -146,8 +226,13 @@ func (d *Detector) EnableCascade(cfg CascadeConfig, benignX, aeX [][]float64) er
 	}
 	order := costOrder(d.Auxiliaries, cfg.Costs)
 	margin := cfg.Margin
-	if margin == 0 {
-		margins, err := d.calibrateMargins(benignX, aeX, cfg.MarginSlack)
+	margins := make([]float64, len(d.Auxiliaries))
+	if margin != 0 {
+		for j := range margins {
+			margins[j] = margin
+		}
+	} else {
+		margins, err = d.calibrateMargins(benignX, aeX, cfg.MarginSlack)
 		if err != nil {
 			return err
 		}
@@ -173,7 +258,18 @@ func (d *Detector) EnableCascade(cfg CascadeConfig, benignX, aeX [][]float64) er
 			}
 		}
 	}
-	d.Cascade = &Cascade{cfg: cfg, order: order, margin: margin, fill: fill}
+	c := &Cascade{cfg: cfg, order: order, margin: margin, margins: margins, fill: fill,
+		ewma:      make([]atomic.Uint64, len(d.Auxiliaries)),
+		idxByName: make(map[string]int, len(d.Auxiliaries))}
+	for i, a := range d.Auxiliaries {
+		c.idxByName[a.Name()] = i
+		seed := math.Inf(1)
+		if cost, ok := cfg.Costs[a.Name()]; ok {
+			seed = cost.Seconds()
+		}
+		c.ewma[i].Store(math.Float64bits(seed))
+	}
+	d.Cascade = c
 	return nil
 }
 
@@ -253,7 +349,10 @@ func (d *Detector) detectCascade(ctx context.Context, clip *audio.Clip, parallel
 	c := d.Cascade
 	trace := obs.TraceFrom(ctx)
 	n := len(d.Auxiliaries)
-	info := &CascadeInfo{Enabled: true, Margin: c.margin}
+	// Phase-one selection is live: the cheapest usable auxiliary by the
+	// current cost EWMA, with that engine's own no-flip margin.
+	first := c.phaseOne()
+	info := &CascadeInfo{Enabled: true, Margin: c.margins[first]}
 
 	// Deterministic 1-in-N monitoring: every SampleEvery-th request runs
 	// the full ensemble through the plain path so the classifier's input
@@ -275,9 +374,8 @@ func (d *Detector) detectCascade(ctx context.Context, clip *audio.Clip, parallel
 	defer asr.PutFeatureCache(cache)
 
 	texts := make([]string, n+1) // index 0 = target, i+1 = auxiliary i
-	first := c.order[0]
 
-	// Phase one: target + cheapest auxiliary.
+	// Phase one: target + cheapest usable auxiliary.
 	start := time.Now()
 	phase1 := []asr.Recognizer{d.Target, d.Auxiliaries[first]}
 	p1out := make([]string, 2)
@@ -293,7 +391,7 @@ func (d *Detector) detectCascade(ctx context.Context, clip *audio.Clip, parallel
 	timing.Similarity = time.Since(simStart)
 	info.FirstScore = firstScore
 
-	if firstScore >= c.margin {
+	if firstScore >= c.margins[first] {
 		// Margin cleared: classify the partial vector (benign means in
 		// the unobserved dimensions). Only a benign prediction may
 		// short-circuit; any adversarial lean runs everything.
@@ -330,7 +428,10 @@ func (d *Detector) detectCascade(ctx context.Context, clip *audio.Clip, parallel
 	start2 := time.Now()
 	rest := make([]asr.Recognizer, 0, n-1)
 	restIdx := make([]int, 0, n-1)
-	for _, i := range c.order[1:] {
+	for _, i := range c.order {
+		if i == first {
+			continue
+		}
 		rest = append(rest, d.Auxiliaries[i])
 		restIdx = append(restIdx, i)
 	}

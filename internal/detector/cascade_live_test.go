@@ -1,0 +1,161 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/audio"
+)
+
+// fixedRecognizer always hears the same text, so similarity scores are
+// fully controlled by the test.
+type fixedRecognizer struct {
+	name string
+	text string
+}
+
+func (f *fixedRecognizer) Name() string                           { return f.name }
+func (f *fixedRecognizer) Transcribe(*audio.Clip) (string, error) { return f.text, nil }
+func syntheticRows(n int, mean, jitter float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = []float64{
+			clamp01(mean + rng.NormFloat64()*jitter),
+			clamp01(mean + rng.NormFloat64()*jitter),
+		}
+	}
+	return rows
+}
+
+func liveCascadeDetector(t *testing.T, costs map[string]time.Duration) (*Detector, [][]float64, [][]float64) {
+	t.Helper()
+	d, err := New(
+		&fixedRecognizer{name: "TGT", text: "open the door"},
+		[]asr.Recognizer{
+			&fixedRecognizer{name: "A", text: "open the door"},
+			&fixedRecognizer{name: "B", text: "open the door"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benignX := syntheticRows(200, 0.95, 0.03, 11)
+	aeX := syntheticRows(200, 0.35, 0.08, 22)
+	if err := d.Train(benignX, aeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableCascade(CascadeConfig{Costs: costs}, benignX, aeX); err != nil {
+		t.Fatal(err)
+	}
+	return d, benignX, aeX
+}
+
+// TestCascadeLiveCostDemotion is the runtime-cost satellite: the cascade
+// seeds its phase-one choice from boot-time calibration but keeps an EWMA
+// of observed per-engine cost, so an engine that slows down in production
+// is demoted without a restart.
+func TestCascadeLiveCostDemotion(t *testing.T) {
+	d, _, _ := liveCascadeDetector(t, map[string]time.Duration{
+		"A": 1 * time.Millisecond,
+		"B": 5 * time.Millisecond,
+	})
+	c := d.Cascade
+	if got := c.phaseOne(); got != 0 {
+		t.Fatalf("boot phase-one engine = aux %d, want 0 (A is calibrated cheapest)", got)
+	}
+
+	// A slows down: its observed cost jumps well past B's estimate. The
+	// EWMA needs a handful of observations to cross over.
+	for i := 0; i < 20; i++ {
+		c.ObserveCost("A", 100*time.Millisecond)
+	}
+	if got := c.phaseOne(); got != 1 {
+		t.Fatalf("after slowdown phase-one engine = aux %d, want 1 (B)", got)
+	}
+	live := c.LiveCosts()
+	if live["A"] <= live["B"] {
+		t.Fatalf("live costs not updated: A=%v B=%v", live["A"], live["B"])
+	}
+
+	// The demotion must be visible on the serving path: a short-circuit
+	// decision now runs B, not A.
+	clip := audio.NewClip(8000, 800)
+	dec, err := d.Detect(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Cascade == nil || !dec.Cascade.ShortCircuit {
+		t.Fatalf("expected a short-circuit decision, got %+v", dec.Cascade)
+	}
+	if len(dec.Cascade.EnginesRun) != 1 || dec.Cascade.EnginesRun[0] != "B" {
+		t.Fatalf("phase one ran %v, want [B]", dec.Cascade.EnginesRun)
+	}
+
+	// B slows down even more: A (still at its high EWMA) wins again.
+	for i := 0; i < 40; i++ {
+		c.ObserveCost("B", time.Second)
+	}
+	if got := c.phaseOne(); got != 0 {
+		t.Fatalf("after B slowdown phase-one engine = aux %d, want 0 (A)", got)
+	}
+
+	// Unknown engine names (the target, externals) are ignored.
+	c.ObserveCost("TGT", time.Hour)
+	c.ObserveCost("nope", time.Hour)
+	if _, ok := c.LiveCosts()["nope"]; ok {
+		t.Fatal("unknown engine leaked into live costs")
+	}
+}
+
+// TestCascadeLiveCostUnmeasuredSeed verifies engines without boot
+// calibration start at +Inf (never preferred) and join the race on their
+// first observation.
+func TestCascadeLiveCostUnmeasuredSeed(t *testing.T) {
+	d, _, _ := liveCascadeDetector(t, map[string]time.Duration{"B": 5 * time.Millisecond})
+	c := d.Cascade
+	if got := c.phaseOne(); got != 1 {
+		t.Fatalf("phase-one engine = aux %d, want 1 (only B is measured)", got)
+	}
+	if _, ok := c.LiveCosts()["A"]; ok {
+		t.Fatal("unmeasured engine should be absent from live costs")
+	}
+	c.ObserveCost("A", time.Millisecond)
+	if got := c.phaseOne(); got != 0 {
+		t.Fatalf("after first observation phase-one engine = aux %d, want 0 (A)", got)
+	}
+}
+
+// TestCalibrateFloors pins the early-exit floor calibration against the
+// synthetic score distribution.
+func TestCalibrateFloors(t *testing.T) {
+	d, benignX, aeX := liveCascadeDetector(t, nil)
+	floors, err := d.CalibrateFloors(benignX, aeX, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 {
+		t.Fatalf("%d floors for 2 auxiliaries", len(floors))
+	}
+	for j, f := range floors {
+		if f <= 0.5 || f >= 1 {
+			t.Errorf("floor[%d] = %v, want inside (0.5, 1) for benign scores near 0.95", j, f)
+		}
+		// Every classifier-benign calibration score must sit above the
+		// floor by at least the slack.
+		for _, row := range benignX {
+			pred, err := d.Classifier.Predict(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pred == 0 && row[j] < f {
+				t.Fatalf("benign calibration score %v below floor %v", row[j], f)
+			}
+		}
+	}
+	if _, err := d.CalibrateFloors(nil, nil, 0.05); err == nil {
+		t.Fatal("floor calibration with no data should error")
+	}
+}

@@ -1,0 +1,69 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalibrateFloors computes, per auxiliary dimension, the early-exit floor
+// used by streaming detection: the lowest similarity score that dimension
+// takes on any calibration vector the trained classifier predicts benign,
+// minus slack. It is the mirror image of the cascade's no-flip margin
+// calibration (calibrateMargins): margins bound classifier-adversarial
+// vectors from above so a high score may safely skip engines, floors
+// bound classifier-benign vectors from below so a decisively lower score
+// may safely flag early.
+//
+// Soundness argument: a windowed similarity strictly below floor[j] is
+// below every score auxiliary j produced on any calibration clip the full
+// classifier considers benign — by more than slack. No benign calibration
+// behaviour reaches that region, so flagging there cannot contradict what
+// the final full-ensemble verdict was calibrated to say about benign
+// audio. The slack absorbs float jitter and window-vs-clip length effects;
+// a dimension whose floor falls at or below 0 simply never triggers
+// (similarity scores live in [0,1]) — safe, just never fast.
+//
+// benignX and aeX are the classifier's training features in configured
+// auxiliary order, exactly as passed to EnableCascade; rows from either
+// pool count when the classifier labels them benign.
+func (d *Detector) CalibrateFloors(benignX, aeX [][]float64, slack float64) ([]float64, error) {
+	if d.Classifier == nil {
+		return nil, fmt.Errorf("detector: floor calibration needs a trained classifier")
+	}
+	if slack <= 0 {
+		slack = 0.05
+	}
+	n := len(d.Auxiliaries)
+	minBenign := make([]float64, n)
+	for j := range minBenign {
+		minBenign[j] = math.Inf(1)
+	}
+	seen := false
+	for _, pool := range [][][]float64{benignX, aeX} {
+		for _, row := range pool {
+			if len(row) < n {
+				return nil, fmt.Errorf("detector: feature width %d for %d auxiliaries", len(row), n)
+			}
+			pred, err := d.Classifier.Predict(row)
+			if err != nil {
+				return nil, fmt.Errorf("detector: floor calibration: %w", err)
+			}
+			if pred == 0 {
+				seen = true
+				for j := 0; j < n; j++ {
+					if row[j] < minBenign[j] {
+						minBenign[j] = row[j]
+					}
+				}
+			}
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("detector: floor calibration found no classifier-benign vectors")
+	}
+	floors := make([]float64, n)
+	for j := range floors {
+		floors[j] = minBenign[j] - slack
+	}
+	return floors, nil
+}

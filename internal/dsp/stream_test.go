@@ -1,0 +1,190 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// chunkSchedules yields the chunk-size schedules the parity tests run:
+// sample-at-a-time, prime sizes that straddle frame and hop boundaries,
+// and the whole clip in one push.
+func chunkSchedules(n int) map[string][]int {
+	scheds := map[string][]int{
+		"one-sample": repeatChunks(1, n),
+		"whole-clip": {n},
+	}
+	for _, p := range []int{7, 31, 127, 997} {
+		if p < n {
+			scheds[fmt.Sprintf("prime-%d", p)] = repeatChunks(p, n)
+		}
+	}
+	// A ramp mixes tiny and large chunks in one stream.
+	var ramp []int
+	for rem, c := n, 1; rem > 0; c *= 3 {
+		if c > rem {
+			c = rem
+		}
+		ramp = append(ramp, c)
+		rem -= c
+	}
+	scheds["ramp"] = ramp
+	return scheds
+}
+
+func repeatChunks(size, total int) []int {
+	var out []int
+	for total > 0 {
+		c := size
+		if c > total {
+			c = total
+		}
+		out = append(out, c)
+		total -= c
+	}
+	return out
+}
+
+func testSignal(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		// Deterministic multi-tone with an amplitude sweep so no two
+		// frames are alike.
+		t := float64(i)
+		x[i] = 0.5*math.Sin(2*math.Pi*440*t/8000) +
+			0.25*math.Sin(2*math.Pi*1333*t/8000+0.3) +
+			0.1*math.Sin(2*math.Pi*97*t/8000)
+		x[i] *= 0.2 + 0.8*float64(i%1024)/1024
+	}
+	return x
+}
+
+func streamConfigs() map[string]MFCCConfig {
+	hann := DefaultMFCCConfig(8000)
+	hann.Window = WindowHann
+	hann.Hop = 96 // hop that does not divide the frame length
+	noPre := DefaultMFCCConfig(8000)
+	noPre.PreEmph = 0
+	wideHop := DefaultMFCCConfig(8000)
+	wideHop.Hop = wideHop.FrameLen + 64 // gaps between frames
+	return map[string]MFCCConfig{
+		"default-8k":  DefaultMFCCConfig(8000),
+		"default-16k": DefaultMFCCConfig(16000),
+		"hann-hop96":  hann,
+		"no-preemph":  noPre,
+		"wide-hop":    wideHop,
+	}
+}
+
+// TestStreamingMFCCParity feeds the same clip through Push/Flush under
+// every chunk schedule and requires bit-identical output to one Extract
+// call. This is the contract the whole streaming subsystem rests on.
+func TestStreamingMFCCParity(t *testing.T) {
+	for cfgName, cfg := range streamConfigs() {
+		m, err := NewMFCC(cfg)
+		if err != nil {
+			t.Fatalf("%s: NewMFCC: %v", cfgName, err)
+		}
+		for _, n := range []int{1, 5, cfg.FrameLen - 1, cfg.FrameLen, cfg.FrameLen + 1, 4000, 12043} {
+			x := testSignal(n)
+			want, err := m.Extract(x)
+			if err != nil {
+				t.Fatalf("%s n=%d: Extract: %v", cfgName, n, err)
+			}
+			for schedName, sched := range chunkSchedules(n) {
+				s := m.Stream()
+				var got [][]float64
+				off := 0
+				for _, c := range sched {
+					rows, err := s.Push(x[off : off+c])
+					if err != nil {
+						t.Fatalf("%s n=%d %s: Push: %v", cfgName, n, schedName, err)
+					}
+					got = append(got, rows...)
+					off += c
+				}
+				tail, err := s.Flush()
+				if err != nil {
+					t.Fatalf("%s n=%d %s: Flush: %v", cfgName, n, schedName, err)
+				}
+				got = append(got, tail...)
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d %s: %d frames, want %d", cfgName, n, schedName, len(got), len(want))
+				}
+				for f := range want {
+					for j := range want[f] {
+						if got[f][j] != want[f][j] {
+							t.Fatalf("%s n=%d %s: frame %d coeff %d = %v, want %v (not bit-identical)",
+								cfgName, n, schedName, f, j, got[f][j], want[f][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingMFCCReset verifies that a reset extractor reproduces a
+// fresh one exactly.
+func TestStreamingMFCCReset(t *testing.T) {
+	m, err := NewMFCC(DefaultMFCCConfig(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testSignal(3000)
+	want, err := m.Extract(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stream()
+	if _, err := s.Push(x[:1234]); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	var got [][]float64
+	rows, err := s.Push(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, rows...)
+	tail, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, tail...)
+	if len(got) != len(want) {
+		t.Fatalf("%d frames after reset, want %d", len(got), len(want))
+	}
+	for f := range want {
+		for j := range want[f] {
+			if got[f][j] != want[f][j] {
+				t.Fatalf("frame %d differs after Reset", f)
+			}
+		}
+	}
+}
+
+// TestStreamingMFCCErrors pins the sealed-stream and empty-stream errors.
+func TestStreamingMFCCErrors(t *testing.T) {
+	m, err := NewMFCC(DefaultMFCCConfig(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stream()
+	if _, err := s.Flush(); err == nil {
+		t.Fatal("Flush on empty stream should error like Extract(nil)")
+	}
+	s = m.Stream()
+	if _, err := s.Push(testSignal(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(testSignal(1)); err == nil {
+		t.Fatal("Push after Flush should error")
+	}
+	if _, err := s.Flush(); err == nil {
+		t.Fatal("double Flush should error")
+	}
+}

@@ -38,50 +38,17 @@ func NewHMM(logInit []float64, logTrans [][]float64, emitters []Emitter) (*HMM, 
 }
 
 // Viterbi returns the most likely state sequence for the observations and
-// its log probability.
+// its log probability. It is the batch form of the incremental lattice in
+// ViterbiState: one Step per observation, then a single backtrace.
 func (h *HMM) Viterbi(obs [][]float64) ([]int, float64, error) {
-	T := len(obs)
-	if T == 0 {
+	if len(obs) == 0 {
 		return nil, 0, fmt.Errorf("hmm: empty observation sequence")
 	}
-	n := h.NumStates
-	delta := make([]float64, n)
-	prevDelta := make([]float64, n)
-	back := make([][]int32, T)
-	for i := 0; i < n; i++ {
-		prevDelta[i] = h.LogInit[i] + h.Emitters[i].LogProb(obs[0])
+	v := h.Stream()
+	for _, o := range obs {
+		v.Step(o)
 	}
-	back[0] = make([]int32, n)
-	for t := 1; t < T; t++ {
-		back[t] = make([]int32, n)
-		for j := 0; j < n; j++ {
-			bestScore, bestState := math.Inf(-1), 0
-			for i := 0; i < n; i++ {
-				s := prevDelta[i] + h.LogTrans[i][j]
-				if s > bestScore {
-					bestScore, bestState = s, i
-				}
-			}
-			delta[j] = bestScore + h.Emitters[j].LogProb(obs[t])
-			back[t][j] = int32(bestState)
-		}
-		prevDelta, delta = delta, prevDelta
-	}
-	bestScore, bestState := math.Inf(-1), 0
-	for i := 0; i < n; i++ {
-		if prevDelta[i] > bestScore {
-			bestScore, bestState = prevDelta[i], i
-		}
-	}
-	if math.IsInf(bestScore, -1) {
-		return nil, bestScore, fmt.Errorf("hmm: all paths have zero probability")
-	}
-	path := make([]int, T)
-	path[T-1] = bestState
-	for t := T - 1; t > 0; t-- {
-		path[t-1] = int(back[t][path[t]])
-	}
-	return path, bestScore, nil
+	return v.Path()
 }
 
 // EstimateTransitions computes a smoothed ML transition matrix and initial

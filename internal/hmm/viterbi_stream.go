@@ -1,0 +1,86 @@
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// ViterbiState runs the Viterbi dynamic program one observation at a
+// time, so streaming consumers can advance the lattice as frames arrive
+// and materialize a provisional best path at any point. Step performs
+// exactly the per-column update of HMM.Viterbi (same tie-breaking, same
+// accumulation order), and Path on a T-observation state returns exactly
+// what Viterbi would return for those T observations.
+//
+// A ViterbiState is owned by one goroutine; the parent *HMM stays shared.
+type ViterbiState struct {
+	h         *HMM
+	prevDelta []float64
+	delta     []float64
+	back      [][]int32
+	t         int
+}
+
+// Stream returns a fresh incremental Viterbi lattice over h.
+func (h *HMM) Stream() *ViterbiState {
+	return &ViterbiState{
+		h:         h,
+		prevDelta: make([]float64, h.NumStates),
+		delta:     make([]float64, h.NumStates),
+	}
+}
+
+// Len returns the number of observations consumed so far.
+func (v *ViterbiState) Len() int { return v.t }
+
+// Step advances the lattice by one observation.
+func (v *ViterbiState) Step(obs []float64) {
+	h, n := v.h, v.h.NumStates
+	if v.t == 0 {
+		for i := 0; i < n; i++ {
+			v.prevDelta[i] = h.LogInit[i] + h.Emitters[i].LogProb(obs)
+		}
+		v.back = append(v.back, make([]int32, n))
+		v.t = 1
+		return
+	}
+	bt := make([]int32, n)
+	for j := 0; j < n; j++ {
+		bestScore, bestState := math.Inf(-1), 0
+		for i := 0; i < n; i++ {
+			s := v.prevDelta[i] + h.LogTrans[i][j]
+			if s > bestScore {
+				bestScore, bestState = s, i
+			}
+		}
+		v.delta[j] = bestScore + h.Emitters[j].LogProb(obs)
+		bt[j] = int32(bestState)
+	}
+	v.back = append(v.back, bt)
+	v.prevDelta, v.delta = v.delta, v.prevDelta
+	v.t++
+}
+
+// Path backtraces the best path over everything consumed so far. Calling
+// it does not disturb the lattice: more Steps may follow, which is how
+// sliding-window verdicts read a provisional alignment mid-stream.
+func (v *ViterbiState) Path() ([]int, float64, error) {
+	if v.t == 0 {
+		return nil, 0, fmt.Errorf("hmm: empty observation sequence")
+	}
+	bestScore, bestState := math.Inf(-1), 0
+	for i := 0; i < v.h.NumStates; i++ {
+		if v.prevDelta[i] > bestScore {
+			bestScore, bestState = v.prevDelta[i], i
+		}
+	}
+	if math.IsInf(bestScore, -1) {
+		return nil, bestScore, fmt.Errorf("hmm: all paths have zero probability")
+	}
+	path := make([]int, v.t)
+	path[v.t-1] = bestState
+	for t := v.t - 1; t > 0; t-- {
+		path[t-1] = int(v.back[t][path[t]])
+	}
+	return path, bestScore, nil
+}

@@ -48,6 +48,40 @@ type RNNCache struct {
 	hs [][]float64 // hs[t] is the hidden state after step t
 }
 
+// StepInto advances the recurrence by one frame: given input x and hidden
+// state h it writes the next hidden state into nh and, when y is non-nil,
+// the output logits into y. It is the single step shared by ForwardSeq
+// and the streaming ASR path, so the two can never drift numerically. nh
+// must not alias h.
+func (r *RNN) StepInto(x, h, nh, y []float64) error {
+	if len(x) != r.In {
+		return fmt.Errorf("nn: frame has size %d, want %d", len(x), r.In)
+	}
+	for j := 0; j < r.Hidden; j++ {
+		s := r.Bh[j]
+		rowX := r.Wx[j*r.In : (j+1)*r.In]
+		for i, v := range x {
+			s += rowX[i] * v
+		}
+		rowH := r.Wh[j*r.Hidden : (j+1)*r.Hidden]
+		for i, v := range h {
+			s += rowH[i] * v
+		}
+		nh[j] = math.Tanh(s)
+	}
+	if y != nil {
+		for o := 0; o < r.Out; o++ {
+			s := r.By[o]
+			row := r.Wy[o*r.Hidden : (o+1)*r.Hidden]
+			for i, v := range nh {
+				s += row[i] * v
+			}
+			y[o] = s
+		}
+	}
+	return nil
+}
+
 // ForwardSeq runs the network over a sequence of input frames and returns
 // per-frame logits.
 func (r *RNN) ForwardSeq(xs [][]float64) ([][]float64, *RNNCache, error) {
@@ -55,32 +89,12 @@ func (r *RNN) ForwardSeq(xs [][]float64) ([][]float64, *RNNCache, error) {
 	cache := &RNNCache{xs: make([][]float64, len(xs)), hs: make([][]float64, len(xs))}
 	h := make([]float64, r.Hidden)
 	for t, x := range xs {
-		if len(x) != r.In {
-			return nil, nil, fmt.Errorf("nn: frame %d has size %d, want %d", t, len(x), r.In)
-		}
 		nh := make([]float64, r.Hidden)
-		for j := 0; j < r.Hidden; j++ {
-			s := r.Bh[j]
-			rowX := r.Wx[j*r.In : (j+1)*r.In]
-			for i, v := range x {
-				s += rowX[i] * v
-			}
-			rowH := r.Wh[j*r.Hidden : (j+1)*r.Hidden]
-			for i, v := range h {
-				s += rowH[i] * v
-			}
-			nh[j] = math.Tanh(s)
+		y := make([]float64, r.Out)
+		if err := r.StepInto(x, h, nh, y); err != nil {
+			return nil, nil, fmt.Errorf("nn: frame %d: %w", t, err)
 		}
 		h = nh
-		y := make([]float64, r.Out)
-		for o := 0; o < r.Out; o++ {
-			s := r.By[o]
-			row := r.Wy[o*r.Hidden : (o+1)*r.Hidden]
-			for i, v := range h {
-				s += row[i] * v
-			}
-			y[o] = s
-		}
 		xc := make([]float64, len(x))
 		copy(xc, x)
 		cache.xs[t] = xc

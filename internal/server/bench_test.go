@@ -2,13 +2,16 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mvpears"
 	"mvpears/internal/audio"
@@ -172,6 +175,72 @@ func BenchmarkServeMissCascade(b *testing.B) {
 		if code := serveDetect(h, bodies[i]); code != http.StatusOK {
 			b.Fatalf("status %d", code)
 		}
+	}
+}
+
+// BenchmarkStreamWindow measures one sliding-window evaluation on a live
+// streaming session at the default geometry (1 s window, 250 ms hop):
+// per hop, every engine decodes the window from its frame-incremental
+// state, the texts are phonetically scored, and the vector is
+// classified. The real-time constraint is the hop interval — a window
+// must evaluate faster than the audio it covers arrives, on one core —
+// so the benchmark fails outright if the median window exceeds it.
+func BenchmarkStreamWindow(b *testing.B) {
+	sys := benchSystem(b)
+	m, err := sys.NewStreamManager(mvpears.StreamOptions{
+		MaxDuration:      time.Hour, // the session accumulates b.N hops
+		DisableEarlyExit: true,      // keep every iteration evaluating
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	sess, err := m.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+
+	rate := sys.SampleRate()
+	window, hop := rate, rate/4
+	ctx := context.Background()
+	x := uint32(99)
+	fill := func(dst []float64) {
+		for i := range dst {
+			x = x*1664525 + 1013904223
+			dst[i] = float64(x>>16)/65536*0.9 - 0.45
+		}
+	}
+	// Prime to one hop short of the first window, so every timed Push
+	// lands exactly one window evaluation.
+	prime := make([]float64, window-hop)
+	fill(prime)
+	if ws, err := sess.Push(ctx, prime); err != nil || len(ws) != 0 {
+		b.Fatalf("prime push: %d windows, err %v", len(ws), err)
+	}
+	chunk := make([]float64, hop)
+	durs := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill(chunk)
+		start := time.Now()
+		ws, err := sess.Push(ctx, chunk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(start))
+		if len(ws) != 1 {
+			b.Fatalf("push emitted %d windows, want 1", len(ws))
+		}
+	}
+	b.StopTimer()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	median := durs[len(durs)/2]
+	b.ReportMetric(float64(median.Nanoseconds()), "median-ns/window")
+	hopInterval := time.Duration(hop) * time.Second / time.Duration(rate)
+	if median >= hopInterval {
+		b.Fatalf("median window evaluation %v is not real-time (hop interval %v)", median, hopInterval)
 	}
 }
 

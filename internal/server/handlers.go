@@ -217,12 +217,18 @@ func (s *Server) observe(det *mvpears.Detection) string {
 }
 
 // observeTrace feeds the request's pipeline spans into the stage and
-// engine histogram families. Called once per request that ran its own
-// detection work (so cache hits keep costing zero observations).
+// engine histogram families, and forwards per-engine durations to the
+// backend's cost observer so the cascade scheduler sees production
+// latency, not just boot-time calibration. Called once per request that
+// ran its own detection work (so cache hits keep costing zero
+// observations).
 func (s *Server) observeTrace(t *obs.Trace) {
 	for _, sp := range t.Spans() {
 		if sp.Engine != "" {
 			s.engineSeconds.With(sp.Engine).Observe(sp.Dur.Seconds())
+			if s.costObserver != nil {
+				s.costObserver.ObserveEngineCost(sp.Engine, sp.Dur)
+			}
 			continue
 		}
 		s.pipelineSeconds.With(sp.Stage).Observe(sp.Dur.Seconds())

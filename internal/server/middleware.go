@@ -29,6 +29,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers can flush, enable full duplex, and hijack through
+// the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // requestID propagates a usable client-supplied X-Request-ID or mints one.
 func requestID(r *http.Request) string {
 	if id := obs.SanitizeRequestID(r.Header.Get("X-Request-ID")); id != "" {

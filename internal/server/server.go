@@ -30,6 +30,7 @@ import (
 
 	"mvpears"
 	"mvpears/internal/obs"
+	"mvpears/internal/stream"
 	"mvpears/internal/vcache"
 )
 
@@ -116,6 +117,10 @@ type Config struct {
 	// Audit, when non-nil, receives one JSONL entry per adversarial
 	// verdict served.
 	Audit *obs.AuditSink
+	// Stream, when non-nil, enables the live streaming endpoints
+	// (/v1/detect/stream and /v1/detect/ws). Requires a Backend that
+	// implements StreamBackend.
+	Stream *StreamConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -209,6 +214,23 @@ type Server struct {
 	vc *vcache.Cache[*mvpears.Detection]
 	// flight collapses concurrent duplicate detections onto one worker.
 	flight *vcache.Group[*mvpears.Detection]
+
+	// stream manages live streaming sessions; nil when streaming is off.
+	stream *stream.Manager
+	// streamTargetName labels the target engine's windowed transcription.
+	streamTargetName string
+	// costObserver receives measured per-engine span durations so the
+	// backend's cascade scheduler can track runtime cost; nil when the
+	// backend does not implement EngineCostObserver.
+	costObserver EngineCostObserver
+	// Streaming metrics, always registered (zero when streaming is off)
+	// so the exposition shape does not depend on configuration.
+	streamSessions      *Counter
+	streamRejected      *Counter
+	streamEvicted       *Counter
+	streamWindows       *CounterVec
+	streamEarlyExits    *Counter
+	streamWindowSeconds *Histogram
 }
 
 // New validates cfg, applies defaults and assembles a Server (no
@@ -312,8 +334,79 @@ func New(cfg Config) (*Server, error) {
 			return s.flight.Collapsed()
 		})
 
+	s.streamSessions = s.metrics.Counter(
+		"mvpears_stream_sessions_total", "Streaming sessions opened.")
+	s.streamRejected = s.metrics.Counter(
+		"mvpears_stream_rejected_total", "Streaming sessions rejected by the session limit.")
+	s.streamEvicted = s.metrics.Counter(
+		"mvpears_stream_evicted_total", "Streaming sessions evicted after the idle timeout.")
+	s.streamWindows = s.metrics.CounterVec(
+		"mvpears_stream_windows_total", "Provisional sliding-window verdicts emitted.", "verdict")
+	s.streamEarlyExits = s.metrics.Counter(
+		"mvpears_stream_early_exits_total", "Streaming sessions flagged adversarial before end-of-stream.")
+	s.streamWindowSeconds = s.metrics.Histogram(
+		"mvpears_stream_window_seconds", "Per-window evaluation wall time (re-transcription through the ensemble).",
+		DefaultLatencyBuckets)
+	s.metrics.GaugeFunc(
+		"mvpears_stream_sessions_open", "Streaming sessions currently open.",
+		func() float64 {
+			if s.stream == nil {
+				return 0
+			}
+			return float64(s.stream.OpenSessions())
+		})
+
+	if co, ok := cfg.Backend.(EngineCostObserver); ok {
+		s.costObserver = co
+	}
+	if cfg.Stream != nil {
+		sb, ok := cfg.Backend.(StreamBackend)
+		if !ok {
+			return nil, fmt.Errorf("server: Config.Stream set but the backend does not support streaming")
+		}
+		s.streamTargetName = "target"
+		if tn, ok := cfg.Backend.(interface{ TargetName() string }); ok {
+			s.streamTargetName = tn.TargetName()
+		}
+		m, err := sb.NewStreamManager(mvpears.StreamOptions{
+			Window:           cfg.Stream.Window,
+			Hop:              cfg.Stream.Hop,
+			MaxSessions:      cfg.Stream.MaxSessions,
+			IdleTimeout:      cfg.Stream.IdleTimeout,
+			MaxDuration:      cfg.Stream.MaxDuration,
+			MinWindows:       cfg.Stream.MinWindows,
+			DisableEarlyExit: cfg.Stream.DisableEarlyExit,
+			Hooks: stream.Hooks{
+				SessionOpened:   func() { s.streamSessions.Inc() },
+				SessionRejected: func() { s.streamRejected.Inc() },
+				SessionClosed: func(evicted bool) {
+					if evicted {
+						s.streamEvicted.Inc()
+					}
+				},
+				Window: func(adversarial, earlyExit bool, d time.Duration) {
+					verdict := VerdictBenign
+					if adversarial {
+						verdict = VerdictAdversarial
+					}
+					s.streamWindows.With(verdict).Inc()
+					if earlyExit {
+						s.streamEarlyExits.Inc()
+					}
+					s.streamWindowSeconds.Observe(d.Seconds())
+				},
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: building stream manager: %w", err)
+		}
+		s.stream = m
+	}
+
 	s.mux.Handle("/v1/detect", s.instrument("detect", s.handleDetect))
 	s.mux.Handle("/v1/detect/batch", s.instrument("detect_batch", s.handleDetectBatch))
+	s.mux.Handle("/v1/detect/stream", s.instrument("detect_stream", s.handleDetectStream))
+	s.mux.Handle("/v1/detect/ws", s.instrument("detect_ws", s.handleDetectWS))
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
@@ -355,6 +448,12 @@ func (s *Server) ListenAndServe(addr string) error {
 // closed. Safe to call once per Server.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Streaming sessions are cut, not drained: a live microphone never
+	// ends on its own, so open sessions fail fast with a stream error
+	// event instead of pinning the drain until its deadline.
+	if s.stream != nil {
+		s.stream.Close()
+	}
 	err := s.httpSrv.Shutdown(ctx)
 	s.pool.Close()
 	return err

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mvpears"
+	"mvpears/internal/audio"
+	"mvpears/internal/obs"
+	"mvpears/internal/stream"
+	"mvpears/internal/vcache"
+)
+
+// Streaming endpoints: live audio in, verdicts out while the speaker is
+// still talking.
+//
+//   - POST /v1/detect/stream — chunked WAV body in, NDJSON events out
+//     (window / final / error), full-duplex on HTTP/1.1.
+//   - GET  /v1/detect/ws     — WebSocket: binary frames carry raw
+//     little-endian 16-bit PCM at the backend's rate, a text frame "end"
+//     requests the final verdict; events arrive as text frames.
+//
+// Streaming sessions bypass the worker pool: their concurrency is
+// bounded by the session table (MaxSessions -> 429), their lifetime by
+// the idle timeout and max stream duration. Audio must arrive at the
+// backend's native rate — a chunk boundary is not a resampling boundary,
+// so mismatched rates are rejected up front instead of resampled.
+
+// StreamBackend is the streaming capability a backend may offer.
+// *mvpears.System implements it.
+type StreamBackend interface {
+	// NewStreamManager builds the session manager (hooks included).
+	NewStreamManager(opts mvpears.StreamOptions) (*stream.Manager, error)
+	// DetectionFromStream converts a final streaming result into the
+	// public Detection form.
+	DetectionFromStream(fin *stream.Final) *mvpears.Detection
+}
+
+var _ StreamBackend = (*mvpears.System)(nil)
+
+// EngineCostObserver is the runtime-cost feedback channel: backends that
+// implement it receive measured per-engine transcription durations from
+// the serving layer, letting the cascade scheduler demote an engine that
+// slows down in production. *mvpears.System implements it.
+type EngineCostObserver interface {
+	ObserveEngineCost(engine string, d time.Duration)
+}
+
+var _ EngineCostObserver = (*mvpears.System)(nil)
+
+// StreamConfig configures the streaming endpoints; see stream.Config for
+// the semantics and defaults of each field.
+type StreamConfig struct {
+	Window           int // samples; 0 = 1 s of audio
+	Hop              int // samples; 0 = 250 ms of audio
+	MaxSessions      int
+	IdleTimeout      time.Duration
+	MaxDuration      time.Duration
+	MinWindows       int
+	DisableEarlyExit bool
+}
+
+// Stream event names on the wire.
+const (
+	StreamEventWindow = "window"
+	StreamEventFinal  = "final"
+	StreamEventError  = "error"
+)
+
+// StreamWindowJSON is one provisional sliding-window verdict.
+type StreamWindowJSON struct {
+	Index   int       `json:"index"`
+	StartMS float64   `json:"start_ms"`
+	EndMS   float64   `json:"end_ms"`
+	Verdict string    `json:"verdict"`
+	Scores  []float64 `json:"scores"`
+	// Transcriptions maps engine name to its windowed transcription.
+	Transcriptions map[string]string `json:"transcriptions"`
+	// EarlyExit marks the window that tripped the early-exit floor.
+	EarlyExit bool    `json:"early_exit,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// StreamEarlyExitJSON describes an early-exit flag.
+type StreamEarlyExitJSON struct {
+	Window      int     `json:"window"`
+	Engine      string  `json:"engine"`
+	Score       float64 `json:"score"`
+	Floor       float64 `json:"floor"`
+	AudioTimeMS float64 `json:"audio_time_ms"`
+}
+
+// StreamEventJSON is one event on a streaming response. Exactly one of
+// Window / Detection / Error is set, matching Event.
+type StreamEventJSON struct {
+	Event  string            `json:"event"`
+	Window *StreamWindowJSON `json:"window,omitempty"`
+	// Final-event fields: the whole-clip verdict (same schema as
+	// /v1/detect), the window count and audio duration, and the
+	// early-exit record when the session flagged before end-of-stream.
+	Detection  *DetectionJSON       `json:"detection,omitempty"`
+	Windows    int                  `json:"windows,omitempty"`
+	DurationMS float64              `json:"duration_ms,omitempty"`
+	EarlyExit  *StreamEarlyExitJSON `json:"early_exit,omitempty"`
+	// Stop asks the client to stop sending audio (early exit fired).
+	Stop      bool   `json:"stop,omitempty"`
+	Error     string `json:"error,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// streamWindowJSON renders one session window with engine names.
+func (s *Server) streamWindowJSON(w stream.Window, rate int) *StreamWindowJSON {
+	tr := make(map[string]string, len(w.Aux)+1)
+	tr[s.streamTargetName] = w.Target
+	for i, text := range w.Aux {
+		if i < len(s.auxNames) {
+			tr[s.auxNames[i]] = text
+		}
+	}
+	verdict := VerdictBenign
+	if w.Adversarial {
+		verdict = VerdictAdversarial
+	}
+	return &StreamWindowJSON{
+		Index:          w.Index,
+		StartMS:        msFloat(sampleMS(w.Start, rate)),
+		EndMS:          msFloat(sampleMS(w.End, rate)),
+		Verdict:        verdict,
+		Scores:         w.Scores,
+		Transcriptions: tr,
+		EarlyExit:      w.EarlyExit,
+		ElapsedMS:      msFloat(w.Elapsed),
+	}
+}
+
+func sampleMS(n, rate int) time.Duration {
+	return time.Duration(float64(n) / float64(rate) * float64(time.Second))
+}
+
+func streamEarlyExitJSON(e *stream.EarlyExit) *StreamEarlyExitJSON {
+	if e == nil {
+		return nil
+	}
+	return &StreamEarlyExitJSON{
+		Window:      e.Window,
+		Engine:      e.Engine,
+		Score:       e.Score,
+		Floor:       e.Floor,
+		AudioTimeMS: msFloat(e.AudioTime),
+	}
+}
+
+// streamRun carries one streaming session through a handler: the session,
+// the event writer (NDJSON or WebSocket text frames), and the per-request
+// observability state.
+type streamRun struct {
+	sess    *stream.Session
+	trace   *obs.Trace
+	explain bool
+	route   string
+	// decodeDur accumulates the WAV/PCM decode cost across chunks; it is
+	// recorded as the trace's decode span at finalize.
+	decodeDur time.Duration
+	write     func(ev StreamEventJSON) error
+}
+
+// emitWindows writes the window events of one Push and returns whether
+// the early-exit flag fired (the client should stop sending).
+func (s *Server) emitWindows(run *streamRun, windows []stream.Window) (stopped bool, err error) {
+	rate := s.cfg.Backend.SampleRate()
+	for _, w := range windows {
+		ev := StreamEventJSON{
+			Event:  StreamEventWindow,
+			Window: s.streamWindowJSON(w, rate),
+		}
+		if w.EarlyExit {
+			ev.Stop = true
+			stopped = true
+		}
+		if err := run.write(ev); err != nil {
+			return stopped, err
+		}
+	}
+	return stopped, nil
+}
+
+// finishStream finalizes the session and writes the final event: the
+// whole-clip verdict (cache-probed by content, so a streamed re-send of
+// known audio is a cache hit), observed into the same metric families as
+// batch verdicts.
+func (s *Server) finishStream(ctx context.Context, run *streamRun) error {
+	// The accumulated incremental decode cost becomes the decode span,
+	// anchored to end now.
+	run.trace.Record(obs.StageDecode, "", time.Now().Add(-run.decodeDur))
+	fin, err := run.sess.Finish(ctx)
+	if err != nil {
+		return err
+	}
+	var (
+		det    *mvpears.Detection
+		cached bool
+		key    string
+	)
+	if s.vc != nil {
+		key = vcache.KeySamples(s.modelFP, s.cfg.Backend.SampleRate(), fin.Samples)
+		det, cached = s.vc.Get(key)
+	}
+	if !cached {
+		det = s.cfg.Backend.(StreamBackend).DetectionFromStream(fin)
+		if key != "" {
+			s.vc.Put(key, det, detectionSize(key, det))
+		}
+	}
+	var verdict string
+	if cached {
+		run.trace.SetCached()
+		verdict = s.countVerdict(det)
+	} else {
+		verdict = s.observe(det)
+		s.observeTrace(run.trace)
+	}
+	run.trace.SetVerdict(verdict)
+	s.audit(run.trace, run.route, "", det, verdict, cached)
+	out := NewDetectionJSON(det, s.auxNames)
+	out.Cached = cached
+	ev := StreamEventJSON{
+		Event:      StreamEventFinal,
+		Detection:  &out,
+		Windows:    fin.Windows,
+		DurationMS: msFloat(fin.Duration),
+		EarlyExit:  streamEarlyExitJSON(fin.EarlyExit),
+	}
+	if run.explain {
+		ev.Detection.Explanation = s.explanationFor(det)
+	}
+	return run.write(ev)
+}
+
+// streamChunkSamples sizes the per-read sample buffer on the NDJSON
+// path: 1/8 s at 16 kHz, small enough to keep window latency low.
+const streamChunkSamples = 2048
+
+// handleDetectStream serves POST /v1/detect/stream: a chunked WAV body
+// is ingested incrementally and NDJSON events flow back full-duplex —
+// provisional window verdicts as the audio arrives, then one final
+// whole-clip verdict at EOF.
+func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST with a chunked WAV body")
+		return
+	}
+	if s.stream == nil {
+		writeError(w, http.StatusNotFound, "streaming is not enabled")
+		return
+	}
+	trace := obs.TraceFrom(r.Context())
+	rc := http.NewResponseController(w)
+	// Full duplex: we interleave body reads with response writes; without
+	// this net/http drains the request body at the first write.
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024)
+	decodeStart := time.Now()
+	wr, err := audio.NewWAVStreamReader(body, s.cfg.MaxUploadBytes)
+	if err != nil {
+		writeError(w, decodeStatus(err), "decoding WAV header: %v", err)
+		return
+	}
+	if rate := s.cfg.Backend.SampleRate(); wr.SampleRate() != rate {
+		writeError(w, http.StatusBadRequest,
+			"streaming requires audio at the native %d Hz rate, got %d Hz", rate, wr.SampleRate())
+		return
+	}
+	sess, err := s.stream.Open()
+	if err != nil {
+		if errors.Is(err, stream.ErrTooManySessions) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "too many open streaming sessions")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "opening stream session: %v", err)
+		return
+	}
+	defer sess.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	run := &streamRun{
+		sess:      sess,
+		trace:     trace,
+		explain:   explainRequested(r),
+		route:     "detect_stream",
+		decodeDur: time.Since(decodeStart),
+		write: func(ev StreamEventJSON) error {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			return rc.Flush()
+		},
+	}
+	// streamFail reports a mid-stream failure as an NDJSON error event:
+	// the 200 header is already on the wire.
+	streamFail := func(format string, args ...any) {
+		_ = run.write(StreamEventJSON{
+			Event:     StreamEventError,
+			Error:     fmt.Sprintf(format, args...),
+			RequestID: trace.ID(),
+		})
+	}
+
+	ctx := r.Context()
+	buf := make([]float64, streamChunkSamples)
+	for {
+		readStart := time.Now()
+		n, err := wr.ReadSamples(buf)
+		run.decodeDur += time.Since(readStart)
+		if n > 0 {
+			windows, perr := sess.Push(ctx, buf[:n])
+			if _, werr := s.emitWindows(run, windows); werr != nil {
+				return // client gone
+			}
+			if perr != nil {
+				streamFail("stream session: %v", perr)
+				return
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			streamFail("decoding streamed WAV: %v", err)
+			return
+		}
+	}
+	if err := s.finishStream(ctx, run); err != nil {
+		streamFail("finalizing stream: %v", err)
+	}
+}
+
+// handleDetectWS serves GET /v1/detect/ws. Protocol: the client sends
+// binary frames of raw little-endian 16-bit PCM at the backend's sample
+// rate and a text frame "end" to finalize; the server answers with text
+// frames carrying StreamEventJSON (window events as audio arrives, one
+// final event after "end", error events on failure).
+func (s *Server) handleDetectWS(w http.ResponseWriter, r *http.Request) {
+	if s.stream == nil {
+		writeError(w, http.StatusNotFound, "streaming is not enabled")
+		return
+	}
+	trace := obs.TraceFrom(r.Context())
+	sess, err := s.stream.Open()
+	if err != nil {
+		if errors.Is(err, stream.ErrTooManySessions) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "too many open streaming sessions")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "opening stream session: %v", err)
+		return
+	}
+	conn, err := stream.UpgradeWS(w, r)
+	if err != nil {
+		sess.Close()
+		return // UpgradeWS already answered
+	}
+	defer conn.Close()
+	defer sess.Close()
+
+	run := &streamRun{
+		sess:    sess,
+		trace:   trace,
+		explain: explainRequested(r),
+		route:   "detect_ws",
+		write: func(ev StreamEventJSON) error {
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			return conn.WriteMessage(stream.OpText, payload)
+		},
+	}
+	wsFail := func(format string, args ...any) {
+		_ = run.write(StreamEventJSON{
+			Event:     StreamEventError,
+			Error:     fmt.Sprintf(format, args...),
+			RequestID: trace.ID(),
+		})
+		_ = conn.WriteClose(1011) // internal error
+	}
+
+	ctx := r.Context()
+	var (
+		carry    byte
+		hasCarry bool
+		samples  []float64
+	)
+	for {
+		op, payload, err := conn.ReadMessage()
+		if err != nil {
+			// Close frame or transport error: the client abandoned the
+			// session; no final verdict.
+			return
+		}
+		switch op {
+		case stream.OpBinary:
+			decodeStart := time.Now()
+			if hasCarry {
+				payload = append([]byte{carry}, payload...)
+				hasCarry = false
+			}
+			if len(payload)%2 == 1 {
+				carry = payload[len(payload)-1]
+				hasCarry = true
+				payload = payload[:len(payload)-1]
+			}
+			samples, err = audio.AppendPCM16(samples[:0], payload)
+			if err != nil {
+				wsFail("decoding PCM frame: %v", err)
+				return
+			}
+			run.decodeDur += time.Since(decodeStart)
+			windows, perr := sess.Push(ctx, samples)
+			if _, werr := s.emitWindows(run, windows); werr != nil {
+				return
+			}
+			if perr != nil {
+				wsFail("stream session: %v", perr)
+				return
+			}
+		case stream.OpText:
+			if string(payload) != "end" {
+				wsFail("unexpected text frame %q (only \"end\" is defined)", payload)
+				return
+			}
+			if err := s.finishStream(ctx, run); err != nil {
+				wsFail("finalizing stream: %v", err)
+				return
+			}
+			_ = conn.WriteClose(1000)
+			return
+		}
+	}
+}

@@ -1,0 +1,606 @@
+// Package stream is the streaming detection subsystem: it accepts audio
+// incrementally, re-transcribes a sliding window through the existing
+// ensemble to emit provisional verdicts while the speaker is still
+// talking, and produces a final whole-clip verdict at end-of-stream that
+// is bit-identical to the batch detector's.
+//
+// The smart-speaker scenario the paper motivates receives audio as a
+// stream; a verdict that waits for end-of-utterance gives a wake-word
+// attack a free window. Streaming detection closes it two ways:
+//
+//   - Provisional verdicts: every Hop samples, the last Window samples
+//     are decoded per engine (from frame-incremental state — nothing is
+//     re-extracted), scored, and classified. Clients see the ensemble's
+//     opinion with sub-second latency.
+//   - Early exit: when any auxiliary's windowed similarity falls
+//     decisively below its calibrated floor (detector.CalibrateFloors,
+//     the mirror image of the cascade's no-flip margins) for MinWindows
+//     consecutive windows, the session is flagged adversarial on the
+//     spot and the client is told to stop sending.
+//
+// Sessions live in a bounded table with idle eviction and max-session
+// backpressure; one session is owned by one connection goroutine, while
+// the Manager is safe for concurrent use.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mvpears/internal/asr"
+	"mvpears/internal/detector"
+	"mvpears/internal/obs"
+)
+
+// Sentinel errors mapped to wire statuses by the server layer.
+var (
+	// ErrTooManySessions is returned by Open when the session table is
+	// full (HTTP 429).
+	ErrTooManySessions = errors.New("stream: too many open sessions")
+	// ErrSessionClosed is returned by operations on a closed or evicted
+	// session.
+	ErrSessionClosed = errors.New("stream: session closed")
+	// ErrTooLong is returned by Push when the accumulated audio would
+	// exceed MaxDuration.
+	ErrTooLong = errors.New("stream: clip exceeds maximum stream duration")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Detector supplies the engines, similarity method and classifier.
+	// Streaming always runs the full ensemble (never the cascade
+	// short-circuit) so final verdicts match detector.Detect exactly.
+	Detector *detector.Detector
+	// SampleRate is the only rate sessions accept; streaming does not
+	// resample (a chunk boundary is not a resampling boundary).
+	SampleRate int
+	// Window and Hop are the sliding-window geometry in samples.
+	// Defaults: one second and a quarter second of audio.
+	Window int
+	Hop    int
+	// MaxSessions bounds the session table (default 64). Open returns
+	// ErrTooManySessions beyond it.
+	MaxSessions int
+	// IdleTimeout evicts sessions with no Push/Finish activity (default
+	// 30s).
+	IdleTimeout time.Duration
+	// MaxDuration bounds the audio a single session may accumulate
+	// (default 2 minutes) — sessions buffer the whole clip for the final
+	// whole-clip energy gate, verdict and cache probe.
+	MaxDuration time.Duration
+	// Floors are the per-auxiliary early-exit floors in configured
+	// auxiliary order (detector.CalibrateFloors). Nil disables early
+	// exit; provisional verdicts still flow.
+	Floors []float64
+	// MinWindows is how many consecutive offending windows it takes to
+	// flag (default Window/Hop + 1). The default is geometric: a benign
+	// phrase-boundary mistranscription stays inside the sliding window
+	// for Window/Hop consecutive hops, so a run must outlast one full
+	// window-length of audio before it can be a sustained divergence
+	// rather than one bad region sliding through.
+	MinWindows int
+	// Hooks receive lifecycle and per-window events (metrics wiring).
+	Hooks Hooks
+}
+
+// Hooks are optional observation points; nil funcs are skipped.
+type Hooks struct {
+	SessionOpened   func()
+	SessionClosed   func(evicted bool)
+	SessionRejected func()
+	// Window fires per provisional verdict with its processing duration.
+	Window func(adversarial, earlyExit bool, d time.Duration)
+}
+
+func (c *Config) withDefaults() error {
+	if c.Detector == nil {
+		return fmt.Errorf("stream: config needs a detector")
+	}
+	if c.SampleRate <= 0 {
+		return fmt.Errorf("stream: sample rate %d must be positive", c.SampleRate)
+	}
+	if c.Window == 0 {
+		c.Window = c.SampleRate // 1 s
+	}
+	if c.Hop == 0 {
+		c.Hop = c.SampleRate / 4 // 250 ms
+	}
+	if c.Window <= 0 || c.Hop <= 0 {
+		return fmt.Errorf("stream: window %d and hop %d must be positive", c.Window, c.Hop)
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxSessions < 0 {
+		return fmt.Errorf("stream: negative session limit %d", c.MaxSessions)
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 2 * time.Minute
+	}
+	if len(c.Floors) != 0 && len(c.Floors) != len(c.Detector.Auxiliaries) {
+		return fmt.Errorf("stream: %d floors for %d auxiliaries", len(c.Floors), len(c.Detector.Auxiliaries))
+	}
+	if c.MinWindows == 0 {
+		c.MinWindows = c.Window/c.Hop + 1
+	}
+	return nil
+}
+
+// Manager owns the bounded session table.
+type Manager struct {
+	cfg        Config
+	maxSamples int
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewManager validates the configuration and starts the idle-eviction
+// janitor.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:         cfg,
+		maxSamples:  int(cfg.MaxDuration.Seconds() * float64(cfg.SampleRate)),
+		sessions:    make(map[uint64]*Session),
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go m.janitor()
+	return m, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// OpenSessions returns the current session count (the gauge metric).
+func (m *Manager) OpenSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Open admits a new session, or returns ErrTooManySessions when the
+// table is full — streaming backpressure is a hard reject, not a queue:
+// live audio cannot usefully wait.
+func (m *Manager) Open() (*Session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		m.hook(m.cfg.Hooks.SessionRejected)
+		return nil, ErrTooManySessions
+	}
+	d := m.cfg.Detector
+	engines := make([]asr.Recognizer, 0, 1+len(d.Auxiliaries))
+	engines = append(engines, d.Target)
+	engines = append(engines, d.Auxiliaries...)
+	es, err := asr.NewEnsembleStream(engines, m.cfg.SampleRate)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	s := &Session{
+		m:          m,
+		id:         m.nextID,
+		es:         es,
+		lastActive: time.Now(),
+		nextWindow: m.cfg.Window,
+	}
+	m.sessions[s.id] = s
+	m.mu.Unlock()
+	m.hook(m.cfg.Hooks.SessionOpened)
+	return s, nil
+}
+
+// Close shuts the manager down: the janitor stops and every open session
+// is closed. Idempotent.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	open := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		open = append(open, s)
+	}
+	m.mu.Unlock()
+	close(m.stopJanitor)
+	<-m.janitorDone
+	for _, s := range open {
+		s.Close()
+	}
+}
+
+func (m *Manager) hook(f func()) {
+	if f != nil {
+		f()
+	}
+}
+
+// remove detaches a session from the table (no-op if already gone).
+func (m *Manager) remove(s *Session, evicted bool) {
+	m.mu.Lock()
+	_, present := m.sessions[s.id]
+	delete(m.sessions, s.id)
+	m.mu.Unlock()
+	if present && m.cfg.Hooks.SessionClosed != nil {
+		m.cfg.Hooks.SessionClosed(evicted)
+	}
+}
+
+// janitor evicts idle sessions — a streaming client that stalls without
+// closing must not pin a session-table slot (and its buffered audio).
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	period := m.cfg.IdleTimeout / 4
+	if period < 250*time.Millisecond {
+		period = 250 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopJanitor:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-m.cfg.IdleTimeout)
+			m.mu.Lock()
+			var idle []*Session
+			for _, s := range m.sessions {
+				s.mu.Lock()
+				if s.lastActive.Before(cutoff) {
+					idle = append(idle, s)
+				}
+				s.mu.Unlock()
+			}
+			m.mu.Unlock()
+			for _, s := range idle {
+				s.close(true)
+			}
+		}
+	}
+}
+
+// Window is one provisional sliding-window verdict.
+type Window struct {
+	// Index counts emitted windows from 0; Start/End are the sample
+	// range [Start,End) the verdict covers.
+	Index      int
+	Start, End int
+	// Target and Aux are the windowed transcriptions (configured
+	// auxiliary order); Scores the similarity vector the classifier saw.
+	Target string
+	Aux    []string
+	Scores []float64
+	// Adversarial is the provisional classifier verdict for this window.
+	Adversarial bool
+	// EarlyExit is true on the window that tripped the early-exit floor:
+	// the session is now flagged and the client should stop sending.
+	EarlyExit bool
+	// Elapsed is the processing cost of this window (the latency budget:
+	// it must stay under Hop/SampleRate seconds for real-time operation).
+	Elapsed time.Duration
+}
+
+// EarlyExit describes why a session was flagged before end-of-stream.
+type EarlyExit struct {
+	// Window is the index of the tripping window, Engine the auxiliary
+	// whose Score fell below Floor.
+	Window int
+	Engine string
+	Score  float64
+	Floor  float64
+	// AudioTime is the stream position at the flag — the detection
+	// latency an attacker would experience, counted in audio time.
+	AudioTime time.Duration
+}
+
+// Final is the end-of-stream result.
+type Final struct {
+	Decision detector.Decision
+	Timing   detector.Timing
+	// Windows is how many provisional verdicts were emitted; Duration
+	// the audio length; Samples the accumulated clip (for the verdict
+	// cache probe — callers must not mutate it).
+	Windows   int
+	Duration  time.Duration
+	Samples   []float64
+	EarlyExit *EarlyExit
+}
+
+// Session is one live audio stream. All methods are safe for concurrent
+// use, but the expected owner is a single connection goroutine.
+type Session struct {
+	m  *Manager
+	id uint64
+
+	mu         sync.Mutex
+	es         *asr.EnsembleStream
+	lastActive time.Time
+	closed     bool
+	finalized  bool
+	nextWindow int // sample position of the next window edge
+	windows    int
+	offending  int // consecutive windows below an early-exit floor
+	earlyExit  *EarlyExit
+}
+
+// ID returns the session's numeric identifier (log correlation).
+func (s *Session) ID() uint64 { return s.id }
+
+// Total returns the samples ingested so far.
+func (s *Session) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.es.Total()
+}
+
+// Flagged reports whether the early-exit path has fired.
+func (s *Session) Flagged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.earlyExit != nil
+}
+
+// Push ingests a chunk of audio and returns the provisional verdicts for
+// every window edge the chunk crossed. After an early exit the session
+// keeps accepting audio (the client may still want the final verdict)
+// but stops evaluating windows.
+func (s *Session) Push(ctx context.Context, samples []float64) ([]Window, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.finalized {
+		return nil, fmt.Errorf("stream: Push after Finish")
+	}
+	s.lastActive = time.Now()
+	if s.es.Total()+len(samples) > s.m.maxSamples {
+		return nil, fmt.Errorf("%w (%v)", ErrTooLong, s.m.cfg.MaxDuration)
+	}
+	if err := s.es.Push(samples); err != nil {
+		return nil, err
+	}
+	var out []Window
+	for s.nextWindow <= s.es.Total() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if s.earlyExit != nil {
+			// Flagged: windows stop, but keep the edge advancing so a
+			// client that ignores the stop signal doesn't buffer work.
+			s.nextWindow += s.m.cfg.Hop
+			continue
+		}
+		w, err := s.evalWindow(ctx, s.nextWindow)
+		if err != nil {
+			return out, err
+		}
+		s.nextWindow += s.m.cfg.Hop
+		out = append(out, w)
+	}
+	s.lastActive = time.Now()
+	return out, nil
+}
+
+// evalWindow runs the ensemble over the window ending at sample pos and
+// classifies the similarity vector. Caller holds s.mu.
+func (s *Session) evalWindow(ctx context.Context, pos int) (Window, error) {
+	cfg := &s.m.cfg
+	d := cfg.Detector
+	trace := obs.TraceFrom(ctx)
+	a := pos - cfg.Window
+	if a < 0 {
+		a = 0
+	}
+	started := time.Now()
+
+	n := len(d.Auxiliaries)
+	texts := make([]string, n+1)
+	start := time.Now()
+	for i := range texts {
+		engStart := time.Now()
+		text, err := s.es.WindowText(i, a, pos)
+		if err != nil {
+			return Window{}, fmt.Errorf("stream: window [%d,%d): %w", a, pos, err)
+		}
+		texts[i] = text
+		name := d.Target.Name()
+		if i > 0 {
+			name = d.Auxiliaries[i-1].Name()
+		}
+		trace.Record(obs.StageTranscribe, name, engStart)
+	}
+	trace.Record(obs.StageTranscribe, "", start)
+
+	simStart := time.Now()
+	encTarget := d.Method.Encode(texts[0])
+	encAux := make([]string, n)
+	for i := 0; i < n; i++ {
+		encAux[i] = d.Method.Encode(texts[i+1])
+	}
+	trace.Record(obs.StagePhonetic, "", simStart)
+	scoreStart := time.Now()
+	scores := make([]float64, n)
+	for i, enc := range encAux {
+		scores[i] = d.Method.Score(encTarget, enc)
+	}
+	trace.Record(obs.StageSimilarity, "", scoreStart)
+
+	clsStart := time.Now()
+	pred, err := d.Classifier.Predict(scores)
+	if err != nil {
+		return Window{}, fmt.Errorf("stream: window classification: %w", err)
+	}
+	trace.Record(obs.StageClassify, "", clsStart)
+
+	w := Window{
+		Index:       s.windows,
+		Start:       a,
+		End:         pos,
+		Target:      texts[0],
+		Aux:         texts[1:],
+		Scores:      scores,
+		Adversarial: pred == 1,
+		Elapsed:     time.Since(started),
+	}
+	s.windows++
+
+	// Early exit: the window classifier calls the vector adversarial AND
+	// an auxiliary scores decisively below its calibrated floor, while
+	// the target actually hears speech. The conjunction matters: floors
+	// are calibrated on whole-clip scores, and windowed transcriptions
+	// are noisy at phrase boundaries — a single engine mishearing one
+	// window can dip under its floor while the ensemble still agrees.
+	// One window can be a boundary artifact either way; MinWindows
+	// consecutive ones flag the session.
+	if len(cfg.Floors) > 0 && pred == 1 && texts[0] != "" {
+		worst, worstGap := -1, 0.0
+		for i, f := range cfg.Floors {
+			if gap := f - scores[i]; scores[i] < f && gap > worstGap {
+				worst, worstGap = i, gap
+			}
+		}
+		if worst >= 0 {
+			s.offending++
+			if s.offending >= cfg.MinWindows {
+				s.earlyExit = &EarlyExit{
+					Window:    w.Index,
+					Engine:    d.Auxiliaries[worst].Name(),
+					Score:     scores[worst],
+					Floor:     cfg.Floors[worst],
+					AudioTime: sampleDuration(pos, cfg.SampleRate),
+				}
+				w.EarlyExit = true
+				w.Adversarial = true
+			}
+		} else {
+			s.offending = 0
+		}
+	}
+	if cfg.Hooks.Window != nil {
+		cfg.Hooks.Window(w.Adversarial, w.EarlyExit, w.Elapsed)
+	}
+	return w, nil
+}
+
+// Finish seals the stream and produces the final whole-clip verdict —
+// the same transcribe → phonetic-encode → score → classify sequence as
+// detector.Detect on the complete clip, from the incrementally built
+// state. The session leaves the table afterwards.
+func (s *Session) Finish(ctx context.Context) (*Final, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.finalized {
+		return nil, fmt.Errorf("stream: Finish called twice")
+	}
+	s.lastActive = time.Now()
+	d := s.m.cfg.Detector
+	trace := obs.TraceFrom(ctx)
+	var timing detector.Timing
+
+	if err := s.es.Finalize(); err != nil {
+		return nil, err
+	}
+	n := len(d.Auxiliaries)
+	texts := make([]string, n+1)
+	start := time.Now()
+	for i := range texts {
+		engStart := time.Now()
+		text, err := s.es.FinalText(i)
+		if err != nil {
+			return nil, fmt.Errorf("stream: final transcription: %w", err)
+		}
+		texts[i] = text
+		name := d.Target.Name()
+		if i > 0 {
+			name = d.Auxiliaries[i-1].Name()
+		}
+		trace.Record(obs.StageTranscribe, name, engStart)
+	}
+	trace.Record(obs.StageTranscribe, "", start)
+	timing.Recognition = time.Since(start)
+
+	simStart := time.Now()
+	encTarget := d.Method.Encode(texts[0])
+	encAux := make([]string, n)
+	for i := 0; i < n; i++ {
+		encAux[i] = d.Method.Encode(texts[i+1])
+	}
+	trace.Record(obs.StagePhonetic, "", simStart)
+	scoreStart := time.Now()
+	scores := make([]float64, n)
+	for i, enc := range encAux {
+		scores[i] = d.Method.Score(encTarget, enc)
+	}
+	trace.Record(obs.StageSimilarity, "", scoreStart)
+	timing.Similarity = time.Since(simStart)
+
+	clsStart := time.Now()
+	pred, err := d.Classifier.Predict(scores)
+	if err != nil {
+		return nil, fmt.Errorf("stream: classifying: %w", err)
+	}
+	trace.Record(obs.StageClassify, "", clsStart)
+	timing.Classify = time.Since(clsStart)
+
+	s.finalized = true
+	fin := &Final{
+		Decision: detector.Decision{
+			Adversarial:    pred == 1,
+			Scores:         scores,
+			Transcriptions: detector.Transcriptions{Target: texts[0], Aux: texts[1:]},
+		},
+		Timing:    timing,
+		Windows:   s.windows,
+		Duration:  sampleDuration(s.es.Total(), s.m.cfg.SampleRate),
+		Samples:   s.es.Samples(),
+		EarlyExit: s.earlyExit,
+	}
+	s.closed = true
+	go s.m.remove(s, false)
+	return fin, nil
+}
+
+// Close abandons the session without a final verdict (client went away).
+// Idempotent.
+func (s *Session) Close() { s.close(false) }
+
+func (s *Session) close(evicted bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.m.remove(s, evicted)
+}
+
+func sampleDuration(n, rate int) time.Duration {
+	return time.Duration(float64(n) / float64(rate) * float64(time.Second))
+}

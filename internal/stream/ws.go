@@ -1,0 +1,294 @@
+package stream
+
+// Minimal RFC 6455 WebSocket support for the streaming endpoint. The
+// container bakes in no third-party modules, so the subset the audio
+// protocol needs is implemented here directly: the HTTP upgrade
+// handshake, single-frame (FIN) text/binary messages, masking in the
+// client→server direction, and close/ping/pong control frames. No
+// extensions, no compression, no fragmentation — a peer that fragments
+// gets a clean error, not silent corruption.
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Opcodes from RFC 6455 §5.2.
+const (
+	OpText   = 0x1
+	OpBinary = 0x2
+	opClose  = 0x8
+	opPing   = 0x9
+	opPong   = 0xA
+)
+
+// wsGUID is the protocol-mandated key-digest suffix (RFC 6455 §1.3).
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// maxWSPayload bounds a single frame; streaming chunks are small, so a
+// multi-megabyte frame is a broken or hostile peer.
+const maxWSPayload = 1 << 22
+
+// ErrWSClosed is returned by ReadMessage when the peer sent a close
+// frame (the reply close has already been written).
+var ErrWSClosed = errors.New("stream: websocket closed by peer")
+
+// WSConn is one WebSocket connection after the handshake. It is not
+// safe for concurrent use; the streaming protocol is strictly
+// request/response per session, owned by one goroutine.
+type WSConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	client bool // client side masks outgoing frames
+}
+
+// UpgradeWS performs the server side of the WebSocket handshake and
+// hijacks the connection. On failure an HTTP error has already been
+// written.
+func UpgradeWS(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket handshake requires GET", http.StatusMethodNotAllowed)
+		return nil, fmt.Errorf("stream: websocket handshake with method %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") || !headerHasToken(r.Header, "Upgrade", "websocket") {
+		http.Error(w, "not a websocket handshake", http.StatusBadRequest)
+		return nil, fmt.Errorf("stream: missing upgrade headers")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("stream: missing Sec-WebSocket-Key")
+	}
+	// http.NewResponseController sees through middleware wrappers that
+	// implement Unwrap (the server's status recorder does), which a direct
+	// http.Hijacker type assertion would not.
+	conn, rw, err := http.NewResponseController(w).Hijack()
+	if err != nil {
+		http.Error(w, "connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, fmt.Errorf("stream: hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: handshake response: %w", err)
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: handshake flush: %w", err)
+	}
+	return &WSConn{conn: conn, br: rw.Reader, bw: rw.Writer}, nil
+}
+
+// DialWS opens a client WebSocket connection to a ws:// URL (tests and
+// the smarthome example).
+func DialWS(rawURL string) (*WSConn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	if u.Scheme != "ws" {
+		return nil, fmt.Errorf("stream: dial: unsupported scheme %q (only ws)", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial: %w", err)
+	}
+	var nonce [16]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: dial nonce: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(nonce[:])
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: dial handshake: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("stream: dial response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("stream: dial: server answered %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("stream: dial: bad Sec-WebSocket-Accept %q", got)
+	}
+	return &WSConn{conn: conn, br: br, bw: bufio.NewWriter(conn), client: true}, nil
+}
+
+// ReadMessage returns the next data frame, transparently answering pings
+// and replying to close. Opcode is OpText or OpBinary.
+func (c *WSConn) ReadMessage() (opcode byte, payload []byte, err error) {
+	for {
+		var hdr [2]byte
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			return 0, nil, fmt.Errorf("stream: websocket read: %w", err)
+		}
+		fin := hdr[0]&0x80 != 0
+		if hdr[0]&0x70 != 0 {
+			return 0, nil, fmt.Errorf("stream: websocket reserved bits set")
+		}
+		op := hdr[0] & 0x0F
+		masked := hdr[1]&0x80 != 0
+		length := uint64(hdr[1] & 0x7F)
+		switch length {
+		case 126:
+			var ext [2]byte
+			if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+				return 0, nil, fmt.Errorf("stream: websocket read: %w", err)
+			}
+			length = uint64(binary.BigEndian.Uint16(ext[:]))
+		case 127:
+			var ext [8]byte
+			if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+				return 0, nil, fmt.Errorf("stream: websocket read: %w", err)
+			}
+			length = binary.BigEndian.Uint64(ext[:])
+		}
+		if length > maxWSPayload {
+			return 0, nil, fmt.Errorf("stream: websocket frame of %d bytes exceeds limit", length)
+		}
+		var mask [4]byte
+		if masked {
+			if _, err := io.ReadFull(c.br, mask[:]); err != nil {
+				return 0, nil, fmt.Errorf("stream: websocket read: %w", err)
+			}
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(c.br, data); err != nil {
+			return 0, nil, fmt.Errorf("stream: websocket read: %w", err)
+		}
+		if masked {
+			for i := range data {
+				data[i] ^= mask[i%4]
+			}
+		}
+		switch op {
+		case OpText, OpBinary:
+			if !fin {
+				return 0, nil, fmt.Errorf("stream: fragmented websocket frames are not supported")
+			}
+			if !c.client && !masked {
+				return 0, nil, fmt.Errorf("stream: unmasked client frame")
+			}
+			return op, data, nil
+		case opClose:
+			_ = c.writeFrame(opClose, data)
+			return 0, nil, ErrWSClosed
+		case opPing:
+			if err := c.writeFrame(opPong, data); err != nil {
+				return 0, nil, err
+			}
+		case opPong:
+			// Unsolicited pong: ignore.
+		default:
+			return 0, nil, fmt.Errorf("stream: unsupported websocket opcode %#x", op)
+		}
+	}
+}
+
+// WriteMessage sends one unfragmented data frame.
+func (c *WSConn) WriteMessage(opcode byte, payload []byte) error {
+	if opcode != OpText && opcode != OpBinary {
+		return fmt.Errorf("stream: invalid data opcode %#x", opcode)
+	}
+	return c.writeFrame(opcode, payload)
+}
+
+// WriteClose sends a close frame with the given status code.
+func (c *WSConn) WriteClose(code uint16) error {
+	var body [2]byte
+	binary.BigEndian.PutUint16(body[:], code)
+	return c.writeFrame(opClose, body[:])
+}
+
+// Close tears down the underlying connection.
+func (c *WSConn) Close() error { return c.conn.Close() }
+
+func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | opcode
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return fmt.Errorf("stream: websocket mask: %w", err)
+		}
+		copy(hdr[n:n+4], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.bw.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("stream: websocket write: %w", err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("stream: websocket write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("stream: websocket write: %w", err)
+	}
+	return nil
+}
+
+func acceptKey(key string) string {
+	sum := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(sum[:])
+}
+
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWebSocketLoopback drives the hand-rolled RFC 6455 implementation
+// end to end: upgrade, masked client frames, server echo, close.
+func TestWebSocketLoopback(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := UpgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			op, payload, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := c.WriteMessage(op, payload); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+
+	c, err := DialWS("ws" + strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A text frame, a small binary frame, and a binary frame large enough
+	// to need the 16-bit extended length.
+	big := make([]byte, 70000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for _, msg := range []struct {
+		op      byte
+		payload []byte
+	}{
+		{OpText, []byte("end")},
+		{OpBinary, []byte{1, 2, 3, 4, 5}},
+		{OpBinary, big},
+	} {
+		if err := c.WriteMessage(msg.op, msg.payload); err != nil {
+			t.Fatal(err)
+		}
+		op, got, err := c.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != msg.op || string(got) != string(msg.payload) {
+			t.Fatalf("echo mismatch: op %d len %d, want op %d len %d", op, len(got), msg.op, len(msg.payload))
+		}
+	}
+	if err := c.WriteClose(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrWSClosed) {
+		t.Fatalf("after close: %v, want ErrWSClosed", err)
+	}
+}
+
+// TestWebSocketHandshakeRejects pins the upgrade validation.
+func TestWebSocketHandshakeRejects(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = UpgradeWS(w, r)
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL) // plain GET, no upgrade headers
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET answered %d, want 400", resp.StatusCode)
+	}
+	if _, err := DialWS("wss://example.com/x"); err == nil {
+		t.Fatal("wss scheme should be rejected")
+	}
+}

@@ -50,6 +50,18 @@ echo "$VERDICT" | grep -q '"verdict"' || fail "no verdict in response: $VERDICT"
 echo "$VERDICT" | grep -q '"explanation"' || fail "no explanation in ?explain=1 response: $VERDICT"
 grep -qi '^x-request-id: smoke-1' "$WORKDIR/headers.txt" || fail "X-Request-ID not echoed"
 
+echo "== streaming session =="
+# A chunked, unbuffered upload through the live-audio endpoint: the
+# NDJSON response must carry at least one provisional window verdict
+# before the final whole-clip verdict.
+STREAM=$(curl -fsS --no-buffer -X POST \
+    -H 'Content-Type: audio/wav' -H 'Transfer-Encoding: chunked' \
+    --data-binary @"$WORKDIR/clip.wav" \
+    "http://$ADDR/v1/detect/stream")
+echo "$STREAM" | grep -q '"event":"window"' || fail "stream produced no provisional window event: $STREAM"
+echo "$STREAM" | grep -q '"event":"final"' || fail "stream produced no final event: $STREAM"
+echo "$STREAM" | grep -q '"detection"' || fail "final stream event carries no detection: $STREAM"
+
 echo "== stage metrics =="
 METRICS=$(curl -fsS "http://$ADMIN_ADDR/metrics")
 for stage in decode transcribe phonetic similarity classify; do
@@ -57,5 +69,7 @@ for stage in decode transcribe phonetic similarity classify; do
         || fail "metrics missing stage \"$stage\""
 done
 echo "$METRICS" | grep -q 'mvpears_engine_seconds_count{engine="DS0"}' || fail "metrics missing engine seconds"
+echo "$METRICS" | grep -q 'mvpears_stream_sessions_total 1' || fail "metrics missing streaming session count"
+echo "$METRICS" | grep -q 'mvpears_stream_windows_total' || fail "metrics missing streaming window counts"
 
 echo "smoke OK"
