@@ -9,18 +9,29 @@ SERVE_BENCH ?= BenchmarkServe|BenchmarkStreamWindow
 NN_BENCH ?= BenchmarkQuantizedForward
 BENCHTIME ?= 25x
 
-.PHONY: check vet build test race bench serve smoke
+# Per-target budget for fuzz-smoke; go test accepts one -fuzz target per
+# invocation, so each target gets its own short run.
+FUZZTIME ?= 10s
+
+.PHONY: check vet lint build test race bench fuzz-smoke serve smoke
 
 # The tier-1 gate: vet, build and test everything.
 check: vet
 	$(GO) build ./...
 	$(GO) test ./...
 
-# Static hygiene: go vet plus gofmt drift (fails listing unformatted files).
+# Static hygiene: go vet, the project-invariant lint suite, and gofmt
+# drift (fails listing the unformatted files and printing their diffs).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/mvpearslint ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+		echo "gofmt needed on:"; echo "$$out"; gofmt -d $$out; exit 1; fi
+
+# The project-invariant analyzers alone (purity, poolsafe, ctxflow,
+# metricname, floateq); see DESIGN.md §14 for what each enforces.
+lint:
+	$(GO) run ./cmd/mvpearslint ./...
 
 build:
 	$(GO) build ./...
@@ -46,6 +57,15 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
 	$(GO) test -run '^$$' -bench '$(SERVE_BENCH)' -benchmem ./internal/server | tee BENCH_serve.txt
 	$(GO) test -run '^$$' -bench '$(NN_BENCH)' -benchmem ./internal/nn | tee BENCH_nn.txt
+
+# Short-budget fuzz runs over the parsers that face untrusted bytes: the
+# batch WAV decoder, the streaming WAV decoder, and the WebSocket frame
+# parser. Seed corpora are in the fuzz tests; crashers land in
+# testdata/fuzz/ for triage.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadWAV$$' -fuzztime $(FUZZTIME) ./internal/audio
+	$(GO) test -run '^$$' -fuzz '^FuzzWAVStreamReader$$' -fuzztime $(FUZZTIME) ./internal/audio
+	$(GO) test -run '^$$' -fuzz '^FuzzWSFrame$$' -fuzztime $(FUZZTIME) ./internal/stream
 
 # Boot a real daemon (bootstrap model, admin listener) and probe its
 # endpoints end to end: health, metrics, pprof, and a traced detection.

@@ -1,0 +1,143 @@
+// Command mvpearslint runs the project-invariant static-analysis suite
+// over the mvpears module. It is pure standard library — go/parser,
+// go/types, and go/importer do the loading — and encodes the contracts
+// the pipeline's correctness argument rests on: determinism of the pure
+// packages, pooled-buffer ownership, context threading in the serving
+// layer, metric exposition grammar, and no float equality on verdict
+// paths. See internal/lint for the analyzers and DESIGN.md §14 for the
+// catalogue of invariants.
+//
+// Usage:
+//
+//	mvpearslint [-run name,name] [-list] [packages]
+//
+// The package argument accepts ./... (the whole module, the default),
+// ./dir/... subtree patterns, or individual ./dir paths, resolved
+// against the enclosing module. Exit status: 0 clean, 1 findings,
+// 2 load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mvpears/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mvpearslint", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runList != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mvpearslint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpearslint:", err)
+		return 2
+	}
+	root, modulePath, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpearslint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader(root, modulePath)
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpearslint:", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig()
+	findings := 0
+	for _, pkg := range pkgs {
+		if !matchesAny(pkg.ImportPath, modulePath, cwd, root, patterns) {
+			continue
+		}
+		for _, d := range lint.RunAnalyzers(pkg, cfg, analyzers) {
+			rel := d
+			if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mvpearslint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// matchesAny resolves ./-relative patterns against cwd within the
+// module and matches the package import path.
+func matchesAny(importPath, modulePath, cwd, root string, patterns []string) bool {
+	for _, pat := range patterns {
+		if matchPattern(importPath, modulePath, cwd, root, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(importPath, modulePath, cwd, root, pat string) bool {
+	// Resolve a ./-relative pattern to an import-path pattern.
+	if pat == "." || strings.HasPrefix(pat, "./") {
+		rel, err := filepath.Rel(root, filepath.Join(cwd, strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "...")))
+		if err != nil {
+			return false
+		}
+		base := modulePath
+		if rel != "." && rel != "" {
+			base = modulePath + "/" + filepath.ToSlash(rel)
+		}
+		base = strings.TrimSuffix(base, "/")
+		if strings.HasSuffix(pat, "...") {
+			return importPath == base || strings.HasPrefix(importPath, base+"/")
+		}
+		return importPath == base
+	}
+	// Import-path pattern.
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return importPath == sub || strings.HasPrefix(importPath, sub+"/")
+	}
+	return importPath == pat
+}

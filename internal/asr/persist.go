@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"mvpears/internal/dsp"
 	"mvpears/internal/hmm"
@@ -244,6 +245,10 @@ func snapshotLM(m *lm.Model) lmSnap {
 	for w := range m.Vocab {
 		snap.Vocab = append(snap.Vocab, w)
 	}
+	// Sorted vocab keeps the gob artifact byte-stable across saves: the
+	// model fingerprint is a hash of these bytes, so map order here
+	// would otherwise change the fingerprint on every save.
+	sort.Strings(snap.Vocab)
 	return snap
 }
 

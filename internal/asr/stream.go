@@ -46,9 +46,14 @@ type streamFront struct {
 // EnsembleStream feeds one audio session through a set of engines
 // incrementally. It is owned by one goroutine (the session's).
 type EnsembleStream struct {
-	rate      int
-	samples   []float64
+	rate    int
+	samples []float64
+	// fronts dedups MFCC front-ends by config fingerprint; frontList
+	// holds the same fronts in registration order so the push/finalize
+	// loops run deterministically (map order would pick which front's
+	// error surfaces first).
 	fronts    map[string]*streamFront
+	frontList []*streamFront
 	streams   []engineStream
 	finalized bool
 }
@@ -86,6 +91,7 @@ func NewEnsembleStream(engines []Recognizer, sampleRate int) (*EnsembleStream, e
 		}
 		f := &streamFront{s: m.Stream()}
 		es.fronts[fp] = f
+		es.frontList = append(es.frontList, f)
 		return f, nil
 	}
 	for i, eng := range engines {
@@ -145,7 +151,7 @@ func (es *EnsembleStream) Push(chunk []float64) error {
 		return nil
 	}
 	es.samples = append(es.samples, chunk...)
-	for _, f := range es.fronts {
+	for _, f := range es.frontList {
 		rows, err := f.s.Push(chunk)
 		if err != nil {
 			return err
@@ -170,7 +176,7 @@ func (es *EnsembleStream) Finalize() error {
 	if len(es.samples) == 0 {
 		return fmt.Errorf("asr: cannot finalize an empty stream")
 	}
-	for _, f := range es.fronts {
+	for _, f := range es.frontList {
 		tail, err := f.s.Flush()
 		if err != nil {
 			return err

@@ -112,6 +112,7 @@ func ROC(scores []float64, y []int) ([]ROCPoint, error) {
 	var tp, fp int
 	for i := 0; i < len(pairs); {
 		j := i
+		//lint:allow floateq grouping bit-identical scores into one ROC step is the point: distinct-but-close scores are distinct thresholds
 		for j < len(pairs) && pairs[j].score == pairs[i].score {
 			if pairs[j].label == 1 {
 				tp++

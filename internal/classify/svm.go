@@ -83,6 +83,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 	f := func(i int) float64 {
 		sum := b
 		for j := 0; j < n; j++ {
+			//lint:allow floateq alpha entries start at literal 0 and only leave it via SMO updates; this is an exact sparsity skip, not a numeric comparison
 			if alpha[j] != 0 {
 				sum += alpha[j] * ys[j] * K[i][j]
 			}
@@ -104,6 +105,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 			Ej := f(j) - ys[j]
 			ai, aj := alpha[i], alpha[j]
 			var lo, hi float64
+			//lint:allow floateq labels are exactly ±1 by construction (never computed), so inequality is a class test
 			if ys[i] != ys[j] {
 				lo = math.Max(0, aj-ai)
 				hi = math.Min(s.C, s.C+aj-ai)
@@ -111,6 +113,7 @@ func (s *SVM) Fit(X [][]float64, y []int) error {
 				lo = math.Max(0, ai+aj-s.C)
 				hi = math.Min(s.C, ai+aj)
 			}
+			//lint:allow floateq a collapsed SMO box (lo exactly equal to hi) means the pair is unoptimizable; a tolerance here would skip optimizable pairs
 			if lo == hi {
 				continue
 			}

@@ -8,6 +8,7 @@ package ctc
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Blank is the reserved blank label index used by all functions in this
@@ -206,7 +207,17 @@ func BeamDecode(logProbs [][]float64, beamWidth int) []int {
 			p.pNonBlank = logSumExp(p.pNonBlank, nonBlankAdd)
 			next[key] = p
 		}
-		for key, p := range beams {
+		// Iterate prefixes in sorted-key order: upsert folds several
+		// source prefixes into one target with logSumExp, which is not
+		// associative in floating point, so the random map order would
+		// otherwise leak into the scores bit by bit.
+		keys := make([]string, 0, len(beams))
+		for key := range beams {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			p := beams[key]
 			labels := prefixes[key]
 			tot := total(p)
 			// Emit blank: prefix unchanged.
@@ -235,9 +246,17 @@ func BeamDecode(logProbs [][]float64, beamWidth int) []int {
 			key   string
 			score float64
 		}
+		// Sorted candidate order + strict > selection makes pruning
+		// deterministic: equal scores keep the lexicographically
+		// smallest prefix instead of whichever key the map yielded.
+		nextKeys := make([]string, 0, len(next))
+		for key := range next {
+			nextKeys = append(nextKeys, key)
+		}
+		sort.Strings(nextKeys)
 		all := make([]scored, 0, len(next))
-		for key, p := range next {
-			all = append(all, scored{key, total(p)})
+		for _, key := range nextKeys {
+			all = append(all, scored{key, total(next[key])})
 		}
 		// Partial selection sort for the top beamWidth (beam is small).
 		limit := beamWidth
@@ -261,9 +280,16 @@ func BeamDecode(logProbs [][]float64, beamWidth int) []int {
 		}
 		prefixes = newPrefixes
 	}
+	// Deterministic argmax: sorted keys with strict > break score ties
+	// toward the lexicographically smallest prefix.
+	finalKeys := make([]string, 0, len(beams))
+	for key := range beams {
+		finalKeys = append(finalKeys, key)
+	}
+	sort.Strings(finalKeys)
 	bestKey, bestScore := "", negInf
-	for key, p := range beams {
-		if s := total(p); s > bestScore {
+	for _, key := range finalKeys {
+		if s := total(beams[key]); s > bestScore {
 			bestKey, bestScore = key, s
 		}
 	}

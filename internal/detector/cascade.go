@@ -217,6 +217,7 @@ func (d *Detector) EnableCascade(cfg CascadeConfig, benignX, aeX [][]float64) er
 	if cfg.SampleEvery < 0 {
 		return fmt.Errorf("detector: negative cascade sampling period %d", cfg.SampleEvery)
 	}
+	//lint:allow floateq 0 is the unset-option sentinel, assigned literally and never computed
 	if cfg.MarginSlack == 0 {
 		cfg.MarginSlack = 0.02
 	}
@@ -227,6 +228,7 @@ func (d *Detector) EnableCascade(cfg CascadeConfig, benignX, aeX [][]float64) er
 	order := costOrder(d.Auxiliaries, cfg.Costs)
 	margin := cfg.Margin
 	margins := make([]float64, len(d.Auxiliaries))
+	//lint:allow floateq 0 is the unset-option sentinel, assigned literally and never computed
 	if margin != 0 {
 		for j := range margins {
 			margins[j] = margin

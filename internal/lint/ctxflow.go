@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxflowAnalyzer enforces the context-threading contract of the serving
+// layer. Every detection a replica runs must live under the request's
+// context — deadline, cancellation, and the obs trace all ride on it —
+// so re-rooting work on context.Background()/context.TODO() silently
+// detaches it from admission control and tracing.
+//
+// Three rules:
+//
+//  1. no context.Background() or context.TODO() in the serving packages
+//     (Config.ServingPaths); deliberate detachments (graceful drain, the
+//     singleflight leader) carry a reviewed //lint:allow;
+//  2. in Config.CtxPaths, a function that accepts a context.Context must
+//     forward it: a named ctx parameter that the body never mentions is
+//     a dropped context, which usually means a callee was given the
+//     wrong lifetime;
+//  3. an exported *Ctx-suffixed entry point must take context.Context as
+//     its first parameter — that suffix is the repo's API signal that
+//     the caller controls the lifetime.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "serving paths must thread request contexts, never re-root on Background/TODO",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.Pkg.Info
+	path := pass.Pkg.ImportPath
+
+	if pathIn(path, pass.Cfg.ServingPaths) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(info, call); isPkgFunc(fn, "context", "Background", "TODO") {
+					pass.Reportf(call.Pos(), "context.%s in a serving package: thread the request context instead (detachments need a reviewed //lint:allow)", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+
+	if !pathIn(path, pass.Cfg.CtxPaths) {
+		return
+	}
+	declFuncs(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		checkCtxParams(pass, fd)
+		checkCtxSuffix(pass, fd)
+	})
+}
+
+// checkCtxParams flags named context.Context parameters that the body
+// never references.
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !mentionsObj(info, fd.Body, obj) {
+				pass.Reportf(name.Pos(), "context parameter %s is never forwarded: callees run detached from the request lifetime", name.Name)
+			}
+		}
+	}
+}
+
+// checkCtxSuffix flags exported FooCtx functions whose first parameter
+// is not a context.Context.
+func checkCtxSuffix(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !ast.IsExported(name) || !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+		return
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		pass.Reportf(fd.Name.Pos(), "%s is Ctx-suffixed but takes no context.Context", name)
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[params.List[0].Type]
+	if !ok || !isContextType(tv.Type) {
+		pass.Reportf(fd.Name.Pos(), "%s is Ctx-suffixed but its first parameter is not context.Context", name)
+	}
+}

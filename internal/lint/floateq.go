@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloateqAnalyzer forbids ==/!= on floating-point operands in the
+// verdict-producing packages (Config.FloatEqPaths). Similarity scores
+// and classifier margins are the product of long float pipelines; exact
+// equality on them either encodes a hidden bit-identity assumption or
+// a sentinel convention, and both deserve to be explicit — compare with
+// a tolerance, restructure around an integer/bool, or carry a reviewed
+// //lint:allow stating why exactness is guaranteed. Test files are
+// exempt (the parity suites assert bit-identity on purpose), as are
+// comparisons where both operands are compile-time constants.
+var FloateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no ==/!= on float operands in verdict-producing packages outside tests",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) {
+	if !pathIn(pass.Pkg.ImportPath, pass.Cfg.FloatEqPaths) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, xok := info.Types[be.X]
+			y, yok := info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // constant fold: decided at compile time
+			}
+			if isFloat(x.Type) || isFloat(y.Type) {
+				pass.Reportf(be.OpPos, "%s on floating-point operands: use a tolerance, restructure, or //lint:allow with the exactness argument", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files, in filename order
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader parses and type-checks packages from source using only the
+// standard library: module-local import paths resolve to directories
+// under the module root and are checked recursively; everything else is
+// delegated to the compiler's export data (with a from-source fallback,
+// for toolchains that ship no export data). This is deliberately a
+// hand-rolled, dependency-free stand-in for golang.org/x/tools/go/packages,
+// sized to a module with no external requirements.
+type Loader struct {
+	Fset *token.FileSet
+
+	root       string // absolute module (or testdata src) root
+	modulePath string // module import path; "" for testdata roots
+
+	std     types.Importer
+	stdSrc  types.Importer // lazy from-source fallback
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at root. modulePath is the module's
+// import path from go.mod; pass "" for golden-test roots, where import
+// paths resolve as bare directories under root.
+func NewLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		root:       root,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "gc", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if path, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(path), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule loads every package under the loader's root, skipping
+// testdata, hidden, and vendor directories. Returned packages are sorted
+// by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := l.modulePath
+		if rel != "." {
+			ip = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFor maps an import path to a local directory, or "" when the path
+// is not local to this loader's root.
+func (l *Loader) dirFor(importPath string) string {
+	if l.modulePath != "" {
+		if importPath == l.modulePath {
+			return l.root
+		}
+		if rel, ok := strings.CutPrefix(importPath, l.modulePath+"/"); ok {
+			return filepath.Join(l.root, filepath.FromSlash(rel))
+		}
+		return ""
+	}
+	// Testdata root: a bare single-segment path that exists as a
+	// directory is local; everything else is stdlib.
+	if strings.Contains(importPath, ".") {
+		return ""
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Load parses and type-checks the package at importPath (memoized).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir := l.dirFor(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("lint: %s is not under %s", importPath, l.root)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, typeErrs[0])
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importPkg satisfies types.Importer for the checker: local paths load
+// recursively from source; the rest come from compiler export data, with
+// a from-source fallback.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.dirFor(path) != "" {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	pkg, err := l.std.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if l.stdSrc == nil {
+		l.stdSrc = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.stdSrc.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

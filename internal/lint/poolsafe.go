@@ -1,0 +1,588 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolsafeAnalyzer enforces the buffer-ownership contract: every acquire
+// from a pooled helper must have a matching release reachable on every
+// exit of the function. This is the bug class the flight-safe ownership
+// work fixed by hand — a pooled PCM buffer leaked on an early error
+// return silently degrades the pool until tail latency gives it away.
+//
+// Two acquisition shapes are recognized:
+//
+//   - calls to a package-level Get*/Acquire* (or get*/acquire*) function
+//     whose package also declares the matching Put*/Release* — e.g.
+//     asr.GetFeatureCache / asr.PutFeatureCache, getScratch / putScratch;
+//   - (*sync.Pool).Get, matched to a (*sync.Pool).Put on the same
+//     receiver expression.
+//
+// The analysis is intraprocedural and deliberately forgiving about
+// ownership transfer: a value that is returned, assigned into another
+// variable or structure, captured by a function literal, or handed to a
+// goroutine is treated as released here — its new owner carries the
+// obligation. What remains flagged is the unambiguous leak: an exit
+// path (return, panic, or falling off the end) on which a still-owned
+// acquisition has neither a release nor a defer that performs one.
+var PoolsafeAnalyzer = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "every pooled acquire must be released (or ownership-transferred) on every exit path",
+	Run:  runPoolsafe,
+}
+
+// An acquisition is one tracked acquire site within a function body.
+type acquisition struct {
+	pos     token.Pos
+	label   string
+	obj     types.Object                  // variable bound to the acquired value
+	release func(call *ast.CallExpr) bool // true if call is the matching release
+}
+
+// psState is the set of still-owned acquisitions on the current path.
+type psState map[*acquisition]bool
+
+func (s psState) clone() psState {
+	c := make(psState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// breakTarget collects path states that jump to just after a breakable
+// construct (loop, switch, or select).
+type breakTarget struct {
+	isLoop bool
+	outs   []psState
+}
+
+type poolsafeScan struct {
+	pass    *Pass
+	info    *types.Info
+	targets []*breakTarget
+
+	order []*acquisition
+	leaks map[*acquisition]string // first leak, as "kind at position"
+}
+
+func runPoolsafe(pass *Pass) {
+	declFuncs(pass.Pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		analyzePoolsafeBody(pass, fd.Body)
+	})
+	// Function literals own their bodies too (worker jobs, handlers).
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				analyzePoolsafeBody(pass, fl.Body)
+			}
+			return true
+		})
+	}
+}
+
+func analyzePoolsafeBody(pass *Pass, body *ast.BlockStmt) {
+	s := &poolsafeScan{
+		pass:  pass,
+		info:  pass.Pkg.Info,
+		leaks: make(map[*acquisition]string),
+	}
+	out, terminated := s.stmts(body.List, make(psState))
+	if !terminated {
+		s.leakAll(out, body.Rbrace, "function end")
+	}
+	for _, acq := range s.order {
+		if where, ok := s.leaks[acq]; ok {
+			pass.Reportf(acq.pos, "%s is not released on every path: leaks at %s (release it, defer the release, or transfer ownership)", acq.label, where)
+		}
+	}
+}
+
+func (s *poolsafeScan) leakAll(live psState, pos token.Pos, kind string) {
+	for acq := range live {
+		if _, dup := s.leaks[acq]; !dup {
+			p := s.pass.Pkg.Fset.Position(pos)
+			s.leaks[acq] = kind + " at line " + itoa(p.Line)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// stmts analyzes a statement list, returning the fallthrough state and
+// whether every path through the list terminates (returns, panics, or
+// jumps away).
+func (s *poolsafeScan) stmts(list []ast.Stmt, live psState) (psState, bool) {
+	for _, st := range list {
+		var terminated bool
+		live, terminated = s.stmt(st, live)
+		if terminated {
+			return live, true
+		}
+	}
+	return live, false
+}
+
+func (s *poolsafeScan) stmt(st ast.Stmt, live psState) (psState, bool) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.escapes(st.Rhs, live)
+		s.trackAcquire(st, live)
+		return live, false
+
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					s.escapes(vs.Values, live)
+				}
+			}
+		}
+		return live, false
+
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return live, false
+		}
+		if s.releaseMatch(call, live) {
+			return live, false
+		}
+		if isBuiltinPanic(s.info, call) {
+			s.leakAll(live, st.Pos(), "panic")
+			return live, true
+		}
+		s.escapeNode(call, live) // plain args are use; only closure captures escape
+		return live, false
+
+	case *ast.DeferStmt:
+		s.deferred(st.Call, live)
+		return live, false
+
+	case *ast.ReturnStmt:
+		s.escapes(st.Results, live)
+		s.leakAll(live, st.Pos(), "return")
+		return live, true
+
+	case *ast.GoStmt:
+		s.escapeNode(st.Call, live)
+		return live, false
+
+	case *ast.SendStmt:
+		s.escapeNode(st.Value, live)
+		return live, false
+
+	case *ast.BlockStmt:
+		return s.stmts(st.List, live)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			live, _ = s.stmt(st.Init, live)
+		}
+		bodyOut, bodyTerm := s.stmts(st.Body.List, live.clone())
+		var outs []psState
+		if !bodyTerm {
+			outs = append(outs, bodyOut)
+		}
+		if st.Else != nil {
+			elseOut, elseTerm := s.stmt(st.Else, live.clone())
+			if !elseTerm {
+				outs = append(outs, elseOut)
+			}
+		} else {
+			outs = append(outs, live)
+		}
+		return unionStates(outs), len(outs) == 0
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			live, _ = s.stmt(st.Init, live)
+		}
+		tgt := &breakTarget{isLoop: true}
+		s.targets = append(s.targets, tgt)
+		bodyOut, bodyTerm := s.stmts(st.Body.List, live.clone())
+		s.targets = s.targets[:len(s.targets)-1]
+		outs := tgt.outs
+		if st.Cond != nil {
+			// The loop may run zero times: the pre-loop state falls through.
+			outs = append(outs, live)
+		}
+		if !bodyTerm {
+			outs = append(outs, bodyOut)
+		}
+		if st.Cond == nil && len(tgt.outs) == 0 {
+			// for{} with no break never falls through.
+			return make(psState), true
+		}
+		return unionStates(outs), false
+
+	case *ast.RangeStmt:
+		tgt := &breakTarget{isLoop: true}
+		s.targets = append(s.targets, tgt)
+		bodyOut, bodyTerm := s.stmts(st.Body.List, live.clone())
+		s.targets = s.targets[:len(s.targets)-1]
+		outs := append(tgt.outs, live)
+		if !bodyTerm {
+			outs = append(outs, bodyOut)
+		}
+		return unionStates(outs), false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			live, _ = s.stmt(st.Init, live)
+		}
+		return s.caseClauses(st.Body, live, false)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			live, _ = s.stmt(st.Init, live)
+		}
+		return s.caseClauses(st.Body, live, false)
+
+	case *ast.SelectStmt:
+		return s.caseClauses(st.Body, live, true)
+
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, live)
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK, token.CONTINUE:
+			if tgt := s.branchTarget(st.Tok); tgt != nil {
+				tgt.outs = append(tgt.outs, live.clone())
+			}
+			return live, true
+		case token.GOTO:
+			return live, true
+		}
+		return live, false
+
+	default:
+		return live, false
+	}
+}
+
+// branchTarget finds the innermost construct a break/continue jumps out
+// of: continue targets loops only, break the nearest breakable.
+func (s *poolsafeScan) branchTarget(tok token.Token) *breakTarget {
+	for i := len(s.targets) - 1; i >= 0; i-- {
+		if tok == token.BREAK || s.targets[i].isLoop {
+			return s.targets[i]
+		}
+	}
+	return nil
+}
+
+func (s *poolsafeScan) caseClauses(body *ast.BlockStmt, live psState, isSelect bool) (psState, bool) {
+	tgt := &breakTarget{}
+	s.targets = append(s.targets, tgt)
+	var outs []psState
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			stmts = cs.Body
+			if cs.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cs.Body
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				if st, ok := cs.Comm.(ast.Stmt); ok {
+					live2 := live.clone()
+					live2, _ = s.stmt(st, live2)
+					out, term := s.stmts(stmts, live2)
+					if !term {
+						outs = append(outs, out)
+					}
+					continue
+				}
+			}
+		}
+		out, term := s.stmts(stmts, live.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	s.targets = s.targets[:len(s.targets)-1]
+	outs = append(outs, tgt.outs...)
+	if !hasDefault && !isSelect {
+		// No case may match: the pre-switch state falls through.
+		outs = append(outs, live)
+	}
+	return unionStates(outs), len(outs) == 0
+}
+
+func unionStates(states []psState) psState {
+	out := make(psState)
+	for _, st := range states {
+		for k := range st {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// trackAcquire records a new acquisition when the statement binds the
+// result of a recognized acquire call to a variable.
+func (s *poolsafeScan) trackAcquire(as *ast.AssignStmt, live psState) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return
+	}
+	rhs := ast.Unparen(as.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ast.Unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	label, release, ok := s.acquireCall(call)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := s.info.Defs[id]
+	if obj == nil {
+		obj = s.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	acq := &acquisition{pos: call.Pos(), label: label, obj: obj, release: release}
+	s.order = append(s.order, acq)
+	live[acq] = true
+}
+
+// acquireCall classifies a call as an acquisition and builds its release
+// matcher.
+func (s *poolsafeScan) acquireCall(call *ast.CallExpr) (string, func(*ast.CallExpr) bool, bool) {
+	fn := calleeFunc(s.info, call)
+	if fn == nil {
+		return "", nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", nil, false
+	}
+
+	// (*sync.Pool).Get — released by Put on the same receiver expression.
+	if methodOn(fn, "sync", "Pool") && fn.Name() == "Get" {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", nil, false
+		}
+		poolKey := types.ExprString(sel.X)
+		label := poolKey + ".Get"
+		return label, func(c *ast.CallExpr) bool {
+			cf := calleeFunc(s.info, c)
+			if !methodOn(cf, "sync", "Pool") || cf.Name() != "Put" {
+				return false
+			}
+			csel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+			return ok && types.ExprString(csel.X) == poolKey
+		}, true
+	}
+
+	// Package-level Get*/Acquire* with a sibling Put*/Release*.
+	if sig.Recv() != nil || fn.Pkg() == nil || sig.Results().Len() == 0 {
+		return "", nil, false
+	}
+	relName := ""
+	for _, p := range [][2]string{{"Get", "Put"}, {"get", "put"}, {"Acquire", "Release"}, {"acquire", "release"}} {
+		if rest, ok := strings.CutPrefix(fn.Name(), p[0]); ok && rest != "" {
+			relName = p[1] + rest
+			break
+		}
+	}
+	if relName == "" {
+		return "", nil, false
+	}
+	relObj, ok := fn.Pkg().Scope().Lookup(relName).(*types.Func)
+	if !ok {
+		return "", nil, false
+	}
+	label := fn.Name()
+	return label, func(c *ast.CallExpr) bool {
+		return calleeFunc(s.info, c) == relObj
+	}, true
+}
+
+// releaseMatch removes acquisitions the call releases; the call must
+// also mention the acquired variable (releasing a different instance of
+// the same pool does not discharge this one). Pool Put calls are matched
+// by receiver expression, so a bare `pool.Put(x)` of an untracked value
+// never discharges someone else's obligation unless x is that value.
+func (s *poolsafeScan) releaseMatch(call *ast.CallExpr, live psState) bool {
+	matched := false
+	for acq := range live {
+		if acq.release(call) && callMentions(s.info, call, acq.obj) {
+			delete(live, acq)
+			matched = true
+		}
+	}
+	return matched
+}
+
+func callMentions(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, arg := range call.Args {
+		if mentionsObj(info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferred handles a defer: a deferred release (directly or inside a
+// deferred closure) discharges the obligation on every path, including
+// panics.
+func (s *poolsafeScan) deferred(call *ast.CallExpr, live psState) {
+	for acq := range live {
+		if acq.release(call) && callMentions(s.info, call, acq.obj) {
+			delete(live, acq)
+			continue
+		}
+		// defer func() { ... release(v) ... }() or any deferred cleanup
+		// that references the value: assume it handles it.
+		if mentionsObj(s.info, call, acq.obj) {
+			delete(live, acq)
+		}
+	}
+}
+
+// escapes drops acquisitions whose variable escapes through the given
+// expressions: stored, returned, or captured, ownership moves elsewhere.
+func (s *poolsafeScan) escapes(exprs []ast.Expr, live psState) {
+	for _, e := range exprs {
+		s.escapeNode(e, live)
+	}
+}
+
+// escapeNode treats any mention of an acquired variable inside n as an
+// ownership transfer — except plain use as a call argument, which keeps
+// the obligation here. Function literals capture; everything else that
+// mentions the variable in a value position stores it.
+func (s *poolsafeScan) escapeNode(n ast.Node, live psState) {
+	if n == nil || len(live) == 0 {
+		return
+	}
+	for acq := range live {
+		if escapesIn(s.info, n, acq.obj) {
+			delete(live, acq)
+		}
+	}
+}
+
+// escapesIn reports whether obj is mentioned in n outside of plain call
+// arguments: closures that capture it, or any direct value use (return
+// operands, RHS of assignments, composite literals, channel sends).
+func escapesIn(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	var walk func(n ast.Node, inCallArg bool)
+	walk = func(n ast.Node, inCallArg bool) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if info.Uses[n] == obj && !inCallArg {
+				found = true
+			}
+		case *ast.FuncLit:
+			// Captured by a closure: the closure owns it now.
+			if mentionsObj(info, n.Body, obj) {
+				found = true
+			}
+		case *ast.CallExpr:
+			walk(n.Fun, inCallArg)
+			// Builtin append STORES its arguments into the slice — that
+			// is an ownership transfer, unlike an ordinary call that
+			// merely uses the value for its duration.
+			name, isBuiltin := builtinName(info, n)
+			stores := isBuiltin && name == "append"
+			for _, a := range n.Args {
+				walk(a, !stores)
+			}
+		case *ast.UnaryExpr:
+			walk(n.X, inCallArg)
+		case *ast.StarExpr:
+			walk(n.X, inCallArg)
+		case *ast.ParenExpr:
+			walk(n.X, inCallArg)
+		case *ast.SelectorExpr:
+			walk(n.X, inCallArg)
+		case *ast.IndexExpr:
+			walk(n.X, inCallArg)
+			walk(n.Index, inCallArg)
+		case *ast.SliceExpr:
+			walk(n.X, inCallArg)
+			walk(n.Low, inCallArg)
+			walk(n.High, inCallArg)
+			walk(n.Max, inCallArg)
+		case *ast.BinaryExpr:
+			walk(n.X, inCallArg)
+			walk(n.Y, inCallArg)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				walk(el, false) // stored in a structure: escapes
+			}
+		case *ast.KeyValueExpr:
+			walk(n.Key, inCallArg)
+			walk(n.Value, inCallArg)
+		case *ast.TypeAssertExpr:
+			walk(n.X, inCallArg)
+		default:
+			// Generic fallback for anything not handled above.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if m == n {
+					return true
+				}
+				walk(m, inCallArg)
+				return false
+			})
+		}
+	}
+	walk(n, false)
+	return found
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	name, ok := builtinName(info, call)
+	return ok && name == "panic"
+}
+
+// builtinName returns the name of the builtin a call invokes, if any.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return "", false
+	}
+	return id.Name, true
+}

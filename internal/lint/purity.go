@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PurityAnalyzer enforces the bit-identical determinism contract of the
+// pipeline packages (Config.PurePaths): streaming finals must equal
+// batch verdicts and cache hits must explain identically to misses, so
+// nothing on those paths may observe the wall clock, the global
+// math/rand source, or Go's randomized map iteration order.
+//
+// Three rules:
+//
+//  1. no calls to time.Now, time.Since, or time.Until — except reads
+//     guarded by an obs trace check (`if trace != nil { start = time.Now() }`):
+//     span timing is the one sanctioned clock consumer, and untraced
+//     requests must skip the read entirely;
+//  2. no calls to the global top-level functions of math/rand or
+//     math/rand/v2 (methods on an explicitly seeded *rand.Rand are fine —
+//     that is the deterministic idiom this repo uses for training);
+//  3. no map iteration with order-dependent effects: appending inside
+//     the loop, floating-point accumulation (non-associative, so the
+//     random order changes bits), assigning to variables declared
+//     outside the loop (argmax/min: ties resolve to whichever key came
+//     first), or exiting the loop early with return/break.
+var PurityAnalyzer = &Analyzer{
+	Name: "purity",
+	Doc:  "forbid wall-clock, global math/rand, and map-iteration-ordered output in the deterministic pipeline packages",
+	Run:  runPurity,
+}
+
+func runPurity(pass *Pass) {
+	if !pathIn(pass.Pkg.ImportPath, pass.Cfg.PurePaths) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		guards := obsGuardSpans(info, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if isPkgFunc(fn, "time", "Now", "Since", "Until") && !inSpans(n.Pos(), guards) {
+					pass.Reportf(n.Pos(), "time.%s in a deterministic pipeline package (wrap in an obs trace guard or move off the inference path)", fn.Name())
+				}
+				// Top-level math/rand functions draw from the global
+				// source; the constructors (New, NewSource, ...) are the
+				// sanctioned seeded idiom and methods on *rand.Rand are
+				// deterministic given the seed.
+				if fn != nil && fn.Pkg() != nil &&
+					(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") &&
+					!strings.HasPrefix(fn.Name(), "New") {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+						pass.Reportf(n.Pos(), "global rand.%s in a deterministic pipeline package (use an explicitly seeded *rand.Rand)", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+// obsGuardSpans returns the source spans of if-bodies guarded by an obs
+// value check (for example `if trace != nil { ... }` where trace is an
+// *obs.Trace). Clock reads inside such a span are sanctioned: they feed
+// span timing and are skipped entirely on untraced requests.
+func obsGuardSpans(info *types.Info, f *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if condMentionsObs(info, ifStmt.Cond) {
+			spans = append(spans, [2]token.Pos{ifStmt.Body.Pos(), ifStmt.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func condMentionsObs(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil && p.Name() == "obs" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func inSpans(pos token.Pos, spans [][2]token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags iteration over a map whose body has
+// order-dependent effects. At most one finding is reported per range
+// statement: once an iteration needs sorting, listing every symptom in
+// its body is noise.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	reported := false
+	report := func(pos token.Pos, what string) {
+		if !reported {
+			pass.Reportf(pos, "map iteration order leaks into results (%s); iterate over sorted keys", what)
+			reported = true
+		}
+	}
+
+	// Track loop nesting so only break statements that target THIS range
+	// are flagged; a break inside a nested for/switch exits that construct.
+	var walk func(n ast.Node, loopDepth, switchDepth int)
+	walk = func(n ast.Node, loopDepth, switchDepth int) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				walkChildren(m, func(c ast.Node) { walk(c, loopDepth+1, switchDepth) })
+				return false
+			case *ast.RangeStmt:
+				walkChildren(m, func(c ast.Node) { walk(c, loopDepth+1, switchDepth) })
+				return false
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				walkChildren(m, func(c ast.Node) { walk(c, loopDepth, switchDepth+1) })
+				return false
+			case *ast.FuncLit:
+				// A closure's body runs when called, not per iteration;
+				// but defining it per iteration and calling it later is
+				// exotic enough to ignore here.
+				return false
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.BREAK:
+					if loopDepth == 0 && switchDepth == 0 && m.Label == nil {
+						report(m.Pos(), "break exits after a random prefix of keys")
+					}
+				}
+			case *ast.ReturnStmt:
+				report(m.Pos(), "return exits after a random prefix of keys")
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "append" && len(m.Args) > 0 {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						// The canonical fix — collect the keys, sort, then
+						// use them — appends inside the loop too; a sort
+						// of the same slice later in the function absolves
+						// the collection.
+						if !sortedAfter(info, file, rng, m.Args[0]) {
+							report(m.Pos(), "append records keys in iteration order")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				checkMapRangeAssign(pass, rng, m, report)
+			}
+			return true
+		})
+	}
+	walk(rng.Body, 0, 0)
+}
+
+// sortedAfter reports whether the slice expression target is passed to a
+// sort/slices call after the range statement, within the same enclosing
+// function: collecting map keys into a slice that is then sorted is the
+// deterministic idiom, not a leak.
+func sortedAfter(info *types.Info, file *ast.File, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	fn := enclosingFunc(file, rng.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rng.End() {
+			return !found
+		}
+		cf := calleeFunc(info, call)
+		if cf == nil || cf.Pkg() == nil {
+			return true
+		}
+		if p := cf.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			s := types.ExprString(ast.Unparen(arg))
+			if s == want || s == "&"+want {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFunc returns the body of the innermost function declaration
+// or literal containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil && n.Body.Pos() <= pos && pos < n.Body.End() {
+				best = n.Body
+			}
+		case *ast.FuncLit:
+			if n.Body.Pos() <= pos && pos < n.Body.End() {
+				best = n.Body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// walkChildren visits the direct structural children of a nested
+// loop/switch so depth counters can be threaded through.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		visit(n.Body)
+	case *ast.RangeStmt:
+		visit(n.Body)
+	case *ast.SwitchStmt:
+		visit(n.Body)
+	case *ast.TypeSwitchStmt:
+		visit(n.Body)
+	case *ast.SelectStmt:
+		visit(n.Body)
+	}
+}
+
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt, report func(token.Pos, string)) {
+	info := pass.Pkg.Info
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if tv, ok := info.Types[lhs]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					report(as.Pos(), "floating-point accumulation is not associative, so order changes bits")
+					return
+				}
+			}
+		}
+	case token.ASSIGN:
+		// x = append(x, k) is the append rule's case (including its
+		// sorted-later absolution); don't double-report it here.
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						return
+					}
+				}
+			}
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue // index/field writes commute across distinct keys
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			// Assigning a variable declared before the range statement:
+			// the classic argmax-over-map, where ties resolve to
+			// whichever key the runtime happened to yield first.
+			if obj.Pos() < rng.Pos() {
+				report(as.Pos(), "assignment to outer variable depends on which key is seen first")
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package allow exercises the //lint:allow escape hatch end to end: a
+// justified directive suppresses the finding on its own line or the
+// line below; an unjustified or analyzer-less directive is itself a
+// finding; a directive further away suppresses nothing.
+package allow
+
+// Sentinel compares against an exact sentinel with a reviewed escape on
+// the line above the finding: suppressed, no diagnostics.
+func Sentinel(x float64) bool {
+	//lint:allow floateq zero is the unset sentinel, assigned literally and never computed
+	return x == 0
+}
+
+// SameLine carries the directive as a trailing comment on the finding's
+// own line: also suppressed.
+func SameLine(x float64) bool {
+	return x != 0 //lint:allow floateq the caller guarantees an exact zero sentinel
+}
+
+// Unjustified omits the reason: the directive is flagged AND the
+// finding it failed to suppress survives.
+func Unjustified(x float64) bool {
+	// want+1 `//lint:allow floateq needs a justification`
+	//lint:allow floateq
+	return x == 0 // want `== on floating-point operands`
+}
+
+// Bare names no analyzer at all.
+// want+1 `//lint:allow must name an analyzer`
+//lint:allow
+
+// TooFar puts the directive two lines above the comparison, outside the
+// directive's one-line reach.
+func TooFar(x float64) bool {
+	//lint:allow floateq the directive only reaches its own line and the next
+	y := x
+	return y == 0 // want `== on floating-point operands`
+}

@@ -1,0 +1,54 @@
+// Package ctxflow holds golden cases for the ctxflow analyzer: serving
+// code must thread request contexts, never re-root or drop them.
+package ctxflow
+
+import "context"
+
+// Reroot detaches from the request lifetime.
+func Reroot() context.Context {
+	return context.Background() // want `context\.Background in a serving package`
+}
+
+// Todo is the other spelling of the same detachment.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO in a serving package`
+}
+
+// Drop accepts a context and never forwards it: callees run detached.
+func Drop(ctx context.Context, n int) int { // want `context parameter ctx is never forwarded`
+	return n + 1
+}
+
+// Forward is the contract: the context reaches the callee.
+func Forward(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Ignored declares explicitly that the context is unused; the blank
+// name is the reviewed way to opt out.
+func Ignored(_ context.Context, n int) int {
+	return n
+}
+
+// VerdictCtx is Ctx-suffixed but hides the lifetime from the caller.
+func VerdictCtx() {} // want `VerdictCtx is Ctx-suffixed but takes no context\.Context`
+
+// ScoreCtx takes the context in the wrong position.
+func ScoreCtx(n int, ctx context.Context) error { // want `ScoreCtx is Ctx-suffixed but its first parameter is not context\.Context`
+	return work(ctx, n)
+}
+
+// DetectCtx is the sanctioned shape: context first, forwarded.
+func DetectCtx(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// helperCtx is unexported, so the suffix contract does not apply.
+func helperCtx() {}
+
+var _ = helperCtx

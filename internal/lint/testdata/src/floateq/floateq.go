@@ -1,0 +1,35 @@
+// Package floateq holds golden cases for the floateq analyzer: exact
+// equality on floats in verdict-producing code.
+package floateq
+
+// Same compares verdict scores bit-for-bit.
+func Same(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+// NonZero uses inequality as a sentinel test; float32 counts too.
+func NonZero(x float32) bool {
+	return x != 0 // want `!= on floating-point operands`
+}
+
+// Close is the sanctioned comparison: an explicit tolerance.
+func Close(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Ints are exact; equality is fine.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+const eps = 1e-9
+
+// ConstFold compares two compile-time constants: the compiler decides
+// this, not the FPU, so no finding.
+func ConstFold() bool {
+	return eps == 1e-9
+}

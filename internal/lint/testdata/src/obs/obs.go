@@ -1,0 +1,10 @@
+// Package obs is a stub of the project's tracing package for the purity
+// analyzer's guard-span goldens: the real rule keys off the package NAME
+// "obs", so any package spelled that way works as a stand-in.
+package obs
+
+// Trace mirrors the real obs.Trace: a non-nil value means the request is
+// traced and span timing is on.
+type Trace struct {
+	Spans int
+}

@@ -1,0 +1,145 @@
+// Package poolsafe holds golden cases for the poolsafe analyzer: a
+// pooled acquire must be released, deferred, or ownership-transferred on
+// every exit path.
+package poolsafe
+
+import (
+	"errors"
+	"sync"
+)
+
+var errEarly = errors.New("early")
+
+func getBuf() []byte { return nil }
+
+func putBuf(b []byte) {}
+
+func use(int) {}
+
+// LeakOnError forgets the buffer on the early return.
+func LeakOnError(fail bool) error {
+	buf := getBuf() // want `getBuf is not released on every path`
+	if fail {
+		return errEarly
+	}
+	putBuf(buf)
+	return nil
+}
+
+// DeferRelease is the canonical shape: one defer covers every exit,
+// including panics.
+func DeferRelease(fail bool) (int, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if fail {
+		return 0, errEarly
+	}
+	return len(buf), nil
+}
+
+// ReleaseBothPaths releases explicitly on each exit.
+func ReleaseBothPaths(fail bool) error {
+	buf := getBuf()
+	if fail {
+		putBuf(buf)
+		return errEarly
+	}
+	putBuf(buf)
+	return nil
+}
+
+// TransferByReturn hands the obligation to the caller.
+func TransferByReturn() []byte {
+	buf := getBuf()
+	return buf
+}
+
+type batch struct {
+	bufs [][]byte
+}
+
+// TransferByStore parks the buffer in a structure whose owner carries
+// the release obligation (the bulk-release pattern).
+func (b *batch) add() {
+	buf := getBuf()
+	b.bufs = append(b.bufs, buf)
+}
+
+// LeakOnPanic loses the buffer when the guard fires.
+func LeakOnPanic(n int) {
+	buf := getBuf() // want `getBuf is not released on every path`
+	if n < 0 {
+		panic("negative")
+	}
+	putBuf(buf)
+}
+
+// LeakInLoop re-acquires each iteration but skips the release when
+// continuing early.
+func LeakInLoop(xs []int) {
+	for _, x := range xs {
+		buf := getBuf() // want `getBuf is not released on every path`
+		if x < 0 {
+			continue
+		}
+		putBuf(buf)
+	}
+}
+
+var pcm = sync.Pool{New: func() any { return []byte(nil) }}
+
+// PoolLeak drops the pooled slice on the error path.
+func PoolLeak(fail bool) ([]byte, error) {
+	buf := pcm.Get().([]byte) // want `pcm\.Get is not released on every path`
+	if fail {
+		return nil, errEarly
+	}
+	out := append([]byte(nil), buf...)
+	pcm.Put(buf)
+	return out, nil
+}
+
+// PoolRoundTrip gets and puts on the single path; len() is a plain use,
+// not a transfer.
+func PoolRoundTrip() int {
+	buf := pcm.Get().([]byte)
+	n := len(buf)
+	pcm.Put(buf)
+	return n
+}
+
+// TransferToWorker captures the buffer in a goroutine's closure: the
+// worker owns it now.
+func TransferToWorker() {
+	buf := getBuf()
+	go func() {
+		putBuf(buf)
+	}()
+}
+
+func getValue() int { return 42 }
+
+// UsesValue calls a get-prefixed function with no put sibling: not an
+// acquisition, so holding it forever is fine.
+func UsesValue() int {
+	v := getValue()
+	return v + 1
+}
+
+// AcquireSlot/ReleaseSlot exercise the second recognized prefix pair.
+func AcquireSlot() int { return 1 }
+
+func ReleaseSlot(s int) {}
+
+// LeakSlot never releases; falling off the end is the leaking exit.
+func LeakSlot() {
+	s := AcquireSlot() // want `AcquireSlot is not released on every path`
+	use(s)
+}
+
+// SlotRoundTrip is the matched pair.
+func SlotRoundTrip() {
+	s := AcquireSlot()
+	use(s)
+	ReleaseSlot(s)
+}

@@ -1,0 +1,131 @@
+// Package purity holds golden cases for the purity analyzer: wall-clock
+// reads, global randomness, and map-iteration-ordered output in a
+// deterministic pipeline package.
+package purity
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"obs"
+)
+
+// Clock reads the wall clock twice on the inference path.
+func Clock() time.Duration {
+	start := time.Now()      // want `time\.Now in a deterministic pipeline package`
+	return time.Since(start) // want `time\.Since in a deterministic pipeline package`
+}
+
+// GuardedClock is the sanctioned span-timing shape: the read happens
+// only when an obs trace is attached, so untraced requests skip it.
+func GuardedClock(tr *obs.Trace) int64 {
+	var t time.Time
+	if tr != nil {
+		t = time.Now()
+	}
+	return t.UnixNano()
+}
+
+// Jitter draws from the global rand source.
+func Jitter() int {
+	return rand.Intn(10) // want `global rand\.Intn in a deterministic pipeline package`
+}
+
+// SeededDraw is the deterministic idiom: an explicitly seeded *rand.Rand.
+func SeededDraw(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Keys records map keys in iteration order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append records keys in iteration order`
+	}
+	return keys
+}
+
+// SortedKeys is the canonical fix: the collection is absolved by the
+// sort that follows it.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates floats in map order; addition is not associative, so
+// the random order changes bits.
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation is not associative`
+	}
+	return sum
+}
+
+// Count accumulates ints, which commute exactly: no finding.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// ArgMax resolves ties to whichever key the runtime yields first.
+func ArgMax(m map[string]int) string {
+	best := ""
+	top := -1
+	for k, v := range m {
+		if v > top {
+			top, best = v, k // want `assignment to outer variable depends on which key is seen first`
+		}
+	}
+	return best
+}
+
+// AnyKey returns after a random prefix of keys.
+func AnyKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return exits after a random prefix of keys`
+	}
+	return ""
+}
+
+// LimitScan breaks out of the map iteration early.
+func LimitScan(m map[string]int, stop func(int) bool) {
+	for _, v := range m {
+		if stop(v) {
+			break // want `break exits after a random prefix of keys`
+		}
+	}
+}
+
+// NestedBreak only exits the inner slice loop: the map iteration itself
+// always completes, so no finding.
+func NestedBreak(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// SliceAppend ranges over a slice, whose order is defined: no finding.
+func SliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

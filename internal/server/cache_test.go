@@ -80,9 +80,9 @@ func TestDetectCacheHitSkipsBackend(t *testing.T) {
 
 	metrics := metricsBody(t, ts.URL)
 	for _, want := range []string{
-		"mvpearsd_cache_hits_total 1",
-		"mvpearsd_cache_misses_total 1",
-		"mvpearsd_cache_entries 1",
+		"mvpears_cache_hits_total 1",
+		"mvpears_cache_misses_total 1",
+		"mvpears_cache_entries 1",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q", want)
@@ -157,7 +157,7 @@ func TestDetectDuplicateStormRunsOneDetection(t *testing.T) {
 	if cachedCount != storm-1 {
 		t.Fatalf("%d responses marked cached, want %d flight-shared", cachedCount, storm-1)
 	}
-	if !strings.Contains(metricsBody(t, ts.URL), fmt.Sprintf("mvpearsd_singleflight_collapsed_total %d", storm-1)) {
+	if !strings.Contains(metricsBody(t, ts.URL), fmt.Sprintf("mvpears_singleflight_collapsed_total %d", storm-1)) {
 		t.Error("metrics missing the singleflight collapse count")
 	}
 }

@@ -205,12 +205,12 @@ func TestE2EPersistedModelServing(t *testing.T) {
 	}
 	metrics := string(raw)
 	for _, want := range []string{
-		fmt.Sprintf(`mvpearsd_requests_total{route="detect",code="200"} %d`, len(posts)),
-		`mvpearsd_requests_total{route="detect_batch",code="200"} 1`,
-		`mvpearsd_detections_total{verdict="benign"}`,
-		`mvpearsd_request_duration_seconds_bucket{route="detect",le="+Inf"}`,
-		fmt.Sprintf(`mvpearsd_request_duration_seconds_count{route="detect"} %d`, len(posts)),
-		`mvpearsd_detect_stage_seconds_bucket{stage="recognition"`,
+		fmt.Sprintf(`mvpears_requests_total{route="detect",code="200"} %d`, len(posts)),
+		`mvpears_requests_total{route="detect_batch",code="200"} 1`,
+		`mvpears_detections_total{verdict="benign"}`,
+		`mvpears_request_duration_seconds_bucket{route="detect",le="+Inf"}`,
+		fmt.Sprintf(`mvpears_request_duration_seconds_count{route="detect"} %d`, len(posts)),
+		`mvpears_detect_stage_seconds_bucket{stage="recognition"`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)

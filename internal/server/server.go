@@ -266,12 +266,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.requestsTotal = s.metrics.CounterVec(
-		"mvpearsd_requests_total", "Finished HTTP requests.", "route", "code")
+		"mvpears_requests_total", "Finished HTTP requests.", "route", "code")
 	s.requestSeconds = s.metrics.HistogramVec(
-		"mvpearsd_request_duration_seconds", "End-to-end request latency.",
+		"mvpears_request_duration_seconds", "End-to-end request latency.",
 		DefaultLatencyBuckets, "route")
 	s.stageSeconds = s.metrics.HistogramVec(
-		"mvpearsd_detect_stage_seconds", "Per-stage detection cost (recognition/similarity/classify).",
+		"mvpears_detect_stage_seconds", "Per-stage detection cost (recognition/similarity/classify).",
 		DefaultLatencyBuckets, "stage")
 	s.pipelineSeconds = s.metrics.HistogramVec(
 		"mvpears_stage_seconds", "Traced pipeline span wall time by stage (decode/transcribe/phonetic/similarity/classify).",
@@ -286,7 +286,7 @@ func New(cfg Config) (*Server, error) {
 		"mvpears_engine_min_similarity", "Per-detection minimum auxiliary similarity score (transferable-AE early warning).",
 		SimilarityBuckets)
 	s.detectionsTotal = s.metrics.CounterVec(
-		"mvpearsd_detections_total", "Verdicts served.", "verdict")
+		"mvpears_detections_total", "Verdicts served.", "verdict")
 	// Cascade series are always registered (zero without -cascade-margin)
 	// so the exposition shape does not depend on backend configuration.
 	s.cascadeEnginesRun = s.metrics.Histogram(
@@ -297,36 +297,36 @@ func New(cfg Config) (*Server, error) {
 	s.cascadeSampledFull = s.metrics.Counter(
 		"mvpears_cascade_sampled_full_total", "Deterministic 1-in-N full-ensemble monitoring runs under the cascade.")
 	s.inFlight = s.metrics.Gauge(
-		"mvpearsd_in_flight_requests", "Requests currently being handled.")
+		"mvpears_in_flight_requests", "Requests currently being handled.")
 	s.metrics.GaugeFunc(
-		"mvpearsd_queue_depth", "Detections waiting in the admission queue.",
+		"mvpears_queue_depth", "Detections waiting in the admission queue.",
 		func() float64 { return float64(s.pool.QueueLen()) })
 	s.queueRejected = s.metrics.Counter(
-		"mvpearsd_queue_rejected_total", "Requests rejected with 429 by the admission queue.")
+		"mvpears_queue_rejected_total", "Requests rejected with 429 by the admission queue.")
 	s.panicsTotal = s.metrics.Counter(
-		"mvpearsd_handler_panics_total", "Handler panics recovered into 500s.")
+		"mvpears_handler_panics_total", "Handler panics recovered into 500s.")
 	s.metrics.GaugeFunc(
-		"mvpearsd_worker_pool_size", "Configured detection workers.",
+		"mvpears_worker_pool_size", "Configured detection workers.",
 		func() float64 { return float64(cfg.Workers) })
 	// Verdict-cache series are always registered (zero when disabled) so
 	// the exposition shape does not depend on the backend.
 	s.metrics.CounterFunc(
-		"mvpearsd_cache_hits_total", "Verdicts served from the cross-request cache.",
+		"mvpears_cache_hits_total", "Verdicts served from the cross-request cache.",
 		func() uint64 { return s.cacheStats().Hits })
 	s.metrics.CounterFunc(
-		"mvpearsd_cache_misses_total", "Verdict-cache lookups that ran a detection.",
+		"mvpears_cache_misses_total", "Verdict-cache lookups that ran a detection.",
 		func() uint64 { return s.cacheStats().Misses })
 	s.metrics.CounterFunc(
-		"mvpearsd_cache_evictions_total", "Verdicts evicted by entry or byte pressure.",
+		"mvpears_cache_evictions_total", "Verdicts evicted by entry or byte pressure.",
 		func() uint64 { return s.cacheStats().Evictions })
 	s.metrics.GaugeFunc(
-		"mvpearsd_cache_resident_bytes", "Approximate bytes held by cached verdicts.",
+		"mvpears_cache_resident_bytes", "Approximate bytes held by cached verdicts.",
 		func() float64 { return float64(s.cacheStats().Bytes) })
 	s.metrics.GaugeFunc(
-		"mvpearsd_cache_entries", "Verdicts currently cached.",
+		"mvpears_cache_entries", "Verdicts currently cached.",
 		func() float64 { return float64(s.cacheStats().Entries) })
 	s.metrics.CounterFunc(
-		"mvpearsd_singleflight_collapsed_total", "Requests that shared another request's in-flight detection.",
+		"mvpears_singleflight_collapsed_total", "Requests that shared another request's in-flight detection.",
 		func() uint64 {
 			if s.flight == nil {
 				return 0
@@ -484,6 +484,7 @@ func (s *Server) RunUntilSignal(ln net.Listener, drainTimeout time.Duration, sig
 		return err
 	case sig := <-sigCh:
 		s.cfg.Logger.Printf("mvpearsd: received %v, draining (timeout %v)", sig, drainTimeout)
+		//lint:allow ctxflow the drain deadline must outlive every request context: it bounds shutdown itself, not a request
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := s.Shutdown(ctx); err != nil {

@@ -463,14 +463,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	out := string(raw)
 	for _, want := range []string{
-		`mvpearsd_requests_total{route="detect",code="200"} 1`,
-		`mvpearsd_requests_total{route="detect",code="400"} 1`,
-		`mvpearsd_detections_total{verdict="benign"} 1`,
-		"mvpearsd_request_duration_seconds_bucket",
-		`mvpearsd_detect_stage_seconds_count{stage="recognition"} 1`,
-		"mvpearsd_in_flight_requests",
-		"mvpearsd_queue_depth 0",
-		"mvpearsd_queue_rejected_total 0",
+		`mvpears_requests_total{route="detect",code="200"} 1`,
+		`mvpears_requests_total{route="detect",code="400"} 1`,
+		`mvpears_detections_total{verdict="benign"} 1`,
+		"mvpears_request_duration_seconds_bucket",
+		`mvpears_detect_stage_seconds_count{stage="recognition"} 1`,
+		"mvpears_in_flight_requests",
+		"mvpears_queue_depth 0",
+		"mvpears_queue_rejected_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, out)

@@ -103,20 +103,23 @@ func Cosine(a, b string) float64 {
 	if len(fa) == 0 || len(fb) == 0 {
 		return 0
 	}
-	var dot, na, nb float64
+	// Accumulate in integers: token counts are small, so the sums are
+	// exact and independent of map iteration order (float accumulation
+	// here would make the result depend on which token came first).
+	var dot, na, nb int
 	for tok, ca := range fa {
 		if cb, ok := fb[tok]; ok {
-			dot += float64(ca * cb)
+			dot += ca * cb
 		}
-		na += float64(ca * ca)
+		na += ca * ca
 	}
 	for _, cb := range fb {
-		nb += float64(cb * cb)
+		nb += cb * cb
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return float64(dot) / (math.Sqrt(float64(na)) * math.Sqrt(float64(nb)))
 }
 
 // Levenshtein returns the character edit distance between two strings.

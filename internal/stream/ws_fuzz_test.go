@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzWSFrame hardens the RFC 6455 frame parser: arbitrary bytes must
+// never panic the reader, anything it accepts must respect the payload
+// cap and carry a data opcode, and every frame the client-side writer
+// emits must read back intact on the server side (the wire round-trip
+// the streaming endpoint depends on).
+func FuzzWSFrame(f *testing.F) {
+	// Seeds are real frames built by the writer itself, so the corpus
+	// starts on the format instead of random bytes.
+	frame := func(opcode byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		c := &WSConn{bw: bufio.NewWriter(&buf), client: true}
+		if err := c.writeFrame(opcode, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(frame(OpText, []byte("hello")))
+	f.Add(frame(OpBinary, make([]byte, 200))) // 16-bit extended length
+	f.Add(append(frame(opPing, []byte("p")), frame(OpBinary, []byte{1, 2})...))
+	f.Add(frame(opClose, []byte{0x03, 0xE8}))
+	f.Add([]byte{0x81, 0x02, 'h', 'i'})                                      // unmasked client frame: rejected
+	f.Add([]byte{0xF1, 0x80})                                                // reserved bits set
+	f.Add([]byte{0x82, 127, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // absurd 64-bit length
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Server-side parse of arbitrary bytes. Control frames make the
+		// reader write replies, so give it a discarding writer.
+		c := &WSConn{br: bufio.NewReader(bytes.NewReader(data)), bw: bufio.NewWriter(io.Discard)}
+		for {
+			op, payload, err := c.ReadMessage()
+			if err != nil {
+				break // rejection or EOF, both fine
+			}
+			if op != OpText && op != OpBinary {
+				t.Fatalf("ReadMessage returned control opcode %#x", op)
+			}
+			if len(payload) > maxWSPayload {
+				t.Fatalf("accepted %d-byte payload over the %d cap", len(payload), maxWSPayload)
+			}
+		}
+
+		// Round-trip: the fuzz input as a payload must survive the
+		// client-write/server-read path bit for bit.
+		if len(data) > maxWSPayload {
+			return
+		}
+		var wire bytes.Buffer
+		wc := &WSConn{bw: bufio.NewWriter(&wire), client: true}
+		if err := wc.WriteMessage(OpBinary, data); err != nil {
+			t.Fatalf("writing %d-byte frame: %v", len(data), err)
+		}
+		rc := &WSConn{br: bufio.NewReader(&wire), bw: bufio.NewWriter(io.Discard)}
+		op, payload, err := rc.ReadMessage()
+		if err != nil {
+			t.Fatalf("reading back written frame: %v", err)
+		}
+		if op != OpBinary || !bytes.Equal(payload, data) {
+			t.Fatalf("round-trip mismatch: op %#x, %d bytes in, %d out", op, len(data), len(payload))
+		}
+	})
+}

@@ -80,6 +80,7 @@ func (g *Group[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 	}
 	// No live flight (or only an abandoned one whose work was already
 	// cancelled): lead a fresh one.
+	//lint:allow ctxflow the leader detaches deliberately so a waiter's cancellation cannot kill the shared flight; obs.Transfer re-attaches trace state on delivery
 	base := context.Background()
 	var fctx context.Context
 	var cancel context.CancelFunc
