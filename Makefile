@@ -1,13 +1,18 @@
 GO ?= go
 
 # Benchmarks tracked in BENCH_detect.json / BENCH_serve.json.
-# SERVE_BENCH matches BenchmarkServeMissCascade (the cascade+int8 path)
-# and BenchmarkStreamWindow (the real-time sliding-window gate);
-# NN_BENCH covers the quantized inference kernels it rides on.
+# SERVE_BENCH matches BenchmarkServeMissCascade (the cascade+int8 path),
+# BenchmarkStreamWindow (the real-time sliding-window gate) and the
+# BenchmarkCluster pair (remote hit, hedged dispatch); NN_BENCH covers
+# the quantized inference kernels they ride on.
 BENCH ?= BenchmarkDetectHotPath|BenchmarkBatchFeatures
-SERVE_BENCH ?= BenchmarkServe|BenchmarkStreamWindow
+SERVE_BENCH ?= BenchmarkServe|BenchmarkStreamWindow|BenchmarkCluster
 NN_BENCH ?= BenchmarkQuantizedForward
 BENCHTIME ?= 25x
+# Interleaved suite rounds per `make bench` (see cmd/benchmed): every
+# benchmark is sampled once per round, so machine drift spreads evenly
+# across the suite and the recorded noise bound is honest.
+BENCHROUNDS ?= 5
 
 # Per-target budget for fuzz-smoke; go test accepts one -fuzz target per
 # invocation, so each target gets its own short run.
@@ -40,9 +45,10 @@ test:
 	$(GO) test ./...
 
 # Race-test the packages with concurrent hot paths (batch detection,
-# per-clip feature cache, shared FFT plans, the serving worker pool).
+# per-clip feature cache, shared FFT plans, the serving worker pool, the
+# cluster peer protocol).
 race:
-	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/... ./internal/obs/... ./internal/stream/...
+	$(GO) test -race ./internal/detector/... ./internal/asr/... ./internal/dsp/... ./internal/server/... ./internal/obs/... ./internal/stream/... ./internal/cluster/...
 
 # Boot the detection daemon, bootstrapping a quick-scale model on first run.
 MODEL ?= model.gob
@@ -50,22 +56,25 @@ ADDR ?= 127.0.0.1:8080
 serve:
 	$(GO) run ./cmd/mvpearsd -model $(MODEL) -addr $(ADDR) -bootstrap
 
-# Run the tracked hot-path and serving-path benchmarks and print the raw
-# lines; paste the medians of a few runs into BENCH_detect.json /
-# BENCH_serve.json when they move.
+# Run the tracked hot-path and serving-path benchmarks in BENCHROUNDS
+# interleaved rounds (cmd/benchmed) and print per-benchmark medians with
+# the session's measured noise bound; paste medians AND noise_pct into
+# BENCH_detect.json / BENCH_serve.json when they move. A delta inside
+# the recorded noise bound is machine drift, not a regression.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
-	$(GO) test -run '^$$' -bench '$(SERVE_BENCH)' -benchmem ./internal/server | tee BENCH_serve.txt
-	$(GO) test -run '^$$' -bench '$(NN_BENCH)' -benchmem ./internal/nn | tee BENCH_nn.txt
+	$(GO) run ./cmd/benchmed -rounds $(BENCHROUNDS) -bench '$(BENCH)' -benchtime $(BENCHTIME) . | tee BENCH_detect.txt
+	$(GO) run ./cmd/benchmed -rounds $(BENCHROUNDS) -bench '$(SERVE_BENCH)' ./internal/server | tee BENCH_serve.txt
+	$(GO) run ./cmd/benchmed -rounds $(BENCHROUNDS) -bench '$(NN_BENCH)' ./internal/nn | tee BENCH_nn.txt
 
 # Short-budget fuzz runs over the parsers that face untrusted bytes: the
-# batch WAV decoder, the streaming WAV decoder, and the WebSocket frame
-# parser. Seed corpora are in the fuzz tests; crashers land in
-# testdata/fuzz/ for triage.
+# batch WAV decoder, the streaming WAV decoder, the WebSocket frame
+# parser, and the cluster peer-protocol wire codec. Seed corpora are in
+# the fuzz tests; crashers land in testdata/fuzz/ for triage.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWAV$$' -fuzztime $(FUZZTIME) ./internal/audio
 	$(GO) test -run '^$$' -fuzz '^FuzzWAVStreamReader$$' -fuzztime $(FUZZTIME) ./internal/audio
 	$(GO) test -run '^$$' -fuzz '^FuzzWSFrame$$' -fuzztime $(FUZZTIME) ./internal/stream
+	$(GO) test -run '^$$' -fuzz '^FuzzWireCodec$$' -fuzztime $(FUZZTIME) ./internal/cluster
 
 # Boot a real daemon (bootstrap model, admin listener) and probe its
 # endpoints end to end: health, metrics, pprof, and a traced detection.

@@ -1,0 +1,249 @@
+// benchmed runs a benchmark suite in interleaved rounds and reports
+// per-benchmark medians with a measured noise bound.
+//
+// Single-run `go test -bench` numbers on a shared box drift with
+// machine load, and back-to-back runs of the SAME benchmark share that
+// drift — comparing "six runs of A" against "six runs of B taken a
+// minute later" bakes the drift into the delta. benchmed instead runs
+// the WHOLE suite R times (round-robin over the benchmarks, one full
+// `go test` invocation per round), so every benchmark's samples are
+// spread evenly across the session and slow machine drift cancels out
+// of cross-benchmark comparisons. The per-benchmark half-spread
+// ((max-min)/2 relative to the median) is reported as noise_pct: the
+// measured tracking band for THIS session, replacing any fixed
+// assumption about how noisy the box is. A delta smaller than the
+// recorded noise bound is not a regression.
+//
+// Usage:
+//
+//	benchmed [-rounds 5] [-bench regex] [-benchtime 1s] [-json] pkg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line from one round.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  int64
+	allocsPerOp int64
+	// extra holds trailing custom metrics (b.ReportMetric), unit -> value.
+	extra map[string]float64
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName-8   123   4567 ns/op   89 B/op   1 allocs/op   7.0 extra/unit
+//
+// The -N GOMAXPROCS suffix is stripped from the name so samples group
+// identically across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parseLine decodes one benchmark output line, reporting ok=false for
+// non-benchmark lines (headers, PASS, ok).
+func parseLine(line string) (name string, s sample, ok bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", sample{}, false
+	}
+	name = m[1]
+	fields := strings.Fields(m[2])
+	if len(fields)%2 != 0 || len(fields) == 0 {
+		return "", sample{}, false
+	}
+	s.extra = map[string]float64{}
+	seenNs := false
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			s.nsPerOp = v
+			seenNs = true
+		case "B/op":
+			s.bytesPerOp = int64(v)
+		case "allocs/op":
+			s.allocsPerOp = int64(v)
+		default:
+			s.extra[unit] = v
+		}
+	}
+	if !seenNs {
+		return "", sample{}, false
+	}
+	return name, s, true
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// noisePct is the half-spread of the samples relative to their median,
+// in percent: the session's measured tracking band.
+func noisePct(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	med := median(xs)
+	if med == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return (hi - lo) / 2 / med * 100
+}
+
+// result summarizes one benchmark across all rounds.
+type result struct {
+	Name        string             `json:"name"`
+	Samples     int                `json:"samples"`
+	MedianNsOp  float64            `json:"median_ns_per_op"`
+	NoisePct    float64            `json:"noise_pct"`
+	MinNsOp     float64            `json:"min_ns_per_op"`
+	MaxNsOp     float64            `json:"max_ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// summarize folds each benchmark's per-round samples into its median
+// result, in first-seen order.
+func summarize(order []string, byName map[string][]sample) []result {
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		ss := byName[name]
+		ns := make([]float64, len(ss))
+		bytesMed := make([]float64, len(ss))
+		allocsMed := make([]float64, len(ss))
+		extraKeys := map[string]bool{}
+		for i, s := range ss {
+			ns[i] = s.nsPerOp
+			bytesMed[i] = float64(s.bytesPerOp)
+			allocsMed[i] = float64(s.allocsPerOp)
+			for k := range s.extra {
+				extraKeys[k] = true
+			}
+		}
+		r := result{
+			Name:        name,
+			Samples:     len(ss),
+			MedianNsOp:  median(ns),
+			NoisePct:    noisePct(ns),
+			BytesPerOp:  int64(median(bytesMed)),
+			AllocsPerOp: int64(median(allocsMed)),
+		}
+		for _, x := range ns {
+			if r.MinNsOp == 0 || x < r.MinNsOp {
+				r.MinNsOp = x
+			}
+			if x > r.MaxNsOp {
+				r.MaxNsOp = x
+			}
+		}
+		if len(extraKeys) > 0 {
+			r.Extra = map[string]float64{}
+			for k := range extraKeys {
+				vals := make([]float64, 0, len(ss))
+				for _, s := range ss {
+					if v, ok := s.extra[k]; ok {
+						vals = append(vals, v)
+					}
+				}
+				r.Extra[k] = median(vals)
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func main() {
+	rounds := flag.Int("rounds", 5, "interleaved suite rounds (samples per benchmark)")
+	bench := flag.String("bench", ".", "benchmark regex passed to -bench")
+	benchtime := flag.String("benchtime", "", "passed to -benchtime when non-empty")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of a table")
+	goBin := flag.String("go", "go", "go binary to invoke")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchmed [flags] <package>")
+		os.Exit(2)
+	}
+	pkg := flag.Arg(0)
+
+	byName := map[string][]sample{}
+	var order []string
+	for round := 0; round < *rounds; round++ {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, pkg)
+		out, err := exec.Command(*goBin, args...).CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchmed: round %d: %v\n%s", round+1, err, out)
+			os.Exit(1)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			name, s, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = append(byName[name], s)
+		}
+		fmt.Fprintf(os.Stderr, "benchmed: round %d/%d done\n", round+1, *rounds)
+	}
+	if len(order) == 0 {
+		fmt.Fprintf(os.Stderr, "benchmed: no benchmarks matched %q in %s\n", *bench, pkg)
+		os.Exit(1)
+	}
+	results := summarize(order, byName)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "%-40s %10s %8s %12s %12s %8s\n",
+		"benchmark (median of "+strconv.Itoa(*rounds)+")", "ns/op", "noise", "B/op", "allocs/op", "samples")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-40s %10.0f %7.1f%% %12d %12d %8d\n",
+			r.Name, r.MedianNsOp, r.NoisePct, r.BytesPerOp, r.AllocsPerOp, r.Samples)
+		for unit, v := range r.Extra {
+			fmt.Fprintf(w, "    %-36s %10.0f %s\n", "", v, unit)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, s, ok := parseLine("BenchmarkServeHit-4   	  123456	      9118 ns/op	    8080 B/op	      53 allocs/op")
+	if !ok || name != "BenchmarkServeHit" {
+		t.Fatalf("parse = (%q, ok=%v)", name, ok)
+	}
+	if s.nsPerOp != 9118 || s.bytesPerOp != 8080 || s.allocsPerOp != 53 {
+		t.Fatalf("sample = %+v", s)
+	}
+
+	// Custom metrics (b.ReportMetric) ride along as extra units.
+	name, s, ok = parseLine("BenchmarkStreamWindow 	     100	 1148192 ns/op	   1037727 median-ns/window	  250888 B/op	     170 allocs/op")
+	if !ok || name != "BenchmarkStreamWindow" {
+		t.Fatalf("parse = (%q, ok=%v)", name, ok)
+	}
+	if s.extra["median-ns/window"] != 1037727 {
+		t.Fatalf("extra = %v", s.extra)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: mvpears/internal/server",
+		"PASS",
+		"ok  	mvpears/internal/server	10.611s",
+		"",
+		"--- BENCH: BenchmarkX",
+		"BenchmarkBroken-4   notanumber   12 ns/op",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted as %q", line, name)
+		}
+	}
+}
+
+func TestMedianAndNoise(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median(3,1,2) = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median(4,1,2,3) = %v", got)
+	}
+	// Half-spread relative to the median: (110-90)/2/100 = 10%.
+	if got := noisePct([]float64{90, 100, 110}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("noisePct = %v, want 10", got)
+	}
+	if got := noisePct([]float64{100}); got != 0 {
+		t.Errorf("noisePct of one sample = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	byName := map[string][]sample{
+		"BenchmarkA": {
+			{nsPerOp: 100, bytesPerOp: 8, allocsPerOp: 1},
+			{nsPerOp: 120, bytesPerOp: 8, allocsPerOp: 1},
+			{nsPerOp: 110, bytesPerOp: 8, allocsPerOp: 1},
+		},
+		"BenchmarkB": {
+			{nsPerOp: 50, extra: map[string]float64{"x/op": 7}},
+			{nsPerOp: 70, extra: map[string]float64{"x/op": 9}},
+		},
+	}
+	rs := summarize([]string{"BenchmarkA", "BenchmarkB"}, byName)
+	if len(rs) != 2 || rs[0].Name != "BenchmarkA" || rs[1].Name != "BenchmarkB" {
+		t.Fatalf("order lost: %+v", rs)
+	}
+	a := rs[0]
+	if a.MedianNsOp != 110 || a.MinNsOp != 100 || a.MaxNsOp != 120 || a.Samples != 3 {
+		t.Errorf("A = %+v", a)
+	}
+	if math.Abs(a.NoisePct-(20.0/2/110*100)) > 1e-9 {
+		t.Errorf("A noise = %v", a.NoisePct)
+	}
+	b := rs[1]
+	if b.MedianNsOp != 60 || b.Extra["x/op"] != 8 {
+		t.Errorf("B = %+v", b)
+	}
+}

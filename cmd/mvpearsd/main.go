@@ -10,6 +10,8 @@
 //	         [-cascade-margin -1] [-cascade-sample 16] [-quantized]
 //	         [-stream] [-stream-window 1s] [-stream-hop 250ms]
 //	         [-stream-max-sessions 64] [-stream-idle-timeout 30s]
+//	         [-cluster-addr 127.0.0.1:9090] [-peers host:9090,host2:9090]
+//	         [-hedge-after 0] [-reload]
 //
 // The daemon boots from a persisted model artifact (written by
 // `mvpears detect -model` or by -bootstrap) — it never retrains at
@@ -47,6 +49,20 @@
 // Neither toggle changes the model fingerprint, so verdict-cache keys
 // are shared with unaccelerated daemons of the same model.
 //
+// With -cluster-addr and -peers, N replicas share the content-addressed
+// verdict cache: consistent hashing on the cache key decides which
+// replica owns each clip, local misses forward to the owner (remote hits
+// cost a fraction of a detection, and fleet-wide duplicate storms
+// collapse to one detection at the owner), and slow self-owned misses
+// hedge a duplicate dispatch to an idle peer. Any peer failure degrades
+// to local detection — a request is never failed because a peer is down.
+//
+// With -reload (default on), SIGHUP — or POST /reloadz on the admin
+// listener — re-opens the -model artifact and swaps it in with zero
+// downtime: in-flight requests finish on the old model, /readyz answers
+// 503 while the replacement loads, and the fingerprint change makes
+// stale cache entries unreachable fleet-wide with no epoch protocol.
+//
 // SIGINT/SIGTERM drain gracefully within -drain; the final metric values
 // are flushed to stderr on exit.
 package main
@@ -59,6 +75,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +84,17 @@ import (
 	"mvpears/internal/obs"
 	"mvpears/internal/server"
 )
+
+// splitPeers parses the comma-separated -peers list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -100,6 +129,11 @@ func run(args []string) error {
 	streamHop := fs.Duration("stream-hop", 0, "hop between streaming windows (default: 250ms of audio)")
 	streamMaxSessions := fs.Int("stream-max-sessions", 0, "max concurrent streaming sessions (default: 64)")
 	streamIdle := fs.Duration("stream-idle-timeout", 0, "evict streaming sessions idle this long (default: 30s)")
+	clusterAddr := fs.String("cluster-addr", "", "peer-protocol listen address; enables the distributed verdict-cache tier")
+	clusterSelf := fs.String("cluster-self", "", "peer address advertised to other replicas (default: the bound -cluster-addr)")
+	peers := fs.String("peers", "", "comma-separated peer addresses of the other replicas (requires -cluster-addr)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "fixed hedge delay before duplicating a slow detection to an idle peer (default: derived from the measured detection cost)")
+	reloadOn := fs.Bool("reload", true, "enable zero-downtime hot model reload (SIGHUP or POST /reloadz on the admin listener)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,20 +160,29 @@ func run(args []string) error {
 		return fmt.Errorf("opening model %s: %w (pass -bootstrap to train a quick-scale one)", *model, err)
 	}
 
-	if *quantized {
-		enabled, fellBack, err := sys.EnableQuantized()
-		if err != nil {
-			return fmt.Errorf("enabling int8 inference: %w", err)
+	// accelerate applies the boot-time accelerators to a freshly loaded
+	// system. Hot reload re-applies them to the replacement model, so a
+	// reloaded daemon keeps the exact acceleration it booted with.
+	accelerate := func(sys *mvpears.System) error {
+		if *quantized {
+			enabled, fellBack, err := sys.EnableQuantized()
+			if err != nil {
+				return fmt.Errorf("enabling int8 inference: %w", err)
+			}
+			logger.Printf("int8 inference enabled for %v (parity fallback to float64: %v)", enabled, fellBack)
 		}
-		logger.Printf("int8 inference enabled for %v (parity fallback to float64: %v)", enabled, fellBack)
+		if *cascadeMargin >= 0 {
+			if err := sys.EnableCascade(*cascadeMargin, *cascadeSample); err != nil {
+				return fmt.Errorf("enabling cascade: %w", err)
+			}
+			st := sys.Cascade()
+			logger.Printf("cascade enabled: margin %.4f, full-ensemble sample 1/%d, engine order %v (calibrated costs %v)",
+				st.Margin, st.SampleEvery, st.EngineOrder, st.EngineCosts)
+		}
+		return nil
 	}
-	if *cascadeMargin >= 0 {
-		if err := sys.EnableCascade(*cascadeMargin, *cascadeSample); err != nil {
-			return fmt.Errorf("enabling cascade: %w", err)
-		}
-		st := sys.Cascade()
-		logger.Printf("cascade enabled: margin %.4f, full-ensemble sample 1/%d, engine order %v (calibrated costs %v)",
-			st.Margin, st.SampleEvery, st.EngineOrder, st.EngineCosts)
+	if err := accelerate(sys); err != nil {
+		return err
 	}
 
 	cfg := server.Config{
@@ -179,9 +222,47 @@ func run(args []string) error {
 		cfg.Audit = sink
 		logger.Printf("auditing adversarial verdicts to %s", *auditPath)
 	}
+	if *reloadOn {
+		cfg.Reload = func() (server.Backend, error) {
+			nsys, err := mvpears.Open(*model)
+			if err != nil {
+				return nil, fmt.Errorf("reopening model %s: %w", *model, err)
+			}
+			if err := accelerate(nsys); err != nil {
+				return nil, err
+			}
+			return nsys, nil
+		}
+	}
+	if *clusterAddr != "" {
+		cfg.Cluster = &server.ClusterConfig{
+			Addr:       *clusterAddr,
+			Self:       *clusterSelf,
+			Peers:      splitPeers(*peers),
+			HedgeAfter: *hedgeAfter,
+		}
+	} else if *peers != "" {
+		return fmt.Errorf("-peers requires -cluster-addr")
+	}
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	// SIGHUP triggers a hot model reload: the artifact at -model is
+	// re-opened and swapped in with zero downtime. The serving signals
+	// (SIGINT/SIGTERM) stay with RunUntilSignal.
+	if cfg.Reload != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				logger.Printf("SIGHUP: hot-reloading model from %s", *model)
+				if err := s.Reload(); err != nil {
+					logger.Printf("hot reload failed: %v", err)
+				}
+			}
+		}()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -177,7 +177,12 @@ func ReadWAVPCM(r io.Reader, maxDataBytes int64, scratch []byte) (PCM16, error) 
 			return none, fmt.Errorf("audio: %w: reading data chunk: %w", ErrTruncated, err)
 		}
 	}
-	if err := verifyTrailer(r, size); err != nil {
+	// The trailer check borrows 8 bytes of the payload buffer's spare
+	// capacity as its chunk-header scratch: a stack array would escape
+	// through the io.ReadFull interface call and put one allocation back
+	// on the serve-hit path.
+	tl := growBytes(buf, 8)
+	if err := verifyTrailer(r, size, tl[len(buf):]); err != nil {
 		return none, err
 	}
 	return PCM16{SampleRate: sampleRate, Data: buf}, nil
@@ -273,13 +278,20 @@ func readWAVHeader(r io.Reader, scratch []byte) (sampleRate int, dataSize uint32
 // understates the body — extra PCM bytes dangling after the chunk, the
 // signature of a corrupted chunked upload — is rejected instead of being
 // silently dropped from the verdict's input.
-func verifyTrailer(r io.Reader, dataSize uint32) error {
+//
+// hdr is an 8-byte chunk-header scratch supplied by the caller: a local
+// array would escape through the io.ReadFull interface call and cost an
+// allocation per decode. Callers without spare buffer capacity pass nil.
+func verifyTrailer(r io.Reader, dataSize uint32, hdr []byte) error {
+	if len(hdr) < 8 {
+		hdr = make([]byte, 8)
+	}
+	hdr = hdr[:8]
 	if err := skipPad(r, dataSize); err != nil {
 		return err
 	}
 	for {
-		var hdr [8]byte
-		n, err := io.ReadFull(r, hdr[:])
+		n, err := io.ReadFull(r, hdr)
 		if err == io.EOF {
 			return nil
 		}

@@ -122,7 +122,7 @@ func (w *WAVStreamReader) ReadSamples(out []float64) (int, error) {
 // seals the reader.
 func (w *WAVStreamReader) finish() error {
 	w.done = true
-	if err := verifyTrailer(w.r, w.declared); err != nil {
+	if err := verifyTrailer(w.r, w.declared, nil); err != nil {
 		return err
 	}
 	return io.EOF

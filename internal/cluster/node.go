@@ -1,0 +1,496 @@
+// Package cluster is the multi-replica tier of MVP-EARS serving: N
+// mvpearsd replicas share the content-addressed verdict cache over a
+// compact binary peer protocol, so cache hits compound fleet-wide
+// instead of per-process.
+//
+// Ownership is decided by consistent hashing on the verdict-cache key
+// (ring.go). Because keys are prefixed with the model fingerprint
+// (internal/vcache), sharing needs no epoch or invalidation protocol: a
+// replica running a different model computes different keys, and the
+// owner additionally verifies the key against its own fingerprint before
+// answering, so a mid-reload fleet can never cross-pollinate verdicts
+// between models.
+//
+// The failure policy is degrade, never fail: any peer error (down,
+// overloaded, version-skewed, fingerprint-mismatched) makes the caller
+// fall back to local detection. The cluster tier is an optimization
+// layer over a replica that is fully correct alone.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvpears"
+)
+
+// Handler is the local serving capability a Node exposes to its peers.
+// internal/server implements it over its verdict cache and singleflight;
+// Detect must serve strictly locally (cache -> flight -> backend) and
+// never re-forward, so ownership disagreement during membership skew
+// cannot loop a request between replicas.
+type Handler interface {
+	// GetCached returns the locally cached detection for key, if any.
+	GetCached(ctx context.Context, key string) (*mvpears.Detection, bool)
+	// Detect answers for key from local cache/flight/backend. cached
+	// reports that no fresh detection ran for this call.
+	Detect(ctx context.Context, key string, sampleRate int, pcm []byte) (det *mvpears.Detection, cached bool, err error)
+}
+
+// Config parameterizes a Node. Zero-valued optional fields get defaults.
+type Config struct {
+	// Self is this replica's advertised peer address. Required, and must
+	// be a member of Peers (it is added if absent).
+	Self string
+	// Peers lists every replica's advertised peer address (the ring
+	// membership). All replicas must be configured with the same set.
+	Peers []string
+	// Handler serves requests arriving from peers. Required for Serve.
+	Handler Handler
+	// DialTimeout bounds one peer dial (default 500ms).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one peer round trip including a forwarded
+	// detection (default 30s).
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served peer requests — the fan-in
+	// side of the protocol (default 4*GOMAXPROCS, min 4). Excess requests
+	// get MsgErr "busy" instead of queueing unboundedly.
+	MaxInflight int
+	// ConnsPerPeer bounds the idle persistent connections kept per peer
+	// (default 2).
+	ConnsPerPeer int
+	// DownFor is how long a peer is skipped after a transport failure
+	// (default 1s). The circuit keeps remote probes off a dead peer's
+	// dial timeout.
+	DownFor time.Duration
+	// VirtualNodes configures the ring (default DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+func (c *Config) applyDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 500 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxInflight < 4 {
+			c.MaxInflight = 4
+		}
+	}
+	if c.ConnsPerPeer <= 0 {
+		c.ConnsPerPeer = 2
+	}
+	if c.DownFor <= 0 {
+		c.DownFor = time.Second
+	}
+}
+
+// Node is one replica's membership in the cluster: the ring, one
+// persistent-connection client per peer, and the peer-facing server.
+type Node struct {
+	cfg  Config
+	ring *Ring
+	// peers maps advertised address -> client state (excludes Self).
+	peers map[string]*peer
+	// order lists peer addresses for round-robin hedge target selection.
+	order []string
+	rr    atomic.Uint64
+
+	// inflight is the fan-in semaphore for served peer requests.
+	inflight chan struct{}
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool // accepted peer connections, for Close
+	closed bool
+}
+
+// New validates cfg and builds a Node (no listener yet — call Serve).
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	cfg.applyDefaults()
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(members, cfg.VirtualNodes)
+	n := &Node{
+		cfg:      cfg,
+		ring:     ring,
+		peers:    make(map[string]*peer),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		conns:    make(map[net.Conn]bool),
+	}
+	for _, m := range ring.Members() {
+		if m == cfg.Self {
+			continue
+		}
+		n.peers[m] = &peer{addr: m, idle: make(chan *peerConn, cfg.ConnsPerPeer)}
+		n.order = append(n.order, m)
+	}
+	return n, nil
+}
+
+// Self returns this replica's advertised address.
+func (n *Node) Self() string { return n.cfg.Self }
+
+// Owner returns the replica owning key and whether that is this one.
+func (n *Node) Owner(key string) (addr string, self bool) {
+	addr = n.ring.Owner(key)
+	return addr, addr == n.cfg.Self
+}
+
+// HasPeers reports whether the ring has any member besides Self.
+func (n *Node) HasPeers() bool { return len(n.peers) > 0 }
+
+// HealthyPeers counts peers currently outside the failure backoff.
+func (n *Node) HealthyPeers() int {
+	now := time.Now().UnixNano()
+	healthy := 0
+	for _, p := range n.peers {
+		if p.downUntil.Load() <= now {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// HedgeTarget picks a healthy peer to duplicate work onto, round-robin
+// so consecutive hedges spread across the fleet ("" when none).
+func (n *Node) HedgeTarget() string {
+	if len(n.order) == 0 {
+		return ""
+	}
+	now := time.Now().UnixNano()
+	start := int(n.rr.Add(1)) % len(n.order)
+	for i := 0; i < len(n.order); i++ {
+		addr := n.order[(start+i)%len(n.order)]
+		if n.peers[addr].downUntil.Load() <= now {
+			return addr
+		}
+	}
+	return ""
+}
+
+// ErrPeerUnavailable wraps transport-level peer failures (the caller
+// degrades to local detection).
+var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
+
+// ErrRemote wraps a MsgErr answer from a peer (the peer is up but
+// declined: busy, draining, fingerprint mismatch, detection failure).
+var ErrRemote = errors.New("cluster: remote error")
+
+// Get probes addr's verdict cache for key. ok=false with nil error is a
+// clean remote miss.
+func (n *Node) Get(ctx context.Context, addr, key string) (det *mvpears.Detection, ok bool, err error) {
+	req := AppendGet(make([]byte, 0, len(key)+16), key)
+	t, payload, err := n.roundTrip(ctx, addr, MsgGet, req)
+	if err != nil {
+		return nil, false, err
+	}
+	switch t {
+	case MsgMiss:
+		return nil, false, nil
+	case MsgVerdict:
+		det, _, err := ParseVerdict(payload)
+		return det, err == nil, err
+	case MsgErr:
+		msg, _ := ParseErr(payload)
+		return nil, false, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		return nil, false, fmt.Errorf("%w: unexpected %d reply to Get", ErrBadFrame, t)
+	}
+}
+
+// Detect forwards one detection to addr: the owner answers from its
+// cache when possible, otherwise runs (or joins) the detection locally.
+// cached reports the former. The PCM bytes are only read before Detect
+// returns, so callers may pass pooled buffers.
+func (n *Node) Detect(ctx context.Context, addr, key string, sampleRate int, pcm []byte) (det *mvpears.Detection, cached bool, err error) {
+	req := AppendDetect(make([]byte, 0, len(key)+len(pcm)+24), key, sampleRate, pcm)
+	t, payload, err := n.roundTrip(ctx, addr, MsgDetect, req)
+	if err != nil {
+		return nil, false, err
+	}
+	switch t {
+	case MsgVerdict:
+		return ParseVerdict(payload)
+	case MsgErr:
+		msg, _ := ParseErr(payload)
+		return nil, false, fmt.Errorf("%w: %s", ErrRemote, msg)
+	default:
+		return nil, false, fmt.Errorf("%w: unexpected %d reply to Detect", ErrBadFrame, t)
+	}
+}
+
+// --- client side: persistent connections with a down-peer circuit ---
+
+// peer is the client state for one remote replica.
+type peer struct {
+	addr string
+	idle chan *peerConn
+	// downUntil is a unix-nano timestamp before which the peer is
+	// skipped (0 = healthy). Set on transport failure, not on MsgErr: a
+	// peer answering "busy" is alive.
+	downUntil atomic.Int64
+}
+
+// peerConn is one persistent connection plus its buffered reader and
+// reusable frame buffers.
+type peerConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wbuf []byte // frame write buffer
+	rbuf []byte // frame read buffer
+}
+
+func (n *Node) peerFor(addr string) (*peer, error) {
+	p, ok := n.peers[addr]
+	if !ok {
+		return nil, fmt.Errorf("cluster: %q is not a configured peer", addr)
+	}
+	return p, nil
+}
+
+// roundTrip sends one request frame to addr and reads the response,
+// reusing an idle persistent connection when one is available. Transport
+// failures close the connection, trip the peer's down circuit and return
+// ErrPeerUnavailable.
+func (n *Node) roundTrip(ctx context.Context, addr string, t MsgType, payload []byte) (MsgType, []byte, error) {
+	p, err := n.peerFor(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	now := time.Now()
+	if p.downUntil.Load() > now.UnixNano() {
+		return 0, nil, fmt.Errorf("%w: %s in failure backoff", ErrPeerUnavailable, addr)
+	}
+	pc, err := n.borrowConn(ctx, p)
+	if err != nil {
+		p.downUntil.Store(now.Add(n.cfg.DownFor).UnixNano())
+		return 0, nil, fmt.Errorf("%w: dialing %s: %v", ErrPeerUnavailable, addr, err)
+	}
+	deadline := now.Add(n.cfg.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = pc.conn.SetDeadline(deadline)
+	// Cancel-on-first-result plumbing: a hedged RPC whose ctx is
+	// cancelled must unblock promptly, not at the deadline.
+	stop := context.AfterFunc(ctx, func() { _ = pc.conn.SetDeadline(time.Unix(0, 1)) })
+	rt, rp, err := pc.do(t, payload)
+	stop()
+	if err != nil {
+		_ = pc.conn.Close()
+		if ctx.Err() == nil {
+			p.downUntil.Store(time.Now().Add(n.cfg.DownFor).UnixNano())
+		}
+		return 0, nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, addr, err)
+	}
+	_ = pc.conn.SetDeadline(time.Time{})
+	n.returnConn(p, pc)
+	return rt, rp, nil
+}
+
+// do writes one request frame and reads one response frame.
+func (pc *peerConn) do(t MsgType, payload []byte) (MsgType, []byte, error) {
+	pc.wbuf = AppendFrame(pc.wbuf[:0], t, payload)
+	if _, err := pc.conn.Write(pc.wbuf); err != nil {
+		return 0, nil, err
+	}
+	rt, rp, rbuf, err := ReadFrame(pc.br, pc.rbuf)
+	pc.rbuf = rbuf
+	return rt, rp, err
+}
+
+// borrowConn takes an idle connection or dials a fresh one.
+func (n *Node) borrowConn(ctx context.Context, p *peer) (*peerConn, error) {
+	select {
+	case pc := <-p.idle:
+		return pc, nil
+	default:
+	}
+	d := net.Dialer{Timeout: n.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are single small-to-medium writes; coalescing delay
+		// would dominate the remote-hit budget.
+		_ = tc.SetNoDelay(true)
+	}
+	return &peerConn{conn: conn, br: bufio.NewReaderSize(conn, 32<<10)}, nil
+}
+
+// returnConn parks a healthy connection for reuse (closing it when the
+// pool is full or the node is shutting down).
+func (n *Node) returnConn(p *peer, pc *peerConn) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		_ = pc.conn.Close()
+		return
+	}
+	select {
+	case p.idle <- pc:
+	default:
+		_ = pc.conn.Close()
+	}
+}
+
+// --- server side: bounded fan-in over persistent connections ---
+
+// Serve accepts peer connections on ln until ctx ends or Close. Each
+// connection serves frames sequentially; concurrency across connections
+// is bounded by MaxInflight.
+func (n *Node) Serve(ctx context.Context, ln net.Listener) error {
+	if n.cfg.Handler == nil {
+		return errors.New("cluster: Serve requires Config.Handler")
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		// Close the listener here too: a Close racing ahead of Serve (it
+		// reads n.ln before this assignment) must not leave the socket
+		// open, or peers connect into the kernel backlog and hang until
+		// their request deadline instead of being refused outright.
+		_ = ln.Close()
+		return errors.New("cluster: node is closed")
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { _ = ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		n.conns[conn] = true
+		n.mu.Unlock()
+		go n.serveConn(ctx, conn)
+	}
+}
+
+// connIdleTimeout evicts peer connections with no traffic; peers redial
+// transparently.
+const connIdleTimeout = 5 * time.Minute
+
+func (n *Node) serveConn(ctx context.Context, conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var rbuf, wbuf []byte
+	for ctx.Err() == nil {
+		_ = conn.SetReadDeadline(time.Now().Add(connIdleTimeout))
+		t, payload, grown, err := ReadFrame(br, rbuf)
+		rbuf = grown
+		if err != nil {
+			return // EOF, idle eviction, or garbage: drop the connection
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(n.cfg.RequestTimeout))
+		wbuf = n.handleFrame(ctx, wbuf[:0], t, payload)
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame serves one request frame and appends the response frame.
+func (n *Node) handleFrame(ctx context.Context, dst []byte, t MsgType, payload []byte) []byte {
+	// Bounded fan-in: beyond MaxInflight concurrent requests the peer is
+	// told "busy" immediately — it has a perfectly good local fallback,
+	// so queueing here would only move its latency onto our socket.
+	select {
+	case n.inflight <- struct{}{}:
+		defer func() { <-n.inflight }()
+	default:
+		return AppendFrame(dst, MsgErr, AppendErr(nil, "busy: peer fan-in limit reached"))
+	}
+	rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+	defer cancel()
+	switch t {
+	case MsgGet:
+		key, err := ParseGet(payload)
+		if err != nil {
+			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
+		}
+		if det, ok := n.cfg.Handler.GetCached(rctx, key); ok {
+			return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, true))
+		}
+		return AppendFrame(dst, MsgMiss, nil)
+	case MsgDetect:
+		key, rate, pcm, err := ParseDetect(payload)
+		if err != nil {
+			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
+		}
+		det, cached, err := n.cfg.Handler.Detect(rctx, key, rate, pcm)
+		if err != nil {
+			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
+		}
+		return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, cached))
+	default:
+		return AppendFrame(dst, MsgErr, AppendErr(nil, fmt.Sprintf("unexpected request type %d", t)))
+	}
+}
+
+// Close shuts the node down: the listener stops, accepted connections
+// close, idle client connections close. Safe to call more than once.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.ln
+	for conn := range n.conns {
+		_ = conn.Close()
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, p := range n.peers {
+	drain:
+		for {
+			select {
+			case pc := <-p.idle:
+				_ = pc.conn.Close()
+			default:
+				break drain
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvpears"
+)
+
+// stubHandler is a scriptable cluster.Handler.
+type stubHandler struct {
+	mu      sync.Mutex
+	cache   map[string]*mvpears.Detection
+	detects atomic.Int64
+	// block, when non-nil, is closed by the test to release in-flight
+	// Detect calls (for the fan-in limit test).
+	block chan struct{}
+	err   error
+}
+
+func (h *stubHandler) GetCached(ctx context.Context, key string) (*mvpears.Detection, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	det, ok := h.cache[key]
+	return det, ok
+}
+
+func (h *stubHandler) Detect(ctx context.Context, key string, sampleRate int, pcm []byte) (*mvpears.Detection, bool, error) {
+	h.detects.Add(1)
+	if h.block != nil {
+		select {
+		case <-h.block:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if h.err != nil {
+		return nil, false, h.err
+	}
+	if det, ok := h.GetCached(ctx, key); ok {
+		return det, true, nil
+	}
+	det := &mvpears.Detection{
+		Adversarial:    true,
+		Scores:         []float64{0.1},
+		Transcriptions: map[string]string{"target": "t", "aux": "a"},
+	}
+	h.mu.Lock()
+	h.cache[key] = det
+	h.mu.Unlock()
+	return det, false, nil
+}
+
+// startNode builds a Node serving on a loopback listener and returns it
+// with its bound address. peers are the OTHER replicas' addresses.
+func startNode(t *testing.T, h Handler, mutate func(*Config), peers ...string) (*Node, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	cfg := Config{
+		Self:           ln.Addr().String(),
+		Peers:          peers,
+		Handler:        h,
+		RequestTimeout: 5 * time.Second,
+		DownFor:        200 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	go func() { _ = n.Serve(context.Background(), ln) }()
+	t.Cleanup(func() { _ = n.Close() })
+	return n, ln.Addr().String()
+}
+
+// twoNodes wires a pair of replicas that know about each other.
+func twoNodes(t *testing.T, ha, hb Handler) (a, b *Node, addrA, addrB string) {
+	t.Helper()
+	// Reserve B's address first so A can list it as a peer.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addrB = lnB.Addr().String()
+	a, addrA = startNode(t, ha, nil, addrB)
+	cfgB := Config{
+		Self:           addrB,
+		Peers:          []string{addrA},
+		Handler:        hb,
+		RequestTimeout: 5 * time.Second,
+		DownFor:        200 * time.Millisecond,
+	}
+	b, err = New(cfgB)
+	if err != nil {
+		t.Fatalf("New(B): %v", err)
+	}
+	go func() { _ = b.Serve(context.Background(), lnB) }()
+	t.Cleanup(func() { _ = b.Close() })
+	return a, b, addrA, addrB
+}
+
+func TestNodeGetHitAndMiss(t *testing.T) {
+	det := &mvpears.Detection{
+		Scores:         []float64{0.9},
+		Transcriptions: map[string]string{"target": "hello", "aux": "hello"},
+	}
+	hb := &stubHandler{cache: map[string]*mvpears.Detection{"fp:cached": det}}
+	a, _, _, addrB := twoNodes(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, hb)
+
+	got, ok, err := a.Get(context.Background(), addrB, "fp:cached")
+	if err != nil || !ok {
+		t.Fatalf("Get(cached) = (%v, %v, %v), want hit", got, ok, err)
+	}
+	if got.Transcriptions["target"] != "hello" {
+		t.Errorf("remote hit transcription = %q", got.Transcriptions["target"])
+	}
+	if _, ok, err := a.Get(context.Background(), addrB, "fp:absent"); err != nil || ok {
+		t.Fatalf("Get(absent) = (ok=%v, err=%v), want clean miss", ok, err)
+	}
+}
+
+func TestNodeDetectForwardAndError(t *testing.T) {
+	hb := &stubHandler{cache: map[string]*mvpears.Detection{}}
+	a, _, _, addrB := twoNodes(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, hb)
+
+	det, cached, err := a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2})
+	if err != nil || cached {
+		t.Fatalf("Detect #1 = (cached=%v, err=%v), want fresh", cached, err)
+	}
+	if !det.Adversarial {
+		t.Errorf("forwarded verdict lost the adversarial flag")
+	}
+	// Second forward of the same key answers from B's cache.
+	if _, cached, err = a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2}); err != nil || !cached {
+		t.Fatalf("Detect #2 = (cached=%v, err=%v), want cached", cached, err)
+	}
+	if n := hb.detects.Load(); n != 2 {
+		t.Errorf("owner ran Detect %d times, want 2 (second serves from cache inside the handler)", n)
+	}
+
+	// A handler error comes back as ErrRemote, not a transport failure —
+	// the peer stays healthy.
+	hb.err = errors.New("fingerprint mismatch")
+	if _, _, err := a.Detect(context.Background(), addrB, "fp:k2", 16000, []byte{3}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("handler error surfaced as %v, want ErrRemote", err)
+	}
+	if got := a.HealthyPeers(); got != 1 {
+		t.Errorf("HealthyPeers after MsgErr = %d, want 1 (MsgErr must not trip the circuit)", got)
+	}
+}
+
+func TestNodeDownPeerCircuit(t *testing.T) {
+	// A dead peer address: reserve a port and close the listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	n, _ := startNode(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, func(c *Config) {
+		c.DialTimeout = 200 * time.Millisecond
+	}, dead)
+
+	if _, _, err := n.Get(context.Background(), dead, "fp:k"); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("Get(dead peer) = %v, want ErrPeerUnavailable", err)
+	}
+	// The circuit is now open: the next probe fails instantly without
+	// dialing.
+	start := time.Now()
+	_, _, err = n.Get(context.Background(), dead, "fp:k")
+	if !errors.Is(err, ErrPeerUnavailable) || !strings.Contains(err.Error(), "backoff") {
+		t.Fatalf("circuit probe = %v, want backoff ErrPeerUnavailable", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("circuit probe took %v, want instant failure", d)
+	}
+	if got := n.HealthyPeers(); got != 0 {
+		t.Errorf("HealthyPeers = %d, want 0", got)
+	}
+	if got := n.HedgeTarget(); got != "" {
+		t.Errorf("HedgeTarget over a down fleet = %q, want \"\"", got)
+	}
+	// After DownFor the peer is probed again (and fails again, but the
+	// circuit did reset).
+	time.Sleep(250 * time.Millisecond)
+	if got := n.HealthyPeers(); got != 1 {
+		t.Errorf("HealthyPeers after backoff expiry = %d, want 1", got)
+	}
+}
+
+func TestNodeBusyFanInLimit(t *testing.T) {
+	hb := &stubHandler{cache: map[string]*mvpears.Detection{}, block: make(chan struct{})}
+	// B accepts exactly one in-flight peer request.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addrB := lnB.Addr().String()
+	a, _ := startNode(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, nil, addrB)
+	b, err := New(Config{Self: addrB, Peers: []string{a.Self()}, Handler: hb, MaxInflight: 1, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("New(B): %v", err)
+	}
+	go func() { _ = b.Serve(context.Background(), lnB) }()
+	t.Cleanup(func() { _ = b.Close() })
+
+	first := make(chan error, 1)
+	go func() {
+		_, _, err := a.Detect(context.Background(), addrB, "fp:slow", 16000, []byte{1})
+		first <- err
+	}()
+	// Wait until the slow detect is actually holding the semaphore.
+	deadline := time.Now().Add(2 * time.Second)
+	for hb.detects.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if hb.detects.Load() == 0 {
+		t.Fatal("first Detect never reached the handler")
+	}
+	_, _, err = a.Detect(context.Background(), addrB, "fp:other", 16000, []byte{2})
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("over-limit Detect = %v, want busy ErrRemote", err)
+	}
+	close(hb.block)
+	if err := <-first; err != nil {
+		t.Fatalf("first Detect failed after release: %v", err)
+	}
+}
+
+func TestNodeOwnerAndHedgeTarget(t *testing.T) {
+	a, _, addrA, addrB := twoNodes(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, &stubHandler{cache: map[string]*mvpears.Detection{}})
+	// Ownership is exhaustive and consistent with the ring.
+	keys := syntheticKeys(500)
+	sawSelf, sawPeer := false, false
+	for _, k := range keys {
+		addr, self := a.Owner(k)
+		switch addr {
+		case addrA:
+			if !self {
+				t.Fatalf("Owner(%q) = self address with self=false", k)
+			}
+			sawSelf = true
+		case addrB:
+			if self {
+				t.Fatalf("Owner(%q) = peer address with self=true", k)
+			}
+			sawPeer = true
+		default:
+			t.Fatalf("Owner(%q) = unknown %q", k, addr)
+		}
+	}
+	if !sawSelf || !sawPeer {
+		t.Errorf("ownership not split across both replicas (self=%v peer=%v)", sawSelf, sawPeer)
+	}
+	if !a.HasPeers() {
+		t.Error("HasPeers = false with one peer configured")
+	}
+	if got := a.HedgeTarget(); got != addrB {
+		t.Errorf("HedgeTarget = %q, want %q", got, addrB)
+	}
+}

@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"mvpears"
+)
+
+// The peer wire protocol: length-prefixed binary frames over persistent
+// TCP connections, one request/response pair in flight per connection.
+//
+//	frame  := magic(2) version(1) type(1) length(4 LE) payload
+//
+// Payload encodings are hand-rolled (uvarint lengths, float64 bits,
+// length-prefixed strings) rather than JSON or gob: a remote cache hit
+// must cost a small fraction of a cascade miss, and on this path the
+// codec is the only CPU between the two sockets. Every decode path is
+// bounds-checked and fuzzed (FuzzWireCodec) — peers are trusted for
+// content but not for well-formedness.
+const (
+	wireMagic0  = 'M'
+	wireMagic1  = 'V'
+	wireVersion = 1
+
+	// frameHeaderLen is magic+version+type+length.
+	frameHeaderLen = 8
+
+	// MaxFramePayload bounds one frame (requests carry raw PCM uploads,
+	// which the HTTP layer already bounds far below this).
+	MaxFramePayload = 64 << 20
+)
+
+// MsgType identifies one frame's payload encoding.
+type MsgType byte
+
+const (
+	// MsgGet asks whether the receiver's verdict cache holds a key.
+	MsgGet MsgType = 1
+	// MsgDetect forwards a full detection: key, sample rate and raw PCM.
+	// The receiver answers from its cache or runs (or joins) a local
+	// detection — its singleflight is what collapses a fleet-wide
+	// duplicate storm to one detection.
+	MsgDetect MsgType = 2
+	// MsgVerdict is the positive response: a flag byte plus a Detection.
+	MsgVerdict MsgType = 3
+	// MsgMiss is the negative MsgGet response (key not cached).
+	MsgMiss MsgType = 4
+	// MsgErr carries a failure as text (receiver overloaded, fingerprint
+	// mismatch mid-reload, detection error). The sender degrades to local
+	// detection; a peer error never fails the user's request.
+	MsgErr MsgType = 5
+)
+
+// ErrBadFrame reports a structurally invalid frame or payload.
+var ErrBadFrame = errors.New("cluster: malformed frame")
+
+// AppendFrame appends one framed message to dst and returns it.
+func AppendFrame(dst []byte, t MsgType, payload []byte) []byte {
+	dst = append(dst, wireMagic0, wireMagic1, wireVersion, byte(t))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r into buf (grown as needed), returning
+// the type, the payload (aliasing buf) and the possibly-grown buffer.
+func ReadFrame(r io.Reader, buf []byte) (MsgType, []byte, []byte, error) {
+	if cap(buf) < frameHeaderLen {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, buf, err
+	}
+	t, size, err := parseFrameHeader(hdr)
+	if err != nil {
+		return 0, nil, buf, err
+	}
+	if cap(buf) < int(size) {
+		buf = make([]byte, 0, size)
+	}
+	payload := buf[:size]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("cluster: short frame payload: %w", err)
+	}
+	return t, payload, buf, nil
+}
+
+func parseFrameHeader(hdr []byte) (MsgType, uint32, error) {
+	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
+		return 0, 0, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
+	}
+	if hdr[2] != wireVersion {
+		return 0, 0, fmt.Errorf("%w: version %d (want %d)", ErrBadFrame, hdr[2], wireVersion)
+	}
+	t := MsgType(hdr[3])
+	if t < MsgGet || t > MsgErr {
+		return 0, 0, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:8])
+	if size > MaxFramePayload {
+		return 0, 0, fmt.Errorf("%w: payload of %d bytes exceeds %d", ErrBadFrame, size, MaxFramePayload)
+	}
+	return t, size, nil
+}
+
+// DecodeFrame parses one complete frame from b (for the fuzz target; the
+// connection paths use ReadFrame). Trailing bytes are an error.
+func DecodeFrame(b []byte) (MsgType, []byte, error) {
+	if len(b) < frameHeaderLen {
+		return 0, nil, fmt.Errorf("%w: %d bytes is shorter than a header", ErrBadFrame, len(b))
+	}
+	t, size, err := parseFrameHeader(b[:frameHeaderLen])
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := b[frameHeaderLen:]
+	if uint32(len(payload)) != size {
+		return 0, nil, fmt.Errorf("%w: declared %d payload bytes, have %d", ErrBadFrame, size, len(payload))
+	}
+	return t, payload, nil
+}
+
+// --- primitive append/parse helpers ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+type parser struct {
+	b []byte
+}
+
+func (p *parser) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrBadFrame)
+	}
+	p.b = p.b[n:]
+	return v, nil
+}
+
+// length reads a uvarint length of unit-sized elements, bounded by the
+// bytes actually remaining so a hostile length cannot force allocation.
+func (p *parser) length(unit int) (int, error) {
+	v, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	if v > uint64(len(p.b)/unit) {
+		return 0, fmt.Errorf("%w: declared %d elements, %d bytes remain", ErrBadFrame, v, len(p.b))
+	}
+	return int(v), nil
+}
+
+func (p *parser) str() (string, error) {
+	n, err := p.length(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(p.b[:n])
+	p.b = p.b[n:]
+	return s, nil
+}
+
+func (p *parser) bytes() ([]byte, error) {
+	n, err := p.length(1)
+	if err != nil {
+		return nil, err
+	}
+	b := p.b[:n]
+	p.b = p.b[n:]
+	return b, nil
+}
+
+func (p *parser) float() (float64, error) {
+	if len(p.b) < 8 {
+		return 0, fmt.Errorf("%w: truncated float64", ErrBadFrame)
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(p.b))
+	p.b = p.b[8:]
+	return f, nil
+}
+
+func (p *parser) byteVal() (byte, error) {
+	if len(p.b) == 0 {
+		return 0, fmt.Errorf("%w: truncated byte", ErrBadFrame)
+	}
+	v := p.b[0]
+	p.b = p.b[1:]
+	return v, nil
+}
+
+func (p *parser) done() error {
+	if len(p.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(p.b))
+	}
+	return nil
+}
+
+// --- message payloads ---
+
+// AppendGet encodes a MsgGet payload (the verdict-cache key).
+func AppendGet(dst []byte, key string) []byte { return appendString(dst, key) }
+
+// ParseGet decodes a MsgGet payload.
+func ParseGet(b []byte) (key string, err error) {
+	p := parser{b}
+	if key, err = p.str(); err != nil {
+		return "", err
+	}
+	return key, p.done()
+}
+
+// AppendDetect encodes a MsgDetect payload: key, original sample rate,
+// raw little-endian PCM16 payload.
+func AppendDetect(dst []byte, key string, sampleRate int, pcm []byte) []byte {
+	dst = appendString(dst, key)
+	dst = binary.AppendUvarint(dst, uint64(sampleRate))
+	return appendBytes(dst, pcm)
+}
+
+// ParseDetect decodes a MsgDetect payload. pcm aliases b.
+func ParseDetect(b []byte) (key string, sampleRate int, pcm []byte, err error) {
+	p := parser{b}
+	if key, err = p.str(); err != nil {
+		return "", 0, nil, err
+	}
+	rate, err := p.uvarint()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	if rate == 0 || rate > 1<<31 {
+		return "", 0, nil, fmt.Errorf("%w: sample rate %d", ErrBadFrame, rate)
+	}
+	if pcm, err = p.bytes(); err != nil {
+		return "", 0, nil, err
+	}
+	return key, int(rate), pcm, p.done()
+}
+
+// AppendErr encodes a MsgErr payload.
+func AppendErr(dst []byte, msg string) []byte { return appendString(dst, msg) }
+
+// ParseErr decodes a MsgErr payload.
+func ParseErr(b []byte) (string, error) {
+	p := parser{b}
+	msg, err := p.str()
+	if err != nil {
+		return "", err
+	}
+	return msg, p.done()
+}
+
+// Verdict flag bits in a MsgVerdict payload.
+const (
+	verdictCached      = 1 << 0 // served from the receiver's cache (or a shared flight)
+	verdictAdversarial = 1 << 1
+	verdictHasCascade  = 1 << 2
+	cascadeShort       = 1 << 0
+	cascadeSampled     = 1 << 1
+)
+
+// AppendVerdict encodes a MsgVerdict payload: the cached flag plus the
+// cacheable Detection fields (scores, transcriptions, timing, cascade
+// provenance). Explanations are NOT shipped — they are deterministic in
+// the transcriptions, so the requester derives them locally on demand,
+// keeping the hit path payload small.
+func AppendVerdict(dst []byte, det *mvpears.Detection, cached bool) []byte {
+	var flags byte
+	if cached {
+		flags |= verdictCached
+	}
+	if det.Adversarial {
+		flags |= verdictAdversarial
+	}
+	if det.Cascade != nil {
+		flags |= verdictHasCascade
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(det.Scores)))
+	for _, s := range det.Scores {
+		dst = appendFloat(dst, s)
+	}
+	// Engine names sort so the encoding is deterministic in the content.
+	engines := make([]string, 0, len(det.Transcriptions))
+	for e := range det.Transcriptions {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	dst = binary.AppendUvarint(dst, uint64(len(engines)))
+	for _, e := range engines {
+		dst = appendString(dst, e)
+		dst = appendString(dst, det.Transcriptions[e])
+	}
+	dst = binary.AppendUvarint(dst, uint64(det.Timing.Recognition))
+	dst = binary.AppendUvarint(dst, uint64(det.Timing.Similarity))
+	dst = binary.AppendUvarint(dst, uint64(det.Timing.Classify))
+	if c := det.Cascade; c != nil {
+		var cf byte
+		if c.ShortCircuit {
+			cf |= cascadeShort
+		}
+		if c.SampledFull {
+			cf |= cascadeSampled
+		}
+		dst = append(dst, cf)
+		dst = appendStrings(dst, c.EnginesRun)
+		dst = appendStrings(dst, c.EnginesSkipped)
+		dst = appendFloat(dst, c.Margin)
+		dst = appendFloat(dst, c.FirstScore)
+		dst = binary.AppendUvarint(dst, uint64(len(c.Imputed)))
+		for _, imp := range c.Imputed {
+			v := byte(0)
+			if imp {
+				v = 1
+			}
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func appendStrings(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = appendString(dst, s)
+	}
+	return dst
+}
+
+func (p *parser) strings() ([]string, error) {
+	n, err := p.length(1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = p.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParseVerdict decodes a MsgVerdict payload into a fresh Detection.
+func ParseVerdict(b []byte) (det *mvpears.Detection, cached bool, err error) {
+	p := parser{b}
+	flags, err := p.byteVal()
+	if err != nil {
+		return nil, false, err
+	}
+	det = &mvpears.Detection{Adversarial: flags&verdictAdversarial != 0}
+	cached = flags&verdictCached != 0
+	nScores, err := p.length(8)
+	if err != nil {
+		return nil, false, err
+	}
+	if nScores > 0 {
+		det.Scores = make([]float64, nScores)
+		for i := range det.Scores {
+			if det.Scores[i], err = p.float(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	nTr, err := p.length(2)
+	if err != nil {
+		return nil, false, err
+	}
+	det.Transcriptions = make(map[string]string, nTr)
+	for i := 0; i < nTr; i++ {
+		engine, err := p.str()
+		if err != nil {
+			return nil, false, err
+		}
+		text, err := p.str()
+		if err != nil {
+			return nil, false, err
+		}
+		det.Transcriptions[engine] = text
+	}
+	for _, dur := range []*time.Duration{
+		&det.Timing.Recognition, &det.Timing.Similarity, &det.Timing.Classify,
+	} {
+		v, err := p.uvarint()
+		if err != nil {
+			return nil, false, err
+		}
+		if v > math.MaxInt64 {
+			return nil, false, fmt.Errorf("%w: timing overflows", ErrBadFrame)
+		}
+		*dur = time.Duration(v)
+	}
+	if flags&verdictHasCascade != 0 {
+		c := &mvpears.CascadeDecision{}
+		cf, err := p.byteVal()
+		if err != nil {
+			return nil, false, err
+		}
+		c.ShortCircuit = cf&cascadeShort != 0
+		c.SampledFull = cf&cascadeSampled != 0
+		if c.EnginesRun, err = p.strings(); err != nil {
+			return nil, false, err
+		}
+		if c.EnginesSkipped, err = p.strings(); err != nil {
+			return nil, false, err
+		}
+		if c.Margin, err = p.float(); err != nil {
+			return nil, false, err
+		}
+		if c.FirstScore, err = p.float(); err != nil {
+			return nil, false, err
+		}
+		nImp, err := p.length(1)
+		if err != nil {
+			return nil, false, err
+		}
+		if nImp > 0 {
+			c.Imputed = make([]bool, nImp)
+			for i := range c.Imputed {
+				v, err := p.byteVal()
+				if err != nil {
+					return nil, false, err
+				}
+				c.Imputed[i] = v != 0
+			}
+		}
+		det.Cascade = c
+	}
+	return det, cached, p.done()
+}

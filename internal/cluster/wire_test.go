@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"mvpears"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello cluster")
+	frame := AppendFrame(nil, MsgGet, payload)
+	typ, got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if typ != MsgGet || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%d, %q), want (%d, %q)", typ, got, MsgGet, payload)
+	}
+	// And via the streaming reader, including buffer reuse across frames.
+	var buf []byte
+	r := bytes.NewReader(append(append([]byte(nil), frame...), AppendFrame(nil, MsgMiss, nil)...))
+	typ, got, buf, err = ReadFrame(r, buf)
+	if err != nil || typ != MsgGet || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadFrame #1 = (%d, %q, %v)", typ, got, err)
+	}
+	typ, got, _, err = ReadFrame(r, buf)
+	if err != nil || typ != MsgMiss || len(got) != 0 {
+		t.Fatalf("ReadFrame #2 = (%d, %q, %v)", typ, got, err)
+	}
+}
+
+func TestFrameMalformed(t *testing.T) {
+	good := AppendFrame(nil, MsgGet, []byte("k"))
+	cases := map[string][]byte{
+		"short header":      good[:frameHeaderLen-1],
+		"bad magic":         append([]byte{'X', 'V'}, good[2:]...),
+		"bad version":       append([]byte{'M', 'V', 99}, good[3:]...),
+		"bad type":          append([]byte{'M', 'V', wireVersion, 0}, good[4:]...),
+		"truncated":         good[:len(good)-1],
+		"trailing":          append(append([]byte(nil), good...), 0xFF),
+		"oversized":         {'M', 'V', wireVersion, byte(MsgGet), 0xFF, 0xFF, 0xFF, 0xFF},
+		"type above MsgErr": append([]byte{'M', 'V', wireVersion, byte(MsgErr) + 1}, good[4:]...),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestGetDetectErrRoundTrip(t *testing.T) {
+	key := "fp:abcd1234"
+	if got, err := ParseGet(AppendGet(nil, key)); err != nil || got != key {
+		t.Fatalf("ParseGet = (%q, %v)", got, err)
+	}
+	pcm := []byte{1, 2, 3, 4, 5, 6}
+	k, rate, p, err := ParseDetect(AppendDetect(nil, key, 16000, pcm))
+	if err != nil || k != key || rate != 16000 || !bytes.Equal(p, pcm) {
+		t.Fatalf("ParseDetect = (%q, %d, %v, %v)", k, rate, p, err)
+	}
+	if msg, err := ParseErr(AppendErr(nil, "busy")); err != nil || msg != "busy" {
+		t.Fatalf("ParseErr = (%q, %v)", msg, err)
+	}
+	// A zero sample rate is structurally invalid.
+	if _, _, _, err := ParseDetect(AppendDetect(nil, key, 0, pcm)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero sample rate: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		det    *mvpears.Detection
+		cached bool
+	}{
+		{
+			name: "full",
+			det: &mvpears.Detection{
+				Adversarial: true,
+				Scores:      []float64{0.12, 0.9, math.Inf(1), 0},
+				Transcriptions: map[string]string{
+					"target": "open the door",
+					"aux-a":  "open the floor",
+					"aux-b":  "",
+				},
+				Timing: mvpears.DetectionTiming{
+					Recognition: 123 * time.Millisecond,
+					Similarity:  45 * time.Microsecond,
+					Classify:    6 * time.Nanosecond,
+				},
+				Cascade: &mvpears.CascadeDecision{
+					ShortCircuit:   true,
+					SampledFull:    false,
+					EnginesRun:     []string{"aux-a"},
+					EnginesSkipped: []string{"aux-b"},
+					Margin:         0.8,
+					FirstScore:     0.93,
+					Imputed:        []bool{false, true},
+				},
+			},
+			cached: true,
+		},
+		{
+			name: "minimal",
+			det: &mvpears.Detection{
+				Transcriptions: map[string]string{},
+			},
+			cached: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := AppendVerdict(nil, tc.det, tc.cached)
+			got, cached, err := ParseVerdict(wire)
+			if err != nil {
+				t.Fatalf("ParseVerdict: %v", err)
+			}
+			if cached != tc.cached {
+				t.Errorf("cached = %v, want %v", cached, tc.cached)
+			}
+			if !reflect.DeepEqual(got, tc.det) {
+				t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tc.det)
+			}
+			// The encoding must be deterministic in the content (engine
+			// names sort), so two encodes of one verdict are identical.
+			if again := AppendVerdict(nil, tc.det, tc.cached); !bytes.Equal(wire, again) {
+				t.Errorf("encoding is not deterministic")
+			}
+		})
+	}
+}
+
+// TestVerdictTruncations: every prefix of a valid verdict payload must
+// decode to an error, never panic or a silently partial verdict.
+func TestVerdictTruncations(t *testing.T) {
+	det := &mvpears.Detection{
+		Adversarial:    true,
+		Scores:         []float64{0.5, 0.25},
+		Transcriptions: map[string]string{"target": "abc", "aux": "abd"},
+		Timing:         mvpears.DetectionTiming{Recognition: time.Second},
+		Cascade: &mvpears.CascadeDecision{
+			EnginesRun: []string{"aux"},
+			Margin:     0.8, FirstScore: 0.9, Imputed: []bool{true},
+		},
+	}
+	wire := AppendVerdict(nil, det, false)
+	for i := 0; i < len(wire); i++ {
+		if _, _, err := ParseVerdict(wire[:i]); err == nil {
+			t.Fatalf("ParseVerdict accepted a %d/%d-byte truncation", i, len(wire))
+		}
+	}
+}

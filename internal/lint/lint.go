@@ -109,12 +109,14 @@ func DefaultConfig() *Config {
 			"mvpears/internal/server",
 			"mvpears/internal/stream",
 			"mvpears/internal/vcache",
+			"mvpears/internal/cluster",
 		},
 		CtxPaths: []string{
 			"mvpears",
 			"mvpears/internal/server",
 			"mvpears/internal/stream",
 			"mvpears/internal/vcache",
+			"mvpears/internal/cluster",
 			"mvpears/internal/detector",
 			"mvpears/internal/asr",
 		},

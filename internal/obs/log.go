@@ -20,6 +20,8 @@ type RequestRecord struct {
 	Verdict   string
 	Cached    bool
 	Collapsed bool
+	// Remote marks a verdict answered by another replica (cluster tier).
+	Remote bool
 	// ShortCircuit marks a verdict the cascade scheduler answered without
 	// running the full engine ensemble.
 	ShortCircuit bool
@@ -110,6 +112,9 @@ func (l *RequestLogger) Log(rec RequestRecord) {
 		if rec.ShortCircuit {
 			attrs = append(attrs, slog.Bool("short_circuit", true))
 		}
+		if rec.Remote {
+			attrs = append(attrs, slog.Bool("remote", true))
+		}
 	}
 	if totals := rec.Trace.StageTotals(); len(totals) > 0 {
 		stageAttrs := make([]any, 0, len(totals))
@@ -117,6 +122,9 @@ func (l *RequestLogger) Log(rec RequestRecord) {
 			if d, ok := totals[stage]; ok {
 				stageAttrs = append(stageAttrs, slog.Float64(stage+"_ms", durMS(d)))
 			}
+		}
+		if d, ok := totals[StageCluster]; ok {
+			stageAttrs = append(stageAttrs, slog.Float64(StageCluster+"_ms", durMS(d)))
 		}
 		attrs = append(attrs, slog.Group("stages", stageAttrs...))
 	}

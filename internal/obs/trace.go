@@ -31,6 +31,11 @@ const (
 	StagePhonetic   = "phonetic"   // phonetic encoding of every transcription
 	StageSimilarity = "similarity" // pairwise similarity scoring
 	StageClassify   = "classify"   // classifier inference on the score vector
+
+	// StageCluster is the peer round trip of a request answered by its
+	// owning replica (remote cache hit or forwarded detection). It is not
+	// in Stages: it replaces the local pipeline rather than extending it.
+	StageCluster = "cluster"
 )
 
 // Stages lists every pipeline stage in execution order.
@@ -61,6 +66,7 @@ type Trace struct {
 	cached       bool
 	collapsed    bool
 	shortCircuit bool
+	remote       bool
 }
 
 // NewTrace starts a trace identified by id (usually the request ID). The
@@ -173,6 +179,27 @@ func (t *Trace) ShortCircuited() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.shortCircuit
+}
+
+// SetRemote marks the request as answered by another replica (a remote
+// cache hit or a detection forwarded to the key's owner).
+func (t *Trace) SetRemote() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remote = true
+	t.mu.Unlock()
+}
+
+// Remote reports whether SetRemote was applied.
+func (t *Trace) Remote() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.remote
 }
 
 // Annotations returns the verdict and the cached/collapsed flags.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -25,15 +26,24 @@ type InfoJSON struct {
 	GOMAXPROCS       int      `json:"gomaxprocs"`
 	UptimeSeconds    float64  `json:"uptime_seconds"`
 	Draining         bool     `json:"draining"`
+	// Reloads counts completed hot model reloads; ReloadEnabled reports
+	// whether Config.Reload is wired.
+	Reloads       uint64 `json:"reloads"`
+	ReloadEnabled bool   `json:"reload_enabled"`
+	// ClusterSelf is this replica's advertised peer address ("" when
+	// clustering is off); ClusterPeers counts the currently healthy peers.
+	ClusterSelf  string `json:"cluster_self,omitempty"`
+	ClusterPeers int    `json:"cluster_peers,omitempty"`
 }
 
 // handleInfoz reports the build/model identity of the running daemon.
 func (s *Server) handleInfoz(w http.ResponseWriter, r *http.Request) {
+	st := s.state()
 	info := InfoJSON{
 		GoVersion:        runtime.Version(),
-		ModelFingerprint: s.modelFP,
-		SampleRate:       s.cfg.Backend.SampleRate(),
-		Auxiliaries:      s.cfg.Backend.AuxiliaryNames(),
+		ModelFingerprint: st.modelFP,
+		SampleRate:       st.backend.SampleRate(),
+		Auxiliaries:      st.auxNames,
 		Workers:          s.cfg.Workers,
 		QueueDepth:       s.cfg.QueueDepth,
 		CacheEnabled:     s.vc != nil,
@@ -41,6 +51,12 @@ func (s *Server) handleInfoz(w http.ResponseWriter, r *http.Request) {
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		UptimeSeconds:    time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
+		Reloads:          s.reloadCount.Load(),
+		ReloadEnabled:    s.cfg.Reload != nil,
+	}
+	if s.node != nil {
+		info.ClusterSelf = s.node.Self()
+		info.ClusterPeers = s.node.HealthyPeers()
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		for _, kv := range bi.Settings {
@@ -55,14 +71,47 @@ func (s *Server) handleInfoz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// ReloadJSON is the body of a successful POST /reloadz.
+type ReloadJSON struct {
+	Reloaded         bool   `json:"reloaded"`
+	ModelFingerprint string `json:"model_fingerprint,omitempty"`
+	Reloads          uint64 `json:"reloads"`
+}
+
+// handleReloadz triggers a hot model reload (POST only). 404 when reload
+// is not configured, 409 when one is already running, 500 when the
+// replacement failed to load (the old model keeps serving).
+func (s *Server) handleReloadz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "use POST to trigger a reload")
+		return
+	}
+	switch err := s.Reload(); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, ReloadJSON{
+			Reloaded:         true,
+			ModelFingerprint: s.state().modelFP,
+			Reloads:          s.reloadCount.Load(),
+		})
+	case errors.Is(err, ErrReloadNotConfigured):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrReloadInProgress):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
 // AdminHandler builds the operator-only endpoint set, meant to be served
 // on a separate listener (mvpearsd -admin-addr) so profiling and
 // introspection never share the public serving port:
 //
-//	GET /debug/pprof/...  net/http/pprof profiles
-//	GET /infoz            build + model + runtime identity (JSON)
-//	GET /metrics          the same Prometheus exposition as the serving port
-//	GET /healthz          liveness
+//	GET  /debug/pprof/...  net/http/pprof profiles
+//	GET  /infoz            build + model + runtime identity (JSON)
+//	GET  /metrics          the same Prometheus exposition as the serving port
+//	GET  /healthz          liveness
+//	POST /reloadz          zero-downtime hot model reload
 func (s *Server) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -73,5 +122,6 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/infoz", s.handleInfoz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/reloadz", s.handleReloadz)
 	return mux
 }

@@ -34,10 +34,14 @@ type DetectionJSON struct {
 	Transcriptions map[string]string `json:"transcriptions"`
 	Timing         TimingJSON        `json:"timing"`
 	// Cached marks a verdict served without running a detection for this
-	// request: a verdict-cache hit, or a result shared with a concurrent
-	// identical request via singleflight. Timing then describes the
-	// original detection, not this request.
+	// request: a verdict-cache hit (local or on the owning replica), or a
+	// result shared with a concurrent identical request via singleflight.
+	// Timing then describes the original detection, not this request.
 	Cached bool `json:"cached,omitempty"`
+	// Remote marks a verdict answered by another replica of the cluster
+	// tier (a remote cache hit, a detection forwarded to the key's owner,
+	// or a hedged dispatch that won the race).
+	Remote bool `json:"remote,omitempty"`
 	// Cascade reports how the cascade scheduler handled the detection —
 	// which engines ran, which were skipped, and why. Absent when the
 	// cascade is not enabled.

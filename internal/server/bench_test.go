@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,6 +17,7 @@ import (
 
 	"mvpears"
 	"mvpears/internal/audio"
+	"mvpears/internal/vcache"
 )
 
 // Serving-path benchmarks over a real quick-scale system (tracked in
@@ -241,6 +244,128 @@ func BenchmarkStreamWindow(b *testing.B) {
 	hopInterval := time.Duration(hop) * time.Second / time.Duration(rate)
 	if median >= hopInterval {
 		b.Fatalf("median window evaluation %v is not real-time (hop interval %v)", median, hopInterval)
+	}
+}
+
+// benchClusterBodies generates count WAV bodies (seeded from seedBase)
+// whose verdict keys, under fp, land on (wantSelf) or off (!wantSelf)
+// replica s in the ring.
+func benchClusterBodies(b *testing.B, s *Server, fp string, wantSelf bool, count, seedBase int) [][]byte {
+	b.Helper()
+	bodies := make([][]byte, 0, count)
+	for seed := seedBase; len(bodies) < count; seed++ {
+		body := benchWAV(b, 8000, 2000, seed)
+		pcm, err := audio.ReadWAVPCM(bytes.NewReader(body), 1<<20, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := vcache.KeyPCM16(fp, pcm.SampleRate, pcm.Data)
+		if _, self := s.node.Owner(key); self == wantSelf {
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies
+}
+
+// scrapeCounter reads one counter (with its full label key) off the
+// handler's /metrics exposition.
+func scrapeCounter(b *testing.B, h http.Handler, name string) int {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.Atoi(rest)
+			if err != nil {
+				b.Fatalf("counter %s = %q", name, rest)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// BenchmarkClusterRemoteHit measures the distributed cache-hit path over
+// two clustered replicas sharing one quick-scale system: every timed
+// request misses the serving replica's local cache and is answered by
+// the owning peer's cache over the real loopback peer protocol — wire
+// encode, TCP round trip, verdict decode, local cache fill. Tracked in
+// BENCH_serve.json; the acceptance bound is remote hit <= 1/3 of the
+// full cascade-miss pipeline.
+func BenchmarkClusterRemoteHit(b *testing.B) {
+	sys := benchSystem(b)
+	// Every body is a distinct key (a repeat would be a LOCAL hit on the
+	// requester), so both verdict caches must hold b.N entries at once.
+	// The entry budget splits evenly across the cache's 16 shards while
+	// keys hash unevenly, so a tight bound overflows hot shards and the
+	// resulting evictions turn timed requests into real detections; 4x
+	// headroom keeps every shard under budget.
+	sA, sB, _, _ := clusterPair(b, sys, sys, func(cfg *Config) {
+		cfg.CacheEntries = 4*b.N + 1024
+		cfg.CacheBytes = 256 << 20
+	})
+	hB := sB.Handler()
+	fp := sA.ModelFingerprint()
+	// Bodies owned by A (from B's view), primed straight into A's cache:
+	// the remote-HIT path under measurement never runs a detection, so
+	// setup doesn't either.
+	det := benignDetection()
+	bodies := benchClusterBodies(b, sB, fp, false, b.N, 3_000_000)
+	for _, body := range bodies {
+		pcm, err := audio.ReadWAVPCM(bytes.NewReader(body), 1<<20, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := vcache.KeyPCM16(fp, pcm.SampleRate, pcm.Data)
+		sA.vc.Put(key, det, detectionSize(key, det))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := serveDetect(hB, bodies[i]); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.StopTimer()
+	if hits := scrapeCounter(b, hB, `mvpears_cluster_forwards_total{outcome="hit"}`); hits != b.N {
+		b.Fatalf("%d of %d requests were remote hits", hits, b.N)
+	}
+}
+
+// BenchmarkClusterHedgedMiss measures the hedged-dispatch machinery in
+// isolation: the serving replica owns the key, its local detection is
+// stalled, and a near-immediate hedge ships the work to the idle peer —
+// so ns/op is the full cost of arming the hedge, the peer wire round
+// trip, a (stubbed, instant) remote detection, and cancelling the local
+// leg. Stub backends keep real inference out of the number. Note the
+// floor: on an idle single-core process the runtime wakes a parked
+// timer with ~1ms slack, so ns/op reads as roughly (timer wake +
+// wire round trip), not the 20µs configured delay — production hedges
+// fire at >= the 20ms cost floor, where the slack is noise.
+func BenchmarkClusterHedgedMiss(b *testing.B) {
+	stall := instantStub()
+	stall.detect = func(ctx context.Context, _ *mvpears.Clip) (*mvpears.Detection, error) {
+		<-ctx.Done() // lose the race; unblocked by the hedge win's cancel
+		return nil, ctx.Err()
+	}
+	fast := instantStub()
+	sA, sB, _, _ := clusterPair(b, &fpStub{fast, "model-bench"}, &fpStub{stall, "model-bench"},
+		func(cfg *Config) { cfg.Cluster.HedgeAfter = 20 * time.Microsecond })
+	_ = sA
+	hB := sB.Handler()
+	// Bodies owned by B itself: locally-owned misses are the hedged path.
+	bodies := benchClusterBodies(b, sB, "model-bench", true, b.N, 4_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := serveDetect(hB, bodies[i]); code != http.StatusOK {
+			b.Fatalf("status %d", code)
+		}
+	}
+	b.StopTimer()
+	if wins := scrapeCounter(b, hB, "mvpears_cluster_hedge_wins_total"); wins != b.N {
+		b.Fatalf("%d of %d requests were hedge wins", wins, b.N)
 	}
 }
 

@@ -80,8 +80,8 @@ func (s *Server) readPCM(r io.Reader, scratch *[]byte) (audio.PCM16, error) {
 // finishClip converts structurally decoded PCM into the backend's input:
 // float samples at the backend's rate. This is the expensive half of
 // decoding that cache hits skip entirely.
-func (s *Server) finishClip(pcm audio.PCM16) (*mvpears.Clip, error) {
-	clip, _, err := s.finishClipInto(pcm, nil)
+func (s *Server) finishClip(st *backendState, pcm audio.PCM16) (*mvpears.Clip, error) {
+	clip, _, err := s.finishClipInto(st, pcm, nil)
 	return clip, err
 }
 
@@ -96,9 +96,9 @@ var samplePool = sync.Pool{
 // finishClipInto is finishClip decoding into buf (may be nil). It reports
 // whether the returned clip's samples alias buf — false when the clip was
 // resampled, in which case buf is already dead by return time.
-func (s *Server) finishClipInto(pcm audio.PCM16, buf []float64) (*mvpears.Clip, bool, error) {
+func (s *Server) finishClipInto(st *backendState, pcm audio.PCM16, buf []float64) (*mvpears.Clip, bool, error) {
 	clip := pcm.DecodeInto(buf)
-	if rate := s.cfg.Backend.SampleRate(); clip.SampleRate != rate {
+	if rate := st.backend.SampleRate(); clip.SampleRate != rate {
 		var err error
 		clip, err = clip.Resample(rate)
 		if err != nil {
@@ -113,11 +113,11 @@ func (s *Server) finishClipInto(pcm audio.PCM16, buf []float64) (*mvpears.Clip, 
 // is off). The key covers the model fingerprint plus the original
 // (pre-resample) rate and canonical PCM content, which deterministically
 // decide the pipeline input.
-func (s *Server) cacheKey(pcm audio.PCM16) string {
+func (s *Server) cacheKey(st *backendState, pcm audio.PCM16) string {
 	if s.vc == nil {
 		return ""
 	}
-	return vcache.KeyPCM16(s.modelFP, pcm.SampleRate, pcm.Data)
+	return vcache.KeyPCM16(st.modelFP, pcm.SampleRate, pcm.Data)
 }
 
 // detectionSize approximates one cached verdict's resident bytes for the
@@ -174,12 +174,23 @@ func (s *Server) countVerdict(det *mvpears.Detection) string {
 
 // observe records a freshly computed verdict: the verdict count, the
 // per-stage timings, and the per-auxiliary similarity-score distributions.
-// Cached and flight-shared verdicts count only the verdict — their stage
-// cost was paid (and observed) once, by the request that actually ran the
-// detection, and re-observing their scores would weight the similarity
-// distributions by request popularity instead of by content.
-func (s *Server) observe(det *mvpears.Detection) string {
+// Cached, flight-shared and remotely-answered verdicts count only the
+// verdict — their stage cost was paid (and observed) once, by the replica
+// and request that actually ran the detection, and re-observing their
+// scores would weight the similarity distributions by request popularity
+// instead of by content.
+func (s *Server) observe(st *backendState, det *mvpears.Detection) string {
 	verdict := s.countVerdict(det)
+	s.observeDetection(st, det)
+	return verdict
+}
+
+// observeDetection records one fresh detection's stage timings, cascade
+// behavior and similarity-score distributions — without counting a served
+// verdict. The cluster owner path uses it directly: a detection run on
+// behalf of a peer is observed where it ran, but the verdict is counted
+// where it is served.
+func (s *Server) observeDetection(st *backendState, det *mvpears.Detection) {
 	s.stageSeconds.With("recognition").Observe(det.Timing.Recognition.Seconds())
 	s.stageSeconds.With("similarity").Observe(det.Timing.Similarity.Seconds())
 	s.stageSeconds.With("classify").Observe(det.Timing.Classify.Seconds())
@@ -193,7 +204,7 @@ func (s *Server) observe(det *mvpears.Detection) string {
 			s.cascadeSampledFull.Inc()
 		}
 	}
-	aux := s.auxNames
+	aux := st.auxNames
 	min, observed := 1.0, 0
 	for i, score := range det.Scores {
 		// Imputed dimensions hold benign fill means, not measurements —
@@ -213,7 +224,6 @@ func (s *Server) observe(det *mvpears.Detection) string {
 	if observed > 0 {
 		s.minSimilarity.Observe(min)
 	}
-	return verdict
 }
 
 // observeTrace feeds the request's pipeline spans into the stage and
@@ -222,12 +232,12 @@ func (s *Server) observe(det *mvpears.Detection) string {
 // latency, not just boot-time calibration. Called once per request that
 // ran its own detection work (so cache hits keep costing zero
 // observations).
-func (s *Server) observeTrace(t *obs.Trace) {
+func (s *Server) observeTrace(st *backendState, t *obs.Trace) {
 	for _, sp := range t.Spans() {
 		if sp.Engine != "" {
 			s.engineSeconds.With(sp.Engine).Observe(sp.Dur.Seconds())
-			if s.costObserver != nil {
-				s.costObserver.ObserveEngineCost(sp.Engine, sp.Dur)
+			if st.costObserver != nil {
+				st.costObserver.ObserveEngineCost(sp.Engine, sp.Dur)
 			}
 			continue
 		}
@@ -250,11 +260,11 @@ func minScore(scores []float64, aux []string) (string, float64) {
 }
 
 // audit appends one adversarial verdict to the audit sink (when enabled).
-func (s *Server) audit(t *obs.Trace, route, file string, det *mvpears.Detection, verdict string, cached bool) {
+func (s *Server) audit(st *backendState, t *obs.Trace, route, file string, det *mvpears.Detection, verdict string, cached bool) {
 	if s.cfg.Audit == nil || !det.Adversarial {
 		return
 	}
-	aux := s.auxNames
+	aux := st.auxNames
 	minEngine, min := minScore(det.Scores, aux)
 	err := s.cfg.Audit.Write(obs.AuditEntry{
 		Time:           time.Now().UTC(),
@@ -276,53 +286,93 @@ func (s *Server) audit(t *obs.Trace, route, file string, det *mvpears.Detection,
 // explanationFor resolves a verdict explanation for the response: the one
 // computed with the detection when present, otherwise derived after the
 // fact (cache hits, shared flights) via the backend's Explainer.
-func (s *Server) explanationFor(det *mvpears.Detection) *ExplanationJSON {
+func (s *Server) explanationFor(st *backendState, det *mvpears.Detection) *ExplanationJSON {
 	exp := det.Explanation
 	if exp == nil {
-		if ex, ok := s.cfg.Backend.(Explainer); ok {
+		if ex, ok := st.backend.(Explainer); ok {
 			exp = ex.Explain(det)
 		}
 	}
 	return NewExplanationJSON(exp)
 }
 
-// serveDetection writes one 200 verdict response. fresh marks a verdict
-// this request computed itself (observed with stage timings and span
-// histograms); a cached or flight-shared result is marked Cached on the
-// wire and annotated on the trace for the access log.
-func (s *Server) serveDetection(w http.ResponseWriter, r *http.Request, det *mvpears.Detection, fresh bool) {
+// detectHow classifies how one /v1/detect request got its verdict.
+type detectHow int
+
+const (
+	// howFresh: this request ran the detection on this replica.
+	howFresh detectHow = iota
+	// howCached: answered from the local verdict cache.
+	howCached
+	// howShared: joined a concurrent local request's in-flight detection.
+	howShared
+	// howRemoteHit: the key's owning replica answered from its cache.
+	howRemoteHit
+	// howRemoteFresh: the detection ran on another replica (forwarded to
+	// the owner, or a hedged dispatch won the race).
+	howRemoteFresh
+)
+
+// fresh reports whether this replica ran a detection for this request
+// (the only case that observes stage timings and engine spans).
+func (h detectHow) fresh() bool { return h == howFresh }
+
+// cachedOnWire is the response's Cached flag: the verdict was served
+// without running a fresh detection anywhere for this request.
+func (h detectHow) cachedOnWire() bool {
+	return h == howCached || h == howShared || h == howRemoteHit
+}
+
+// remote reports whether another replica answered.
+func (h detectHow) remote() bool { return h == howRemoteHit || h == howRemoteFresh }
+
+// serveDetection writes one 200 verdict response. how drives the metric
+// and annotation split: a fresh verdict is observed with stage timings
+// and span histograms, everything else only counts its verdict (the cost
+// was observed by whichever request — and replica — ran the detection).
+func (s *Server) serveDetection(st *backendState, w http.ResponseWriter, r *http.Request, det *mvpears.Detection, how detectHow) {
 	trace := obs.TraceFrom(r.Context())
 	var verdict string
-	if fresh {
-		verdict = s.observe(det)
-		s.observeTrace(trace)
+	if how.fresh() {
+		verdict = s.observe(st, det)
+		s.observeTrace(st, trace)
 		if c := det.Cascade; c != nil && c.ShortCircuit {
 			trace.SetShortCircuit()
 		}
 	} else {
 		verdict = s.countVerdict(det)
 	}
+	if how.remote() {
+		trace.SetRemote()
+	}
+	if how == howRemoteHit {
+		trace.SetCached()
+	}
 	trace.SetVerdict(verdict)
-	s.audit(trace, "detect", "", det, verdict, !fresh)
-	out := NewDetectionJSON(det, s.auxNames)
-	out.Cached = !fresh
+	s.audit(st, trace, "detect", "", det, verdict, !how.fresh())
+	out := NewDetectionJSON(det, st.auxNames)
+	out.Cached = how.cachedOnWire()
+	out.Remote = how.remote()
 	if explainRequested(r) {
-		out.Explanation = s.explanationFor(det)
+		out.Explanation = s.explanationFor(st, det)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // detect runs one detection under the request deadline, collapsing
 // concurrent duplicates onto a single worker-pool job when the verdict
-// cache is enabled (the leader also populates the cache). fresh reports
-// whether this call's own detection ran, as opposed to sharing a
-// concurrent request's flight.
-func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip, release func()) (det *mvpears.Detection, fresh bool, err error) {
+// cache is enabled (the leader also populates the cache). With the
+// cluster tier enabled and fwd non-nil, the flight leader first tries
+// the key's owning replica (clusterFetch) and hedges a slow self-owned
+// detection to an idle peer (hedgedRun) — so the whole fleet's duplicate
+// storm for one key collapses onto a single detection at the owner.
+func (s *Server) detect(st *backendState, rctx context.Context, key string, clip *mvpears.Clip, release func(), fwd *forwardPCM) (det *mvpears.Detection, how detectHow, err error) {
 	ctx, cancel := context.WithTimeout(rctx, s.cfg.RequestTimeout)
 	defer cancel()
 	run := func(ctx context.Context) (*mvpears.Detection, error) {
 		var det *mvpears.Detection
 		var detErr error
+		runStart := time.Now()
 		if err := s.pool.Do(ctx, func(jctx context.Context) {
 			// The job owns the clip: a caller that times out after
 			// enqueueing has already returned by the time the worker
@@ -330,28 +380,50 @@ func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip, re
 			if release != nil {
 				defer release()
 			}
-			det, detErr = s.cfg.Backend.DetectCtx(jctx, clip)
+			det, detErr = st.backend.DetectCtx(jctx, clip)
 		}); err != nil {
 			if release != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrPoolClosed)) {
 				release() // never enqueued: the clip was never shared
 			}
 			return nil, err
 		}
+		if detErr == nil {
+			// Feed the hedge budget: expected detection cost tracks what
+			// detections actually cost here, in production.
+			s.observeDetectCost(time.Since(runStart))
+		}
 		return det, detErr
 	}
 	if s.vc == nil {
 		det, err := run(ctx)
-		return det, err == nil, err
+		return det, howFresh, err
 	}
+	leaderHow := howFresh
 	det, shared, err := s.flight.Do(ctx, key, func(fctx context.Context) (*mvpears.Detection, error) {
 		// The flight's context is deliberately detached from any single
 		// caller's cancellation; re-attach this request's observability
 		// values (trace, explain flag) so the leader's detection records
 		// spans — and an explanation — for the request that led it.
 		fctx = obs.Transfer(fctx, rctx)
-		det, err := run(fctx)
+		if fwd != nil {
+			if rdet, rhow, ok := s.clusterFetch(fctx, key, fwd); ok {
+				leaderHow = rhow
+				if release != nil {
+					// The clip was never enqueued: only this goroutine
+					// ever saw the samples.
+					release()
+				}
+				return rdet, nil
+			}
+		}
+		det, remote, err := s.hedgedRun(fctx, st, key, fwd, run)
 		if err != nil {
 			return nil, err
+		}
+		if remote {
+			// The hedged peer answered first. The clip's release stays
+			// with the (cancelled) local job per the ownership rule above.
+			leaderHow = howRemoteFresh
 		}
 		s.vc.Put(key, det, detectionSize(key, det))
 		return det, nil
@@ -364,8 +436,9 @@ func (s *Server) detect(rctx context.Context, key string, clip *mvpears.Clip, re
 			// samples, so they can be recycled unconditionally.
 			release()
 		}
+		return det, howShared, err
 	}
-	return det, err == nil && !shared, err
+	return det, leaderHow, err
 }
 
 // writeDetectError maps a detection failure to its HTTP response. A panic
@@ -403,6 +476,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a WAV body")
 		return
 	}
+	st := s.state()
 	trace := obs.TraceFrom(r.Context())
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024) // payload + header slack
 	scratch := getScratch()
@@ -413,16 +487,19 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
 		return
 	}
-	key := s.cacheKey(pcm)
+	key := s.cacheKey(st, pcm)
 	if key != "" {
 		if det, ok := s.vc.Get(key); ok {
 			trace.SetCached()
-			s.serveDetection(w, r, det, false)
+			s.serveDetection(st, w, r, det, howCached)
 			return
 		}
 	}
+	// Snapshot the PCM for the cluster tier before the pooled scratch can
+	// be recycled: a forward or hedge may outlive this handler's buffers.
+	fwd := s.newForwardPCM(key, pcm)
 	samples := samplePool.Get().(*[]float64)
-	clip, pooled, err := s.finishClipInto(pcm, (*samples)[:0])
+	clip, pooled, err := s.finishClipInto(st, pcm, (*samples)[:0])
 	if err != nil {
 		samplePool.Put(samples)
 		writeError(w, decodeStatus(err), "decoding WAV: %v", err)
@@ -439,12 +516,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if explainRequested(r) {
 		rctx = obs.WithExplain(rctx)
 	}
-	det, fresh, err := s.detect(rctx, key, clip, release)
+	det, how, err := s.detect(st, rctx, key, clip, release, fwd)
 	if err != nil {
 		s.writeDetectError(w, err)
 		return
 	}
-	s.serveDetection(w, r, det, fresh)
+	s.serveDetection(st, w, r, det, how)
 }
 
 // handleDetectBatch serves POST /v1/detect/batch: a multipart/form-data
@@ -460,6 +537,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with multipart WAV parts")
 		return
 	}
+	st := s.state()
 	trace := obs.TraceFrom(r.Context())
 	explain := explainRequested(r)
 	if explain {
@@ -524,7 +602,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	keys := make([]string, len(pcms))
 	var missIdx []int
 	for i, pcm := range pcms {
-		keys[i] = s.cacheKey(pcm)
+		keys[i] = s.cacheKey(st, pcm)
 		if keys[i] != "" {
 			if det, ok := s.vc.Get(keys[i]); ok {
 				dets[i] = det
@@ -537,7 +615,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	if len(missIdx) > 0 {
 		clips := make([]*mvpears.Clip, len(missIdx))
 		for j, i := range missIdx {
-			clip, err := s.finishClip(pcms[i])
+			clip, err := s.finishClip(st, pcms[i])
 			if err != nil {
 				writeError(w, decodeStatus(err), "decoding %q: %v", names[i], err)
 				return
@@ -550,7 +628,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 			detErr   error
 		)
 		if !s.submit(w, r, func(ctx context.Context) {
-			missDets, detErr = s.cfg.Backend.DetectBatchCtx(ctx, clips)
+			missDets, detErr = st.backend.DetectBatchCtx(ctx, clips)
 		}) {
 			return
 		}
@@ -567,28 +645,28 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if len(missIdx) > 0 {
-		s.observeTrace(trace)
+		s.observeTrace(st, trace)
 	} else {
 		trace.SetCached() // every part answered from the verdict cache
 	}
 	resp := BatchResponseJSON{Results: make([]FileDetectionJSON, len(dets))}
-	aux := s.auxNames
+	aux := st.auxNames
 	anyAdversarial := false
 	for i, det := range dets {
 		var verdict string
 		if cached[i] {
 			verdict = s.countVerdict(det)
 		} else {
-			verdict = s.observe(det)
+			verdict = s.observe(st, det)
 		}
 		if det.Adversarial {
 			anyAdversarial = true
 		}
-		s.audit(trace, "detect_batch", names[i], det, verdict, cached[i])
+		s.audit(st, trace, "detect_batch", names[i], det, verdict, cached[i])
 		fd := FileDetectionJSON{File: names[i], DetectionJSON: NewDetectionJSON(det, aux)}
 		fd.Cached = cached[i]
 		if explain {
-			fd.Explanation = s.explanationFor(det)
+			fd.Explanation = s.explanationFor(st, det)
 		}
 		resp.Results[i] = fd
 	}
@@ -619,12 +697,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz reports readiness: 200 while serving, 503 once draining.
+// handleReadyz reports readiness: 200 while serving, 503 once draining
+// or while a hot model reload is loading its replacement artifact (the
+// window a fleet load balancer should steer around; requests that do
+// arrive still serve on the old model).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.reloadInProgress.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "reloading")
 		return
 	}
 	fmt.Fprintln(w, "ready")

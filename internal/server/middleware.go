@@ -84,6 +84,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 					Verdict:      verdict,
 					Cached:       cached,
 					Collapsed:    collapsed,
+					Remote:       trace.Remote(),
 					ShortCircuit: trace.ShortCircuited(),
 					Trace:        trace,
 				})

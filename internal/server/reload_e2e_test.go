@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvpears/internal/audio"
+	"mvpears/internal/vcache"
+)
+
+// TestHotReloadSwapsModelWithZeroFailures is the zero-downtime acceptance
+// check: requests hammer the server while the model is hot-reloaded (with
+// a deliberately slow artifact load); every single request must answer
+// 200, and the fingerprint change must invalidate the old model's cached
+// verdicts without any invalidation protocol.
+func TestHotReloadSwapsModelWithZeroFailures(t *testing.T) {
+	stubA, callsA := countingStub()
+	stubB, callsB := countingStub()
+	reload := func() (Backend, error) {
+		time.Sleep(50 * time.Millisecond) // a real artifact load is slow
+		return &fpStub{stubB, "model-b"}, nil
+	}
+	s, ts := newTestServer(t, Config{
+		Backend: &fpStub{stubA, "model-a"},
+		Reload:  reload,
+		Workers: 4,
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	body := wavBody(t, 8000, 256)
+	// primed is cached under model-a ONLY — the load loop never posts it,
+	// so after the swap it proves the fingerprint-keyed invalidation.
+	primed := wavBody(t, 8000, 300)
+
+	// Prime the old model's cache.
+	if det := decodeBody[DetectionJSON](t, postWAV(t, ts.URL, body)); det.Cached {
+		t.Fatal("first request served from an empty cache")
+	}
+	if det := decodeBody[DetectionJSON](t, postWAV(t, ts.URL, primed)); det.Cached {
+		t.Fatal("priming request served from an empty cache")
+	}
+	if det := decodeBody[DetectionJSON](t, postWAV(t, ts.URL, primed)); !det.Cached {
+		t.Fatal("old model's cache is not serving hits")
+	}
+
+	// Continuous load across the swap.
+	stop := make(chan struct{})
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(ts.URL+"/v1/detect", "audio/wav", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	// /readyz flips to 503 while the replacement artifact loads, steering
+	// load balancers away — but the in-flight load above keeps succeeding.
+	reloadDone := make(chan error, 1)
+	go func() { reloadDone <- s.Reload() }()
+	waitFor(t, func() bool { return s.reloadInProgress.Load() })
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.reloadInProgress.Load() && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during reload = %d, want 503", resp.StatusCode)
+	}
+	if err := <-reloadDone; err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d requests failed across the hot reload, want 0", n)
+	}
+
+	if got := s.ModelFingerprint(); got != "model-b" {
+		t.Fatalf("post-reload fingerprint %q, want model-b", got)
+	}
+	if got := s.Reloads(); got != 1 {
+		t.Fatalf("reload count %d, want 1", got)
+	}
+	// Bytes that are cached under the OLD model must be a cache MISS under
+	// the new one (new fingerprint, new key) and run on the new backend.
+	before := callsB.Load()
+	det := decodeBody[DetectionJSON](t, postWAV(t, ts.URL, primed))
+	if det.Cached {
+		t.Fatal("new model served the old model's cached verdict")
+	}
+	if callsB.Load() != before+1 {
+		t.Fatal("post-reload detection did not run on the new backend")
+	}
+	if callsA.Load() == 0 {
+		t.Fatal("old backend never ran (test wiring broken)")
+	}
+	// Readiness is restored.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReloadFailureKeepsOldModel(t *testing.T) {
+	stub, calls := countingStub()
+	s, ts := newTestServer(t, Config{
+		Backend: &fpStub{stub, "model-a"},
+		Reload:  func() (Backend, error) { return nil, errors.New("artifact corrupt") },
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a corrupt artifact reported success")
+	}
+	if got := s.ModelFingerprint(); got != "model-a" {
+		t.Fatalf("failed reload changed the fingerprint to %q", got)
+	}
+	if resp := postWAV(t, ts.URL, wavBody(t, 8000, 256)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("old model stopped serving after a failed reload: %d", resp.StatusCode)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("backend ran %d detections, want 1", calls.Load())
+	}
+	if !bytes.Contains([]byte(metricsBody(t, ts.URL)), []byte("mvpears_model_reload_failures_total 1")) {
+		t.Error("metrics missing the reload failure count")
+	}
+}
+
+func TestReloadNotConfigured(t *testing.T) {
+	s, _ := newTestServer(t, Config{Backend: instantStub()})
+	if err := s.Reload(); !errors.Is(err, ErrReloadNotConfigured) {
+		t.Fatalf("Reload without Config.Reload = %v, want ErrReloadNotConfigured", err)
+	}
+}
+
+// TestReloadzEndpoint drives the admin surface: POST triggers a reload,
+// GET is rejected, and an unconfigured server answers 404.
+func TestReloadzEndpoint(t *testing.T) {
+	stubB, _ := countingStub()
+	s, err := New(Config{
+		Backend: &fpStub{instantStub(), "model-a"},
+		Reload:  func() (Backend, error) { return &fpStub{stubB, "model-b"}, nil },
+		Logger:  log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(s.AdminHandler())
+	t.Cleanup(admin.Close)
+
+	resp, err := http.Get(admin.URL + "/reloadz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reloadz = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(admin.URL+"/reloadz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeBody[ReloadJSON](t, resp)
+	if resp.StatusCode != http.StatusOK || !out.Reloaded || out.ModelFingerprint != "model-b" || out.Reloads != 1 {
+		t.Fatalf("POST /reloadz = %d %+v", resp.StatusCode, out)
+	}
+
+	// Unconfigured: 404.
+	s2, err := New(Config{Backend: instantStub(), Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin2 := httptest.NewServer(s2.AdminHandler())
+	t.Cleanup(admin2.Close)
+	resp, err = http.Post(admin2.URL+"/reloadz", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /reloadz unconfigured = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestReloadClusterWideInvalidation: after the owner reloads to a new
+// model, a requester still on the old model keeps working — the skewed
+// owner declines the forward and the requester serves locally. No verdict
+// ever crosses models.
+func TestReloadClusterWideInvalidation(t *testing.T) {
+	stubA, _ := countingStub()
+	stubA2, callsA2 := countingStub()
+	stubB, callsB := countingStub()
+	sA, sB, tsA, tsB := clusterPair(t, &fpStub{stubA, "model-a"}, &fpStub{stubB, "model-a"}, nil)
+	sA.cfg.Reload = func() (Backend, error) { return &fpStub{stubA2, "model-a2"}, nil }
+	body := bodyOwnedBy(t, sB, "model-a", false) // owned by A
+
+	// Prime on the owner, confirm the remote hit, then reload the owner.
+	postWAV(t, tsA.URL, body)
+	if det := decodeBody[DetectionJSON](t, postWAV(t, tsB.URL, body)); !det.Remote {
+		t.Fatal("priming remote hit failed")
+	}
+	if err := sA.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	// A second distinct body (so B's local cache is cold) still owned by
+	// A under B's OLD fingerprint: A must decline (it cannot verify the
+	// key under model-a2) and B must fall back to a local detection.
+	var body2 []byte
+	for n := 320; n < 320+64; n++ {
+		cand := wavBody(t, 8000, n)
+		pcm, err := audio.ReadWAVPCM(bytes.NewReader(cand), 1<<20, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := vcache.KeyPCM16("model-a", pcm.SampleRate, pcm.Data)
+		if _, self := sB.node.Owner(key); !self {
+			body2 = cand
+			break
+		}
+	}
+	if body2 == nil {
+		t.Fatal("no fresh A-owned body in 64 candidates")
+	}
+	before := callsB.Load()
+	det := decodeBody[DetectionJSON](t, postWAV(t, tsB.URL, body2))
+	if det.Remote {
+		t.Fatal("reloaded owner answered a key from the old model")
+	}
+	if callsB.Load() != before+1 {
+		t.Fatal("requester did not fall back to local detection")
+	}
+	if callsA2.Load() != 0 {
+		t.Fatal("the reloaded owner ran a detection for an old-model key")
+	}
+}

@@ -29,8 +29,8 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/cluster"
 	"mvpears/internal/obs"
-	"mvpears/internal/stream"
 	"mvpears/internal/vcache"
 )
 
@@ -121,6 +121,15 @@ type Config struct {
 	// (/v1/detect/stream and /v1/detect/ws). Requires a Backend that
 	// implements StreamBackend.
 	Stream *StreamConfig
+	// Reload, when non-nil, loads a replacement backend for zero-downtime
+	// hot model reload (Server.Reload, POST /reloadz on the admin
+	// listener, SIGHUP in mvpearsd). See reload.go.
+	Reload func() (Backend, error)
+	// Cluster, when non-nil, joins this server to a replica fleet that
+	// shares the verdict cache (consistent hashing on the cache key) and
+	// hedges slow detections to idle peers. Requires the cache. See
+	// cluster.go.
+	Cluster *ClusterConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -201,28 +210,47 @@ type Server struct {
 	panicsTotal *Counter
 	// reqLog writes the structured access log; nil when disabled.
 	reqLog *obs.RequestLogger
-	// auxNames caches Backend.AuxiliaryNames(): the engine set is fixed
-	// for the server's lifetime, and the per-call slice allocation is
-	// measurable on the cache-hit path (every response embeds the list).
-	auxNames []string
 	// start anchors the daemon's uptime (for /infoz).
 	start time.Time
 
-	// modelFP prefixes every verdict-cache key (see internal/vcache).
-	modelFP string
+	// be holds the current backendState: the model-derived identity
+	// (backend, fingerprint, auxiliary names, stream manager) that hot
+	// reload swaps atomically. See reload.go.
+	be atomic.Pointer[backendState]
+	// reloadInProgress gates /readyz to 503 while a replacement model is
+	// loading (the CPU-heavy part of a reload).
+	reloadInProgress atomic.Bool
+	// reloadCount counts completed reloads (for /infoz).
+	reloadCount atomic.Uint64
+	// reloadsTotal / reloadFailures are the metric faces of reloads.
+	reloadsTotal   *Counter
+	reloadFailures *Counter
+
 	// vc is the cross-request verdict cache; nil when caching is off.
 	vc *vcache.Cache[*mvpears.Detection]
 	// flight collapses concurrent duplicate detections onto one worker.
 	flight *vcache.Group[*mvpears.Detection]
 
-	// stream manages live streaming sessions; nil when streaming is off.
-	stream *stream.Manager
-	// streamTargetName labels the target engine's windowed transcription.
-	streamTargetName string
-	// costObserver receives measured per-engine span durations so the
-	// backend's cascade scheduler can track runtime cost; nil when the
-	// backend does not implement EngineCostObserver.
-	costObserver EngineCostObserver
+	// node is the cluster peer node; nil when clustering is off. See
+	// cluster.go for the requester/owner split.
+	node *cluster.Node
+	// clusterCancel stops the peer listener's accept loop on Shutdown.
+	clusterCancel context.CancelFunc
+	// hedge policy (resolved from ClusterConfig in startCluster).
+	hedgeAfter    time.Duration
+	hedgeFactor   float64
+	hedgeFloor    time.Duration
+	getProbeBytes int
+	// detectCostNS tracks an EWMA of the local fresh-detection cost; it
+	// budgets the hedge delay alongside the backend's live engine costs.
+	detectCostNS atomic.Int64
+	// Cluster metrics, always registered (zero when clustering is off) so
+	// the exposition shape does not depend on configuration.
+	clusterForwards  *CounterVec
+	clusterServed    *CounterVec
+	clusterHedges    *Counter
+	clusterHedgeWins *Counter
+
 	// Streaming metrics, always registered (zero when streaming is off)
 	// so the exposition shape does not depend on configuration.
 	streamSessions      *Counter
@@ -247,17 +275,15 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewRegistry(),
 		start:   time.Now(),
 	}
-	s.auxNames = cfg.Backend.AuxiliaryNames()
 	if cfg.AccessLog != nil {
 		s.reqLog = obs.NewRequestLogger(cfg.AccessLog, cfg.LogSampleRate, cfg.SlowRequestThreshold)
 	}
 	if !cfg.CacheOff {
 		if fper, ok := cfg.Backend.(ModelFingerprinter); !ok {
 			cfg.Logger.Printf("mvpearsd: verdict cache disabled: backend exposes no model fingerprint")
-		} else if fp, err := fper.ModelFingerprint(); err != nil {
+		} else if _, err := fper.ModelFingerprint(); err != nil {
 			cfg.Logger.Printf("mvpearsd: verdict cache disabled: fingerprinting model: %v", err)
 		} else {
-			s.modelFP = fp
 			s.vc = cfg.Cache
 			if s.vc == nil {
 				s.vc = vcache.New[*mvpears.Detection](cfg.CacheEntries, cfg.CacheBytes)
@@ -350,57 +376,45 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.GaugeFunc(
 		"mvpears_stream_sessions_open", "Streaming sessions currently open.",
 		func() float64 {
-			if s.stream == nil {
+			st := s.be.Load()
+			if st == nil || st.stream == nil {
 				return 0
 			}
-			return float64(s.stream.OpenSessions())
+			return float64(st.stream.OpenSessions())
 		})
 
-	if co, ok := cfg.Backend.(EngineCostObserver); ok {
-		s.costObserver = co
-	}
-	if cfg.Stream != nil {
-		sb, ok := cfg.Backend.(StreamBackend)
-		if !ok {
-			return nil, fmt.Errorf("server: Config.Stream set but the backend does not support streaming")
-		}
-		s.streamTargetName = "target"
-		if tn, ok := cfg.Backend.(interface{ TargetName() string }); ok {
-			s.streamTargetName = tn.TargetName()
-		}
-		m, err := sb.NewStreamManager(mvpears.StreamOptions{
-			Window:           cfg.Stream.Window,
-			Hop:              cfg.Stream.Hop,
-			MaxSessions:      cfg.Stream.MaxSessions,
-			IdleTimeout:      cfg.Stream.IdleTimeout,
-			MaxDuration:      cfg.Stream.MaxDuration,
-			MinWindows:       cfg.Stream.MinWindows,
-			DisableEarlyExit: cfg.Stream.DisableEarlyExit,
-			Hooks: stream.Hooks{
-				SessionOpened:   func() { s.streamSessions.Inc() },
-				SessionRejected: func() { s.streamRejected.Inc() },
-				SessionClosed: func(evicted bool) {
-					if evicted {
-						s.streamEvicted.Inc()
-					}
-				},
-				Window: func(adversarial, earlyExit bool, d time.Duration) {
-					verdict := VerdictBenign
-					if adversarial {
-						verdict = VerdictAdversarial
-					}
-					s.streamWindows.With(verdict).Inc()
-					if earlyExit {
-						s.streamEarlyExits.Inc()
-					}
-					s.streamWindowSeconds.Observe(d.Seconds())
-				},
-			},
+	// Cluster + reload series are always registered (zero when the feature
+	// is off) so the exposition shape does not depend on configuration.
+	s.clusterForwards = s.metrics.CounterVec(
+		"mvpears_cluster_forwards_total", "Detect requests forwarded to their owning peer, by outcome.", "outcome")
+	s.clusterServed = s.metrics.CounterVec(
+		"mvpears_cluster_served_total", "Peer-protocol requests served for other replicas, by operation.", "op")
+	s.clusterHedges = s.metrics.Counter(
+		"mvpears_cluster_hedges_total", "Hedged duplicate detections dispatched to idle peers.")
+	s.clusterHedgeWins = s.metrics.Counter(
+		"mvpears_cluster_hedge_wins_total", "Hedged dispatches that answered before the local detection.")
+	s.metrics.GaugeFunc(
+		"mvpears_cluster_peers_healthy", "Configured peers currently outside the failure backoff.",
+		func() float64 {
+			if s.node == nil {
+				return 0
+			}
+			return float64(s.node.HealthyPeers())
 		})
-		if err != nil {
-			return nil, fmt.Errorf("server: building stream manager: %w", err)
+	s.reloadsTotal = s.metrics.Counter(
+		"mvpears_model_reloads_total", "Completed hot model reloads.")
+	s.reloadFailures = s.metrics.Counter(
+		"mvpears_model_reload_failures_total", "Hot model reloads that failed (old model kept serving).")
+
+	st, err := s.buildState(cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	s.be.Store(st)
+	if cfg.Cluster != nil {
+		if err := s.startCluster(cfg.Cluster); err != nil {
+			return nil, err
 		}
-		s.stream = m
 	}
 
 	s.mux.Handle("/v1/detect", s.instrument("detect", s.handleDetect))
@@ -451,8 +465,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Streaming sessions are cut, not drained: a live microphone never
 	// ends on its own, so open sessions fail fast with a stream error
 	// event instead of pinning the drain until its deadline.
-	if s.stream != nil {
-		s.stream.Close()
+	if st := s.state(); st.stream != nil {
+		st.stream.Close()
+	}
+	// The peer listener stops first so other replicas fail over to their
+	// local path instead of queueing work behind a draining peer.
+	if s.node != nil {
+		s.clusterCancel()
+		s.node.Close()
 	}
 	err := s.httpSrv.Shutdown(ctx)
 	s.pool.Close()

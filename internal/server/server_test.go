@@ -81,7 +81,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // wavBody renders a small WAV at the given rate.
-func wavBody(t *testing.T, rate, n int) []byte {
+func wavBody(t testing.TB, rate, n int) []byte {
 	t.Helper()
 	c := audio.NewClip(rate, n)
 	for i := range c.Samples {

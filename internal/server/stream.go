@@ -116,12 +116,12 @@ type StreamEventJSON struct {
 func msFloat(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // streamWindowJSON renders one session window with engine names.
-func (s *Server) streamWindowJSON(w stream.Window, rate int) *StreamWindowJSON {
+func (s *Server) streamWindowJSON(st *backendState, w stream.Window, rate int) *StreamWindowJSON {
 	tr := make(map[string]string, len(w.Aux)+1)
-	tr[s.streamTargetName] = w.Target
+	tr[st.streamTargetName] = w.Target
 	for i, text := range w.Aux {
-		if i < len(s.auxNames) {
-			tr[s.auxNames[i]] = text
+		if i < len(st.auxNames) {
+			tr[st.auxNames[i]] = text
 		}
 	}
 	verdict := VerdictBenign
@@ -161,7 +161,10 @@ func streamEarlyExitJSON(e *stream.EarlyExit) *StreamEarlyExitJSON {
 // the event writer (NDJSON or WebSocket text frames), and the per-request
 // observability state.
 type streamRun struct {
-	sess    *stream.Session
+	sess *stream.Session
+	// st pins the backendState the session opened under: a hot reload
+	// mid-stream must not switch models between windows and final.
+	st      *backendState
 	trace   *obs.Trace
 	explain bool
 	route   string
@@ -174,11 +177,11 @@ type streamRun struct {
 // emitWindows writes the window events of one Push and returns whether
 // the early-exit flag fired (the client should stop sending).
 func (s *Server) emitWindows(run *streamRun, windows []stream.Window) (stopped bool, err error) {
-	rate := s.cfg.Backend.SampleRate()
+	rate := run.st.backend.SampleRate()
 	for _, w := range windows {
 		ev := StreamEventJSON{
 			Event:  StreamEventWindow,
-			Window: s.streamWindowJSON(w, rate),
+			Window: s.streamWindowJSON(run.st, w, rate),
 		}
 		if w.EarlyExit {
 			ev.Stop = true
@@ -203,17 +206,18 @@ func (s *Server) finishStream(ctx context.Context, run *streamRun) error {
 	if err != nil {
 		return err
 	}
+	st := run.st
 	var (
 		det    *mvpears.Detection
 		cached bool
 		key    string
 	)
 	if s.vc != nil {
-		key = vcache.KeySamples(s.modelFP, s.cfg.Backend.SampleRate(), fin.Samples)
+		key = vcache.KeySamples(st.modelFP, st.backend.SampleRate(), fin.Samples)
 		det, cached = s.vc.Get(key)
 	}
 	if !cached {
-		det = s.cfg.Backend.(StreamBackend).DetectionFromStream(fin)
+		det = st.backend.(StreamBackend).DetectionFromStream(fin)
 		if key != "" {
 			s.vc.Put(key, det, detectionSize(key, det))
 		}
@@ -223,12 +227,12 @@ func (s *Server) finishStream(ctx context.Context, run *streamRun) error {
 		run.trace.SetCached()
 		verdict = s.countVerdict(det)
 	} else {
-		verdict = s.observe(det)
-		s.observeTrace(run.trace)
+		verdict = s.observe(st, det)
+		s.observeTrace(st, run.trace)
 	}
 	run.trace.SetVerdict(verdict)
-	s.audit(run.trace, run.route, "", det, verdict, cached)
-	out := NewDetectionJSON(det, s.auxNames)
+	s.audit(st, run.trace, run.route, "", det, verdict, cached)
+	out := NewDetectionJSON(det, st.auxNames)
 	out.Cached = cached
 	ev := StreamEventJSON{
 		Event:      StreamEventFinal,
@@ -238,7 +242,7 @@ func (s *Server) finishStream(ctx context.Context, run *streamRun) error {
 		EarlyExit:  streamEarlyExitJSON(fin.EarlyExit),
 	}
 	if run.explain {
-		ev.Detection.Explanation = s.explanationFor(det)
+		ev.Detection.Explanation = s.explanationFor(st, det)
 	}
 	return run.write(ev)
 }
@@ -257,7 +261,8 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST with a chunked WAV body")
 		return
 	}
-	if s.stream == nil {
+	st := s.state()
+	if st.stream == nil {
 		writeError(w, http.StatusNotFound, "streaming is not enabled")
 		return
 	}
@@ -276,12 +281,12 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), "decoding WAV header: %v", err)
 		return
 	}
-	if rate := s.cfg.Backend.SampleRate(); wr.SampleRate() != rate {
+	if rate := st.backend.SampleRate(); wr.SampleRate() != rate {
 		writeError(w, http.StatusBadRequest,
 			"streaming requires audio at the native %d Hz rate, got %d Hz", rate, wr.SampleRate())
 		return
 	}
-	sess, err := s.stream.Open()
+	sess, err := st.stream.Open()
 	if err != nil {
 		if errors.Is(err, stream.ErrTooManySessions) {
 			w.Header().Set("Retry-After", "1")
@@ -298,6 +303,7 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	run := &streamRun{
 		sess:      sess,
+		st:        st,
 		trace:     trace,
 		explain:   explainRequested(r),
 		route:     "detect_stream",
@@ -354,12 +360,13 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 // frames carrying StreamEventJSON (window events as audio arrives, one
 // final event after "end", error events on failure).
 func (s *Server) handleDetectWS(w http.ResponseWriter, r *http.Request) {
-	if s.stream == nil {
+	st := s.state()
+	if st.stream == nil {
 		writeError(w, http.StatusNotFound, "streaming is not enabled")
 		return
 	}
 	trace := obs.TraceFrom(r.Context())
-	sess, err := s.stream.Open()
+	sess, err := st.stream.Open()
 	if err != nil {
 		if errors.Is(err, stream.ErrTooManySessions) {
 			w.Header().Set("Retry-After", "1")
@@ -379,6 +386,7 @@ func (s *Server) handleDetectWS(w http.ResponseWriter, r *http.Request) {
 
 	run := &streamRun{
 		sess:    sess,
+		st:      st,
 		trace:   trace,
 		explain: explainRequested(r),
 		route:   "detect_ws",

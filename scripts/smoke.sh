@@ -10,7 +10,13 @@ cd "$(dirname "$0")/.."
 ADDR=${ADDR:-127.0.0.1:18080}
 ADMIN_ADDR=${ADMIN_ADDR:-127.0.0.1:18081}
 WORKDIR=$(mktemp -d)
-trap 'kill "$DAEMON_PID" 2>/dev/null || true; wait "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+ALL_PIDS=""
+cleanup() {
+    for pid in $ALL_PIDS; do kill "$pid" 2>/dev/null || true; done
+    for pid in $ALL_PIDS; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
 
 echo "== build =="
 go build -o "$WORKDIR/mvpears" ./cmd/mvpears
@@ -24,6 +30,7 @@ echo "== boot =="
     -addr "$ADDR" -admin-addr "$ADMIN_ADDR" \
     -audit "$WORKDIR/audit.jsonl" >"$WORKDIR/daemon.log" 2>&1 &
 DAEMON_PID=$!
+ALL_PIDS="$DAEMON_PID"
 
 for i in $(seq 1 100); do
     if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
@@ -34,7 +41,7 @@ for i in $(seq 1 100); do
 done
 curl -fsS "http://$ADDR/healthz" >/dev/null || { echo "daemon never became healthy"; cat "$WORKDIR/daemon.log"; exit 1; }
 
-fail() { echo "FAIL: $1"; cat "$WORKDIR/daemon.log"; exit 1; }
+fail() { echo "FAIL: $1"; cat "$WORKDIR"/*.log 2>/dev/null; exit 1; }
 
 echo "== admin listener =="
 curl -fsS "http://$ADMIN_ADDR/healthz" >/dev/null || fail "admin /healthz"
@@ -71,5 +78,69 @@ done
 echo "$METRICS" | grep -q 'mvpears_engine_seconds_count{engine="DS0"}' || fail "metrics missing engine seconds"
 echo "$METRICS" | grep -q 'mvpears_stream_sessions_total 1' || fail "metrics missing streaming session count"
 echo "$METRICS" | grep -q 'mvpears_stream_windows_total' || fail "metrics missing streaming window counts"
+
+echo "== cluster: boot 3 replicas =="
+# Three replicas share the already-bootstrapped model artifact (same
+# fingerprint) and a full peer mesh over the cluster protocol.
+PUB_A=127.0.0.1:18084; PUB_B=127.0.0.1:18085; PUB_C=127.0.0.1:18086
+ADM_C=127.0.0.1:18087
+CL_A=127.0.0.1:19190;  CL_B=127.0.0.1:19191;  CL_C=127.0.0.1:19192
+
+start_replica() { # name pub-addr cluster-addr peers extra-args...
+    local name=$1 pub=$2 cl=$3 prs=$4; shift 4
+    "$WORKDIR/mvpearsd" -model "$WORKDIR/model.gob" -addr "$pub" \
+        -cluster-addr "$cl" -peers "$prs" "$@" \
+        >"$WORKDIR/$name.log" 2>&1 &
+    ALL_PIDS="$ALL_PIDS $!"
+}
+start_replica replicaA "$PUB_A" "$CL_A" "$CL_B,$CL_C"
+start_replica replicaB "$PUB_B" "$CL_B" "$CL_A,$CL_C"
+start_replica replicaC "$PUB_C" "$CL_C" "$CL_A,$CL_B" -admin-addr "$ADM_C"
+
+for pub in "$PUB_A" "$PUB_B" "$PUB_C"; do
+    for i in $(seq 1 100); do
+        if curl -fsS "http://$pub/healthz" >/dev/null 2>&1; then break; fi
+        sleep 0.2
+    done
+    curl -fsS "http://$pub/healthz" >/dev/null || {
+        echo "replica on $pub never became healthy"
+        cat "$WORKDIR"/replica?.log; exit 1
+    }
+done
+
+echo "== cluster: remote verdict-cache hit =="
+# Detect on A, repeat on B: when the key's owner is A or C, B's answer
+# is a remote hit off the distributed cache ("remote":true). Ring
+# placement depends on content, so scan a few seeds; a seed whose key B
+# itself owns legitimately detects locally and is skipped.
+REMOTE_JSON=""
+for seed in 11 12 13 14 15 16 17 18; do
+    "$WORKDIR/mvpears" synth -text "unlock the back gate" -out "$WORKDIR/cl.wav" -seed "$seed"
+    curl -fsS -X POST --data-binary @"$WORKDIR/cl.wav" -H 'Content-Type: audio/wav' \
+        "http://$PUB_A/v1/detect" >/dev/null || fail "cluster detect on A (seed $seed)"
+    R2=$(curl -fsS -X POST --data-binary @"$WORKDIR/cl.wav" -H 'Content-Type: audio/wav' \
+        "http://$PUB_B/v1/detect") || fail "cluster detect on B (seed $seed)"
+    if echo "$R2" | grep -q '"remote":true'; then REMOTE_JSON=$R2; break; fi
+done
+[ -n "$REMOTE_JSON" ] || fail "no remote cache hit on B in 8 seeds (cluster tier dead?)"
+echo "$REMOTE_JSON" | grep -q '"cached":true' || fail "remote answer not marked cached: $REMOTE_JSON"
+curl -fsS "http://$PUB_B/metrics" | grep -q 'mvpears_cluster_forwards_total{outcome="hit"}' \
+    || fail "B's metrics missing the cluster forward-hit count"
+
+echo "== cluster: hot reload under load =="
+# Hammer C while its model hot-reloads; every request must answer 200.
+( for i in $(seq 1 40); do
+      curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+          --data-binary @"$WORKDIR/clip.wav" -H 'Content-Type: audio/wav' \
+          "http://$PUB_C/v1/detect" || echo ERR
+  done ) >"$WORKDIR/reload_codes.txt" &
+LOAD_PID=$!
+sleep 0.3
+curl -fsS -X POST "http://$ADM_C/reloadz" | grep -q '"reloaded":true' || fail "POST /reloadz on C"
+wait "$LOAD_PID"
+CODES=$(sort -u "$WORKDIR/reload_codes.txt")
+[ "$CODES" = "200" ] || fail "dropped requests during hot reload (status set: $CODES)"
+[ "$(wc -l <"$WORKDIR/reload_codes.txt")" -eq 40 ] || fail "reload load loop lost requests"
+curl -fsS "http://$ADM_C/infoz" | grep -q '"reloads":1' || fail "C's /infoz does not count the reload"
 
 echo "smoke OK"
