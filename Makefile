@@ -18,7 +18,7 @@ BENCHROUNDS ?= 5
 # invocation, so each target gets its own short run.
 FUZZTIME ?= 10s
 
-.PHONY: check vet lint build test race bench fuzz-smoke serve smoke
+.PHONY: check vet lint build test race bench fuzz-smoke serve smoke metrics-docs check-metrics-docs
 
 # The tier-1 gate: vet, build and test everything.
 check: vet
@@ -80,3 +80,15 @@ fuzz-smoke:
 # endpoints end to end: health, metrics, pprof, and a traced detection.
 smoke:
 	./scripts/smoke.sh
+
+# Regenerate docs/METRICS.md from the server's metric registry. The file
+# is generated, never hand-edited: check-metrics-docs (run in CI) fails
+# when the committed copy has drifted from the code.
+metrics-docs:
+	$(GO) run ./cmd/genmetrics -o docs/METRICS.md
+
+check-metrics-docs:
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/genmetrics -o "$$tmp"; \
+	if ! diff -u docs/METRICS.md "$$tmp"; then \
+		echo "docs/METRICS.md is stale: run 'make metrics-docs' and commit"; exit 1; fi

@@ -7,6 +7,10 @@
 //	         [-cache-entries 4096] [-cache-bytes 67108864] [-cache-off]
 //	         [-admin-addr 127.0.0.1:8081] [-log-sample 1.0] [-slow 1s]
 //	         [-access-log] [-audit audit.jsonl]
+//	         [-audit-rotate-bytes 67108864] [-audit-retain-bytes 268435456]
+//	         [-drift-threshold 0.25] [-drift-window 512]
+//	         [-slo-latency-target 0.99] [-slo-availability-target 0.999]
+//	         [-slo-quality-target 0.99]
 //	         [-cascade-margin -1] [-cascade-sample 16] [-quantized]
 //	         [-stream] [-stream-window 1s] [-stream-hop 250ms]
 //	         [-stream-max-sessions 64] [-stream-idle-timeout 30s]
@@ -28,14 +32,29 @@
 //	GET  /metrics          Prometheus text format
 //
 // With -admin-addr a second, operator-only listener serves /debug/pprof/,
-// /infoz (build + model identity), /metrics and /healthz — profiling never
-// shares the public serving port.
+// /infoz (build + model identity), /statusz (a plain-text operator page:
+// build and model identity, SLO burn rates, drift verdicts, probe
+// suspicion), /metrics and /healthz — profiling never shares the public
+// serving port.
 //
 // Every response carries an X-Request-ID header (propagated from the
 // request when present); with -access-log each request is logged as one
 // JSON line (sampled by -log-sample; requests slower than -slow always
-// log, with full span detail). -audit appends every adversarial verdict to
-// a JSONL file.
+// log, with full span detail). -audit appends every adversarial verdict
+// and every drift episode to a JSONL file, rotated into gzipped segments
+// at -audit-rotate-bytes and pruned oldest-first past -audit-retain-bytes
+// (drops are counted in mvpears_audit_dropped_total, never blocking
+// serving).
+//
+// The daemon continuously compares its live per-engine score
+// distributions against the calibration-time reference shipped inside
+// the model artifact (total-variation distance over fixed histogram
+// sketches, exported as mvpears_drift_score); a family past
+// -drift-threshold emits a structured drift audit event and marks
+// verdicts as degraded for the quality SLO. Three built-in SLOs
+// (detect latency, availability, verdict quality) are tracked with
+// fast/slow multi-window burn rates (mvpears_slo_burn_rate) and an
+// alerting bit that only trips when both windows burn hot.
 //
 // The cache-miss path can be accelerated without retraining or changing
 // the persisted model: -quantized switches the neural engines to int8
@@ -82,6 +101,7 @@ import (
 
 	"mvpears"
 	"mvpears/internal/obs"
+	"mvpears/internal/obs/drift"
 	"mvpears/internal/server"
 )
 
@@ -121,6 +141,13 @@ func run(args []string) error {
 	logSample := fs.Float64("log-sample", 1.0, "fraction of ordinary requests to log (slow requests and 5xx always log)")
 	slow := fs.Duration("slow", time.Second, "latency above which a request always logs with full span detail")
 	auditPath := fs.String("audit", "", "append adversarial verdicts to this JSONL file")
+	auditRotate := fs.Int64("audit-rotate-bytes", 64<<20, "rotate the audit file into a gzipped segment at this size (0: never rotate)")
+	auditRetain := fs.Int64("audit-retain-bytes", 256<<20, "prune the oldest gzipped audit segments once they exceed this total (0: keep everything)")
+	driftThreshold := fs.Float64("drift-threshold", 0, "total-variation distance from the calibration reference at which a score family counts as drifted (default: 0.25)")
+	driftWindow := fs.Int("drift-window", 0, "verdicts per rolling drift window (default: 512)")
+	sloLatency := fs.Float64("slo-latency-target", 0, "fraction of detect requests that must answer within 250ms (default: 0.99)")
+	sloAvailability := fs.Float64("slo-availability-target", 0, "fraction of HTTP requests that must not 5xx (default: 0.999)")
+	sloQuality := fs.Float64("slo-quality-target", 0, "fraction of verdicts that must be served drift-free (default: 0.99)")
 	cascadeMargin := fs.Float64("cascade-margin", -1, "benign-confidence margin for cascaded engine scheduling (negative: off, 0: auto-calibrate, >1: cascade on but never short-circuits)")
 	cascadeSample := fs.Int("cascade-sample", 16, "run the full ensemble on every Nth cascaded request for monitoring (0: never)")
 	quantized := fs.Bool("quantized", false, "int8-quantize the neural engines, gated by a boot-time transcription-parity check (failing engines keep float64)")
@@ -197,6 +224,15 @@ func run(args []string) error {
 		CacheOff:             *cacheOff,
 		LogSampleRate:        *logSample,
 		SlowRequestThreshold: *slow,
+		Drift: drift.Config{
+			WindowN:   *driftWindow,
+			Threshold: *driftThreshold,
+		},
+		SLO: server.SLOTargets{
+			Latency:      *sloLatency,
+			Availability: *sloAvailability,
+			Quality:      *sloQuality,
+		},
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr
@@ -214,13 +250,16 @@ func run(args []string) error {
 		}
 	}
 	if *auditPath != "" {
-		sink, err := obs.OpenAuditSink(*auditPath)
+		sink, err := obs.OpenAuditSinkWith(*auditPath, obs.AuditSinkOptions{
+			MaxSegmentBytes: *auditRotate,
+			MaxTotalBytes:   *auditRetain,
+		})
 		if err != nil {
 			return err
 		}
 		defer sink.Close()
 		cfg.Audit = sink
-		logger.Printf("auditing adversarial verdicts to %s", *auditPath)
+		logger.Printf("auditing adversarial verdicts to %s (rotate %d B, retain %d B)", *auditPath, *auditRotate, *auditRetain)
 	}
 	if *reloadOn {
 		cfg.Reload = func() (server.Backend, error) {
@@ -284,7 +323,7 @@ func run(args []string) error {
 				logger.Printf("admin listener: %v", err)
 			}
 		}()
-		logger.Printf("admin endpoints on http://%s (/debug/pprof/, /infoz, /metrics)", adminLn.Addr())
+		logger.Printf("admin endpoints on http://%s (/debug/pprof/, /infoz, /statusz, /metrics)", adminLn.Addr())
 	}
 
 	logger.Printf("serving on http://%s (auxiliaries %v, %d Hz)", ln.Addr(), sys.AuxiliaryNames(), sys.SampleRate())

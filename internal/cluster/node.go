@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 )
 
 // Handler is the local serving capability a Node exposes to its peers.
@@ -40,8 +42,11 @@ type Handler interface {
 	// GetCached returns the locally cached detection for key, if any.
 	GetCached(ctx context.Context, key string) (*mvpears.Detection, bool)
 	// Detect answers for key from local cache/flight/backend. cached
-	// reports that no fresh detection ran for this call.
-	Detect(ctx context.Context, key string, sampleRate int, pcm []byte) (det *mvpears.Detection, cached bool, err error)
+	// reports that no fresh detection ran for this call. tc is the
+	// requester's propagated trace context; when tc.Sampled the handler
+	// returns its local stage spans so the requester can stitch them into
+	// its trace.
+	Detect(ctx context.Context, tc obs.TraceContext, key string, sampleRate int, pcm []byte) (det *mvpears.Detection, cached bool, spans []obs.Span, err error)
 }
 
 // Config parameterizes a Node. Zero-valued optional fields get defaults.
@@ -72,6 +77,13 @@ type Config struct {
 	DownFor time.Duration
 	// VirtualNodes configures the ring (default DefaultVirtualNodes).
 	VirtualNodes int
+	// ObserveRTT, when set, receives every successful peer round trip's
+	// duration (the per-peer RTT histogram source). Called on the request
+	// path; must be cheap and must not block.
+	ObserveRTT func(peer string, d time.Duration)
+	// OnBusyDecline, when set, is called each time this node declines a
+	// peer request at the fan-in limit (rejection accounting).
+	OnBusyDecline func()
 }
 
 func (c *Config) applyDefaults() {
@@ -164,6 +176,28 @@ func (n *Node) HealthyPeers() int {
 	return healthy
 }
 
+// Members returns the ring's member set (sorted; includes Self).
+func (n *Node) Members() []string { return n.ring.Members() }
+
+// PeerStatus is one peer's health as seen from this replica.
+type PeerStatus struct {
+	Addr string
+	// Down reports the peer is inside its transport-failure backoff.
+	Down bool
+}
+
+// PeerStatuses reports every configured peer's health, sorted by address
+// (the /statusz ring view).
+func (n *Node) PeerStatuses() []PeerStatus {
+	now := time.Now().UnixNano()
+	out := make([]PeerStatus, 0, len(n.order))
+	for _, addr := range n.order {
+		out = append(out, PeerStatus{Addr: addr, Down: n.peers[addr].downUntil.Load() > now})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
 // HedgeTarget picks a healthy peer to duplicate work onto, round-robin
 // so consecutive hedges spread across the fleet ("" when none).
 func (n *Node) HedgeTarget() string {
@@ -190,9 +224,10 @@ var ErrPeerUnavailable = errors.New("cluster: peer unavailable")
 var ErrRemote = errors.New("cluster: remote error")
 
 // Get probes addr's verdict cache for key. ok=false with nil error is a
-// clean remote miss.
-func (n *Node) Get(ctx context.Context, addr, key string) (det *mvpears.Detection, ok bool, err error) {
-	req := AppendGet(make([]byte, 0, len(key)+16), key)
+// clean remote miss. tc propagates the requester's trace context (cache
+// hits carry no spans, so nothing stitches back on this path).
+func (n *Node) Get(ctx context.Context, addr, key string, tc obs.TraceContext) (det *mvpears.Detection, ok bool, err error) {
+	req := AppendGet(make([]byte, 0, len(key)+64), key, tc)
 	t, payload, err := n.roundTrip(ctx, addr, MsgGet, req)
 	if err != nil {
 		return nil, false, err
@@ -201,7 +236,7 @@ func (n *Node) Get(ctx context.Context, addr, key string) (det *mvpears.Detectio
 	case MsgMiss:
 		return nil, false, nil
 	case MsgVerdict:
-		det, _, err := ParseVerdict(payload)
+		det, _, _, err := ParseVerdict(payload)
 		return det, err == nil, err
 	case MsgErr:
 		msg, _ := ParseErr(payload)
@@ -213,22 +248,24 @@ func (n *Node) Get(ctx context.Context, addr, key string) (det *mvpears.Detectio
 
 // Detect forwards one detection to addr: the owner answers from its
 // cache when possible, otherwise runs (or joins) the detection locally.
-// cached reports the former. The PCM bytes are only read before Detect
-// returns, so callers may pass pooled buffers.
-func (n *Node) Detect(ctx context.Context, addr, key string, sampleRate int, pcm []byte) (det *mvpears.Detection, cached bool, err error) {
-	req := AppendDetect(make([]byte, 0, len(key)+len(pcm)+24), key, sampleRate, pcm)
+// cached reports the former. tc propagates the requester's trace context;
+// when tc.Sampled the owner's stage spans come back in spans for the
+// caller to stitch. The PCM bytes are only read before Detect returns, so
+// callers may pass pooled buffers.
+func (n *Node) Detect(ctx context.Context, addr, key string, sampleRate int, pcm []byte, tc obs.TraceContext) (det *mvpears.Detection, cached bool, spans []obs.Span, err error) {
+	req := AppendDetect(make([]byte, 0, len(key)+len(pcm)+88), key, sampleRate, pcm, tc)
 	t, payload, err := n.roundTrip(ctx, addr, MsgDetect, req)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	switch t {
 	case MsgVerdict:
 		return ParseVerdict(payload)
 	case MsgErr:
 		msg, _ := ParseErr(payload)
-		return nil, false, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return nil, false, nil, fmt.Errorf("%w: %s", ErrRemote, msg)
 	default:
-		return nil, false, fmt.Errorf("%w: unexpected %d reply to Detect", ErrBadFrame, t)
+		return nil, false, nil, fmt.Errorf("%w: unexpected %d reply to Detect", ErrBadFrame, t)
 	}
 }
 
@@ -298,6 +335,9 @@ func (n *Node) roundTrip(ctx context.Context, addr string, t MsgType, payload []
 	}
 	_ = pc.conn.SetDeadline(time.Time{})
 	n.returnConn(p, pc)
+	if n.cfg.ObserveRTT != nil {
+		n.cfg.ObserveRTT(addr, time.Since(now))
+	}
 	return rt, rp, nil
 }
 
@@ -435,30 +475,33 @@ func (n *Node) handleFrame(ctx context.Context, dst []byte, t MsgType, payload [
 	case n.inflight <- struct{}{}:
 		defer func() { <-n.inflight }()
 	default:
+		if n.cfg.OnBusyDecline != nil {
+			n.cfg.OnBusyDecline()
+		}
 		return AppendFrame(dst, MsgErr, AppendErr(nil, "busy: peer fan-in limit reached"))
 	}
 	rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
 	defer cancel()
 	switch t {
 	case MsgGet:
-		key, err := ParseGet(payload)
+		key, _, err := ParseGet(payload)
 		if err != nil {
 			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
 		}
 		if det, ok := n.cfg.Handler.GetCached(rctx, key); ok {
-			return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, true))
+			return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, true, nil))
 		}
 		return AppendFrame(dst, MsgMiss, nil)
 	case MsgDetect:
-		key, rate, pcm, err := ParseDetect(payload)
+		key, rate, pcm, tc, err := ParseDetect(payload)
 		if err != nil {
 			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
 		}
-		det, cached, err := n.cfg.Handler.Detect(rctx, key, rate, pcm)
+		det, cached, spans, err := n.cfg.Handler.Detect(rctx, tc, key, rate, pcm)
 		if err != nil {
 			return AppendFrame(dst, MsgErr, AppendErr(nil, err.Error()))
 		}
-		return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, cached))
+		return AppendFrame(dst, MsgVerdict, AppendVerdict(nil, det, cached, spans))
 	default:
 		return AppendFrame(dst, MsgErr, AppendErr(nil, fmt.Sprintf("unexpected request type %d", t)))
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 )
 
 // stubHandler is a scriptable cluster.Handler.
@@ -31,20 +32,20 @@ func (h *stubHandler) GetCached(ctx context.Context, key string) (*mvpears.Detec
 	return det, ok
 }
 
-func (h *stubHandler) Detect(ctx context.Context, key string, sampleRate int, pcm []byte) (*mvpears.Detection, bool, error) {
+func (h *stubHandler) Detect(ctx context.Context, tc obs.TraceContext, key string, sampleRate int, pcm []byte) (*mvpears.Detection, bool, []obs.Span, error) {
 	h.detects.Add(1)
 	if h.block != nil {
 		select {
 		case <-h.block:
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, false, nil, ctx.Err()
 		}
 	}
 	if h.err != nil {
-		return nil, false, h.err
+		return nil, false, nil, h.err
 	}
 	if det, ok := h.GetCached(ctx, key); ok {
-		return det, true, nil
+		return det, true, h.spansFor(tc), nil
 	}
 	det := &mvpears.Detection{
 		Adversarial:    true,
@@ -54,7 +55,16 @@ func (h *stubHandler) Detect(ctx context.Context, key string, sampleRate int, pc
 	h.mu.Lock()
 	h.cache[key] = det
 	h.mu.Unlock()
-	return det, false, nil
+	return det, false, h.spansFor(tc), nil
+}
+
+// spansFor returns a recognizable remote span set when the requester
+// sampled the trace, mirroring the real owner-side contract.
+func (h *stubHandler) spansFor(tc obs.TraceContext) []obs.Span {
+	if !tc.Sampled {
+		return nil
+	}
+	return []obs.Span{{Stage: "transcribe", Engine: "DS1", Start: time.Millisecond, Dur: 2 * time.Millisecond}}
 }
 
 // startNode builds a Node serving on a loopback listener and returns it
@@ -118,14 +128,14 @@ func TestNodeGetHitAndMiss(t *testing.T) {
 	hb := &stubHandler{cache: map[string]*mvpears.Detection{"fp:cached": det}}
 	a, _, _, addrB := twoNodes(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, hb)
 
-	got, ok, err := a.Get(context.Background(), addrB, "fp:cached")
+	got, ok, err := a.Get(context.Background(), addrB, "fp:cached", obs.TraceContext{})
 	if err != nil || !ok {
 		t.Fatalf("Get(cached) = (%v, %v, %v), want hit", got, ok, err)
 	}
 	if got.Transcriptions["target"] != "hello" {
 		t.Errorf("remote hit transcription = %q", got.Transcriptions["target"])
 	}
-	if _, ok, err := a.Get(context.Background(), addrB, "fp:absent"); err != nil || ok {
+	if _, ok, err := a.Get(context.Background(), addrB, "fp:absent", obs.TraceContext{}); err != nil || ok {
 		t.Fatalf("Get(absent) = (ok=%v, err=%v), want clean miss", ok, err)
 	}
 }
@@ -134,7 +144,7 @@ func TestNodeDetectForwardAndError(t *testing.T) {
 	hb := &stubHandler{cache: map[string]*mvpears.Detection{}}
 	a, _, _, addrB := twoNodes(t, &stubHandler{cache: map[string]*mvpears.Detection{}}, hb)
 
-	det, cached, err := a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2})
+	det, cached, _, err := a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2}, obs.TraceContext{})
 	if err != nil || cached {
 		t.Fatalf("Detect #1 = (cached=%v, err=%v), want fresh", cached, err)
 	}
@@ -142,7 +152,7 @@ func TestNodeDetectForwardAndError(t *testing.T) {
 		t.Errorf("forwarded verdict lost the adversarial flag")
 	}
 	// Second forward of the same key answers from B's cache.
-	if _, cached, err = a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2}); err != nil || !cached {
+	if _, cached, _, err = a.Detect(context.Background(), addrB, "fp:k1", 16000, []byte{1, 2}, obs.TraceContext{}); err != nil || !cached {
 		t.Fatalf("Detect #2 = (cached=%v, err=%v), want cached", cached, err)
 	}
 	if n := hb.detects.Load(); n != 2 {
@@ -152,7 +162,7 @@ func TestNodeDetectForwardAndError(t *testing.T) {
 	// A handler error comes back as ErrRemote, not a transport failure —
 	// the peer stays healthy.
 	hb.err = errors.New("fingerprint mismatch")
-	if _, _, err := a.Detect(context.Background(), addrB, "fp:k2", 16000, []byte{3}); !errors.Is(err, ErrRemote) {
+	if _, _, _, err := a.Detect(context.Background(), addrB, "fp:k2", 16000, []byte{3}, obs.TraceContext{}); !errors.Is(err, ErrRemote) {
 		t.Fatalf("handler error surfaced as %v, want ErrRemote", err)
 	}
 	if got := a.HealthyPeers(); got != 1 {
@@ -173,13 +183,13 @@ func TestNodeDownPeerCircuit(t *testing.T) {
 		c.DialTimeout = 200 * time.Millisecond
 	}, dead)
 
-	if _, _, err := n.Get(context.Background(), dead, "fp:k"); !errors.Is(err, ErrPeerUnavailable) {
+	if _, _, err := n.Get(context.Background(), dead, "fp:k", obs.TraceContext{}); !errors.Is(err, ErrPeerUnavailable) {
 		t.Fatalf("Get(dead peer) = %v, want ErrPeerUnavailable", err)
 	}
 	// The circuit is now open: the next probe fails instantly without
 	// dialing.
 	start := time.Now()
-	_, _, err = n.Get(context.Background(), dead, "fp:k")
+	_, _, err = n.Get(context.Background(), dead, "fp:k", obs.TraceContext{})
 	if !errors.Is(err, ErrPeerUnavailable) || !strings.Contains(err.Error(), "backoff") {
 		t.Fatalf("circuit probe = %v, want backoff ErrPeerUnavailable", err)
 	}
@@ -218,7 +228,7 @@ func TestNodeBusyFanInLimit(t *testing.T) {
 
 	first := make(chan error, 1)
 	go func() {
-		_, _, err := a.Detect(context.Background(), addrB, "fp:slow", 16000, []byte{1})
+		_, _, _, err := a.Detect(context.Background(), addrB, "fp:slow", 16000, []byte{1}, obs.TraceContext{})
 		first <- err
 	}()
 	// Wait until the slow detect is actually holding the semaphore.
@@ -229,7 +239,7 @@ func TestNodeBusyFanInLimit(t *testing.T) {
 	if hb.detects.Load() == 0 {
 		t.Fatal("first Detect never reached the handler")
 	}
-	_, _, err = a.Detect(context.Background(), addrB, "fp:other", 16000, []byte{2})
+	_, _, _, err = a.Detect(context.Background(), addrB, "fp:other", 16000, []byte{2}, obs.TraceContext{})
 	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "busy") {
 		t.Fatalf("over-limit Detect = %v, want busy ErrRemote", err)
 	}

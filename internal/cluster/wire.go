@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 )
 
 // The peer wire protocol: length-prefixed binary frames over persistent
@@ -23,10 +24,20 @@ import (
 // codec is the only CPU between the two sockets. Every decode path is
 // bounds-checked and fuzzed (FuzzWireCodec) — peers are trusted for
 // content but not for well-formedness.
+//
+// Version history: v1 shipped bare payloads; v2 appends an optional
+// trace-context tail to MsgGet/MsgDetect and an optional span-list tail
+// to MsgVerdict (cross-replica trace propagation). Both tails are
+// strictly additive and encoded only when non-empty, so a v2 decoder
+// reads v1 payloads unchanged ("no tail" simply parses as "no context"),
+// and the decoder accepts frames of either version. A v1 peer receiving
+// a v2 frame rejects it at the header, which surfaces as a peer error —
+// the requester degrades to local detection, never fails.
 const (
-	wireMagic0  = 'M'
-	wireMagic1  = 'V'
-	wireVersion = 1
+	wireMagic0     = 'M'
+	wireMagic1     = 'V'
+	wireVersion    = 2
+	wireVersionMin = 1
 
 	// frameHeaderLen is magic+version+type+length.
 	frameHeaderLen = 8
@@ -95,8 +106,8 @@ func parseFrameHeader(hdr []byte) (MsgType, uint32, error) {
 	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
 		return 0, 0, fmt.Errorf("%w: bad magic %x%x", ErrBadFrame, hdr[0], hdr[1])
 	}
-	if hdr[2] != wireVersion {
-		return 0, 0, fmt.Errorf("%w: version %d (want %d)", ErrBadFrame, hdr[2], wireVersion)
+	if hdr[2] < wireVersionMin || hdr[2] > wireVersion {
+		return 0, 0, fmt.Errorf("%w: version %d (want %d..%d)", ErrBadFrame, hdr[2], wireVersionMin, wireVersion)
 	}
 	t := MsgType(hdr[3])
 	if t < MsgGet || t > MsgErr {
@@ -218,43 +229,93 @@ func (p *parser) done() error {
 
 // --- message payloads ---
 
-// AppendGet encodes a MsgGet payload (the verdict-cache key).
-func AppendGet(dst []byte, key string) []byte { return appendString(dst, key) }
+// Trace-context tail flag bits (v2).
+const tcSampled = 1 << 0
+
+// appendTraceContext appends the optional v2 trace-context tail. A zero
+// context appends nothing, which both keeps the untraced encoding as
+// compact as v1 and makes the encoding canonical (parse-then-append
+// round-trips to identical bytes).
+func appendTraceContext(dst []byte, tc obs.TraceContext) []byte {
+	if tc == (obs.TraceContext{}) {
+		return dst
+	}
+	var flags byte
+	if tc.Sampled {
+		flags |= tcSampled
+	}
+	dst = append(dst, flags)
+	dst = appendString(dst, tc.TraceID)
+	return appendString(dst, tc.Parent)
+}
+
+// traceContext parses the optional trace-context tail: absent (v1 peers,
+// untraced requests) decodes as the zero context.
+func (p *parser) traceContext() (obs.TraceContext, error) {
+	if len(p.b) == 0 {
+		return obs.TraceContext{}, nil
+	}
+	flags, err := p.byteVal()
+	if err != nil {
+		return obs.TraceContext{}, err
+	}
+	var tc obs.TraceContext
+	tc.Sampled = flags&tcSampled != 0
+	if tc.TraceID, err = p.str(); err != nil {
+		return obs.TraceContext{}, err
+	}
+	if tc.Parent, err = p.str(); err != nil {
+		return obs.TraceContext{}, err
+	}
+	return tc, nil
+}
+
+// AppendGet encodes a MsgGet payload: the verdict-cache key plus the
+// optional trace-context tail.
+func AppendGet(dst []byte, key string, tc obs.TraceContext) []byte {
+	return appendTraceContext(appendString(dst, key), tc)
+}
 
 // ParseGet decodes a MsgGet payload.
-func ParseGet(b []byte) (key string, err error) {
+func ParseGet(b []byte) (key string, tc obs.TraceContext, err error) {
 	p := parser{b}
 	if key, err = p.str(); err != nil {
-		return "", err
+		return "", tc, err
 	}
-	return key, p.done()
+	if tc, err = p.traceContext(); err != nil {
+		return "", tc, err
+	}
+	return key, tc, p.done()
 }
 
 // AppendDetect encodes a MsgDetect payload: key, original sample rate,
-// raw little-endian PCM16 payload.
-func AppendDetect(dst []byte, key string, sampleRate int, pcm []byte) []byte {
+// raw little-endian PCM16 payload, optional trace-context tail.
+func AppendDetect(dst []byte, key string, sampleRate int, pcm []byte, tc obs.TraceContext) []byte {
 	dst = appendString(dst, key)
 	dst = binary.AppendUvarint(dst, uint64(sampleRate))
-	return appendBytes(dst, pcm)
+	return appendTraceContext(appendBytes(dst, pcm), tc)
 }
 
 // ParseDetect decodes a MsgDetect payload. pcm aliases b.
-func ParseDetect(b []byte) (key string, sampleRate int, pcm []byte, err error) {
+func ParseDetect(b []byte) (key string, sampleRate int, pcm []byte, tc obs.TraceContext, err error) {
 	p := parser{b}
 	if key, err = p.str(); err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, tc, err
 	}
 	rate, err := p.uvarint()
 	if err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, tc, err
 	}
 	if rate == 0 || rate > 1<<31 {
-		return "", 0, nil, fmt.Errorf("%w: sample rate %d", ErrBadFrame, rate)
+		return "", 0, nil, tc, fmt.Errorf("%w: sample rate %d", ErrBadFrame, rate)
 	}
 	if pcm, err = p.bytes(); err != nil {
-		return "", 0, nil, err
+		return "", 0, nil, tc, err
 	}
-	return key, int(rate), pcm, p.done()
+	if tc, err = p.traceContext(); err != nil {
+		return "", 0, nil, tc, err
+	}
+	return key, int(rate), pcm, tc, p.done()
 }
 
 // AppendErr encodes a MsgErr payload.
@@ -281,10 +342,13 @@ const (
 
 // AppendVerdict encodes a MsgVerdict payload: the cached flag plus the
 // cacheable Detection fields (scores, transcriptions, timing, cascade
-// provenance). Explanations are NOT shipped — they are deterministic in
-// the transcriptions, so the requester derives them locally on demand,
+// provenance), then the optional v2 span tail — the answering replica's
+// own stage spans, shipped back only when the requester asked for them
+// (TraceContext.Sampled) so a remote answer stitches into the requester's
+// trace. Explanations are NOT shipped — they are deterministic in the
+// transcriptions, so the requester derives them locally on demand,
 // keeping the hit path payload small.
-func AppendVerdict(dst []byte, det *mvpears.Detection, cached bool) []byte {
+func AppendVerdict(dst []byte, det *mvpears.Detection, cached bool, spans []obs.Span) []byte {
 	var flags byte
 	if cached {
 		flags |= verdictCached
@@ -336,7 +400,64 @@ func AppendVerdict(dst []byte, det *mvpears.Detection, cached bool) []byte {
 			dst = append(dst, v)
 		}
 	}
+	return appendSpans(dst, spans)
+}
+
+// appendSpans appends the optional span tail. Like the trace-context
+// tail, nothing is appended for an empty list so the encoding stays
+// canonical. Peer is not shipped: the requester knows which peer it asked
+// and stamps it while stitching.
+func appendSpans(dst []byte, spans []obs.Span) []byte {
+	if len(spans) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(spans)))
+	for _, sp := range spans {
+		dst = appendString(dst, sp.Stage)
+		dst = appendString(dst, sp.Engine)
+		dst = binary.AppendUvarint(dst, uint64(max(sp.Start, 0)))
+		dst = binary.AppendUvarint(dst, uint64(max(sp.Dur, 0)))
+	}
 	return dst
+}
+
+// spans parses the optional span tail (nil when absent or empty).
+func (p *parser) spans() ([]obs.Span, error) {
+	if len(p.b) == 0 {
+		return nil, nil
+	}
+	// A span is at least 4 bytes (two empty strings, two 1-byte uvarints),
+	// bounding a hostile count.
+	n, err := p.length(4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]obs.Span, n)
+	for i := range out {
+		if out[i].Stage, err = p.str(); err != nil {
+			return nil, err
+		}
+		if out[i].Engine, err = p.str(); err != nil {
+			return nil, err
+		}
+		start, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dur, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if start > math.MaxInt64 || dur > math.MaxInt64 {
+			return nil, fmt.Errorf("%w: span offset overflows", ErrBadFrame)
+		}
+		out[i].Start = time.Duration(start)
+		out[i].Dur = time.Duration(dur)
+	}
+	return out, nil
 }
 
 func appendStrings(dst []byte, ss []string) []byte {
@@ -364,40 +485,41 @@ func (p *parser) strings() ([]string, error) {
 	return out, nil
 }
 
-// ParseVerdict decodes a MsgVerdict payload into a fresh Detection.
-func ParseVerdict(b []byte) (det *mvpears.Detection, cached bool, err error) {
+// ParseVerdict decodes a MsgVerdict payload into a fresh Detection plus
+// the answering replica's spans (nil when none were shipped).
+func ParseVerdict(b []byte) (det *mvpears.Detection, cached bool, spans []obs.Span, err error) {
 	p := parser{b}
 	flags, err := p.byteVal()
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	det = &mvpears.Detection{Adversarial: flags&verdictAdversarial != 0}
 	cached = flags&verdictCached != 0
 	nScores, err := p.length(8)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	if nScores > 0 {
 		det.Scores = make([]float64, nScores)
 		for i := range det.Scores {
 			if det.Scores[i], err = p.float(); err != nil {
-				return nil, false, err
+				return nil, false, nil, err
 			}
 		}
 	}
 	nTr, err := p.length(2)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	det.Transcriptions = make(map[string]string, nTr)
 	for i := 0; i < nTr; i++ {
 		engine, err := p.str()
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		text, err := p.str()
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		det.Transcriptions[engine] = text
 	}
@@ -406,10 +528,10 @@ func ParseVerdict(b []byte) (det *mvpears.Detection, cached bool, err error) {
 	} {
 		v, err := p.uvarint()
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if v > math.MaxInt64 {
-			return nil, false, fmt.Errorf("%w: timing overflows", ErrBadFrame)
+			return nil, false, nil, fmt.Errorf("%w: timing overflows", ErrBadFrame)
 		}
 		*dur = time.Duration(v)
 	}
@@ -417,37 +539,40 @@ func ParseVerdict(b []byte) (det *mvpears.Detection, cached bool, err error) {
 		c := &mvpears.CascadeDecision{}
 		cf, err := p.byteVal()
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		c.ShortCircuit = cf&cascadeShort != 0
 		c.SampledFull = cf&cascadeSampled != 0
 		if c.EnginesRun, err = p.strings(); err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if c.EnginesSkipped, err = p.strings(); err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if c.Margin, err = p.float(); err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if c.FirstScore, err = p.float(); err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		nImp, err := p.length(1)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
 		if nImp > 0 {
 			c.Imputed = make([]bool, nImp)
 			for i := range c.Imputed {
 				v, err := p.byteVal()
 				if err != nil {
-					return nil, false, err
+					return nil, false, nil, err
 				}
 				c.Imputed[i] = v != 0
 			}
 		}
 		det.Cascade = c
 	}
-	return det, cached, p.done()
+	if spans, err = p.spans(); err != nil {
+		return nil, false, nil, err
+	}
+	return det, cached, spans, p.done()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 )
 
 // FuzzWireCodec throws arbitrary bytes at every decode path of the peer
@@ -18,8 +19,10 @@ import (
 func FuzzWireCodec(f *testing.F) {
 	// Seed with valid frames of each type so the fuzzer starts from the
 	// interesting part of the input space.
-	f.Add(AppendFrame(nil, MsgGet, AppendGet(nil, "fp:00ff")))
-	f.Add(AppendFrame(nil, MsgDetect, AppendDetect(nil, "fp:00ff", 16000, []byte{1, 2, 3, 4})))
+	f.Add(AppendFrame(nil, MsgGet, AppendGet(nil, "fp:00ff", obs.TraceContext{})))
+	f.Add(AppendFrame(nil, MsgGet, AppendGet(nil, "fp:00ff", obs.TraceContext{TraceID: "req-1", Parent: "cluster_forward", Sampled: true})))
+	f.Add(AppendFrame(nil, MsgDetect, AppendDetect(nil, "fp:00ff", 16000, []byte{1, 2, 3, 4}, obs.TraceContext{})))
+	f.Add(AppendFrame(nil, MsgDetect, AppendDetect(nil, "fp:00ff", 16000, []byte{1, 2, 3, 4}, obs.TraceContext{TraceID: "req-2", Sampled: true})))
 	f.Add(AppendFrame(nil, MsgMiss, nil))
 	f.Add(AppendFrame(nil, MsgErr, AppendErr(nil, "busy")))
 	det := &mvpears.Detection{
@@ -34,7 +37,11 @@ func FuzzWireCodec(f *testing.F) {
 			Imputed: []bool{true, false},
 		},
 	}
-	f.Add(AppendFrame(nil, MsgVerdict, AppendVerdict(nil, det, true)))
+	f.Add(AppendFrame(nil, MsgVerdict, AppendVerdict(nil, det, true, nil)))
+	f.Add(AppendFrame(nil, MsgVerdict, AppendVerdict(nil, det, false, []obs.Span{
+		{Stage: "transcribe", Engine: "DS1", Start: time.Millisecond, Dur: 2 * time.Millisecond},
+		{Stage: "classify", Dur: 30 * time.Microsecond},
+	})))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		typ, payload, err := DecodeFrame(b)
@@ -43,16 +50,16 @@ func FuzzWireCodec(f *testing.F) {
 		}
 		switch typ {
 		case MsgGet:
-			if key, err := ParseGet(payload); err == nil {
-				k2, err := ParseGet(AppendGet(nil, key))
-				if err != nil || k2 != key {
-					t.Fatalf("MsgGet round trip: (%q, %v), want %q", k2, err, key)
+			if key, tc, err := ParseGet(payload); err == nil {
+				k2, tc2, err := ParseGet(AppendGet(nil, key, tc))
+				if err != nil || k2 != key || tc2 != tc {
+					t.Fatalf("MsgGet round trip: (%q, %+v, %v), want (%q, %+v)", k2, tc2, err, key, tc)
 				}
 			}
 		case MsgDetect:
-			if key, rate, pcm, err := ParseDetect(payload); err == nil {
-				k2, r2, p2, err := ParseDetect(AppendDetect(nil, key, rate, pcm))
-				if err != nil || k2 != key || r2 != rate || !bytes.Equal(p2, pcm) {
+			if key, rate, pcm, tc, err := ParseDetect(payload); err == nil {
+				k2, r2, p2, tc2, err := ParseDetect(AppendDetect(nil, key, rate, pcm, tc))
+				if err != nil || k2 != key || r2 != rate || !bytes.Equal(p2, pcm) || tc2 != tc {
 					t.Fatalf("MsgDetect round trip failed: %v", err)
 				}
 			}
@@ -64,9 +71,9 @@ func FuzzWireCodec(f *testing.F) {
 				}
 			}
 		case MsgVerdict:
-			if det, cached, err := ParseVerdict(payload); err == nil {
-				wire := AppendVerdict(nil, det, cached)
-				d2, c2, err := ParseVerdict(wire)
+			if det, cached, spans, err := ParseVerdict(payload); err == nil {
+				wire := AppendVerdict(nil, det, cached, spans)
+				d2, c2, sp2, err := ParseVerdict(wire)
 				if err != nil {
 					t.Fatalf("re-encoded verdict failed to parse: %v", err)
 				}
@@ -74,7 +81,7 @@ func FuzzWireCodec(f *testing.F) {
 				// reflect.DeepEqual: fuzzed scores can be NaN, which is
 				// never equal to itself but must still survive the codec
 				// bit-for-bit.
-				if c2 != cached || !bytes.Equal(AppendVerdict(nil, d2, c2), wire) {
+				if c2 != cached || !bytes.Equal(AppendVerdict(nil, d2, c2, sp2), wire) {
 					t.Fatalf("MsgVerdict round trip mismatch")
 				}
 			}

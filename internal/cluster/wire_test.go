@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"mvpears"
+	"mvpears/internal/obs"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -55,20 +57,88 @@ func TestFrameMalformed(t *testing.T) {
 
 func TestGetDetectErrRoundTrip(t *testing.T) {
 	key := "fp:abcd1234"
-	if got, err := ParseGet(AppendGet(nil, key)); err != nil || got != key {
-		t.Fatalf("ParseGet = (%q, %v)", got, err)
+	sampled := obs.TraceContext{TraceID: "req-0042", Parent: "cluster_forward", Sampled: true}
+	for _, tc := range []obs.TraceContext{{}, sampled} {
+		got, tc2, err := ParseGet(AppendGet(nil, key, tc))
+		if err != nil || got != key || tc2 != tc {
+			t.Fatalf("ParseGet = (%q, %+v, %v), want (%q, %+v)", got, tc2, err, key, tc)
+		}
 	}
 	pcm := []byte{1, 2, 3, 4, 5, 6}
-	k, rate, p, err := ParseDetect(AppendDetect(nil, key, 16000, pcm))
-	if err != nil || k != key || rate != 16000 || !bytes.Equal(p, pcm) {
-		t.Fatalf("ParseDetect = (%q, %d, %v, %v)", k, rate, p, err)
+	for _, tc := range []obs.TraceContext{{}, sampled} {
+		k, rate, p, tc2, err := ParseDetect(AppendDetect(nil, key, 16000, pcm, tc))
+		if err != nil || k != key || rate != 16000 || !bytes.Equal(p, pcm) || tc2 != tc {
+			t.Fatalf("ParseDetect = (%q, %d, %v, %+v, %v)", k, rate, p, tc2, err)
+		}
 	}
 	if msg, err := ParseErr(AppendErr(nil, "busy")); err != nil || msg != "busy" {
 		t.Fatalf("ParseErr = (%q, %v)", msg, err)
 	}
 	// A zero sample rate is structurally invalid.
-	if _, _, _, err := ParseDetect(AppendDetect(nil, key, 0, pcm)); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, _, err := ParseDetect(AppendDetect(nil, key, 0, pcm, obs.TraceContext{})); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("zero sample rate: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestWireV1BackCompat: payloads encoded without the optional trace /
+// span tails — exactly what a v1 peer sends — must still decode, with a
+// zero context and no spans.
+func TestWireV1BackCompat(t *testing.T) {
+	key := "fp:old-peer"
+	getV1 := appendString(nil, key)
+	if got, tc, err := ParseGet(getV1); err != nil || got != key || tc != (obs.TraceContext{}) {
+		t.Fatalf("v1 ParseGet = (%q, %+v, %v)", got, tc, err)
+	}
+	detectV1 := appendString(nil, key)
+	detectV1 = binary.AppendUvarint(detectV1, 16000)
+	detectV1 = appendBytes(detectV1, []byte{9, 8, 7})
+	k, rate, pcm, tc, err := ParseDetect(detectV1)
+	if err != nil || k != key || rate != 16000 || !bytes.Equal(pcm, []byte{9, 8, 7}) || tc != (obs.TraceContext{}) {
+		t.Fatalf("v1 ParseDetect = (%q, %d, %v, %+v, %v)", k, rate, pcm, tc, err)
+	}
+	// A verdict with no span tail (v1, or an unsampled v2 reply).
+	det := &mvpears.Detection{Transcriptions: map[string]string{"target": "x"}}
+	wire := AppendVerdict(nil, det, true, nil)
+	d2, cached, spans, err := ParseVerdict(wire)
+	if err != nil || !cached || spans != nil {
+		t.Fatalf("span-free verdict = (cached=%v, spans=%v, err=%v)", cached, spans, err)
+	}
+	if !reflect.DeepEqual(d2, det) {
+		t.Fatalf("span-free verdict detection mismatch")
+	}
+	// And a v1-version frame header is still accepted.
+	frame := AppendFrame(nil, MsgGet, getV1)
+	frame[2] = wireVersionMin
+	if _, _, err := DecodeFrame(frame); err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+}
+
+// TestVerdictSpanTail: remote spans survive the verdict codec, clamped
+// and with deterministic encoding.
+func TestVerdictSpanTail(t *testing.T) {
+	det := &mvpears.Detection{Transcriptions: map[string]string{"target": "x"}}
+	spans := []obs.Span{
+		{Stage: "transcribe", Engine: "DS1", Start: 2 * time.Millisecond, Dur: 5 * time.Millisecond},
+		{Stage: "classify", Start: 8 * time.Millisecond, Dur: 10 * time.Microsecond},
+	}
+	wire := AppendVerdict(nil, det, false, spans)
+	_, _, got, err := ParseVerdict(wire)
+	if err != nil {
+		t.Fatalf("ParseVerdict: %v", err)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Fatalf("span tail mismatch:\n got %+v\nwant %+v", got, spans)
+	}
+	if again := AppendVerdict(nil, det, false, spans); !bytes.Equal(wire, again) {
+		t.Errorf("span encoding is not deterministic")
+	}
+	// Negative offsets (clock weirdness) clamp to zero rather than
+	// corrupting the uvarint encoding.
+	neg := AppendVerdict(nil, det, false, []obs.Span{{Stage: "decode", Start: -time.Second, Dur: -time.Millisecond}})
+	_, _, clamped, err := ParseVerdict(neg)
+	if err != nil || len(clamped) != 1 || clamped[0].Start != 0 || clamped[0].Dur != 0 {
+		t.Fatalf("negative span = (%+v, %v), want clamped zeros", clamped, err)
 	}
 }
 
@@ -115,8 +185,8 @@ func TestVerdictRoundTrip(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			wire := AppendVerdict(nil, tc.det, tc.cached)
-			got, cached, err := ParseVerdict(wire)
+			wire := AppendVerdict(nil, tc.det, tc.cached, nil)
+			got, cached, _, err := ParseVerdict(wire)
 			if err != nil {
 				t.Fatalf("ParseVerdict: %v", err)
 			}
@@ -128,7 +198,7 @@ func TestVerdictRoundTrip(t *testing.T) {
 			}
 			// The encoding must be deterministic in the content (engine
 			// names sort), so two encodes of one verdict are identical.
-			if again := AppendVerdict(nil, tc.det, tc.cached); !bytes.Equal(wire, again) {
+			if again := AppendVerdict(nil, tc.det, tc.cached, nil); !bytes.Equal(wire, again) {
 				t.Errorf("encoding is not deterministic")
 			}
 		})
@@ -136,7 +206,10 @@ func TestVerdictRoundTrip(t *testing.T) {
 }
 
 // TestVerdictTruncations: every prefix of a valid verdict payload must
-// decode to an error, never panic or a silently partial verdict.
+// decode to an error, never panic or a silently partial verdict — with
+// one deliberate exception: the span tail is optional (v1 back-compat),
+// so the single truncation that cuts it off exactly at its boundary
+// decodes as a complete span-free verdict.
 func TestVerdictTruncations(t *testing.T) {
 	det := &mvpears.Detection{
 		Adversarial:    true,
@@ -148,9 +221,13 @@ func TestVerdictTruncations(t *testing.T) {
 			Margin:     0.8, FirstScore: 0.9, Imputed: []bool{true},
 		},
 	}
-	wire := AppendVerdict(nil, det, false)
+	wire := AppendVerdict(nil, det, false, []obs.Span{
+		{Stage: "transcribe", Engine: "aux", Start: time.Millisecond, Dur: time.Millisecond},
+	})
+	tailStart := len(AppendVerdict(nil, det, false, nil))
 	for i := 0; i < len(wire); i++ {
-		if _, _, err := ParseVerdict(wire[:i]); err == nil {
+		_, _, spans, err := ParseVerdict(wire[:i])
+		if err == nil && (i != tailStart || spans != nil) {
 			t.Fatalf("ParseVerdict accepted a %d/%d-byte truncation", i, len(wire))
 		}
 	}

@@ -104,6 +104,8 @@ func DefaultConfig() *Config {
 			"mvpears/internal/similarity",
 			"mvpears/internal/classify",
 			"mvpears/internal/asr",
+			"mvpears/internal/obs/drift",
+			"mvpears/internal/obs/slo",
 		},
 		ServingPaths: []string{
 			"mvpears/internal/server",

@@ -34,6 +34,7 @@ var metricRegMethods = map[string]int{
 	"CounterVec":   2,
 	"Gauge":        -1,
 	"GaugeFunc":    -1,
+	"GaugeVecFunc": 3,
 	"Histogram":    -1,
 	"HistogramVec": 3,
 }

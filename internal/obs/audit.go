@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,46 +30,224 @@ type AuditEntry struct {
 	Cached         bool              `json:"cached,omitempty"`
 }
 
+// DriftEvent is one detection-quality drift alarm, written to the same
+// audit stream as adversarial verdicts (the Event discriminator keeps
+// the JSONL parseable as a single stream). Drift alarms are audit-worthy
+// for the same reason verdicts are: a shifted score distribution is how
+// a transferable-AE campaign or a broken engine announces itself.
+type DriftEvent struct {
+	Time      time.Time `json:"time"`
+	Event     string    `json:"event"` // always "drift"
+	Family    string    `json:"family"`
+	Score     float64   `json:"score"`
+	Threshold float64   `json:"threshold"`
+	Samples   uint64    `json:"samples"`
+}
+
+// AuditSinkOptions tunes file-backed sinks. The zero value keeps the
+// original behavior: a single append-only file, never rotated.
+type AuditSinkOptions struct {
+	// MaxSegmentBytes rotates the active file into a gzipped segment
+	// once it reaches this many bytes (0 disables rotation).
+	MaxSegmentBytes int64
+	// MaxTotalBytes caps the bytes retained across rotated segments;
+	// the oldest segments are pruned first (0 keeps everything).
+	// Ignored unless rotation is enabled.
+	MaxTotalBytes int64
+}
+
 // AuditSink appends JSONL audit entries to a writer, one line per
-// adversarial verdict, serialized under a mutex so concurrent handlers
-// never interleave lines. A nil *AuditSink drops everything.
+// entry, serialized under a mutex so concurrent handlers never
+// interleave lines. File-backed sinks optionally rotate the active file
+// into numbered gzip segments (audit.log.000001.gz, ...) and prune the
+// oldest segments under a retained-bytes cap. Entries that cannot be
+// persisted are dropped — the audit log must never take down or block
+// serving — and counted via Dropped. A nil *AuditSink drops everything
+// silently.
 type AuditSink struct {
-	mu  sync.Mutex
-	w   io.Writer
-	c   io.Closer
-	enc *json.Encoder
+	mu   sync.Mutex
+	w    io.Writer
+	f    *os.File // non-nil for file-backed sinks (rotation target)
+	path string
+	opts AuditSinkOptions
+	size int64  // bytes written to the active segment
+	seq  uint64 // next rotation sequence number
+
+	// dropped counts entries lost to write/rotation failures plus
+	// rotated segments pruned by the retention cap.
+	dropped atomic.Uint64
 }
 
-// NewAuditSink wraps an arbitrary writer (tests, buffers).
+// NewAuditSink wraps an arbitrary writer (tests, buffers). No rotation.
 func NewAuditSink(w io.Writer) *AuditSink {
-	return &AuditSink{w: w, enc: json.NewEncoder(w)}
+	return &AuditSink{w: w}
 }
 
-// OpenAuditSink opens (or creates) path for append-only writing.
+// OpenAuditSink opens (or creates) path for append-only writing, without
+// rotation (the pre-rotation behavior).
 func OpenAuditSink(path string) (*AuditSink, error) {
+	return OpenAuditSinkWith(path, AuditSinkOptions{})
+}
+
+// OpenAuditSinkWith opens (or creates) path for append-only writing
+// under the given rotation policy. Existing rotated segments are
+// detected so sequence numbers keep increasing across restarts.
+func OpenAuditSinkWith(path string, opts AuditSinkOptions) (*AuditSink, error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("obs: opening audit sink: %w", err)
 	}
-	s := NewAuditSink(f)
-	s.c = f
+	s := &AuditSink{w: f, f: f, path: path, opts: opts}
+	if st, err := f.Stat(); err == nil {
+		s.size = st.Size()
+	}
+	for _, seg := range s.segments() {
+		if n := segmentSeq(seg); n >= s.seq {
+			s.seq = n + 1
+		}
+	}
 	return s, nil
 }
 
-// Write appends one entry. Nil-safe.
-func (s *AuditSink) Write(e AuditEntry) error {
+// Write appends one adversarial-verdict entry. Nil-safe. A persistence
+// failure drops the entry (counted) rather than failing the request.
+func (s *AuditSink) Write(e AuditEntry) error { return s.writeJSON(e) }
+
+// WriteDrift appends one drift alarm. Nil-safe.
+func (s *AuditSink) WriteDrift(e DriftEvent) error {
+	e.Event = "drift"
+	return s.writeJSON(e)
+}
+
+// Dropped returns how many entries/segments the sink has dropped
+// (metric face: mvpears_audit_dropped_total). Nil-safe.
+func (s *AuditSink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+func (s *AuditSink) writeJSON(v any) error {
 	if s == nil {
 		return nil
 	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		s.dropped.Add(1)
+		return fmt.Errorf("obs: encoding audit entry: %w", err)
+	}
+	line = append(line, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(e)
+	if _, err := s.w.Write(line); err != nil {
+		s.dropped.Add(1)
+		return fmt.Errorf("obs: writing audit entry: %w", err)
+	}
+	s.size += int64(len(line))
+	if s.f != nil && s.opts.MaxSegmentBytes > 0 && s.size >= s.opts.MaxSegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			// The active file keeps growing past the segment bound; the
+			// entry itself was persisted, so this is not a drop, but the
+			// failed rotation is worth surfacing to the caller.
+			return fmt.Errorf("obs: rotating audit sink: %w", err)
+		}
+	}
+	return nil
+}
+
+// rotateLocked compresses the active file into the next numbered .gz
+// segment, truncates the active file, and applies the retention cap.
+func (s *AuditSink) rotateLocked() error {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return err
+	}
+	segPath := fmt.Sprintf("%s.%06d.gz", s.path, s.seq)
+	seg, err := os.Create(segPath)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(seg)
+	if _, err := zw.Write(data); err == nil {
+		err = zw.Close()
+	} else {
+		zw.Close()
+	}
+	if cerr := seg.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(segPath)
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		os.Remove(segPath)
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.size = 0
+	s.seq++
+	s.pruneLocked()
+	return nil
+}
+
+// pruneLocked deletes the oldest rotated segments until the retained
+// bytes fit under MaxTotalBytes. Each pruned segment counts as dropped.
+func (s *AuditSink) pruneLocked() {
+	if s.opts.MaxTotalBytes <= 0 {
+		return
+	}
+	segs := s.segments()
+	var total int64
+	sizes := make([]int64, len(segs))
+	for i, seg := range segs {
+		if st, err := os.Stat(seg); err == nil {
+			sizes[i] = st.Size()
+			total += st.Size()
+		}
+	}
+	for i := 0; i < len(segs) && total > s.opts.MaxTotalBytes; i++ {
+		if os.Remove(segs[i]) == nil {
+			total -= sizes[i]
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// segments lists this sink's rotated segment files, oldest first.
+func (s *AuditSink) segments() []string {
+	matches, err := filepath.Glob(s.path + ".*.gz")
+	if err != nil {
+		return nil
+	}
+	sort.Strings(matches) // zero-padded sequence numbers sort naturally
+	return matches
+}
+
+// segmentSeq parses the sequence number out of a segment path
+// ("<path>.000042.gz" -> 42); 0 when unparseable.
+func segmentSeq(path string) uint64 {
+	base := filepath.Base(path)
+	// Strip the trailing ".gz", then take the digits after the last dot.
+	base = base[:len(base)-len(".gz")]
+	i := len(base) - 1
+	for i >= 0 && base[i] >= '0' && base[i] <= '9' {
+		i--
+	}
+	var n uint64
+	for _, c := range base[i+1:] {
+		n = n*10 + uint64(c-'0')
+	}
+	return n
 }
 
 // Close closes the underlying file, if the sink owns one. Nil-safe.
 func (s *AuditSink) Close() error {
-	if s == nil || s.c == nil {
+	if s == nil || s.f == nil {
 		return nil
 	}
-	return s.c.Close()
+	return s.f.Close()
 }

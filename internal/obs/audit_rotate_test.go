@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func auditEntryN(i int) AuditEntry {
+	return AuditEntry{
+		Time:           time.Unix(1_700_000_000+int64(i), 0).UTC(),
+		RequestID:      "req-" + strings.Repeat("x", 40), // pad lines so rotation triggers fast
+		Route:          "/v1/detect",
+		Verdict:        "adversarial",
+		Scores:         []float64{0.31, 0.42},
+		MinScore:       0.31,
+		MinEngine:      "DS1",
+		Transcriptions: map[string]string{"DS1": "open the door"},
+	}
+}
+
+// readSegment decompresses one rotated segment and returns its lines.
+func readSegment(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening segment: %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("gzip reader for %s: %v", path, err)
+	}
+	defer zr.Close()
+	var lines []string
+	sc := bufio.NewScanner(zr)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning segment: %v", err)
+	}
+	return lines
+}
+
+func TestAuditSinkRotatesIntoGzipSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	s, err := OpenAuditSinkWith(path, AuditSinkOptions{MaxSegmentBytes: 512})
+	if err != nil {
+		t.Fatalf("OpenAuditSinkWith: %v", err)
+	}
+	defer s.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.Write(auditEntryN(i)); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+
+	segs, err := filepath.Glob(path + ".*.gz")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no rotated segments (err=%v)", err)
+	}
+
+	// Every entry must survive, in order, across segments + active file.
+	var lines []string
+	for _, seg := range segs {
+		lines = append(lines, readSegment(t, seg)...)
+	}
+	active, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading active file: %v", err)
+	}
+	for _, l := range strings.Split(strings.TrimSpace(string(active)), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) != n {
+		t.Fatalf("recovered %d lines across segments, want %d", len(lines), n)
+	}
+	var e AuditEntry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("first recovered line is not valid JSON: %v", err)
+	}
+	if e.Verdict != "adversarial" || e.Route != "/v1/detect" {
+		t.Errorf("recovered entry = %+v", e)
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("Dropped = %d with no retention cap", s.Dropped())
+	}
+}
+
+func TestAuditSinkRetentionPrunesOldest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	s, err := OpenAuditSinkWith(path, AuditSinkOptions{
+		MaxSegmentBytes: 512,
+		MaxTotalBytes:   600, // roughly two compressed segments
+	})
+	if err != nil {
+		t.Fatalf("OpenAuditSinkWith: %v", err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 60; i++ {
+		if err := s.Write(auditEntryN(i)); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+
+	segs, _ := filepath.Glob(path + ".*.gz")
+	var total int64
+	for _, seg := range segs {
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatalf("stat %s: %v", seg, err)
+		}
+		total += st.Size()
+	}
+	if total > 600 {
+		t.Errorf("retained %d segment bytes, cap 600", total)
+	}
+	if s.Dropped() == 0 {
+		t.Error("retention pruned segments but Dropped stayed 0")
+	}
+	// The oldest segment must be gone, the newest retained.
+	if len(segs) == 0 {
+		t.Fatal("all segments pruned")
+	}
+	if strings.HasSuffix(segs[0], ".000000.gz") {
+		t.Error("oldest segment survived pruning")
+	}
+}
+
+func TestAuditSinkSeqResumesAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	opts := AuditSinkOptions{MaxSegmentBytes: 256}
+
+	s, err := OpenAuditSinkWith(path, opts)
+	if err != nil {
+		t.Fatalf("OpenAuditSinkWith: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Write(auditEntryN(i))
+	}
+	s.Close()
+	before, _ := filepath.Glob(path + ".*.gz")
+	if len(before) == 0 {
+		t.Fatal("first run produced no segments")
+	}
+
+	s2, err := OpenAuditSinkWith(path, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	for i := 0; i < 10; i++ {
+		s2.Write(auditEntryN(100 + i))
+	}
+	after, _ := filepath.Glob(path + ".*.gz")
+	if len(after) <= len(before) {
+		t.Fatal("second run produced no segments")
+	}
+	// Sequence numbers must be unique: a collision would have silently
+	// overwritten an old segment, keeping the count flat.
+	seen := map[string]bool{}
+	for _, seg := range after {
+		if seen[seg] {
+			t.Fatalf("duplicate segment %s", seg)
+		}
+		seen[seg] = true
+	}
+	maxBefore := segmentSeq(before[len(before)-1])
+	minAfterNew := segmentSeq(after[len(before)])
+	if minAfterNew <= maxBefore {
+		t.Errorf("reopened sink reused sequence numbers: %d after %d", minAfterNew, maxBefore)
+	}
+}
+
+func TestAuditSinkWriteDrift(t *testing.T) {
+	var buf strings.Builder
+	s := NewAuditSink(&buf)
+	err := s.WriteDrift(DriftEvent{
+		Time:      time.Unix(1_700_000_000, 0).UTC(),
+		Family:    "engine:DS1",
+		Score:     0.41,
+		Threshold: 0.25,
+		Samples:   512,
+	})
+	if err != nil {
+		t.Fatalf("WriteDrift: %v", err)
+	}
+	var got DriftEvent
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &got); err != nil {
+		t.Fatalf("drift line not JSON: %v", err)
+	}
+	if got.Event != "drift" {
+		t.Errorf("Event = %q, want drift (discriminator must be forced)", got.Event)
+	}
+	if got.Family != "engine:DS1" || got.Score != 0.41 || got.Samples != 512 {
+		t.Errorf("drift event = %+v", got)
+	}
+
+	// Nil-safety parity with Write.
+	var nilSink *AuditSink
+	if err := nilSink.WriteDrift(DriftEvent{}); err != nil {
+		t.Errorf("nil sink WriteDrift: %v", err)
+	}
+	if nilSink.Dropped() != 0 {
+		t.Error("nil sink Dropped != 0")
+	}
+}
+
+func TestAuditSinkFailedWriteCountsDropped(t *testing.T) {
+	s := NewAuditSink(failWriter{})
+	if err := s.Write(auditEntryN(0)); err == nil {
+		t.Fatal("write to failing writer returned nil")
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, os.ErrClosed }

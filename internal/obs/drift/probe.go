@@ -1,0 +1,125 @@
+// Query-pattern watching: adversarial-example construction against a
+// black-box detector is iterative — the attacker re-submits near-copies
+// of one clip, perturbing a few samples per round, and watches the
+// verdict. Individually each query is unremarkable; the tell is the
+// *shape* of the stream: many uploads that coarsely hash alike while
+// differing exactly. The ProbeWatcher measures that shape and exposes it
+// as a suspicion score (mvpears_probe_suspicion).
+package drift
+
+import "sync"
+
+// probeWindow is the rolling observation window behind Suspicion().
+const probeWindow = 256
+
+// ProbeWatcher tracks recent uploads' coarse/exact key pairs and scores
+// how much of the recent stream looks like near-duplicate probing. Safe
+// for concurrent use.
+type ProbeWatcher struct {
+	mu sync.Mutex
+	// entries maps coarse key -> the exact key last seen under it,
+	// bounded by capacity with FIFO eviction via order.
+	entries map[uint64]string
+	order   []uint64
+	next    int
+	filled  int
+	// window is the rolling near-duplicate flag ring.
+	window [probeWindow]bool
+	wnext  int
+	wfill  int
+	// nearDups counts near-duplicate observations since start
+	// (monotonic; test and /statusz face).
+	nearDups uint64
+}
+
+// NewProbeWatcher builds a watcher remembering the last capacity
+// distinct coarse keys (default 256 when capacity <= 0).
+func NewProbeWatcher(capacity int) *ProbeWatcher {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &ProbeWatcher{
+		entries: make(map[uint64]string, capacity),
+		order:   make([]uint64, capacity),
+	}
+}
+
+// Observe records one upload, identified by its coarse perceptual key
+// and its exact content key (the verdict-cache key, or any
+// content-derived string). It reports whether the upload is a near
+// duplicate: same coarse key as an earlier upload but different exact
+// content — the signature of mutate-and-retry probing. Exact repeats
+// (retries, cache hits) are not suspicious.
+func (w *ProbeWatcher) Observe(coarse uint64, exact string) (nearDup bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prev, seen := w.entries[coarse]
+	nearDup = seen && prev != exact
+	if nearDup {
+		w.nearDups++
+	}
+	if !seen {
+		if w.filled == len(w.order) {
+			delete(w.entries, w.order[w.next])
+		} else {
+			w.filled++
+		}
+		w.order[w.next] = coarse
+		w.next = (w.next + 1) % len(w.order)
+	}
+	w.entries[coarse] = exact
+	w.window[w.wnext] = nearDup
+	w.wnext = (w.wnext + 1) % probeWindow
+	if w.wfill < probeWindow {
+		w.wfill++
+	}
+	return nearDup
+}
+
+// Suspicion returns the fraction of the rolling window that were
+// near-duplicate uploads (0 when nothing observed yet). Benign traffic —
+// distinct clips, or exact retries — scores ~0; an active probing
+// campaign pushes it toward 1.
+func (w *ProbeWatcher) Suspicion() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.wfill == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < w.wfill; i++ {
+		if w.window[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(w.wfill)
+}
+
+// NearDuplicates returns the monotonic count of near-duplicate uploads
+// observed.
+func (w *ProbeWatcher) NearDuplicates() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nearDups
+}
+
+// CoarseKey derives a perceptual bucket for raw little-endian PCM16
+// bytes: FNV-1a over the high byte (with the two lowest of its bits
+// masked) of every 64th sample, plus a 1 KiB length bucket. Two clips
+// that differ in a handful of samples — or by sub-quantization noise
+// everywhere — almost always collide, while genuinely different audio
+// does not. Deterministic and allocation-free.
+func CoarseKey(pcm []byte) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	h ^= uint64(len(pcm) >> 10)
+	h *= fnvPrime
+	for i := 1; i < len(pcm); i += 128 {
+		h ^= uint64(pcm[i] &^ 0x03)
+		h *= fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package drift
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pcmClip synthesizes len bytes of deterministic pseudo-audio.
+func pcmClip(n int, seed byte) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x = x*73 + 41
+		out[i] = x
+	}
+	return out
+}
+
+func TestCoarseKeyCollapsesSmallPerturbations(t *testing.T) {
+	base := pcmClip(32000, 1)
+	// Perturb one sample's low byte (a sub-quantization poke): the
+	// coarse key must not change.
+	poked := append([]byte(nil), base...)
+	poked[1000] ^= 0x01 // low byte of sample 500
+	if CoarseKey(base) != CoarseKey(poked) {
+		t.Error("low-byte perturbation changed the coarse key")
+	}
+	// The two low bits of sampled high bytes are masked too.
+	poked2 := append([]byte(nil), base...)
+	poked2[129] ^= 0x03 // sampled high byte, masked bits
+	if CoarseKey(base) != CoarseKey(poked2) {
+		t.Error("masked-bit perturbation changed the coarse key")
+	}
+	// Genuinely different audio separates.
+	if CoarseKey(base) == CoarseKey(pcmClip(32000, 2)) {
+		t.Error("distinct clips collided")
+	}
+	if CoarseKey(base) == CoarseKey(pcmClip(48000, 1)) {
+		t.Error("different-length clips collided")
+	}
+}
+
+func TestProbeWatcherFlagsMutationCampaign(t *testing.T) {
+	w := NewProbeWatcher(64)
+	base := pcmClip(32000, 3)
+	coarse := CoarseKey(base)
+
+	// First sighting: not a near-dup.
+	if w.Observe(coarse, "exact-0") {
+		t.Fatal("first upload flagged as near-duplicate")
+	}
+	// Exact retry: same content, not suspicious.
+	if w.Observe(coarse, "exact-0") {
+		t.Fatal("exact retry flagged as near-duplicate")
+	}
+	// Mutation campaign: same coarse bucket, fresh exact keys.
+	for i := 1; i <= 50; i++ {
+		if !w.Observe(coarse, fmt.Sprintf("exact-%d", i)) {
+			t.Fatalf("mutation %d not flagged", i)
+		}
+	}
+	if got := w.NearDuplicates(); got != 50 {
+		t.Errorf("NearDuplicates = %d, want 50", got)
+	}
+	if s := w.Suspicion(); s < 0.9 {
+		t.Errorf("Suspicion = %v after a campaign, want > 0.9", s)
+	}
+}
+
+func TestProbeWatcherBenignTrafficStaysQuiet(t *testing.T) {
+	w := NewProbeWatcher(64)
+	for i := 0; i < 200; i++ {
+		clip := pcmClip(16000+i*13, byte(i))
+		if w.Observe(CoarseKey(clip), fmt.Sprintf("exact-%d", i)) {
+			t.Fatalf("distinct clip %d flagged as near-duplicate", i)
+		}
+	}
+	if s := w.Suspicion(); s != 0 {
+		t.Errorf("Suspicion = %v on benign traffic, want 0", s)
+	}
+}
+
+func TestProbeWatcherEviction(t *testing.T) {
+	w := NewProbeWatcher(4)
+	for i := 0; i < 10; i++ {
+		w.Observe(uint64(i), "x")
+	}
+	if len(w.entries) != 4 {
+		t.Fatalf("entries = %d, want capacity 4", len(w.entries))
+	}
+	// Key 0 was evicted: re-observing it is a first sighting again.
+	if w.Observe(0, "y") {
+		t.Error("evicted key still flagged as near-duplicate")
+	}
+	// Key 9 is resident: a differing exact key flags.
+	if !w.Observe(9, "different") {
+		t.Error("resident key with new content not flagged")
+	}
+}

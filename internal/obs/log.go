@@ -123,8 +123,8 @@ func (l *RequestLogger) Log(rec RequestRecord) {
 				stageAttrs = append(stageAttrs, slog.Float64(stage+"_ms", durMS(d)))
 			}
 		}
-		if d, ok := totals[StageCluster]; ok {
-			stageAttrs = append(stageAttrs, slog.Float64(StageCluster+"_ms", durMS(d)))
+		if d, ok := totals[StageClusterForward]; ok {
+			stageAttrs = append(stageAttrs, slog.Float64(StageClusterForward+"_ms", durMS(d)))
 		}
 		attrs = append(attrs, slog.Group("stages", stageAttrs...))
 	}
@@ -143,12 +143,8 @@ func (l *RequestLogger) Log(rec RequestRecord) {
 		spans := rec.Trace.Spans()
 		spanAttrs := make([]any, 0, len(spans))
 		for i, sp := range spans {
-			name := sp.Stage
-			if sp.Engine != "" {
-				name = sp.Stage + ":" + sp.Engine
-			}
 			spanAttrs = append(spanAttrs, slog.Group(itoa2(i),
-				slog.String("span", name),
+				slog.String("span", sp.Name()),
 				slog.Float64("start_ms", durMS(sp.Start)),
 				slog.Float64("dur_ms", durMS(sp.Dur)),
 			))

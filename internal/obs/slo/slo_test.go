@@ -1,0 +1,135 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+// counters is a mutable Source backing for tests.
+type counters struct{ bad, total float64 }
+
+func (c *counters) source() Source {
+	return func() (float64, float64) { return c.bad, c.total }
+}
+
+func newTestEngine(c *counters) *Engine {
+	return New(Config{
+		Objectives: []Objective{{Name: "latency", Target: 0.99, Source: c.source()}},
+		FastWindow: 5 * time.Minute,
+		SlowWindow: time.Hour,
+		// 15s snapshots, default alert burn 14.4.
+	})
+}
+
+func TestStatusHealthyService(t *testing.T) {
+	c := &counters{}
+	e := newTestEngine(c)
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// Drive an hour of healthy traffic: 0.1% bad against a 1% budget.
+	for i := 0; i <= 240; i++ {
+		c.total = float64(i) * 100
+		c.bad = c.total * 0.001
+		e.Status(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	st := e.Status(t0.Add(time.Hour))
+	if len(st) != 1 {
+		t.Fatalf("status count = %d", len(st))
+	}
+	o := st[0]
+	// 0.1% bad / 1% budget = burn 0.1 on both windows.
+	if o.FastBurn < 0.05 || o.FastBurn > 0.2 || o.SlowBurn < 0.05 || o.SlowBurn > 0.2 {
+		t.Errorf("healthy burns = fast %v slow %v, want ~0.1", o.FastBurn, o.SlowBurn)
+	}
+	if o.Alerting {
+		t.Error("healthy service alerting")
+	}
+}
+
+func TestStatusSustainedRegressionAlerts(t *testing.T) {
+	c := &counters{}
+	e := newTestEngine(c)
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// An hour of traffic where 30% of events are bad (30% / 1% budget =
+	// burn 30 > 14.4 on both windows).
+	for i := 0; i <= 240; i++ {
+		c.total = float64(i) * 100
+		c.bad = c.total * 0.3
+		e.Status(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	o := e.Status(t0.Add(time.Hour))[0]
+	if o.FastBurn < 14.4 || o.SlowBurn < 14.4 {
+		t.Fatalf("regression burns = fast %v slow %v, want > 14.4", o.FastBurn, o.SlowBurn)
+	}
+	if !o.Alerting {
+		t.Error("sustained regression not alerting")
+	}
+}
+
+func TestStatusBriefSpikeDoesNotAlert(t *testing.T) {
+	c := &counters{}
+	e := newTestEngine(c)
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// 55 minutes healthy...
+	for i := 0; i <= 220; i++ {
+		c.total = float64(i) * 100
+		c.bad = c.total * 0.001
+		e.Status(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	// ...then a hot 5 minutes (every new event bad).
+	for i := 221; i <= 240; i++ {
+		c.total = float64(i) * 100
+		c.bad += 100
+		e.Status(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	o := e.Status(t0.Add(time.Hour))[0]
+	if o.FastBurn < 14.4 {
+		t.Fatalf("fast burn = %v during the spike, want hot (> 14.4)", o.FastBurn)
+	}
+	if o.SlowBurn > 14.4 {
+		t.Fatalf("slow burn = %v, want the hour window to dilute the spike", o.SlowBurn)
+	}
+	if o.Alerting {
+		t.Error("5-minute spike alerted (multi-window gate failed)")
+	}
+}
+
+func TestStatusNoTrafficBurnsNothing(t *testing.T) {
+	c := &counters{}
+	e := newTestEngine(c)
+	o := e.Status(time.Unix(1_700_000_000, 0))[0]
+	if o.FastBurn != 0 || o.SlowBurn != 0 || o.Alerting {
+		t.Errorf("idle status = %+v, want zero burns", o)
+	}
+}
+
+func TestSnapshotRingPrunes(t *testing.T) {
+	c := &counters{}
+	e := newTestEngine(c)
+	t0 := time.Unix(1_700_000_000, 0)
+	// Four hours of scrapes: the ring must stay bounded around the slow
+	// window (1h / 15s = 240 snapshots, plus the retained baseline).
+	for i := 0; i < 960; i++ {
+		c.total = float64(i)
+		e.Status(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	if n := len(e.ring); n > 245 {
+		t.Fatalf("ring grew to %d snapshots, want ≈240", n)
+	}
+}
+
+func TestMonotonicWithinSnapshotInterval(t *testing.T) {
+	// Status calls more frequent than SnapshotEvery must not grow the
+	// ring (scrape storms stay cheap).
+	c := &counters{}
+	e := newTestEngine(c)
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 100; i++ {
+		e.Status(t0.Add(time.Duration(i) * time.Second / 10))
+	}
+	if n := len(e.ring); n != 1 {
+		t.Fatalf("ring = %d snapshots after sub-interval scrapes, want 1", n)
+	}
+}

@@ -32,10 +32,12 @@ const (
 	StageSimilarity = "similarity" // pairwise similarity scoring
 	StageClassify   = "classify"   // classifier inference on the score vector
 
-	// StageCluster is the peer round trip of a request answered by its
-	// owning replica (remote cache hit or forwarded detection). It is not
-	// in Stages: it replaces the local pipeline rather than extending it.
-	StageCluster = "cluster"
+	// StageClusterForward is the peer round trip of a request answered by
+	// its owning replica (remote cache hit, forwarded detection, or hedge
+	// win). It is not in Stages: it replaces the local pipeline rather
+	// than extending it. The owner's own stage spans come back on the wire
+	// and stitch in under this span (see Trace.RecordRemote).
+	StageClusterForward = "cluster_forward"
 )
 
 // Stages lists every pipeline stage in execution order.
@@ -47,9 +49,41 @@ var Stages = []string{StageDecode, StageTranscribe, StagePhonetic, StageSimilari
 type Span struct {
 	Stage  string
 	Engine string
+	// Peer is the advertised address of the replica the span ran on, or
+	// empty for local spans. Set by Trace.RecordRemote when a forwarded
+	// detection's spans come back over the cluster wire and stitch in.
+	Peer string
 	// Start is the offset from the trace's start.
 	Start time.Duration
 	Dur   time.Duration
+}
+
+// Name renders the span's qualified name for logs and explain output:
+// stage, stage:engine for per-engine spans, with an @peer suffix on spans
+// stitched in from a remote replica.
+func (sp Span) Name() string {
+	name := sp.Stage
+	if sp.Engine != "" {
+		name += ":" + sp.Engine
+	}
+	if sp.Peer != "" {
+		name += "@" + sp.Peer
+	}
+	return name
+}
+
+// TraceContext is the compact propagation form of a trace carried on the
+// cluster wire protocol: enough for the receiving replica to join its
+// work to the requester's trace, nothing more.
+type TraceContext struct {
+	// TraceID is the originating request's trace (request) ID.
+	TraceID string
+	// Parent names the requester-side span the remote work nests under
+	// (StageClusterForward on the forward and hedge paths).
+	Parent string
+	// Sampled asks the receiver to ship its stage spans back in the
+	// verdict so the requester can stitch them.
+	Sampled bool
 }
 
 // Trace collects the spans and verdict annotations of one request. A nil
@@ -108,6 +142,36 @@ func (t *Trace) Record(stage, engine string, start time.Time) {
 		Start:  start.Sub(t.begin),
 		Dur:    now.Sub(start),
 	})
+	t.mu.Unlock()
+}
+
+// Context returns the trace's wire propagation form, parented under the
+// given requester-side span name. A nil trace propagates nothing and asks
+// for no remote spans (Sampled false), so untraced requests keep the old
+// compact wire encoding.
+func (t *Trace) Context(parent string) TraceContext {
+	if t == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: t.id, Parent: parent, Sampled: true}
+}
+
+// RecordRemote stitches spans shipped back by the replica at peer into
+// this trace. The remote offsets are relative to the remote trace's own
+// start; they are re-anchored at rpcStart — the local wall time the round
+// trip began — so the stitched spans nest inside the local
+// StageClusterForward span without assuming synchronized clocks.
+func (t *Trace) RecordRemote(peer string, rpcStart time.Time, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	base := rpcStart.Sub(t.begin)
+	t.mu.Lock()
+	for _, sp := range spans {
+		sp.Peer = peer
+		sp.Start += base
+		t.spans = append(t.spans, sp)
+	}
 	t.mu.Unlock()
 }
 
@@ -215,6 +279,8 @@ func (t *Trace) Annotations() (verdict string, cached, collapsed bool) {
 // StageTotals sums span durations by stage. Per-engine transcription spans
 // are excluded: the aggregate transcribe span already covers their wall
 // time, and the engines run concurrently so their sum is not a wall-time.
+// Remote spans are excluded too — the local cluster_forward span already
+// covers their wall time; they are attribution detail, not budget.
 func (t *Trace) StageTotals() map[string]time.Duration {
 	if t == nil {
 		return nil
@@ -223,7 +289,7 @@ func (t *Trace) StageTotals() map[string]time.Duration {
 	defer t.mu.Unlock()
 	out := make(map[string]time.Duration, len(Stages))
 	for _, sp := range t.spans {
-		if sp.Engine != "" {
+		if sp.Engine != "" || sp.Peer != "" {
 			continue
 		}
 		out[sp.Stage] += sp.Dur

@@ -109,6 +109,7 @@ func (s *Server) handleReloadz(w http.ResponseWriter, r *http.Request) {
 //
 //	GET  /debug/pprof/...  net/http/pprof profiles
 //	GET  /infoz            build + model + runtime identity (JSON)
+//	GET  /statusz          human-readable fleet/drift/SLO status page
 //	GET  /metrics          the same Prometheus exposition as the serving port
 //	GET  /healthz          liveness
 //	POST /reloadz          zero-downtime hot model reload
@@ -120,6 +121,7 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/infoz", s.handleInfoz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/reloadz", s.handleReloadz)

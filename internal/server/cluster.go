@@ -107,6 +107,12 @@ func (s *Server) startCluster(cc *ClusterConfig) error {
 		MaxInflight:    cc.MaxInflight,
 		DownFor:        cc.DownFor,
 		VirtualNodes:   cc.VirtualNodes,
+		ObserveRTT: func(peer string, d time.Duration) {
+			s.clusterRTTSeconds.With(peer).Observe(d.Seconds())
+		},
+		OnBusyDecline: func() {
+			s.rejectedTotal.With(rejectPeerBusy).Inc()
+		},
 	})
 	if err != nil {
 		_ = ln.Close()
@@ -165,41 +171,54 @@ func (h clusterHandler) GetCached(_ context.Context, key string) (*mvpears.Detec
 
 // Detect answers a forwarded detection strictly locally: verify the key
 // against our model, probe the cache, then run (or join) the detection
-// under the local singleflight.
-func (h clusterHandler) Detect(ctx context.Context, key string, sampleRate int, pcm []byte) (*mvpears.Detection, bool, error) {
+// under the local singleflight. tc is the requester's propagated trace
+// context: the local trace adopts its ID (so this replica's logs join
+// the originating request's trace) and, when tc.Sampled, the recorded
+// spans are returned for the requester to stitch.
+func (h clusterHandler) Detect(ctx context.Context, tc obs.TraceContext, key string, sampleRate int, pcm []byte) (*mvpears.Detection, bool, []obs.Span, error) {
 	s := h.s
 	s.clusterServed.With("detect").Inc()
 	if s.draining.Load() {
-		return nil, false, errors.New("draining")
+		return nil, false, nil, errors.New("draining")
 	}
 	st := s.state()
 	// The requester derived key under its model fingerprint; recompute it
 	// under ours. A mismatch means the fleet is mid-reload with skewed
 	// models — decline, and the requester detects locally.
 	if localKey := vcache.KeyPCM16(st.modelFP, sampleRate, pcm); localKey != key {
-		return nil, false, errors.New("model fingerprint mismatch (reload in progress?)")
+		return nil, false, nil, errors.New("model fingerprint mismatch (reload in progress?)")
 	}
 	if det, ok := s.vc.Get(key); ok {
-		return det, true, nil
+		return det, true, nil, nil
 	}
 	// pcm aliases the connection's frame buffer; DecodeInto below copies
 	// it into fresh float samples before this call returns.
 	clip, _, err := s.finishClipInto(st, audio.PCM16{SampleRate: sampleRate, Data: pcm}, nil)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
-	// A fresh trace so the owner's engine spans feed its own stage
-	// metrics and cascade cost observer.
-	trace := obs.NewTrace(obs.NewRequestID())
+	// A local trace under the requester's trace ID (fresh when untraced):
+	// the owner's engine spans feed its own stage metrics and cascade cost
+	// observer either way, and the ID join makes slow-log lines on both
+	// replicas greppable by one request ID.
+	id := tc.TraceID
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	trace := obs.NewTrace(id)
 	det, how, err := s.detect(st, obs.WithTrace(ctx, trace), key, clip, nil, nil)
 	if err != nil {
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	if how == howFresh {
 		s.observeDetection(st, det)
 		s.observeTrace(st, trace)
 	}
-	return det, how != howFresh, nil
+	var spans []obs.Span
+	if tc.Sampled {
+		spans = trace.Spans()
+	}
+	return det, how != howFresh, spans, nil
 }
 
 // forwardPCM is the canonical PCM payload a request carries into the
@@ -230,12 +249,13 @@ func (s *Server) clusterFetch(ctx context.Context, key string, fwd *forwardPCM) 
 		return nil, howFresh, false
 	}
 	start := time.Now()
+	tc := obs.TraceFrom(ctx).Context(obs.StageClusterForward)
 	// For large payloads a Get probe first: a remote hit then costs one
 	// small round trip instead of shipping the whole clip.
 	if len(fwd.data) > s.getProbeBytes {
-		det, ok, err := s.node.Get(ctx, owner, key)
+		det, ok, err := s.node.Get(ctx, owner, key, tc)
 		if err == nil && ok {
-			s.finishRemote(ctx, key, det, start)
+			s.finishRemote(ctx, key, owner, det, start, nil)
 			s.clusterForwards.With("hit").Inc()
 			return det, howRemoteHit, true
 		}
@@ -244,14 +264,14 @@ func (s *Server) clusterFetch(ctx context.Context, key string, fwd *forwardPCM) 
 			return nil, howFresh, false
 		}
 	}
-	det, cached, err := s.node.Detect(ctx, owner, key, fwd.rate, fwd.data)
+	det, cached, spans, err := s.node.Detect(ctx, owner, key, fwd.rate, fwd.data, tc)
 	if err != nil {
 		// Degrade, never fail: the owner being down or declining makes
 		// this replica detect locally.
 		s.clusterForwards.With("error").Inc()
 		return nil, howFresh, false
 	}
-	s.finishRemote(ctx, key, det, start)
+	s.finishRemote(ctx, key, owner, det, start, spans)
 	if cached {
 		s.clusterForwards.With("hit").Inc()
 		return det, howRemoteHit, true
@@ -261,11 +281,15 @@ func (s *Server) clusterFetch(ctx context.Context, key string, fwd *forwardPCM) 
 }
 
 // finishRemote records a remotely-answered detection: local cache
-// population (repeats become local hits) and the cluster span.
-func (s *Server) finishRemote(ctx context.Context, key string, det *mvpears.Detection, start time.Time) {
+// population (repeats become local hits), the cluster_forward span, and
+// the owner's own spans stitched in under it (anchored at this replica's
+// round-trip start, so no cross-process clock agreement is assumed).
+func (s *Server) finishRemote(ctx context.Context, key, peer string, det *mvpears.Detection, start time.Time, spans []obs.Span) {
 	s.vc.Put(key, det, detectionSize(key, det))
-	obs.TraceFrom(ctx).Record(obs.StageCluster, "", start)
-	s.pipelineSeconds.With(obs.StageCluster).Observe(time.Since(start).Seconds())
+	trace := obs.TraceFrom(ctx)
+	trace.Record(obs.StageClusterForward, "", start)
+	trace.RecordRemote(peer, start, spans)
+	s.pipelineSeconds.With(obs.StageClusterForward).Observe(time.Since(start).Seconds())
 }
 
 // expectedDetectCost estimates one fresh detection's wall time: the
@@ -351,23 +375,35 @@ func (s *Server) hedgedRun(ctx context.Context, st *backendState, key string, fw
 		det    *mvpears.Detection
 		remote bool
 		err    error
+		// Hedge-leg trace stitch inputs: the dispatch time and the peer's
+		// returned spans.
+		start time.Time
+		spans []obs.Span
 	}
 	results := make(chan result, 2) // buffered: the loser must never block
 	go func() {
 		det, err := run(hctx)
-		results <- result{det, false, err}
+		results <- result{det: det, err: err}
 	}()
+	tc := obs.TraceFrom(ctx).Context(obs.StageClusterForward)
 	timer := time.AfterFunc(delay, func() {
 		s.clusterHedges.Inc()
-		det, _, err := s.node.Detect(hctx, addr, key, fwd.rate, fwd.data)
-		results <- result{det, true, err}
+		start := time.Now()
+		det, _, spans, err := s.node.Detect(hctx, addr, key, fwd.rate, fwd.data, tc)
+		results <- result{det: det, remote: true, err: err, start: start, spans: spans}
 	})
 	defer timer.Stop()
+	hedgeWin := func(r result) {
+		s.clusterHedgeWins.Inc()
+		trace := obs.TraceFrom(ctx)
+		trace.Record(obs.StageClusterForward, "", r.start)
+		trace.RecordRemote(addr, r.start, r.spans)
+	}
 	first := <-results
 	if first.err == nil {
 		hcancel() // cancel the loser promptly (deadline poisoning unblocks its RPC)
 		if first.remote {
-			s.clusterHedgeWins.Inc()
+			hedgeWin(first)
 		}
 		return first.det, first.remote, nil
 	}
@@ -377,7 +413,7 @@ func (s *Server) hedgedRun(ctx context.Context, st *backendState, key string, fw
 		second := <-results
 		if second.err == nil {
 			if second.remote {
-				s.clusterHedgeWins.Inc()
+				hedgeWin(second)
 			}
 			return second.det, second.remote, nil
 		}

@@ -14,6 +14,7 @@ import (
 	"mvpears"
 	"mvpears/internal/audio"
 	"mvpears/internal/obs"
+	"mvpears/internal/obs/drift"
 	"mvpears/internal/vcache"
 )
 
@@ -150,6 +151,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, fn func(ctx cont
 		return true
 	case errors.Is(err, ErrQueueFull):
 		s.queueRejected.Inc()
+		s.rejectedTotal.With(rejectQueueFull).Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 	case errors.Is(err, ErrPoolClosed):
@@ -163,12 +165,20 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request, fn func(ctx cont
 }
 
 // countVerdict records one served verdict and returns its wire string.
+// It also feeds the verdict-quality SLO (a verdict served while any
+// drift family is tripped spends quality budget) and the verdict
+// base-rate drift family.
 func (s *Server) countVerdict(det *mvpears.Detection) string {
 	verdict := VerdictBenign
 	if det.Adversarial {
 		verdict = VerdictAdversarial
 	}
 	s.detectionsTotal.With(verdict).Inc()
+	s.sloVerdicts.Add(1)
+	if s.driftMon.AnyDrifted() {
+		s.sloVerdictsDrifted.Add(1)
+	}
+	s.driftMon.ObserveEvent("adversarial_rate", det.Adversarial)
 	return verdict
 }
 
@@ -203,6 +213,7 @@ func (s *Server) observeDetection(st *backendState, det *mvpears.Detection) {
 		if casc.SampledFull {
 			s.cascadeSampledFull.Inc()
 		}
+		s.driftMon.ObserveEvent("short_circuit_rate", casc.ShortCircuit)
 	}
 	aux := st.auxNames
 	min, observed := 1.0, 0
@@ -216,6 +227,7 @@ func (s *Server) observeDetection(st *backendState, det *mvpears.Detection) {
 		observed++
 		if i < len(aux) {
 			s.engineSimilarity.With(aux[i]).Observe(score)
+			s.driftMon.ObserveScore("engine:"+aux[i], score)
 		}
 		if score < min {
 			min = score
@@ -223,6 +235,7 @@ func (s *Server) observeDetection(st *backendState, det *mvpears.Detection) {
 	}
 	if observed > 0 {
 		s.minSimilarity.Observe(min)
+		s.driftMon.ObserveScore("min_score", min)
 	}
 }
 
@@ -452,6 +465,7 @@ func (s *Server) writeDetectError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.queueRejected.Inc()
+		s.rejectedTotal.With(rejectQueueFull).Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
 	case errors.Is(err, ErrPoolClosed):
@@ -488,6 +502,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := s.cacheKey(st, pcm)
+	if key != "" {
+		// Query-pattern watch: a coarse perceptual key colliding with an
+		// earlier upload whose exact key differs is the mutate-one-sample
+		// probing signature. Observed before the cache lookup so exact
+		// retries (which hit the cache) dilute the suspicion window
+		// honestly. Requires the cache only for the exact content key.
+		s.probe.Observe(drift.CoarseKey(pcm.Data), key)
+	}
 	if key != "" {
 		if det, ok := s.vc.Get(key); ok {
 			trace.SetCached()

@@ -82,6 +82,62 @@ func (h *Histogram) Count() uint64 {
 	return h.total
 }
 
+// CountAtOrBelow returns how many observations fell at or below bound
+// (which should be one of the histogram's bucket bounds; an intermediate
+// value counts the buckets wholly at or below it). The SLO engine uses
+// this to turn a latency histogram into a good-events counter.
+func (h *Histogram) CountAtOrBelow(bound float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.counts[i]
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation inside
+// the containing bucket, the same estimate Prometheus's histogram_quantile
+// computes. Returns 0 with no observations; values in the +Inf bucket
+// report the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // snapshot returns cumulative bucket counts, the sum and the total.
 func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
 	h.mu.Lock()
@@ -240,6 +296,33 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// LabeledValue is one (label values, value) sample of a GaugeVecFunc.
+type LabeledValue struct {
+	Values []string
+	Value  float64
+}
+
+// GaugeVecFunc registers a labeled gauge family whose full child set is
+// sampled at render time. The callback returns one LabeledValue per child;
+// children are sorted by rendered label key so exposition is deterministic
+// regardless of the callback's internal ordering.
+func (r *Registry) GaugeVecFunc(name, help string, fn func() []LabeledValue, labels ...string) {
+	r.add(name, help, "gauge", func(w io.Writer, n string) {
+		samples := fn()
+		lines := make([]string, 0, len(samples))
+		for _, s := range samples {
+			if len(s.Values) != len(labels) {
+				panic(fmt.Sprintf("server: metric %s wants %d label values, got %d", n, len(labels), len(s.Values)))
+			}
+			lines = append(lines, renderLabels(labels, s.Values)+" "+formatFloat(s.Value))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintf(w, "%s%s\n", n, l)
+		}
+	})
+}
+
 // Histogram registers and returns a new histogram with the given upper
 // bounds (ascending; +Inf is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -269,6 +352,24 @@ func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
 	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// FamilyInfo describes one registered metric family (for the generated
+// metrics reference; see cmd/genmetrics).
+type FamilyInfo struct {
+	Name, Type, Help string
+}
+
+// Families returns every registered family's metadata in registration
+// order.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, FamilyInfo{Name: m.name, Type: m.typ, Help: m.help})
+	}
+	return out
 }
 
 // Render writes every registered metric in the Prometheus text format.

@@ -73,6 +73,11 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 			}
 			s.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
 			s.requestSeconds.With(route).Observe(time.Since(start).Seconds())
+			// Availability SLO counters: every finished request, bad = 5xx.
+			s.sloHTTPTotal.Add(1)
+			if rec.status >= 500 {
+				s.sloHTTP5xx.Add(1)
+			}
 			if s.reqLog != nil {
 				verdict, cached, collapsed := trace.Annotations()
 				s.reqLog.Log(obs.RequestRecord{

@@ -82,6 +82,17 @@ func (s *Server) buildState(backend Backend) (*backendState, error) {
 			return nil, err
 		}
 	}
+	// Install the model's calibration-time drift reference (when the
+	// backend carries one) so live score distributions are compared
+	// against the model actually serving. A reload replaces the
+	// reference atomically with the backend swap's visibility.
+	if dr, ok := backend.(DriftReferencer); ok {
+		if ref := dr.DriftReference(); ref != nil {
+			if err := s.driftMon.SetReference(ref); err != nil {
+				return nil, fmt.Errorf("server: installing drift reference: %w", err)
+			}
+		}
+	}
 	return st, nil
 }
 
@@ -106,8 +117,11 @@ func (s *Server) buildStreamManager(st *backendState) error {
 		MinWindows:       cfg.MinWindows,
 		DisableEarlyExit: cfg.DisableEarlyExit,
 		Hooks: stream.Hooks{
-			SessionOpened:   func() { s.streamSessions.Inc() },
-			SessionRejected: func() { s.streamRejected.Inc() },
+			SessionOpened: func() { s.streamSessions.Inc() },
+			SessionRejected: func() {
+				s.streamRejected.Inc()
+				s.rejectedTotal.With(rejectStreamSessions).Inc()
+			},
 			SessionClosed: func(evicted bool) {
 				if evicted {
 					s.streamEvicted.Inc()

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -260,5 +261,80 @@ func TestReloadClusterWideInvalidation(t *testing.T) {
 	}
 	if callsA2.Load() != 0 {
 		t.Fatal("the reloaded owner ran a detection for an old-model key")
+	}
+}
+
+// TestReloadModelInfoAtomicFlip probes the identity surfaces across a hot
+// reload: /infoz and the mvpears_model_info gauge read the same atomic
+// backend pointer, so an /infoz -> /metrics -> /infoz probe that sees the
+// same fingerprint on both /infoz reads must see that exact fingerprint
+// in the metrics scrape between them. A mismatch would mean the identity
+// surfaces flip at different moments — the skew this test exists to rule
+// out.
+func TestReloadModelInfoAtomicFlip(t *testing.T) {
+	stubB, _ := countingStub()
+	s, err := New(Config{
+		Backend: &fpStub{instantStub(), "model-a"},
+		Reload: func() (Backend, error) {
+			time.Sleep(20 * time.Millisecond)
+			return &fpStub{stubB, "model-b"}, nil
+		},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(s.AdminHandler())
+	t.Cleanup(admin.Close)
+
+	infoFP := func() string {
+		resp, err := http.Get(admin.URL + "/infoz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := decodeBody[InfoJSON](t, resp)
+		resp.Body.Close()
+		return info.ModelFingerprint
+	}
+	metricFP := func() string {
+		raw := metricsBody(t, admin.URL)
+		const prefix = `mvpears_model_info{fingerprint="`
+		i := strings.Index(raw, prefix)
+		if i < 0 {
+			t.Fatalf("metrics missing mvpears_model_info:\n%s", raw)
+		}
+		rest := raw[i+len(prefix):]
+		return rest[:strings.Index(rest, `"`)]
+	}
+
+	reloadDone := make(chan error, 1)
+	go func() { reloadDone <- s.Reload() }()
+
+	var sawNew bool
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		fp1 := infoFP()
+		mid := metricFP()
+		fp2 := infoFP()
+		if fp1 == fp2 && mid != fp1 {
+			t.Fatalf("identity skew: /infoz %q on both sides of a /metrics scrape reporting %q", fp1, mid)
+		}
+		if fp1 == "model-b" {
+			sawNew = true
+			break
+		}
+	}
+	if err := <-reloadDone; err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if !sawNew {
+		// The loop may have raced past the swap; the surfaces must agree
+		// on the new model now regardless.
+		if fp := infoFP(); fp != "model-b" {
+			t.Fatalf("post-reload /infoz fingerprint %q, want model-b", fp)
+		}
+	}
+	if fp := metricFP(); fp != "model-b" {
+		t.Fatalf("post-reload mvpears_model_info fingerprint %q, want model-b", fp)
 	}
 }

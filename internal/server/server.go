@@ -25,14 +25,65 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"mvpears"
 	"mvpears/internal/cluster"
 	"mvpears/internal/obs"
+	"mvpears/internal/obs/drift"
+	"mvpears/internal/obs/slo"
 	"mvpears/internal/vcache"
 )
+
+// Rejection reasons for mvpears_rejected_total, the unified load-shed
+// counter: every deliberate "no" the daemon answers, regardless of which
+// subsystem said it.
+const (
+	rejectQueueFull      = "queue_full"      // admission queue 429s
+	rejectStreamSessions = "stream_sessions" // streaming session limit
+	rejectPeerBusy       = "peer_busy"       // cluster busy-declines sent to peers
+)
+
+// DriftReferencer is implemented by backends that carry a
+// calibration-time drift reference with their model artifact
+// (*mvpears.System derives one from its benign score pools). Without it
+// the drift monitor still tracks distributions but never scores them.
+type DriftReferencer interface {
+	DriftReference() *drift.Reference
+}
+
+// SLOTargets declares the good-event fractions for the daemon's built-in
+// service-level objectives. Zero values get defaults.
+type SLOTargets struct {
+	// Latency is the fraction of detect requests that must answer within
+	// 250ms (default 0.99). The bound rides the existing request-latency
+	// histogram's 0.25s bucket boundary.
+	Latency float64
+	// Availability is the fraction of HTTP requests that must not 5xx
+	// (default 0.999).
+	Availability float64
+	// Quality is the fraction of verdicts that must be served while no
+	// drift family is tripped (default 0.99).
+	Quality float64
+}
+
+func (t *SLOTargets) applyDefaults() {
+	if t.Latency <= 0 {
+		t.Latency = 0.99
+	}
+	if t.Availability <= 0 {
+		t.Availability = 0.999
+	}
+	if t.Quality <= 0 {
+		t.Quality = 0.99
+	}
+}
+
+// sloDetectLatencyBound is the latency SLO's good-event bound. It must
+// sit on a DefaultLatencyBuckets boundary so CountAtOrBelow is exact.
+const sloDetectLatencyBound = 0.25
 
 // Backend is the detection capability the server fronts. *mvpears.System
 // satisfies it; tests substitute stubs to exercise overload and failure
@@ -130,6 +181,13 @@ type Config struct {
 	// hedges slow detections to idle peers. Requires the cache. See
 	// cluster.go.
 	Cluster *ClusterConfig
+	// Drift tunes the detection-quality drift monitor (always on; the
+	// zero value gets drift.Config defaults). Config.Drift.OnDrift is
+	// chained after the built-in audit hook.
+	Drift drift.Config
+	// SLO sets the built-in objectives' targets (zero values get
+	// defaults).
+	SLO SLOTargets
 }
 
 func (c *Config) applyDefaults() {
@@ -163,6 +221,7 @@ func (c *Config) applyDefaults() {
 	if c.SlowRequestThreshold <= 0 {
 		c.SlowRequestThreshold = time.Second
 	}
+	c.SLO.applyDefaults()
 }
 
 // Server is one mvpearsd instance: handlers, worker pool and metrics.
@@ -259,6 +318,46 @@ type Server struct {
 	streamWindows       *CounterVec
 	streamEarlyExits    *Counter
 	streamWindowSeconds *Histogram
+
+	// clusterRTTSeconds tracks per-peer RPC round-trip time (the wire
+	// half of a forward, as the requester sees it).
+	clusterRTTSeconds *HistogramVec
+	// rejectedTotal unifies load-shed rejections across subsystems by
+	// reason (queue_full / stream_sessions / peer_busy).
+	rejectedTotal *CounterVec
+
+	// driftMon scores live detection-quality distributions against the
+	// model's calibration reference; probe watches query shapes for
+	// mutate-one-sample probing campaigns. Both always exist.
+	driftMon *drift.Monitor
+	probe    *drift.ProbeWatcher
+	// sloEng evaluates the built-in objectives' burn rates at scrape
+	// time (no background goroutine; see internal/obs/slo).
+	sloEng *slo.Engine
+	// slo* atomics are the raw counters behind the availability and
+	// quality objectives (requestsTotal children are not introspectable
+	// per-status, and verdict quality needs the drift verdict at serve
+	// time).
+	sloHTTPTotal       atomic.Uint64
+	sloHTTP5xx         atomic.Uint64
+	sloVerdicts        atomic.Uint64
+	sloVerdictsDrifted atomic.Uint64
+	// buildVersion is resolved once from the embedded build info (for
+	// mvpears_build_info and /statusz).
+	buildVersion string
+}
+
+// resolveBuildVersion extracts the VCS revision baked into the binary,
+// falling back to "dev" for unstamped test builds.
+func resolveBuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				return kv.Value
+			}
+		}
+	}
+	return "dev"
 }
 
 // New validates cfg, applies defaults and assembles a Server (no
@@ -405,6 +504,145 @@ func New(cfg Config) (*Server, error) {
 		"mvpears_model_reloads_total", "Completed hot model reloads.")
 	s.reloadFailures = s.metrics.Counter(
 		"mvpears_model_reload_failures_total", "Hot model reloads that failed (old model kept serving).")
+	s.clusterRTTSeconds = s.metrics.HistogramVec(
+		"mvpears_cluster_rtt_seconds", "Peer RPC round-trip time as the requester sees it.",
+		DefaultLatencyBuckets, "peer")
+	s.rejectedTotal = s.metrics.CounterVec(
+		"mvpears_rejected_total", "Deliberate load-shed rejections across all subsystems, by reason.", "reason")
+	// Pre-create the reason children so the exposition shape does not
+	// depend on which rejection fired first.
+	for _, reason := range []string{rejectQueueFull, rejectStreamSessions, rejectPeerBusy} {
+		s.rejectedTotal.With(reason)
+	}
+
+	// Detection-quality drift: the monitor exists regardless of whether
+	// the backend carries a calibration reference (without one, scores
+	// stay 0 and drift never trips). The audit hook is built in; a
+	// user-supplied OnDrift chains after it.
+	driftCfg := cfg.Drift
+	userOnDrift := driftCfg.OnDrift
+	driftCfg.OnDrift = func(v drift.Verdict) {
+		cfg.Logger.Printf("mvpearsd: drift detected: family=%s score=%.3f threshold=%.3f samples=%d",
+			v.Family, v.Score, v.Threshold, v.Samples)
+		if cfg.Audit != nil {
+			cfg.Audit.WriteDrift(obs.DriftEvent{
+				Time:      time.Now(),
+				Family:    v.Family,
+				Score:     v.Score,
+				Threshold: v.Threshold,
+				Samples:   v.Samples,
+			})
+		}
+		if userOnDrift != nil {
+			userOnDrift(v)
+		}
+	}
+	s.driftMon = drift.New(driftCfg)
+	s.probe = drift.NewProbeWatcher(0)
+	s.metrics.GaugeVecFunc(
+		"mvpears_drift_score", "Divergence of each live detection-quality family from its calibration reference (total-variation distance for distributions, absolute difference for rates).",
+		func() []LabeledValue {
+			verdicts := s.driftMon.Evaluate()
+			out := make([]LabeledValue, len(verdicts))
+			for i, v := range verdicts {
+				out[i] = LabeledValue{Values: []string{v.Family}, Value: v.Score}
+			}
+			return out
+		}, "family")
+	s.metrics.GaugeFunc(
+		"mvpears_probe_suspicion", "Fraction of recent detect uploads that were near-duplicates of earlier uploads (mutate-one-sample probing signal).",
+		func() float64 { return s.probe.Suspicion() })
+	s.metrics.CounterFunc(
+		"mvpears_audit_dropped_total", "Audit entries dropped by the sink's retention or write-failure policy.",
+		func() uint64 {
+			if cfg.Audit == nil {
+				return 0
+			}
+			return cfg.Audit.Dropped()
+		})
+
+	// Service-level objectives, evaluated lazily at scrape time from the
+	// counters the serving path already maintains.
+	s.sloEng = slo.New(slo.Config{Objectives: []slo.Objective{
+		{
+			Name:   "detect_latency",
+			Target: cfg.SLO.Latency,
+			Source: func() (bad, total float64) {
+				h := s.requestSeconds.With("detect")
+				n := float64(h.Count())
+				return n - float64(h.CountAtOrBelow(sloDetectLatencyBound)), n
+			},
+		},
+		{
+			Name:   "availability",
+			Target: cfg.SLO.Availability,
+			Source: func() (bad, total float64) {
+				return float64(s.sloHTTP5xx.Load()), float64(s.sloHTTPTotal.Load())
+			},
+		},
+		{
+			Name:   "verdict_quality",
+			Target: cfg.SLO.Quality,
+			Source: func() (bad, total float64) {
+				return float64(s.sloVerdictsDrifted.Load()), float64(s.sloVerdicts.Load())
+			},
+		},
+	}})
+	s.metrics.GaugeVecFunc(
+		"mvpears_slo_burn_rate", "Error-budget burn rate per objective and window (1 = spending exactly the budget).",
+		func() []LabeledValue {
+			st := s.sloEng.Status(time.Now())
+			out := make([]LabeledValue, 0, 2*len(st))
+			for _, o := range st {
+				out = append(out,
+					LabeledValue{Values: []string{o.Name, "fast"}, Value: o.FastBurn},
+					LabeledValue{Values: []string{o.Name, "slow"}, Value: o.SlowBurn})
+			}
+			return out
+		}, "slo", "window")
+	s.metrics.GaugeVecFunc(
+		"mvpears_slo_objective", "Configured good-event target per objective.",
+		func() []LabeledValue {
+			objs := s.sloEng.Objectives()
+			out := make([]LabeledValue, len(objs))
+			for i, o := range objs {
+				out[i] = LabeledValue{Values: []string{o.Name}, Value: o.Target}
+			}
+			return out
+		}, "slo")
+	s.metrics.GaugeVecFunc(
+		"mvpears_slo_alerting", "1 when both the fast and slow burn windows exceed the alerting burn rate.",
+		func() []LabeledValue {
+			st := s.sloEng.Status(time.Now())
+			out := make([]LabeledValue, len(st))
+			for i, o := range st {
+				v := 0.0
+				if o.Alerting {
+					v = 1
+				}
+				out[i] = LabeledValue{Values: []string{o.Name}, Value: v}
+			}
+			return out
+		}, "slo")
+
+	// Build/model identity gauges: constant 1, identity in the labels.
+	// The model gauge reads the live backend state at render time, so a
+	// hot reload flips /metrics and /infoz from the same atomic pointer.
+	s.buildVersion = resolveBuildVersion()
+	s.metrics.GaugeVecFunc(
+		"mvpears_build_info", "Build identity of the running daemon (constant 1).",
+		func() []LabeledValue {
+			return []LabeledValue{{Values: []string{s.buildVersion, runtime.Version()}, Value: 1}}
+		}, "version", "go_version")
+	s.metrics.GaugeVecFunc(
+		"mvpears_model_info", "Identity of the model currently serving (constant 1; empty fingerprint when caching is off).",
+		func() []LabeledValue {
+			fp := ""
+			if st := s.be.Load(); st != nil {
+				fp = st.modelFP
+			}
+			return []LabeledValue{{Values: []string{fp}, Value: 1}}
+		}, "fingerprint")
 
 	st, err := s.buildState(cfg.Backend)
 	if err != nil {
@@ -486,6 +724,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // flush on shutdown).
 func (s *Server) DumpMetrics(w io.Writer) error {
 	return s.metrics.Render(w)
+}
+
+// MetricFamilies returns the metadata (name, type, help) of every metric
+// family the server registers, in registration order — the source of
+// truth for the generated metrics reference (see cmd/genmetrics).
+func (s *Server) MetricFamilies() []FamilyInfo {
+	return s.metrics.Families()
 }
 
 // RunUntilSignal serves on ln until one of sigs arrives (or serving fails

@@ -268,12 +268,6 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 	}
 	trace := obs.TraceFrom(r.Context())
 	rc := http.NewResponseController(w)
-	// Full duplex: we interleave body reads with response writes; without
-	// this net/http drains the request body at the first write.
-	if err := rc.EnableFullDuplex(); err != nil {
-		writeError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
-		return
-	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes+1024)
 	decodeStart := time.Now()
 	wr, err := audio.NewWAVStreamReader(body, s.cfg.MaxUploadBytes)
@@ -298,6 +292,15 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.Close()
 
+	// Full duplex: we interleave body reads with response writes; without
+	// this net/http drains the request body at the first write. Enabled
+	// only once every early-reject path is behind us — a plain error
+	// response with an unconsumed full-duplex body panics the connection's
+	// teardown ("invalid concurrent Body.Read call").
+	if err := rc.EnableFullDuplex(); err != nil {
+		writeError(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)

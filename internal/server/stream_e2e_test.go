@@ -332,3 +332,127 @@ func TestE2EStreamingWebSocket(t *testing.T) {
 	}
 	assertDetectionEqual(t, "websocket benign", final.Detection, want)
 }
+
+// TestStreamSessionRejectionAndErrorRequestID covers the streaming legs
+// of the unified observability contract: a full session table rejects
+// with 429 AND accounts the rejection under
+// mvpears_rejected_total{reason="stream_sessions"}, and a mid-stream
+// failure's NDJSON error event echoes the client's X-Request-ID exactly
+// like the batch error paths do.
+func TestStreamSessionRejectionAndErrorRequestID(t *testing.T) {
+	sys := e2eSystem(t)
+	s, err := New(Config{
+		Backend: sys,
+		Workers: 2,
+		Stream: &StreamConfig{
+			Window:      4000,
+			Hop:         1000,
+			MaxSessions: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		<-serveDone
+	})
+	base := "http://" + ln.Addr().String()
+
+	// Hold the single session open over WebSocket…
+	c, err := stream.DialWS("ws" + strings.TrimPrefix(base, "http") + "/v1/detect/ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …and reject the second opener with a counted 429.
+	resp, err := http.Post(base+"/v1/detect/stream", "audio/wav", bytes.NewReader(wavBody(t, sys.SampleRate(), 256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), `mvpears_rejected_total{reason="stream_sessions"} 1`) {
+		t.Error("metrics missing the stream_sessions rejection count")
+	}
+	c.Close() // free the session slot
+
+	// A truncated WAV body fails mid-stream; the NDJSON error event must
+	// carry the client's request ID (the 200 header is long gone, so the
+	// event body is the only place it can live).
+	clip, err := sys.GenerateSpeech("echo my id back", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wav := encodeWAV(t, clip)
+	truncated := wav[:len(wav)-1000] // mid data chunk
+
+	var events []StreamEventJSON
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/detect/stream", bytes.NewReader(truncated))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "audio/wav")
+		req.Header.Set("X-Request-ID", "stream-err-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && time.Now().Before(deadline) {
+			// The WS session above may still be tearing down.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("truncated stream status %d: %s", resp.StatusCode, b)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev StreamEventJSON
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			events = append(events, ev)
+		}
+		resp.Body.Close()
+		break
+	}
+	if len(events) == 0 {
+		t.Fatal("truncated stream produced no events")
+	}
+	last := events[len(events)-1]
+	if last.Event != StreamEventError || last.Error == "" {
+		t.Fatalf("last event = %+v, want an error event", last)
+	}
+	if last.RequestID != "stream-err-1" {
+		t.Fatalf("error event request_id %q, want the client-supplied stream-err-1", last.RequestID)
+	}
+}

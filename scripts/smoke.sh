@@ -143,4 +143,27 @@ CODES=$(sort -u "$WORKDIR/reload_codes.txt")
 [ "$(wc -l <"$WORKDIR/reload_codes.txt")" -eq 40 ] || fail "reload load loop lost requests"
 curl -fsS "http://$ADM_C/infoz" | grep -q '"reloads":1' || fail "C's /infoz does not count the reload"
 
+echo "== fleet observability =="
+# The operator status page and the fleet metric families, probed on a
+# replica that is part of the mesh and has served fresh detections.
+STATUSZ=$(curl -fsS "http://$ADM_C/statusz") || fail "GET /statusz on C"
+for want in "build:" "model:" "slo:" "drift:" "probe:" "ring:"; do
+    echo "$STATUSZ" | grep -q "$want" || fail "/statusz missing \"$want\" section: $STATUSZ"
+done
+echo "$STATUSZ" | grep -q "detect_latency" || fail "/statusz missing the latency objective"
+METRICS_C=$(curl -fsS "http://$ADM_C/metrics")
+echo "$METRICS_C" | grep -q 'mvpears_drift_score{family="engine:' \
+    || fail "C's metrics missing per-engine drift scores"
+echo "$METRICS_C" | grep -q 'mvpears_slo_burn_rate{slo="detect_latency",window="fast"}' \
+    || fail "C's metrics missing SLO burn rates"
+echo "$METRICS_C" | grep -q 'mvpears_slo_alerting{slo="availability"} 0' \
+    || fail "C alerting on availability during a clean smoke run"
+echo "$METRICS_C" | grep -q 'mvpears_build_info{' || fail "C's metrics missing build identity"
+echo "$METRICS_C" | grep -q 'mvpears_model_info{fingerprint=' || fail "C's metrics missing model identity"
+echo "$METRICS_C" | grep -q 'mvpears_rejected_total{reason="queue_full"} 0' \
+    || fail "C's metrics missing pre-created rejection reasons"
+# The requester side of the earlier remote hit timed the peer round trip.
+curl -fsS "http://$PUB_B/metrics" | grep -q 'mvpears_cluster_rtt_seconds_count{peer="' \
+    || fail "B's metrics missing the per-peer RTT histogram after a forward"
+
 echo "smoke OK"

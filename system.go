@@ -11,6 +11,7 @@ import (
 	"mvpears/internal/classify"
 	"mvpears/internal/detector"
 	"mvpears/internal/obs"
+	"mvpears/internal/obs/drift"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -240,6 +241,47 @@ func (s *System) AuxiliaryNames() []string {
 		out[i] = aux.Name()
 	}
 	return out
+}
+
+// DriftReference derives the calibration-time detection-quality baseline
+// the serving layer's drift monitor compares live traffic against: the
+// per-auxiliary benign similarity-score distributions, the per-sample
+// minimum-score distribution, and the expected adversarial base rate
+// (zero — production traffic is presumed benign; a sustained adversarial
+// rate is itself the anomaly). The baseline is computed from the benign
+// score pools, which Save persists with the model artifact, so every
+// replica loading the same artifact derives bit-identical references.
+// Nil when the detector is untrained.
+func (s *System) DriftReference() *drift.Reference {
+	if s.pools == nil || len(s.pools.Benign) == 0 {
+		return nil
+	}
+	ref := &drift.Reference{Version: 1}
+	aux := s.AuxiliaryNames()
+	n := len(s.pools.Benign[0])
+	for j, col := range s.pools.Benign {
+		if j < len(aux) {
+			ref.AddDist("engine:"+aux[j], col)
+		}
+		if len(col) < n {
+			n = len(col)
+		}
+	}
+	if n > 0 {
+		mins := make([]float64, n)
+		for i := 0; i < n; i++ {
+			min := 1.0
+			for j := range s.pools.Benign {
+				if s.pools.Benign[j][i] < min {
+					min = s.pools.Benign[j][i]
+				}
+			}
+			mins[i] = min
+		}
+		ref.AddDist("min_score", mins)
+	}
+	ref.AddRate("adversarial_rate", 0)
+	return ref
 }
 
 // AEResult describes a crafted adversarial example.
